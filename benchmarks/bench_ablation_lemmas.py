@@ -1,0 +1,100 @@
+"""Experiment E7 — Section 5.1 / Fig. 6: the lemma-set restriction ablation.
+
+The paper restricts (Subst) lemmas to (Case)-justified nodes, arguing that
+lemmas justified by (Refl)/(Reduce)/(Subst) are redundant and that dropping
+them "significantly reduces" the number of candidates (e.g. 16 vertices but
+only 3 instances of (Case) in the commutativity proof).  This ablation measures
+proof search with the restriction on (``case-only``) and off (``all``): the
+number of (Subst) candidates explored and the resulting search time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_report
+from repro.harness import format_table
+from repro.lang import load_program
+from repro.proofs.preproof import RULE_CASE
+from repro.search import LEMMAS_ALL, LEMMAS_CASE_ONLY, Prover, ProverConfig
+
+SOURCE = """
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+id :: a -> a
+id x = x
+
+app :: List a -> List a -> List a
+app Nil ys = ys
+app (Cons x xs) ys = Cons x (app xs ys)
+
+len :: List a -> Nat
+len Nil = Z
+len (Cons x xs) = S (len xs)
+
+map :: (a -> b) -> List a -> List b
+map f Nil = Nil
+map f (Cons x xs) = Cons (f x) (map f xs)
+"""
+
+GOALS = [
+    "add x Z === x",
+    "add (add x y) z === add x (add y z)",
+    "app (app xs ys) zs === app xs (app ys zs)",
+    "len (app xs ys) === add (len xs) (len ys)",
+    "map f (app xs ys) === app (map f xs) (map f ys)",
+]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return load_program(SOURCE, name="ablation")
+
+
+def _run(program, restriction: str):
+    config = ProverConfig(lemma_restriction=restriction, timeout=5.0)
+    prover = Prover(program, config)
+    outcomes = []
+    for source in GOALS:
+        outcomes.append(prover.prove(program.parse_equation(source)))
+    return outcomes
+
+
+@pytest.mark.parametrize("restriction", [LEMMAS_CASE_ONLY, LEMMAS_ALL])
+def test_lemma_restriction_ablation(benchmark, program, restriction):
+    outcomes = benchmark(lambda: _run(program, restriction))
+
+    solved = [o for o in outcomes if o.proved]
+    subst_attempts = sum(o.statistics.subst_attempts for o in outcomes)
+    total_ms = sum(o.statistics.elapsed_seconds for o in outcomes) * 1000
+
+    rows = [(GOALS[i], "proved" if o.proved else "failed",
+             o.statistics.subst_attempts, round(o.statistics.elapsed_seconds * 1000, 1))
+            for i, o in enumerate(outcomes)]
+    print_report(
+        f"Lemma restriction = {restriction}: "
+        f"{len(solved)}/{len(GOALS)} solved, {subst_attempts} (Subst) candidates, {total_ms:.1f} ms",
+        format_table(("goal", "outcome", "subst candidates", "ms"), rows),
+    )
+
+    # With the paper's restriction everything here is provable.
+    if restriction == LEMMAS_CASE_ONLY:
+        assert len(solved) == len(GOALS)
+
+
+def test_case_nodes_are_a_small_fraction(program):
+    """The paper's observation: e.g. 16 vertices but only 3 (Case) nodes in Fig. 4."""
+    result = Prover(program).prove(program.parse_equation("add x y === add y x"))
+    assert result.proved
+    total = len(result.proof)
+    case_nodes = sum(1 for n in result.proof.nodes if n.rule == RULE_CASE)
+    print_report(
+        "Eligible lemma candidates under the restriction",
+        f"{case_nodes} (Case) vertices out of {total} total vertices",
+    )
+    assert case_nodes * 3 <= total

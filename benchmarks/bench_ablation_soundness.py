@@ -1,0 +1,78 @@
+"""Experiment E8 — Section 5.2: incremental vs from-scratch soundness checking.
+
+The paper's motivation: in Cyclist "a large proportion of the overall proof
+time is spent checking the global correctness of proof trees", because every
+candidate proof is re-validated from scratch; CycleQ instead annotates the
+proof graph with size-change graphs and updates the closure incrementally as
+each node is uncovered.  This ablation runs the same searches with the
+incremental closure (the paper's approach) and with from-scratch re-checking on
+every new edge, and reports the time difference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_report
+from repro.harness import format_table
+from repro.lang import load_program
+from repro.search import Prover, ProverConfig
+
+SOURCE = """
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+app :: List a -> List a -> List a
+app Nil ys = ys
+app (Cons x xs) ys = Cons x (app xs ys)
+
+len :: List a -> Nat
+len Nil = Z
+len (Cons x xs) = S (len xs)
+"""
+
+GOALS = [
+    "add x y === add y x",
+    "add (add x y) z === add x (add y z)",
+    "len (app xs ys) === add (len xs) (len ys)",
+]
+
+
+@pytest.fixture(scope="module")
+def program():
+    return load_program(SOURCE, name="soundness-ablation")
+
+
+def _run(program, incremental: bool):
+    config = ProverConfig(incremental_soundness=incremental, timeout=20.0)
+    prover = Prover(program, config)
+    return [prover.prove(program.parse_equation(g)) for g in GOALS]
+
+
+@pytest.mark.parametrize("incremental", [True, False], ids=["incremental", "from-scratch"])
+def test_soundness_checking_ablation(benchmark, program, incremental):
+    outcomes = benchmark(lambda: _run(program, incremental))
+
+    assert all(o.proved for o in outcomes), [o.reason for o in outcomes]
+    rows = [
+        (GOALS[i], round(o.statistics.elapsed_seconds * 1000, 1), o.statistics.soundness_checks)
+        for i, o in enumerate(outcomes)
+    ]
+    mode = "incremental (size-change closure)" if incremental else "from scratch per edge"
+    print_report(
+        f"Global-condition checking: {mode}",
+        format_table(("goal", "ms", "checks performed"), rows),
+    )
+
+
+def test_both_modes_agree_on_soundness(program):
+    """The ablation must not change *what* is provable, only how fast."""
+    for goal in GOALS + ["add x y === x"]:
+        equation = program.parse_equation(goal)
+        fast = Prover(program, ProverConfig(incremental_soundness=True, timeout=10.0)).prove(equation)
+        slow = Prover(program, ProverConfig(incremental_soundness=False, timeout=30.0)).prove(equation)
+        assert fast.proved == slow.proved

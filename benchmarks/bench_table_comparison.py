@@ -1,0 +1,29 @@
+"""Experiment E3 — Section 6.2: solved-count comparison across tools.
+
+Paper: "By comparison: HipSpec proved 80, Zeno 82, CVC4 80, ACL2 74, Inductive
+Horn Clause Solving 68, IsaPlanner 47, and Dafny 45" against CycleQ's 44.  As
+in the paper, the other tools' numbers are literature values; the measured row
+is this reproduction's solved count under the same per-problem budget.
+"""
+
+from __future__ import annotations
+
+from conftest import print_report
+from repro.benchmarks_data import PAPER_REPORTED
+from repro.harness import tool_comparison_table
+
+
+def test_tool_comparison_table(benchmark, isaplanner_suite_result):
+    """Regenerate the Section 6.2 comparison table."""
+
+    solved = benchmark(lambda: len(isaplanner_suite_result.solved))
+    table = tool_comparison_table(solved)
+    print_report("Section 6.2 tool comparison (others as reported in the literature)", table)
+
+    paper_counts = PAPER_REPORTED["tool_comparison"]
+    # Shape: the reproduction sits in the same band as the paper's CycleQ —
+    # well below the lemma-discovery provers, around IsaPlanner/Dafny.
+    assert solved <= paper_counts["Zeno"]
+    assert solved <= paper_counts["HipSpec"]
+    assert abs(solved - paper_counts["CycleQ (paper)"]) <= 8
+    assert solved >= 35

@@ -1,0 +1,51 @@
+"""Experiment E9 — Section 6.2: classification of the unsolved problems.
+
+Paper: the problems CycleQ could not solve are attributable to (a) conditional
+equations being out of scope, (b) goals that need conditional reasoning
+internally (e.g. the ``count`` properties), and (c) four goals that need a
+lemma — prop 47 is provable given the commutativity of ``max``, and props 54,
+65, 69 given the commutativity of ``add``.  This module regenerates the
+classification table and replays the hint experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import EVALUATION_CONFIG, print_report
+from repro.benchmarks_data import HINTED_PROPERTIES, isaplanner_problems
+from repro.harness import format_table, unsolved_classification
+from repro.search import Prover, ProverConfig
+
+
+def test_unsolved_classification(benchmark, isaplanner_suite_result):
+    table = benchmark(lambda: unsolved_classification(isaplanner_suite_result))
+    print_report("Classification of unsolved problems (Section 6.2)", table)
+
+    unsolved = {r.name for r in isaplanner_suite_result.records if not r.proved}
+    # The hinted properties are among the unsolved ones, as in the paper.
+    for name in HINTED_PROPERTIES:
+        assert name in unsolved, f"{name} is expected to need a lemma hint"
+    # Every conditional problem is reported out of scope rather than failed.
+    out_of_scope = {r.name for r in isaplanner_suite_result.out_of_scope}
+    assert len(out_of_scope) in range(12, 16)
+
+
+@pytest.mark.parametrize("name", sorted(HINTED_PROPERTIES))
+def test_hinted_property_becomes_provable(benchmark, isaplanner, name):
+    """Props 47/54/65/69: fail without the hint, succeed with it (Section 6.2)."""
+    goal = isaplanner.goal(name)
+    hint = isaplanner.parse_equation(HINTED_PROPERTIES[name])
+    prover = Prover(isaplanner, ProverConfig(timeout=5.0))
+
+    with_hint = benchmark(lambda: prover.prove_goal(goal, hypotheses=[hint]))
+    without_hint = prover.prove_goal(goal)
+
+    rows = [
+        ("without hint", "proved" if without_hint.proved else "failed"),
+        (f"with hint {HINTED_PROPERTIES[name]}", "proved" if with_hint.proved else "failed"),
+    ]
+    print_report(f"{name} hint experiment", format_table(("configuration", "outcome"), rows))
+
+    assert not without_hint.proved
+    assert with_hint.proved

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The butLast/take property (the paper's Fig. 2 and Section 1.1).
+
+``butLast xs ≈ take (len xs - S Z) xs`` is the paper's example of a
+heavily-equational goal that CycleQ proves in ~40 ms without any lemma, while
+HipSpec spends ~40 s and synthesises 22 candidate lemmas (12 of which fail to
+prove).  The script proves the property, prints the cyclic proof, and shows the
+demanded-variable analysis that drives the two nested case analyses of Fig. 2.
+
+Run with::
+
+    python examples/butlast_take.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import Prover, ProverConfig
+from repro.benchmarks_data import isaplanner_program
+from repro.proofs import check_proof, render_text
+from repro.rewriting.narrowing import case_candidates
+
+
+def main() -> int:
+    program = isaplanner_program()
+    goal = program.goal("prop_50")
+    print("Goal (IsaPlanner prop_50 / Fig. 2):", goal.equation, "\n")
+
+    # The needed-narrowing style analysis picks the case variables of Fig. 2.
+    demanded = case_candidates(program.rules, goal.equation.lhs, goal.equation.rhs)
+    print("Variables demanded by the stuck calls (candidates for (Case)):",
+          [v.name for v in demanded], "\n")
+
+    result = Prover(program, ProverConfig(timeout=5.0)).prove_goal(goal)
+    assert result.proved, result.reason
+    report = check_proof(program, result.proof)
+
+    stats = result.statistics
+    print(f"Proved in {stats.elapsed_seconds * 1000:.1f} ms "
+          f"({len(result.proof)} vertices, {stats.subst_attempts} (Subst) candidates tried, "
+          f"{stats.soundness_checks} incremental soundness checks).")
+    print(f"Independently validated (local rules + size-change condition): {report.is_proof}\n")
+    print(render_text(result.proof))
+
+    print("\nFor comparison (as reported in the paper): HipSpec ≈ 40 s with 22 synthesised lemmas.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

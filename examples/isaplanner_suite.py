@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Run the full IsaPlanner evaluation (the paper's Fig. 7 and Section 6).
+
+The script attempts all 85 IsaPlanner benchmark problems with a fixed
+per-problem budget, then prints:
+
+* the Section 6.1 summary (problems solved, solved within 100 ms, average time)
+  next to the numbers reported in the paper;
+* an ASCII rendering of the Fig. 7 cumulative solved-vs-time curve;
+* the Section 6.2 tool-comparison table (other tools as reported in the
+  literature, exactly as the paper does);
+* the Section 6.2 classification of the unsolved problems.
+
+Expect a run time of roughly one to two minutes.  Use ``--quick`` to run only
+the first 30 problems.
+
+Run with::
+
+    python examples/isaplanner_suite.py [--quick] [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.benchmarks_data import isaplanner_problems, mutual_problems
+from repro.harness import (
+    ascii_cumulative_plot,
+    isaplanner_summary_table,
+    run_suite,
+    tool_comparison_table,
+    unsolved_classification,
+)
+from repro.search import ProverConfig
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run only the first 30 problems")
+    parser.add_argument("--timeout", type=float, default=2.0, help="per-problem budget in seconds")
+    arguments = parser.parse_args()
+
+    problems = isaplanner_problems()
+    if arguments.quick:
+        problems = problems[:30]
+    config = ProverConfig(timeout=arguments.timeout)
+
+    def progress(record):
+        marker = {"proved": "+", "failed": "-", "out-of-scope": "o"}[record.status]
+        sys.stdout.write(marker)
+        sys.stdout.flush()
+
+    print(f"Attempting {len(problems)} IsaPlanner problems "
+          f"({arguments.timeout:.1f} s per problem)...")
+    result = run_suite(problems, config, progress=progress)
+    print("\n")
+
+    print(isaplanner_summary_table(result))
+    print()
+    print("Cumulative solved-vs-time (Fig. 7):")
+    print(ascii_cumulative_plot(result))
+    print()
+    print(tool_comparison_table(len(result.solved)))
+    print()
+    print("Unsolved problems (Section 6.2 classification):")
+    print(unsolved_classification(result))
+
+    print("\nMutual-induction suite (Section 6.1):")
+    mutual_result = run_suite(mutual_problems(), config)
+    for record in mutual_result.records:
+        print(f"  {record.name:<10} {record.status:<8} {record.milliseconds:8.1f} ms")
+    print(f"  average over solved: {mutual_result.average_solved_ms():.1f} ms "
+          "(paper: 5.3 ms on the authors' machine)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Mutual induction over annotated syntax trees (the paper's Fig. 1 example).
+
+The datatypes ``Term a`` and ``Expr a`` are mutually recursive, so proving
+``mapE id e ≈ e`` needs an induction hypothesis about *both* types.  A
+traditional inductive prover has to guess the strengthened conjunction
+``mapT id t ≈ t ∧ mapE id e ≈ e``; in the cyclic system the two cycles simply
+fall out of equational reasoning, and the global (size-change) condition
+certifies them after the fact.
+
+Run with::
+
+    python examples/mutual_induction.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import Prover, ProverConfig
+from repro.benchmarks_data import mutual_program
+from repro.induction import StructuralInductionProver
+from repro.proofs import check_proof, render_text
+from repro.proofs.preproof import RULE_CASE
+
+
+def main() -> int:
+    program = mutual_program()
+    prover = Prover(program, ProverConfig(timeout=5.0))
+
+    print("The mutual-induction benchmark suite (Section 6.1):\n")
+    failures = 0
+    for goal in program.unconditional_goals():
+        result = prover.prove_goal(goal)
+        status = "proved" if result.proved else f"FAILED ({result.reason})"
+        print(f"  {goal.name:<10} {goal.equation}   ->   {status}"
+              f"   [{result.statistics.elapsed_seconds * 1000:.1f} ms]")
+        failures += 0 if result.proved else 1
+
+    print("\nThe Fig. 1 proof of mapE id e ≈ e:\n")
+    figure1 = prover.prove_goal(program.goal("mprop_01"))
+    assert figure1.proved
+    assert check_proof(program, figure1.proof).is_proof
+    print(render_text(figure1.proof))
+
+    datatypes = {
+        node.case_var.ty.name
+        for node in figure1.proof.nodes
+        if node.rule == RULE_CASE and node.case_var is not None
+    }
+    print(f"\nCase analyses span the mutually recursive datatypes: {sorted(datatypes)}")
+
+    print("\nFor contrast, single-variable structural induction (no strengthening):")
+    structural = StructuralInductionProver(program)
+    outcome = structural.prove(program.goal("mprop_01").equation)
+    print(f"  mapE id e ≈ e   ->   {'proved' if outcome.proved else 'failed'} "
+          "(the sibling datatype's hypothesis is never available)")
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file exists so that
+``pip install -e .`` also works with older setuptools versions that do not yet
+support PEP 660 editable installs from pyproject.toml alone.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CycleQ: an efficient basis for cyclic equational reasoning — Python reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,70 @@
+"""CycleQ: an efficient basis for cyclic equational reasoning — Python reproduction.
+
+The package reproduces the system described in the PLDI 2022 paper by Jones,
+Ong and Ramsay: a cyclic proof system for equational reasoning about pure
+functional programs, an efficient goal-directed proof-search algorithm whose
+global correctness condition is checked incrementally with size-change graphs,
+the rewriting-induction baseline it subsumes, and the benchmark suites used in
+the paper's evaluation.
+
+Typical usage::
+
+    from repro import load_program, Prover
+
+    program = load_program('''
+        data Nat = Z | S Nat
+        add :: Nat -> Nat -> Nat
+        add Z y = y
+        add (S x) y = S (add x y)
+        prop_comm x y = add x y === add y x
+    ''')
+    result = Prover(program).prove_goal(program.goal("prop_comm"))
+    assert result.proved
+"""
+
+from .core import (
+    App,
+    DataTy,
+    Equation,
+    FunTy,
+    Signature,
+    Substitution,
+    Sym,
+    Term,
+    Type,
+    TypeVar,
+    Var,
+    apply_term,
+)
+from .exploration import ExplorationConfig, TheoryExplorer
+from .lang import load_program, load_program_file
+from .program import Goal, Program, check_equation, ground_instances, ground_terms
+from .proofs import Preproof, check_proof, render_dot, render_text
+from .rewriting import Normalizer, RewriteRule, RewriteSystem
+from .search import (
+    LEMMAS_ALL,
+    LEMMAS_CASE_ONLY,
+    LEMMAS_NONE,
+    ProofResult,
+    Prover,
+    ProverConfig,
+    prove,
+    prove_goal,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # terms & programs
+    "Term", "Var", "Sym", "App", "apply_term", "Equation", "Substitution",
+    "Type", "TypeVar", "DataTy", "FunTy", "Signature",
+    "RewriteRule", "RewriteSystem", "Normalizer",
+    "Program", "Goal", "check_equation", "ground_terms", "ground_instances",
+    "load_program", "load_program_file",
+    # proofs & search
+    "Preproof", "check_proof", "render_text", "render_dot",
+    "Prover", "ProverConfig", "ProofResult", "prove", "prove_goal",
+    "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE",
+    "TheoryExplorer", "ExplorationConfig",
+]

@@ -1,0 +1,25 @@
+"""Benchmark programs: the prelude, the IsaPlanner suite, and the mutual-induction suite."""
+
+from .isaplanner import (
+    HINTED_PROPERTIES,
+    ISAPLANNER_PROPERTIES_SOURCE,
+    isaplanner_goals,
+    isaplanner_program,
+)
+from .mutual import MUTUAL_SOURCE, mutual_goals, mutual_program
+from .prelude import PRELUDE_SOURCE
+from .registry import (
+    PAPER_REPORTED,
+    BenchmarkProblem,
+    all_problems,
+    isaplanner_problems,
+    mutual_problems,
+)
+
+__all__ = [
+    "PRELUDE_SOURCE",
+    "ISAPLANNER_PROPERTIES_SOURCE", "isaplanner_program", "isaplanner_goals", "HINTED_PROPERTIES",
+    "MUTUAL_SOURCE", "mutual_program", "mutual_goals",
+    "BenchmarkProblem", "all_problems", "isaplanner_problems", "mutual_problems",
+    "PAPER_REPORTED",
+]

@@ -1,0 +1,77 @@
+"""The mutual-induction benchmark problems (Section 1 / Section 6.1).
+
+The IsaPlanner suite contains no problems that require mutual induction, so the
+paper adds "a small number of problems around the representation of annotated,
+mutually recursive syntax trees, as shown in the introduction".  This module
+re-creates that family: the mutually recursive ``Term``/``Expr`` datatypes of
+Fig. 1 with their functorial ``mapT``/``mapE`` and size functions, and the
+properties (identity and composition laws, size homomorphisms) one naturally
+states about them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from ..lang.loader import load_program
+from ..program import Goal, Program
+
+__all__ = ["MUTUAL_SOURCE", "mutual_program", "mutual_goals"]
+
+MUTUAL_SOURCE = """
+-- Mutually recursive annotated syntax trees (Fig. 1) ------------------------------
+data Bool = True | False
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+data Term a = TVar a | Cst Nat | TApp (Expr a) (Expr a)
+data Expr a = MkE (Term a) Nat
+
+id :: a -> a
+id x = x
+
+comp :: (b -> c) -> (a -> b) -> a -> c
+comp f g x = f (g x)
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+mapT :: (a -> b) -> Term a -> Term b
+mapT f (TVar v) = TVar (f v)
+mapT f (Cst c) = Cst c
+mapT f (TApp e1 e2) = TApp (mapE f e1) (mapE f e2)
+
+mapE :: (a -> b) -> Expr a -> Expr b
+mapE f (MkE t n) = MkE (mapT f t) n
+
+sizeT :: Term a -> Nat
+sizeT (TVar v) = S Z
+sizeT (Cst c) = S Z
+sizeT (TApp e1 e2) = S (add (sizeE e1) (sizeE e2))
+
+sizeE :: Expr a -> Nat
+sizeE (MkE t n) = S (sizeT t)
+
+-- Mutual-induction properties ------------------------------------------------------
+mprop_01 e = mapE id e === e
+mprop_02 t = mapT id t === t
+mprop_03 e = sizeE (mapE id e) === sizeE e
+mprop_04 t = sizeT (mapT id t) === sizeT t
+mprop_05 f e = sizeE (mapE f e) === sizeE e
+mprop_06 f t = sizeT (mapT f t) === sizeT t
+mprop_07 f g e = mapE f (mapE g e) === mapE (comp f g) e
+mprop_08 f g t = mapT f (mapT g t) === mapT (comp f g) t
+"""
+
+
+@lru_cache(maxsize=None)
+def mutual_program() -> Program:
+    """The mutual-induction benchmark program."""
+    return load_program(MUTUAL_SOURCE, name="mutual")
+
+
+def mutual_goals() -> List[Goal]:
+    """All mutual-induction goals, in numeric order."""
+    program = mutual_program()
+    return [program.goals[name] for name in sorted(program.goals)]

@@ -1,0 +1,206 @@
+"""The benchmark prelude: the function definitions used by the IsaPlanner suite.
+
+This is a re-encoding, in the reproduction's surface language, of the standard
+definitions over booleans, Peano naturals, lists, pairs and binary trees that
+the 85 IsaPlanner case-analysis benchmarks are stated over (the same
+definitions used by IsaPlanner, HipSpec, Zeno and the TIP suite).  Boolean
+conditionals are expressed with an explicit ``ite`` function because the
+surface language — like the core term-rewriting formalism of the paper — has
+no built-in ``if-then-else``; this is also precisely why properties whose
+proofs require case analysis on a boolean condition (e.g. the ``count``
+properties) are out of reach of the unconditional proof system, as discussed
+in Section 6.2 of the paper.
+
+``minus`` is defined with the ``x - Z = x`` equation first (instead of the
+more common ``Z - y = Z`` orientation); the two definitions compute the same
+truncated subtraction, but this orientation is the one the paper's Fig. 2
+proof of ``butLast xs ≈ take (len xs - S Z) xs`` relies on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PRELUDE_SOURCE"]
+
+PRELUDE_SOURCE = """
+-- Datatypes -----------------------------------------------------------------
+data Bool = True | False
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+data Pair a b = MkPair a b
+data Tree a = Leaf | Node (Tree a) a (Tree a)
+
+-- Booleans ------------------------------------------------------------------
+not :: Bool -> Bool
+not True = False
+not False = True
+
+and :: Bool -> Bool -> Bool
+and True b = b
+and False b = False
+
+or :: Bool -> Bool -> Bool
+or True b = True
+or False b = b
+
+ite :: Bool -> a -> a -> a
+ite True x y = x
+ite False x y = y
+
+-- Naturals --------------------------------------------------------------------
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+minus :: Nat -> Nat -> Nat
+minus x Z = x
+minus Z (S y) = Z
+minus (S x) (S y) = minus x y
+
+min2 :: Nat -> Nat -> Nat
+min2 Z y = Z
+min2 (S x) Z = Z
+min2 (S x) (S y) = S (min2 x y)
+
+max2 :: Nat -> Nat -> Nat
+max2 Z y = y
+max2 (S x) Z = S x
+max2 (S x) (S y) = S (max2 x y)
+
+eqN :: Nat -> Nat -> Bool
+eqN Z Z = True
+eqN Z (S y) = False
+eqN (S x) Z = False
+eqN (S x) (S y) = eqN x y
+
+leq :: Nat -> Nat -> Bool
+leq Z y = True
+leq (S x) Z = False
+leq (S x) (S y) = leq x y
+
+lt :: Nat -> Nat -> Bool
+lt x Z = False
+lt Z (S y) = True
+lt (S x) (S y) = lt x y
+
+-- Generic list functions ---------------------------------------------------------
+id :: a -> a
+id x = x
+
+constTrue :: a -> Bool
+constTrue x = True
+
+constFalse :: a -> Bool
+constFalse x = False
+
+app :: List a -> List a -> List a
+app Nil ys = ys
+app (Cons x xs) ys = Cons x (app xs ys)
+
+len :: List a -> Nat
+len Nil = Z
+len (Cons x xs) = S (len xs)
+
+null :: List a -> Bool
+null Nil = True
+null (Cons x xs) = False
+
+rev :: List a -> List a
+rev Nil = Nil
+rev (Cons x xs) = app (rev xs) (Cons x Nil)
+
+map :: (a -> b) -> List a -> List b
+map f Nil = Nil
+map f (Cons x xs) = Cons (f x) (map f xs)
+
+filter :: (a -> Bool) -> List a -> List a
+filter p Nil = Nil
+filter p (Cons x xs) = ite (p x) (Cons x (filter p xs)) (filter p xs)
+
+take :: Nat -> List a -> List a
+take Z xs = Nil
+take (S n) Nil = Nil
+take (S n) (Cons x xs) = Cons x (take n xs)
+
+drop :: Nat -> List a -> List a
+drop Z xs = xs
+drop (S n) Nil = Nil
+drop (S n) (Cons x xs) = drop n xs
+
+takeWhile :: (a -> Bool) -> List a -> List a
+takeWhile p Nil = Nil
+takeWhile p (Cons x xs) = ite (p x) (Cons x (takeWhile p xs)) Nil
+
+dropWhile :: (a -> Bool) -> List a -> List a
+dropWhile p Nil = Nil
+dropWhile p (Cons x xs) = ite (p x) (dropWhile p xs) (Cons x xs)
+
+butlast :: List a -> List a
+butlast Nil = Nil
+butlast (Cons x Nil) = Nil
+butlast (Cons x (Cons y ys)) = Cons x (butlast (Cons y ys))
+
+zip :: List a -> List b -> List (Pair a b)
+zip Nil ys = Nil
+zip (Cons x xs) Nil = Nil
+zip (Cons x xs) (Cons y ys) = Cons (MkPair x y) (zip xs ys)
+
+zipConcat :: a -> List a -> List b -> List (Pair a b)
+zipConcat x xs Nil = Nil
+zipConcat x xs (Cons y ys) = Cons (MkPair x y) (zip xs ys)
+
+-- Nat-list functions (they compare elements with eqN / leq / lt) -------------------
+count :: Nat -> List Nat -> Nat
+count n Nil = Z
+count n (Cons x xs) = ite (eqN n x) (S (count n xs)) (count n xs)
+
+elem :: Nat -> List Nat -> Bool
+elem n Nil = False
+elem n (Cons x xs) = or (eqN n x) (elem n xs)
+
+delete :: Nat -> List Nat -> List Nat
+delete n Nil = Nil
+delete n (Cons x xs) = ite (eqN n x) (delete n xs) (Cons x (delete n xs))
+
+ins :: Nat -> List Nat -> List Nat
+ins n Nil = Cons n Nil
+ins n (Cons x xs) = ite (lt n x) (Cons n (Cons x xs)) (Cons x (ins n xs))
+
+ins1 :: Nat -> List Nat -> List Nat
+ins1 n Nil = Cons n Nil
+ins1 n (Cons x xs) = ite (eqN n x) (Cons x xs) (Cons x (ins1 n xs))
+
+insort :: Nat -> List Nat -> List Nat
+insort n Nil = Cons n Nil
+insort n (Cons x xs) = ite (leq n x) (Cons n (Cons x xs)) (Cons x (insort n xs))
+
+sort :: List Nat -> List Nat
+sort Nil = Nil
+sort (Cons x xs) = insort x (sort xs)
+
+sorted :: List Nat -> Bool
+sorted Nil = True
+sorted (Cons x Nil) = True
+sorted (Cons x (Cons y ys)) = and (leq x y) (sorted (Cons y ys))
+
+last :: List Nat -> Nat
+last Nil = Z
+last (Cons x Nil) = x
+last (Cons x (Cons y ys)) = last (Cons y ys)
+
+lastOfTwo :: List Nat -> List Nat -> Nat
+lastOfTwo xs Nil = last xs
+lastOfTwo xs (Cons y ys) = last (Cons y ys)
+
+butlastConcat :: List a -> List a -> List a
+butlastConcat xs Nil = butlast xs
+butlastConcat xs (Cons y ys) = app xs (butlast (Cons y ys))
+
+-- Trees --------------------------------------------------------------------------
+mirror :: Tree a -> Tree a
+mirror Leaf = Leaf
+mirror (Node l x r) = Node (mirror r) x (mirror l)
+
+height :: Tree a -> Nat
+height Leaf = Z
+height (Node l x r) = S (max2 (height l) (height r))
+"""

@@ -1,0 +1,98 @@
+"""Registry of benchmark problems and the paper's reported reference numbers.
+
+Everything the evaluation section of the paper reports is collected here so
+that the benchmark harness and EXPERIMENTS.md can juxtapose "paper" and
+"measured" values from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..program import Goal, Program
+from .isaplanner import HINTED_PROPERTIES, isaplanner_goals, isaplanner_program
+from .mutual import mutual_goals, mutual_program
+
+__all__ = [
+    "BenchmarkProblem",
+    "isaplanner_problems",
+    "mutual_problems",
+    "all_problems",
+    "PAPER_REPORTED",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkProblem:
+    """One benchmark problem: a named goal together with its program."""
+
+    name: str
+    suite: str
+    goal: Goal
+    program: Program
+
+    @property
+    def is_conditional(self) -> bool:
+        """Is the goal conditional (and therefore out of scope)?"""
+        return self.goal.is_conditional
+
+    @property
+    def hint(self) -> Optional[str]:
+        """The lemma hint the paper says unlocks this problem, if any."""
+        return HINTED_PROPERTIES.get(self.name)
+
+    def __str__(self) -> str:
+        return f"{self.suite}/{self.name}"
+
+
+def isaplanner_problems() -> List[BenchmarkProblem]:
+    """The 85 IsaPlanner problems."""
+    program = isaplanner_program()
+    return [
+        BenchmarkProblem(name=goal.name, suite="isaplanner", goal=goal, program=program)
+        for goal in isaplanner_goals()
+    ]
+
+
+def mutual_problems() -> List[BenchmarkProblem]:
+    """The mutual-induction problems."""
+    program = mutual_program()
+    return [
+        BenchmarkProblem(name=goal.name, suite="mutual", goal=goal, program=program)
+        for goal in mutual_goals()
+    ]
+
+
+def all_problems() -> List[BenchmarkProblem]:
+    """Every problem of every suite."""
+    return isaplanner_problems() + mutual_problems()
+
+
+#: Numbers reported in the paper's evaluation (Section 6), used by the harness
+#: to print paper-vs-measured comparisons.
+PAPER_REPORTED: Dict[str, object] = {
+    # Fig. 7 / Section 6.1
+    "isaplanner_total": 85,
+    "isaplanner_solved": 44,
+    "isaplanner_solved_under_100ms": 40,
+    "isaplanner_average_ms": 129.0,
+    "isaplanner_conditional_out_of_scope": 13,
+    "butlast_take_ms": 40.0,
+    "mutual_average_ms": 5.3,
+    # Section 6.2 — solved counts of other tools, as reported by [14, 53]
+    "tool_comparison": {
+        "Zeno": 82,
+        "HipSpec": 80,
+        "CVC4": 80,
+        "ACL2": 74,
+        "Inductive Horn Clause Solving": 68,
+        "IsaPlanner": 47,
+        "Dafny": 45,
+        "CycleQ (paper)": 44,
+    },
+    # Section 6.2 — problems unlocked by a commutativity hint
+    "hinted_properties": dict(HINTED_PROPERTIES),
+    # Section 1.1 — HipSpec's time on the butLast/take property
+    "hipspec_butlast_seconds": 40.0,
+}

@@ -1,0 +1,72 @@
+"""Core term-language substrate: types, terms, contexts, substitutions, equations."""
+
+from .context import Context, Hole, context_at, decompositions
+from .equations import Equation, holds_on_instances, satisfied_by
+from .exceptions import (
+    CycleQError,
+    ElaborationError,
+    GlobalConditionError,
+    MatchError,
+    ParseError,
+    ProofError,
+    RewriteError,
+    SearchError,
+    SignatureError,
+    TypeCheckError,
+    UnificationError,
+)
+from .matching import alpha_equivalent, match, match_or_none, unify, unify_or_none
+from .signature import ConstructorDecl, DataDecl, Signature
+from .substitution import Substitution, identity_subst
+from .terms import (
+    App,
+    FreshNameSupply,
+    Position,
+    Sym,
+    Term,
+    Var,
+    apply_term,
+    arguments,
+    free_vars,
+    head,
+    is_strict_subterm,
+    is_subterm,
+    positions,
+    replace_at,
+    spine,
+    subterm_at,
+    subterms,
+    term_size,
+)
+from .types import (
+    DataTy,
+    FunTy,
+    Type,
+    TypeVar,
+    arg_types,
+    fun_ty,
+    result_type,
+    type_order,
+)
+
+__all__ = [
+    # terms
+    "Term", "Var", "Sym", "App", "apply_term", "spine", "head", "arguments",
+    "free_vars", "subterms", "positions", "subterm_at", "replace_at",
+    "term_size", "is_subterm", "is_strict_subterm", "Position", "FreshNameSupply",
+    # types
+    "Type", "TypeVar", "DataTy", "FunTy", "fun_ty", "arg_types", "result_type", "type_order",
+    # contexts
+    "Context", "Hole", "context_at", "decompositions",
+    # substitutions and matching
+    "Substitution", "identity_subst", "match", "match_or_none", "unify",
+    "unify_or_none", "alpha_equivalent",
+    # signature
+    "Signature", "DataDecl", "ConstructorDecl",
+    # equations
+    "Equation", "satisfied_by", "holds_on_instances",
+    # exceptions
+    "CycleQError", "TypeCheckError", "UnificationError", "MatchError",
+    "SignatureError", "RewriteError", "ProofError", "GlobalConditionError",
+    "SearchError", "ParseError", "ElaborationError",
+]

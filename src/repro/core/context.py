@@ -1,0 +1,186 @@
+"""One-hole contexts (paper, Section 2).
+
+Contexts are defined by::
+
+    C[.] ::= . | C[.] M | M C[.]
+
+A context is represented as a term over an extended syntax containing a single
+:class:`Hole`; filling the hole yields an ordinary term.  The module realises
+the operations used in the paper: composition ``C ∘ D``, the prefix order on
+contexts (Lemma 2.2) and the derived subterm order (Lemma 2.1), as well as the
+bridge to the position-based view of :mod:`repro.core.terms` used by the prover
+for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from .exceptions import CycleQError
+from .terms import App, Position, Term, positions, replace_at, subterm_at
+
+__all__ = [
+    "Hole",
+    "Context",
+    "hole",
+    "context_at",
+    "decompositions",
+    "compose",
+    "is_prefix",
+]
+
+
+@dataclass(frozen=True)
+class Hole:
+    """The unique hole ``[.]`` of a one-hole context."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "[.]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "[.]"
+
+
+class Context:
+    """A one-hole context.
+
+    The context is stored as the skeleton term (with a :class:`Hole` where the
+    hole sits) together with the position of that hole.  Use :meth:`fill` to
+    plug a term into the hole and :meth:`compose` for ``C ∘ D``.
+    """
+
+    __slots__ = ("skeleton", "position")
+
+    def __init__(self, skeleton, position: Position):
+        self.skeleton = skeleton
+        self.position = position
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def trivial() -> "Context":
+        """The trivial context ``[.]``."""
+        return Context(Hole(), ())
+
+    @staticmethod
+    def of_position(term: Term, position: Position) -> "Context":
+        """The context obtained by removing the subterm of ``term`` at ``position``."""
+        skeleton = replace_at(term, position, Hole()) if position else Hole()
+        return Context(skeleton, position)
+
+    # -- operations --------------------------------------------------------
+
+    @property
+    def is_trivial(self) -> bool:
+        """Is this the trivial context ``[.]``?"""
+        return isinstance(self.skeleton, Hole)
+
+    def fill(self, term: Term) -> Term:
+        """Fill the hole with ``term``, producing a term ``C[term]``."""
+        return _fill(self.skeleton, term)
+
+    def compose(self, other: "Context") -> "Context":
+        """The composition ``self ∘ other`` with ``(C ∘ D)[X] = C[D[X]]``."""
+        skeleton = _fill(self.skeleton, other.skeleton)
+        return Context(skeleton, self.position + other.position)
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Context):
+            return NotImplemented
+        return self.skeleton == other.skeleton
+
+    def __hash__(self) -> int:
+        return hash(("Context", self.skeleton))
+
+    def __str__(self) -> str:
+        return _render(self.skeleton)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Context({self})"
+
+
+def _fill(skeleton, term):
+    if isinstance(skeleton, Hole):
+        return term
+    if isinstance(skeleton, App):
+        return App(_fill(skeleton.fun, term), _fill(skeleton.arg, term))
+    return skeleton
+
+
+def _render(skeleton) -> str:
+    if isinstance(skeleton, Hole):
+        return "[.]"
+    if isinstance(skeleton, App):
+        return f"({_render(skeleton.fun)} {_render(skeleton.arg)})"
+    return str(skeleton)
+
+
+def hole() -> Context:
+    """The trivial context ``[.]`` (a convenience alias)."""
+    return Context.trivial()
+
+
+def context_at(term: Term, position: Position) -> Tuple[Context, Term]:
+    """Split ``term`` into the context around ``position`` and the subterm there."""
+    sub = subterm_at(term, position)
+    return Context.of_position(term, position), sub
+
+
+def decompositions(term: Term) -> Iterator[Tuple[Context, Term]]:
+    """Yield every decomposition ``term = C[M]`` as a ``(C, M)`` pair."""
+    for position, sub in positions(term):
+        yield Context.of_position(term, position), sub
+
+
+def compose(outer: Context, inner: Context) -> Context:
+    """Functional form of :meth:`Context.compose`."""
+    return outer.compose(inner)
+
+
+def is_prefix(smaller: Context, bigger: Context) -> bool:
+    """The prefix order on contexts ``D ⊑ C`` of Lemma 2.2.
+
+    ``D ⊑ C`` holds when there is a context ``E`` with ``C = D ∘ E``, i.e. the
+    hole of ``C`` lies underneath the hole of ``D``.
+    """
+    witness = _strip(bigger.skeleton, smaller.skeleton)
+    return witness is not None
+
+
+def _strip(big, small) -> Optional[object]:
+    """If ``big = small ∘ E`` for some context skeleton ``E``, return ``E``."""
+    if isinstance(small, Hole):
+        return big
+    if isinstance(small, App) and isinstance(big, App):
+        left = _pair_strip(big.fun, small.fun, big.arg, small.arg)
+        return left
+    if small == big:
+        # Both are identical hole-free terms: no hole below, not a context.
+        return None
+    return None
+
+
+def _pair_strip(big_fun, small_fun, big_arg, small_arg) -> Optional[object]:
+    # Exactly one of the two components of the smaller context contains a hole.
+    if _contains_hole(small_fun):
+        if big_arg != small_arg:
+            return None
+        return _strip(big_fun, small_fun)
+    if _contains_hole(small_arg):
+        if big_fun != small_fun:
+            return None
+        return _strip(big_arg, small_arg)
+    return None
+
+
+def _contains_hole(skeleton) -> bool:
+    if isinstance(skeleton, Hole):
+        return True
+    if isinstance(skeleton, App):
+        return _contains_hole(skeleton.fun) or _contains_hole(skeleton.arg)
+    return False

@@ -1,0 +1,110 @@
+"""Unordered equations between terms.
+
+An equation ``M ≈ N`` is an *unordered* pair of terms of the same datatype
+(paper, Section 2): the left- and right-hand sides are interchangeable, which
+is what gives the proof system symmetry for free.  Equality and hashing of
+:class:`Equation` are therefore symmetric.
+
+Validity is defined semantically: a ground instance ``alpha`` satisfies
+``M ≈ N`` when the normal forms of ``M alpha`` and ``N alpha`` coincide.  The
+functions here take the normalisation function as a parameter so that this
+module does not depend on the rewriting package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .substitution import Substitution
+from .terms import Term, Var, free_vars
+
+__all__ = ["Equation", "satisfied_by", "holds_on_instances"]
+
+NormalForm = Callable[[Term], Term]
+
+
+@dataclass(frozen=True)
+class Equation:
+    """An unordered equation between two terms of the same datatype."""
+
+    lhs: Term
+    rhs: Term
+
+    __slots__ = ("lhs", "rhs")
+
+    # -- unordered identity ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Equation):
+            return NotImplemented
+        return (self.lhs == other.lhs and self.rhs == other.rhs) or (
+            self.lhs == other.rhs and self.rhs == other.lhs
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.lhs) ^ hash(self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ≈ {self.rhs}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Equation({self.lhs!r}, {self.rhs!r})"
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def sides(self) -> Tuple[Term, Term]:
+        """The two sides as a tuple (in stored order)."""
+        return (self.lhs, self.rhs)
+
+    def flipped(self) -> "Equation":
+        """The same equation with the sides swapped (equal to ``self``)."""
+        return Equation(self.rhs, self.lhs)
+
+    def variables(self) -> Tuple[Var, ...]:
+        """The free variables of both sides, left side first, no duplicates."""
+        seen: Dict[Var, None] = {}
+        for side in self.sides:
+            for var in free_vars(side):
+                seen.setdefault(var, None)
+        return tuple(seen)
+
+    def variable_names(self) -> Tuple[str, ...]:
+        """The names of the free variables of the equation."""
+        return tuple(v.name for v in self.variables())
+
+    def is_trivial(self) -> bool:
+        """Is the equation of the form ``M ≈ M``?"""
+        return self.lhs == self.rhs
+
+    # -- transformations -------------------------------------------------------
+
+    def apply(self, subst: Substitution) -> "Equation":
+        """Apply a substitution to both sides."""
+        return Equation(subst.apply(self.lhs), subst.apply(self.rhs))
+
+    def map_sides(self, f: Callable[[Term], Term]) -> "Equation":
+        """Apply ``f`` to both sides."""
+        return Equation(f(self.lhs), f(self.rhs))
+
+
+def satisfied_by(equation: Equation, instance: Substitution, normalize: NormalForm) -> bool:
+    """Does the (ground) instance satisfy the equation? (paper: ``alpha ⊨ M ≈ N``)."""
+    closed = equation.apply(instance)
+    return normalize(closed.lhs) == normalize(closed.rhs)
+
+
+def holds_on_instances(
+    equation: Equation,
+    instances: Iterable[Substitution],
+    normalize: NormalForm,
+) -> bool:
+    """Is the equation satisfied by every instance of the given collection?
+
+    This is the testable approximation of validity used throughout the test
+    suite: validity proper quantifies over *all* ground instances, which is not
+    enumerable, so callers supply a finite family (e.g. all ground constructor
+    terms up to a size bound).
+    """
+    return all(satisfied_by(equation, instance, normalize) for instance in instances)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the CycleQ reproduction.
+
+All library-specific errors derive from :class:`CycleQError` so that callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to discriminate the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class CycleQError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class TypeCheckError(CycleQError):
+    """A term, rule, or equation failed to type check."""
+
+
+class UnificationError(CycleQError):
+    """Two types or terms could not be unified."""
+
+
+class MatchError(CycleQError):
+    """A pattern did not match a target term."""
+
+
+class SignatureError(CycleQError):
+    """A symbol was redeclared, missing, or used inconsistently."""
+
+
+class RewriteError(CycleQError):
+    """A rewrite rule is malformed or reduction exceeded its step budget."""
+
+
+class ProofError(CycleQError):
+    """A preproof is malformed or an inference-rule instance is not well formed."""
+
+
+class GlobalConditionError(ProofError):
+    """A preproof does not satisfy the global correctness condition."""
+
+
+class SearchError(CycleQError):
+    """Proof search was configured inconsistently or hit an internal limit."""
+
+
+class ParseError(CycleQError):
+    """The surface-language parser rejected its input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ElaborationError(CycleQError):
+    """A surface-language program could not be elaborated to a rewrite system."""

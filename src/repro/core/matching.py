@@ -1,0 +1,138 @@
+"""First-order matching and unification on terms.
+
+Matching is the workhorse of both reduction (finding redexes of rewrite rules)
+and cycle formation (the (Subst) rule matches a lemma's side against a subterm
+of the goal).  Unification is used by the ``Expand`` operator of rewriting
+induction (Section 4) and by the critical-pair computation.
+
+Both procedures are purely syntactic/first-order: terms are applicative but the
+patterns produced by programs never contain applied variables, so first-order
+matching over the binary ``App`` structure is complete for our use cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .exceptions import MatchError, UnificationError
+from .substitution import Substitution
+from .terms import App, Sym, Term, Var, free_vars, occurs
+
+__all__ = ["match", "match_or_none", "unify", "unify_or_none", "alpha_equivalent"]
+
+
+def match_or_none(pattern: Term, target: Term, subst: Optional[Dict[str, Term]] = None) -> Optional[Substitution]:
+    """One-way matching: find ``theta`` with ``pattern theta == target``.
+
+    Returns ``None`` when the pattern does not match.  ``subst`` may provide
+    pre-existing bindings (used when matching argument lists left to right).
+    """
+    bindings: Dict[str, Term] = dict(subst) if subst else {}
+    stack = [(pattern, target)]
+    while stack:
+        pat, tgt = stack.pop()
+        if isinstance(pat, Var):
+            bound = bindings.get(pat.name)
+            if bound is None:
+                bindings[pat.name] = tgt
+            elif bound != tgt:
+                return None
+        elif isinstance(pat, Sym):
+            if not isinstance(tgt, Sym) or pat.name != tgt.name:
+                return None
+        elif isinstance(pat, App):
+            if not isinstance(tgt, App):
+                return None
+            stack.append((pat.fun, tgt.fun))
+            stack.append((pat.arg, tgt.arg))
+        else:  # pragma: no cover - defensive
+            return None
+    return Substitution(bindings)
+
+
+def match(pattern: Term, target: Term) -> Substitution:
+    """Like :func:`match_or_none` but raises :class:`MatchError` on failure."""
+    result = match_or_none(pattern, target)
+    if result is None:
+        raise MatchError(f"{pattern} does not match {target}")
+    return result
+
+
+def _walk(term: Term, bindings: Dict[str, Term]) -> Term:
+    while isinstance(term, Var) and term.name in bindings:
+        term = bindings[term.name]
+    return term
+
+
+def _occurs_in(name: str, term: Term, bindings: Dict[str, Term]) -> bool:
+    term = _walk(term, bindings)
+    if isinstance(term, Var):
+        return term.name == name
+    if isinstance(term, App):
+        return _occurs_in(name, term.fun, bindings) or _occurs_in(name, term.arg, bindings)
+    return False
+
+
+def unify_or_none(left: Term, right: Term) -> Optional[Substitution]:
+    """Most general unifier of two terms, or ``None`` when none exists.
+
+    The caller is responsible for renaming apart if the terms are meant to
+    have disjoint variables (as in critical-pair computation).
+    """
+    bindings: Dict[str, Term] = {}
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = _walk(a, bindings)
+        b = _walk(b, bindings)
+        if a == b:
+            continue
+        if isinstance(a, Var):
+            if _occurs_in(a.name, b, bindings):
+                return None
+            bindings[a.name] = b
+        elif isinstance(b, Var):
+            if _occurs_in(b.name, a, bindings):
+                return None
+            bindings[b.name] = a
+        elif isinstance(a, Sym) and isinstance(b, Sym):
+            if a.name != b.name:
+                return None
+        elif isinstance(a, App) and isinstance(b, App):
+            stack.append((a.fun, b.fun))
+            stack.append((a.arg, b.arg))
+        else:
+            return None
+    # Resolve the triangular substitution into an idempotent one.
+    resolved: Dict[str, Term] = {}
+    partial = Substitution(bindings)
+    for name in bindings:
+        term = partial.apply(bindings[name])
+        # Repeated application converges because the occurs check rules out loops.
+        previous = None
+        while previous != term:
+            previous = term
+            term = partial.apply(term)
+        resolved[name] = term
+    return Substitution(resolved)
+
+
+def unify(left: Term, right: Term) -> Substitution:
+    """Like :func:`unify_or_none` but raises :class:`UnificationError` on failure."""
+    result = unify_or_none(left, right)
+    if result is None:
+        raise UnificationError(f"cannot unify {left} with {right}")
+    return result
+
+
+def alpha_equivalent(left: Term, right: Term) -> bool:
+    """Are two terms equal up to a renaming of variables?
+
+    Terms have no binders, so alpha equivalence amounts to the existence of a
+    bijective variable renaming between them.
+    """
+    forward = match_or_none(left, right)
+    backward = match_or_none(right, left)
+    if forward is None or backward is None:
+        return False
+    return forward.is_renaming() and backward.is_renaming()

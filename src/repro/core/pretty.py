@@ -1,0 +1,59 @@
+"""Pretty-printing of terms, types, equations and substitutions.
+
+The renderer produces the familiar applicative syntax used in the paper:
+``add (S x) y`` rather than ``((add (S x)) y)``.  It is deliberately simple —
+terms contain no binders — and is shared by ``__str__`` implementations and the
+proof renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import Type
+
+__all__ = ["pretty_term", "pretty_equation", "pretty_subst", "pretty_type"]
+
+
+def pretty_term(term) -> str:
+    """Render a term with minimal parentheses."""
+    from .terms import App, Sym, Var, spine
+
+    if isinstance(term, (Var, Sym)):
+        return term.name
+    if isinstance(term, App):
+        head, args = spine(term)
+        parts = [_atomic(head)] + [_atomic(arg) for arg in args]
+        return " ".join(parts)
+    # Context holes and other extended nodes render via their own __str__.
+    return str(term)
+
+
+def _atomic(term) -> str:
+    """Render a term, parenthesising applications."""
+    from .terms import App
+
+    text = pretty_term(term)
+    if isinstance(term, App):
+        return f"({text})"
+    return text
+
+
+def pretty_equation(equation, env: Optional[dict] = None) -> str:
+    """Render an equation, optionally with its typing environment."""
+    body = f"{pretty_term(equation.lhs)} ≈ {pretty_term(equation.rhs)}"
+    if env:
+        context = ", ".join(f"{name} : {ty}" for name, ty in env.items())
+        return f"{context} ⊢ {body}"
+    return body
+
+
+def pretty_subst(subst) -> str:
+    """Render a substitution as ``{x -> t, ...}``."""
+    items = ", ".join(f"{name} -> {pretty_term(term)}" for name, term in sorted(subst.items()))
+    return "{" + items + "}"
+
+
+def pretty_type(ty: Type) -> str:
+    """Render a type (delegates to the type's ``__str__``)."""
+    return str(ty)

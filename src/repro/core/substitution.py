@@ -1,0 +1,135 @@
+"""Substitutions: partial maps from variables to terms.
+
+Substitutions are keyed by variable *name*; the library maintains the
+invariant that within any one scope (a rewrite rule, an equation, a proof
+node) variable names are unique, so this is unambiguous and keeps the data
+structure simple and fast.
+
+The composition convention follows the paper: ``(theta1 . theta0)(x) =
+(theta0(x)) theta1``, i.e. ``theta0`` is applied first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from .terms import App, Sym, Term, Var, free_vars
+
+__all__ = ["Substitution", "identity_subst"]
+
+
+class Substitution(Mapping[str, Term]):
+    """An immutable substitution from variable names to terms."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[str, Term]] = None):
+        self._mapping: Dict[str, Term] = dict(mapping) if mapping else {}
+
+    # -- Mapping interface ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> Term:
+        return self._mapping[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._mapping
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Substitution):
+            return self._mapping == other._mapping
+        if isinstance(other, Mapping):
+            return self._mapping == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k} -> {v}" for k, v in sorted(self._mapping.items()))
+        return "{" + inner + "}"
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def of(*pairs: Tuple[Union[str, Var], Term]) -> "Substitution":
+        """Build a substitution from ``(variable, term)`` pairs."""
+        mapping: Dict[str, Term] = {}
+        for var, term in pairs:
+            name = var.name if isinstance(var, Var) else var
+            mapping[name] = term
+        return Substitution(mapping)
+
+    def extend(self, var: Union[str, Var], term: Term) -> "Substitution":
+        """A new substitution with one extra binding."""
+        name = var.name if isinstance(var, Var) else var
+        mapping = dict(self._mapping)
+        mapping[name] = term
+        return Substitution(mapping)
+
+    def restrict(self, names: Iterable[str]) -> "Substitution":
+        """The restriction of this substitution to the given variable names."""
+        wanted = set(names)
+        return Substitution({k: v for k, v in self._mapping.items() if k in wanted})
+
+    # -- action on terms -------------------------------------------------------
+
+    def apply(self, term: Term) -> Term:
+        """Apply the substitution to ``term``."""
+        if not self._mapping:
+            return term
+        return self._apply(term)
+
+    def _apply(self, term: Term) -> Term:
+        if isinstance(term, Var):
+            return self._mapping.get(term.name, term)
+        if isinstance(term, App):
+            return App(self._apply(term.fun), self._apply(term.arg))
+        return term
+
+    def __call__(self, term: Term) -> Term:
+        return self.apply(term)
+
+    # -- algebra ----------------------------------------------------------------
+
+    def compose(self, first: "Substitution") -> "Substitution":
+        """The composition ``self . first``: apply ``first`` and then ``self``.
+
+        ``(self.compose(first))(x) = self(first(x))`` for every variable ``x`` in
+        the domain of ``first``; bindings of ``self`` for variables outside that
+        domain are kept.
+        """
+        mapping: Dict[str, Term] = {name: self.apply(term) for name, term in first.items()}
+        for name, term in self._mapping.items():
+            mapping.setdefault(name, term)
+        return Substitution(mapping)
+
+    def domain(self) -> Tuple[str, ...]:
+        """The variable names bound by this substitution."""
+        return tuple(self._mapping)
+
+    def range_vars(self) -> Tuple[Var, ...]:
+        """All variables occurring in the terms of the range."""
+        seen: Dict[Var, None] = {}
+        for term in self._mapping.values():
+            for var in free_vars(term):
+                seen.setdefault(var, None)
+        return tuple(seen)
+
+    def is_renaming(self) -> bool:
+        """Is every binding a variable (i.e. is this substitution a renaming)?"""
+        return all(isinstance(term, Var) for term in self._mapping.values())
+
+    def is_identity(self) -> bool:
+        """Does the substitution map every variable in its domain to itself?"""
+        return all(isinstance(t, Var) and t.name == n for n, t in self._mapping.items())
+
+
+def identity_subst() -> Substitution:
+    """The empty (identity) substitution."""
+    return Substitution()

@@ -1,0 +1,317 @@
+"""Terms of the equational language.
+
+Terms are generated from application, function symbols, and variables
+(paper, Section 2)::
+
+    M, N ::= x | f in Sigma | M N
+
+Applications associate to the left.  Terms are immutable, hashable values, so
+they can be used freely as dictionary keys (e.g. for memoising normal forms).
+
+The module also provides *positions*: a position is a tuple of 0/1 choices
+through the binary ``App`` spine (0 selects the function part, 1 the argument
+part).  Positions index subterms and drive subterm replacement, which is how
+one-hole contexts are realised operationally (see :mod:`repro.core.context`
+for the explicit, paper-faithful context datatype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .types import Type
+
+__all__ = [
+    "Term",
+    "Var",
+    "Sym",
+    "App",
+    "Position",
+    "apply_term",
+    "spine",
+    "head",
+    "arguments",
+    "term_size",
+    "free_vars",
+    "var_names",
+    "occurs",
+    "subterms",
+    "positions",
+    "subterm_at",
+    "replace_at",
+    "proper_subterms",
+    "is_subterm",
+    "is_strict_subterm",
+    "map_symbols",
+    "rename_vars",
+    "fresh_name",
+    "FreshNameSupply",
+]
+
+
+class Term:
+    """Abstract base class of all terms."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr is cosmetic
+        return str(self)
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable.  Variables carry their type so that the (Case) rule can
+    discover which datatype's constructors to enumerate."""
+
+    name: str
+    ty: Type
+
+    __slots__ = ("name", "ty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Sym(Term):
+    """An occurrence of a function symbol (constructor or defined function)."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """An application ``fun arg``."""
+
+    fun: Term
+    arg: Term
+
+    __slots__ = ("fun", "arg")
+
+    def __str__(self) -> str:
+        from .pretty import pretty_term  # local import to avoid a cycle
+
+        return pretty_term(self)
+
+
+Position = Tuple[int, ...]
+"""A path through the ``App`` spine: 0 = function part, 1 = argument part."""
+
+
+# ---------------------------------------------------------------------------
+# Construction and destruction helpers
+# ---------------------------------------------------------------------------
+
+
+def apply_term(head_term: Term, *args: Term) -> Term:
+    """Build the left-associated application ``head_term arg_0 ... arg_n``."""
+    term = head_term
+    for arg in args:
+        term = App(term, arg)
+    return term
+
+
+def spine(term: Term) -> Tuple[Term, Tuple[Term, ...]]:
+    """Decompose ``term`` into its head and the tuple of its arguments.
+
+    ``spine(f a b) == (f, (a, b))`` and ``spine(x) == (x, ())``.
+    """
+    args: List[Term] = []
+    while isinstance(term, App):
+        args.append(term.arg)
+        term = term.fun
+    args.reverse()
+    return term, tuple(args)
+
+
+def head(term: Term) -> Term:
+    """The head of the application spine of ``term``."""
+    while isinstance(term, App):
+        term = term.fun
+    return term
+
+
+def arguments(term: Term) -> Tuple[Term, ...]:
+    """The arguments of the application spine of ``term``."""
+    return spine(term)[1]
+
+
+def term_size(term: Term) -> int:
+    """The number of variable/symbol/application nodes in ``term``."""
+    if isinstance(term, App):
+        return 1 + term_size(term.fun) + term_size(term.arg)
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Variables
+# ---------------------------------------------------------------------------
+
+
+def free_vars(term: Term) -> Tuple[Var, ...]:
+    """All variables of ``term`` in left-to-right order without duplicates."""
+    seen: Dict[Var, None] = {}
+
+    def walk(t: Term) -> None:
+        if isinstance(t, Var):
+            seen.setdefault(t, None)
+        elif isinstance(t, App):
+            walk(t.fun)
+            walk(t.arg)
+
+    walk(term)
+    return tuple(seen)
+
+
+def var_names(term: Term) -> Tuple[str, ...]:
+    """The names of the free variables of ``term`` (order preserved)."""
+    return tuple(v.name for v in free_vars(term))
+
+
+def occurs(var: Var, term: Term) -> bool:
+    """Does ``var`` occur in ``term``?"""
+    if isinstance(term, Var):
+        return term == var
+    if isinstance(term, App):
+        return occurs(var, term.fun) or occurs(var, term.arg)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Subterms and positions
+# ---------------------------------------------------------------------------
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield every subterm of ``term`` (including ``term``), pre-order."""
+    yield term
+    if isinstance(term, App):
+        yield from subterms(term.fun)
+        yield from subterms(term.arg)
+
+
+def positions(term: Term) -> Iterator[Tuple[Position, Term]]:
+    """Yield ``(position, subterm)`` pairs for every subterm, pre-order."""
+
+    def walk(t: Term, path: Tuple[int, ...]) -> Iterator[Tuple[Position, Term]]:
+        yield path, t
+        if isinstance(t, App):
+            yield from walk(t.fun, path + (0,))
+            yield from walk(t.arg, path + (1,))
+
+    yield from walk(term, ())
+
+
+def subterm_at(term: Term, position: Position) -> Term:
+    """The subterm of ``term`` at ``position``.
+
+    Raises :class:`IndexError` when the position does not exist in ``term``.
+    """
+    for step in position:
+        if not isinstance(term, App):
+            raise IndexError(f"position {position} does not exist")
+        term = term.fun if step == 0 else term.arg
+    return term
+
+
+def replace_at(term: Term, position: Position, replacement: Term) -> Term:
+    """Replace the subterm of ``term`` at ``position`` with ``replacement``."""
+    if not position:
+        return replacement
+    if not isinstance(term, App):
+        raise IndexError(f"position {position} does not exist")
+    step, rest = position[0], position[1:]
+    if step == 0:
+        return App(replace_at(term.fun, rest, replacement), term.arg)
+    return App(term.fun, replace_at(term.arg, rest, replacement))
+
+
+def proper_subterms(term: Term) -> Iterator[Term]:
+    """Yield every subterm of ``term`` except ``term`` itself."""
+    iterator = subterms(term)
+    next(iterator)
+    yield from iterator
+
+
+def is_subterm(small: Term, big: Term) -> bool:
+    """The subterm relation ``small <= big`` (paper's ⊴, Lemma 2.1)."""
+    return any(small == sub for sub in subterms(big))
+
+
+def is_strict_subterm(small: Term, big: Term) -> bool:
+    """The strict subterm relation ``small < big`` (paper's ◁)."""
+    return small != big and is_subterm(small, big)
+
+
+# ---------------------------------------------------------------------------
+# Structural transformations
+# ---------------------------------------------------------------------------
+
+
+def map_symbols(term: Term, rename: Callable[[str], str]) -> Term:
+    """Rename the function symbols of ``term`` according to ``rename``."""
+    if isinstance(term, Sym):
+        return Sym(rename(term.name))
+    if isinstance(term, App):
+        return App(map_symbols(term.fun, rename), map_symbols(term.arg, rename))
+    return term
+
+
+def rename_vars(term: Term, mapping: Dict[str, Var]) -> Term:
+    """Replace variables (by name) according to ``mapping``; others unchanged."""
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, App):
+        return App(rename_vars(term.fun, mapping), rename_vars(term.arg, mapping))
+    return term
+
+
+# ---------------------------------------------------------------------------
+# Fresh names
+# ---------------------------------------------------------------------------
+
+
+def fresh_name(base: str, taken: Sequence[str]) -> str:
+    """A variable name based on ``base`` that does not occur in ``taken``."""
+    taken_set = set(taken)
+    if base not in taken_set:
+        return base
+    index = 1
+    while f"{base}{index}" in taken_set:
+        index += 1
+    return f"{base}{index}"
+
+
+class FreshNameSupply:
+    """A supply of globally fresh variable names.
+
+    The prover uses one supply per proof attempt so that freshly introduced
+    pattern variables never clash with the variables of any node of the proof.
+    """
+
+    def __init__(self, prefix: str = ""):
+        self._prefix = prefix
+        self._counters: Dict[str, int] = {}
+        self._taken: set = set()
+
+    def reserve(self, names: Sequence[str]) -> None:
+        """Mark ``names`` as already in use."""
+        self._taken.update(names)
+
+    def fresh(self, base: str) -> str:
+        """Return a fresh name derived from ``base`` and mark it as taken."""
+        base = base or "x"
+        count = self._counters.get(base, 0)
+        while True:
+            count += 1
+            candidate = f"{self._prefix}{base}{count}"
+            if candidate not in self._taken:
+                self._counters[base] = count
+                self._taken.add(candidate)
+                return candidate

@@ -1,0 +1,292 @@
+"""Simple types over algebraic datatypes, with type variables for polymorphism.
+
+The paper works with simple types built over a finite set of datatypes::
+
+    tau, sigma ::= d in D | tau -> sigma
+
+CycleQ's implementation additionally supports (prenex) polymorphism, so we add
+type variables and parameterised datatypes (``List a``).  Types are immutable
+and hashable; a small first-order unification procedure over types supports the
+instantiation of polymorphic constructors and defined functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from .exceptions import UnificationError
+
+__all__ = [
+    "Type",
+    "TypeVar",
+    "DataTy",
+    "FunTy",
+    "type_order",
+    "fun_ty",
+    "arg_types",
+    "result_type",
+    "free_type_vars",
+    "TypeSubst",
+    "apply_type_subst",
+    "unify_types",
+    "match_type",
+    "instantiate",
+    "rename_type_vars",
+]
+
+
+class Type:
+    """Abstract base class of all types."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr is cosmetic
+        return str(self)
+
+
+@dataclass(frozen=True)
+class TypeVar(Type):
+    """A type variable, e.g. ``a`` in ``List a``."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DataTy(Type):
+    """An (applied) algebraic datatype, e.g. ``Nat`` or ``List Nat``."""
+
+    name: str
+    args: Tuple[Type, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        rendered = " ".join(_atom(a) for a in self.args)
+        return f"{self.name} {rendered}"
+
+
+@dataclass(frozen=True)
+class FunTy(Type):
+    """A function type ``arg -> res``."""
+
+    arg: Type
+    res: Type
+
+    __slots__ = ("arg", "res")
+
+    def __str__(self) -> str:
+        left = str(self.arg)
+        if isinstance(self.arg, FunTy):
+            left = f"({left})"
+        return f"{left} -> {self.res}"
+
+
+def _atom(ty: Type) -> str:
+    """Render ``ty`` with parentheses when it is not syntactically atomic."""
+    text = str(ty)
+    if isinstance(ty, FunTy) or (isinstance(ty, DataTy) and ty.args):
+        return f"({text})"
+    return text
+
+
+def type_order(ty: Type) -> int:
+    """The order of a type (paper, Section 2).
+
+    ``ord(d) = 0`` and ``ord(tau -> sigma) = max(ord(tau) + 1, ord(sigma))``.
+    Type variables are treated as base types of order 0.
+    """
+    if isinstance(ty, FunTy):
+        return max(type_order(ty.arg) + 1, type_order(ty.res))
+    return 0
+
+
+def fun_ty(args: Sequence[Type], res: Type) -> Type:
+    """Build the curried function type ``args[0] -> ... -> args[-1] -> res``."""
+    ty = res
+    for arg in reversed(list(args)):
+        ty = FunTy(arg, ty)
+    return ty
+
+
+def arg_types(ty: Type) -> Tuple[Type, ...]:
+    """The list of argument types of a (curried) function type."""
+    args = []
+    while isinstance(ty, FunTy):
+        args.append(ty.arg)
+        ty = ty.res
+    return tuple(args)
+
+
+def result_type(ty: Type) -> Type:
+    """The final result type of a (curried) function type."""
+    while isinstance(ty, FunTy):
+        ty = ty.res
+    return ty
+
+
+def free_type_vars(ty: Type) -> Tuple[str, ...]:
+    """The type variables occurring in ``ty`` in left-to-right order, no duplicates."""
+    seen: Dict[str, None] = {}
+
+    def walk(t: Type) -> None:
+        if isinstance(t, TypeVar):
+            seen.setdefault(t.name, None)
+        elif isinstance(t, DataTy):
+            for a in t.args:
+                walk(a)
+        elif isinstance(t, FunTy):
+            walk(t.arg)
+            walk(t.res)
+
+    walk(ty)
+    return tuple(seen)
+
+
+# ---------------------------------------------------------------------------
+# Type substitutions and unification
+# ---------------------------------------------------------------------------
+
+TypeSubst = Dict[str, Type]
+"""A type substitution maps type-variable names to types."""
+
+
+def apply_type_subst(subst: TypeSubst, ty: Type) -> Type:
+    """Apply a type substitution to ``ty``."""
+    if isinstance(ty, TypeVar):
+        return subst.get(ty.name, ty)
+    if isinstance(ty, DataTy):
+        if not ty.args:
+            return ty
+        return DataTy(ty.name, tuple(apply_type_subst(subst, a) for a in ty.args))
+    if isinstance(ty, FunTy):
+        return FunTy(apply_type_subst(subst, ty.arg), apply_type_subst(subst, ty.res))
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def _occurs(name: str, ty: Type, subst: TypeSubst) -> bool:
+    ty = _walk(ty, subst)
+    if isinstance(ty, TypeVar):
+        return ty.name == name
+    if isinstance(ty, DataTy):
+        return any(_occurs(name, a, subst) for a in ty.args)
+    if isinstance(ty, FunTy):
+        return _occurs(name, ty.arg, subst) or _occurs(name, ty.res, subst)
+    return False
+
+
+def _walk(ty: Type, subst: TypeSubst) -> Type:
+    while isinstance(ty, TypeVar) and ty.name in subst:
+        ty = subst[ty.name]
+    return ty
+
+
+def unify_types(a: Type, b: Type, subst: Optional[TypeSubst] = None) -> TypeSubst:
+    """Unify two types, extending ``subst`` (triangular form) in place.
+
+    Returns the substitution; raises :class:`UnificationError` when the types
+    cannot be unified.  The returned substitution is *triangular*: use
+    :func:`resolve` (or repeated :func:`apply_type_subst`) to fully ground it.
+    """
+    if subst is None:
+        subst = {}
+    stack = [(a, b)]
+    while stack:
+        left, right = stack.pop()
+        left = _walk(left, subst)
+        right = _walk(right, subst)
+        if left == right:
+            continue
+        if isinstance(left, TypeVar):
+            if _occurs(left.name, right, subst):
+                raise UnificationError(f"occurs check failed: {left} in {right}")
+            subst[left.name] = right
+        elif isinstance(right, TypeVar):
+            if _occurs(right.name, left, subst):
+                raise UnificationError(f"occurs check failed: {right} in {left}")
+            subst[right.name] = left
+        elif isinstance(left, DataTy) and isinstance(right, DataTy):
+            if left.name != right.name or len(left.args) != len(right.args):
+                raise UnificationError(f"cannot unify {left} with {right}")
+            stack.extend(zip(left.args, right.args))
+        elif isinstance(left, FunTy) and isinstance(right, FunTy):
+            stack.append((left.arg, right.arg))
+            stack.append((left.res, right.res))
+        else:
+            raise UnificationError(f"cannot unify {left} with {right}")
+    return subst
+
+
+def resolve(ty: Type, subst: TypeSubst) -> Type:
+    """Fully apply a triangular substitution produced by :func:`unify_types`."""
+    ty = _walk(ty, subst)
+    if isinstance(ty, DataTy):
+        return DataTy(ty.name, tuple(resolve(a, subst) for a in ty.args))
+    if isinstance(ty, FunTy):
+        return FunTy(resolve(ty.arg, subst), resolve(ty.res, subst))
+    return ty
+
+
+def match_type(pattern: Type, target: Type, subst: Optional[TypeSubst] = None) -> TypeSubst:
+    """One-way type matching: find ``subst`` with ``pattern[subst] == target``."""
+    if subst is None:
+        subst = {}
+    if isinstance(pattern, TypeVar):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            subst[pattern.name] = target
+            return subst
+        if bound != target:
+            raise UnificationError(f"inconsistent binding for {pattern}: {bound} vs {target}")
+        return subst
+    if isinstance(pattern, DataTy) and isinstance(target, DataTy):
+        if pattern.name != target.name or len(pattern.args) != len(target.args):
+            raise UnificationError(f"cannot match {pattern} against {target}")
+        for p, t in zip(pattern.args, target.args):
+            match_type(p, t, subst)
+        return subst
+    if isinstance(pattern, FunTy) and isinstance(target, FunTy):
+        match_type(pattern.arg, target.arg, subst)
+        match_type(pattern.res, target.res, subst)
+        return subst
+    if pattern == target:
+        return subst
+    raise UnificationError(f"cannot match {pattern} against {target}")
+
+
+_INSTANTIATION_COUNTER = [0]
+
+
+def instantiate(ty: Type, prefix: str = "$t") -> Type:
+    """Replace the type variables of ``ty`` with globally fresh ones.
+
+    Used when a polymorphic symbol is mentioned so that distinct occurrences do
+    not share type variables.
+    """
+    mapping: Dict[str, Type] = {}
+    for name in free_type_vars(ty):
+        _INSTANTIATION_COUNTER[0] += 1
+        mapping[name] = TypeVar(f"{prefix}{_INSTANTIATION_COUNTER[0]}")
+    return apply_type_subst(mapping, ty)
+
+
+def rename_type_vars(ty: Type, mapping: Dict[str, str]) -> Type:
+    """Rename type variables according to ``mapping`` (missing names unchanged)."""
+    subst: TypeSubst = {old: TypeVar(new) for old, new in mapping.items()}
+    return apply_type_subst(subst, ty)
+
+
+def iter_subtypes(ty: Type) -> Iterator[Type]:
+    """Yield ``ty`` and all of its syntactic subtypes (pre-order)."""
+    yield ty
+    if isinstance(ty, DataTy):
+        for a in ty.args:
+            yield from iter_subtypes(a)
+    elif isinstance(ty, FunTy):
+        yield from iter_subtypes(ty.arg)
+        yield from iter_subtypes(ty.res)

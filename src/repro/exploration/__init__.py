@@ -1,0 +1,9 @@
+"""Theory exploration (lemma discovery) on top of the cyclic prover — the paper's future work."""
+
+from .explorer import ExplorationConfig, ExplorationResult, TheoryExplorer
+from .templates import TemplateConfig, candidate_equations, enumerate_terms
+
+__all__ = [
+    "TheoryExplorer", "ExplorationConfig", "ExplorationResult",
+    "TemplateConfig", "candidate_equations", "enumerate_terms",
+]

@@ -1,0 +1,141 @@
+"""A small theory-exploration loop on top of the cyclic prover.
+
+This is the "future work" integration sketched in the paper's conclusion:
+instead of relying on a human for the hint lemmas of Section 6.2, generate
+candidate lemmas by enumeration (:mod:`repro.exploration.templates`), prove
+them with the cyclic prover in order of size — each proved lemma immediately
+becomes a hypothesis available to later attempts — and finally attack the
+target goal with the accumulated lemma library.
+
+The loop is deliberately simple (no conjecture scheduling, no term ordering
+tricks); its purpose is to demonstrate that the cyclic prover composes with
+lemma discovery, and it is enough to recover some of the IsaPlanner problems
+the bare prover cannot solve (e.g. those needing the commutativity of ``add``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..program import Goal, Program
+from ..search.config import ProverConfig
+from ..search.prover import Prover
+from ..search.result import ProofResult
+from .templates import TemplateConfig, candidate_equations
+
+__all__ = ["ExplorationConfig", "ExplorationResult", "TheoryExplorer"]
+
+
+@dataclass(frozen=True)
+class ExplorationConfig:
+    """Parameters of the exploration loop."""
+
+    templates: TemplateConfig = field(default_factory=TemplateConfig)
+    """Candidate generation parameters."""
+
+    lemma_timeout: float = 1.0
+    """Per-candidate proof budget (seconds)."""
+
+    goal_timeout: float = 5.0
+    """Budget for the final goal attempt (seconds)."""
+
+    max_lemmas: int = 25
+    """Stop exploring once this many lemmas have been proved."""
+
+    total_budget: float = 60.0
+    """Wall-clock budget for the whole exploration phase (seconds)."""
+
+
+@dataclass
+class ExplorationResult:
+    """The outcome of proving a goal with theory exploration."""
+
+    proved: bool
+    goal: Equation
+    result: Optional[ProofResult] = None
+    lemmas: Tuple[Equation, ...] = ()
+    candidates_considered: int = 0
+    lemmas_proved: int = 0
+    exploration_seconds: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.proved
+
+
+class TheoryExplorer:
+    """Prove goals with the cyclic prover plus enumerated, proved lemmas."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[ExplorationConfig] = None,
+        prover_config: Optional[ProverConfig] = None,
+    ):
+        self.program = program
+        self.config = config or ExplorationConfig()
+        self.prover_config = prover_config or ProverConfig()
+        self._library: Optional[List[Equation]] = None
+        self._candidates_considered = 0
+
+    # -- lemma library ---------------------------------------------------------
+
+    def explore(self) -> List[Equation]:
+        """Build (and cache) the lemma library for this program."""
+        if self._library is not None:
+            return list(self._library)
+        started = time.perf_counter()
+        lemma_prover = Prover(
+            self.program, self.prover_config.with_(timeout=self.config.lemma_timeout)
+        )
+        library: List[Equation] = []
+        candidates = candidate_equations(self.program, self.config.templates)
+        self._candidates_considered = len(candidates)
+        for candidate in candidates:
+            if len(library) >= self.config.max_lemmas:
+                break
+            if time.perf_counter() - started > self.config.total_budget:
+                break
+            # Lemmas proved earlier are available as hypotheses for later ones,
+            # exactly like the incremental regime of HipSpec-style exploration.
+            outcome = lemma_prover.prove(candidate, hypotheses=library)
+            if outcome.proved:
+                library.append(candidate)
+        self._library = library
+        return list(library)
+
+    # -- goal proving --------------------------------------------------------------
+
+    def prove(self, equation: Equation, goal_name: str = "") -> ExplorationResult:
+        """Attempt ``equation``: first alone, then with the explored lemma library."""
+        started = time.perf_counter()
+        direct_prover = Prover(
+            self.program, self.prover_config.with_(timeout=self.config.goal_timeout)
+        )
+        direct = direct_prover.prove(equation, goal_name=goal_name)
+        if direct.proved:
+            return ExplorationResult(
+                proved=True,
+                goal=equation,
+                result=direct,
+                exploration_seconds=time.perf_counter() - started,
+            )
+        library = self.explore()
+        assisted = direct_prover.prove(equation, goal_name=goal_name, hypotheses=library)
+        return ExplorationResult(
+            proved=assisted.proved,
+            goal=equation,
+            result=assisted,
+            lemmas=tuple(library),
+            candidates_considered=self._candidates_considered,
+            lemmas_proved=len(library),
+            exploration_seconds=time.perf_counter() - started,
+        )
+
+    def prove_goal(self, goal: Goal) -> ExplorationResult:
+        """Attempt a named goal (conditional goals are out of scope, as for the prover)."""
+        if goal.is_conditional:
+            return ExplorationResult(proved=False, goal=goal.equation)
+        return self.prove(goal.equation, goal_name=goal.name)

@@ -1,0 +1,205 @@
+"""Candidate-lemma generation by term enumeration.
+
+The paper leaves lemma discovery aside as an orthogonal concern but names
+theory exploration (QuickSpec/HipSpec-style) as the state of the art and as
+planned future work for CycleQ.  This module implements the generation half of
+such a pipeline: enumerate small well-typed terms over a chosen set of function
+symbols and variables, pair terms of equal type into candidate equations, and
+discard candidates that are falsified by ground-instance testing.  The
+companion module :mod:`repro.exploration.explorer` then tries to prove the
+survivors with the cyclic prover and feeds them back as hypotheses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..core.exceptions import TypeCheckError
+from ..core.signature import Signature
+from ..core.terms import App, Sym, Term, Var, free_vars, term_size
+from ..core.types import DataTy, FunTy, Type, TypeVar, arg_types, result_type
+from ..program import Program, check_equation
+
+__all__ = ["TemplateConfig", "enumerate_terms", "candidate_equations"]
+
+
+@dataclass(frozen=True)
+class TemplateConfig:
+    """Parameters of the candidate-lemma enumeration."""
+
+    max_term_size: int = 7
+    """Maximum number of nodes in each side of a candidate equation."""
+
+    max_variables_per_type: int = 2
+    """How many distinct variables of each base type are available."""
+
+    symbols: Tuple[str, ...] = ()
+    """The defined symbols to build terms from (empty = all defined symbols)."""
+
+    max_candidates: int = 400
+    """Hard cap on the number of candidate equations returned."""
+
+    testing_depth: int = 3
+    """Depth bound for the ground-instance testing filter."""
+
+    testing_limit: int = 200
+    """Maximum number of ground instances tested per candidate."""
+
+
+def _base_types_of_interest(signature: Signature, symbols: Sequence[str]) -> List[Type]:
+    """The argument/result datatypes mentioned by the chosen symbols."""
+    seen: Dict[Type, None] = {}
+    for name in symbols:
+        ty = signature.symbol_type(name)
+        for part in arg_types(ty) + (result_type(ty),):
+            if isinstance(part, DataTy):
+                concrete = _concretise(signature, part)
+                seen.setdefault(concrete, None)
+    return list(seen)
+
+
+def _concretise(signature: Signature, ty: Type) -> Type:
+    """Instantiate type variables with the first nullary-constructor datatype."""
+    if isinstance(ty, TypeVar):
+        for name, decl in signature.datatypes.items():
+            if not decl.params and any(not c.arg_types for c in decl.constructors):
+                return DataTy(name)
+        return ty
+    if isinstance(ty, DataTy):
+        return DataTy(ty.name, tuple(_concretise(signature, a) for a in ty.args))
+    if isinstance(ty, FunTy):
+        return FunTy(_concretise(signature, ty.arg), _concretise(signature, ty.res))
+    return ty
+
+
+def enumerate_terms(
+    program: Program,
+    config: Optional[TemplateConfig] = None,
+) -> Dict[Type, List[Term]]:
+    """Enumerate well-typed terms up to the configured size, grouped by type.
+
+    The enumeration is bottom-up: variables and nullary constructors seed the
+    table, and each round applies every chosen defined symbol to all argument
+    combinations already available.  Terms are monomorphised (type variables
+    instantiated at the first base datatype) so that equal types really mean
+    comparable terms.
+    """
+    config = config or TemplateConfig()
+    signature = program.signature
+    symbols = config.symbols or tuple(
+        name for name in program.rules.defined_symbols()
+        if all(not isinstance(t, FunTy) for t in arg_types(signature.symbol_type(name)))
+    )
+
+    by_type: Dict[Type, List[Term]] = {}
+
+    def add(ty: Type, term: Term) -> None:
+        bucket = by_type.setdefault(ty, [])
+        if term not in bucket:
+            bucket.append(term)
+
+    # Seed with variables of every base type of interest.
+    for ty in _base_types_of_interest(signature, symbols):
+        for index in range(config.max_variables_per_type):
+            add(ty, Var(f"{_variable_stem(ty)}{index + 1}", ty))
+
+    # Seed with nullary constructors of those types.
+    for ty in list(by_type):
+        if isinstance(ty, DataTy) and ty.name in signature.datatypes:
+            for con_name, con_args in signature.instantiate_constructors(ty):
+                if not con_args:
+                    add(ty, Sym(con_name))
+
+    # Bottom-up closure under application of the chosen defined symbols.
+    changed = True
+    rounds = 0
+    while changed and rounds < config.max_term_size:
+        changed = False
+        rounds += 1
+        for name in symbols:
+            scheme = _concretise(signature, signature.symbol_type(name))
+            argument_types = arg_types(scheme)
+            result = result_type(scheme)
+            if not argument_types:
+                continue
+            pools = [by_type.get(t, []) for t in argument_types]
+            if any(not pool for pool in pools):
+                continue
+            for combo in itertools.product(*pools):
+                term: Term = Sym(name)
+                for argument in combo:
+                    term = App(term, argument)
+                if term_size(term) > config.max_term_size:
+                    continue
+                before = len(by_type.get(result, []))
+                add(result, term)
+                if len(by_type.get(result, [])) != before:
+                    changed = True
+    return by_type
+
+
+def _variable_stem(ty: Type) -> str:
+    if isinstance(ty, DataTy):
+        if ty.name.lower().startswith("list"):
+            return "xs"
+        return ty.name[0].lower()
+    return "v"
+
+
+def candidate_equations(
+    program: Program,
+    config: Optional[TemplateConfig] = None,
+) -> List[Equation]:
+    """Candidate lemmas: pairs of enumerated terms of equal type that survive testing.
+
+    Candidates are filtered by:
+
+    * non-triviality (syntactically distinct sides, at least one defined symbol);
+    * shared variables (a candidate whose sides have no variable in common is
+      almost never a useful rewrite lemma);
+    * ground-instance testing with :func:`repro.program.check_equation`.
+
+    The result is sorted smallest-first, which is the order theory exploration
+    tools prove and apply lemmas in.
+    """
+    config = config or TemplateConfig()
+    by_type = enumerate_terms(program, config)
+    candidates: List[Equation] = []
+    for ty, terms in by_type.items():
+        for left, right in itertools.combinations(terms, 2):
+            if left == right:
+                continue
+            if not _mentions_defined(program.signature, left) and not _mentions_defined(
+                program.signature, right
+            ):
+                continue
+            left_vars = {v.name for v in free_vars(left)}
+            right_vars = {v.name for v in free_vars(right)}
+            if left_vars != right_vars or not left_vars:
+                # Ground candidates are decided by reduction and useless as
+                # lemmas; sides with different variables rarely rewrite usefully.
+                continue
+            equation = Equation(left, right)
+            if equation in candidates:
+                continue
+            candidates.append(equation)
+    candidates.sort(key=lambda eq: term_size(eq.lhs) + term_size(eq.rhs))
+    # Ground-instance testing is the expensive part: do it last, lazily, capped.
+    surviving: List[Equation] = []
+    for equation in candidates:
+        if len(surviving) >= config.max_candidates:
+            break
+        if check_equation(program, equation, depth=config.testing_depth, limit=config.testing_limit):
+            surviving.append(equation)
+    return surviving
+
+
+def _mentions_defined(signature: Signature, term: Term) -> bool:
+    from ..core.terms import subterms
+
+    return any(
+        isinstance(sub, Sym) and signature.is_defined(sub.name) for sub in subterms(term)
+    )

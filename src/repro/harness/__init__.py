@@ -1,0 +1,16 @@
+"""Benchmark harness: suite runner and paper-vs-measured reporting."""
+
+from .report import (
+    ascii_cumulative_plot,
+    format_table,
+    isaplanner_summary_table,
+    tool_comparison_table,
+    unsolved_classification,
+)
+from .runner import SolveRecord, SuiteResult, cumulative_curve, run_suite
+
+__all__ = [
+    "run_suite", "SuiteResult", "SolveRecord", "cumulative_curve",
+    "format_table", "isaplanner_summary_table", "tool_comparison_table",
+    "ascii_cumulative_plot", "unsolved_classification",
+]

@@ -1,0 +1,123 @@
+"""Report formatting: paper-vs-measured tables and ASCII versions of Fig. 7.
+
+These functions are used by the benchmark modules and the example scripts to
+print the same rows/series the paper reports, next to the values measured on
+the current machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..benchmarks_data.registry import PAPER_REPORTED
+from .runner import SuiteResult, cumulative_curve
+
+__all__ = [
+    "format_table",
+    "isaplanner_summary_table",
+    "tool_comparison_table",
+    "ascii_cumulative_plot",
+    "unsolved_classification",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    separator = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), separator] + [line(row) for row in rows])
+
+
+def isaplanner_summary_table(result: SuiteResult) -> str:
+    """The Section 6.1 headline numbers, paper vs measured."""
+    summary = result.summary()
+    rows = [
+        ("problems in suite", PAPER_REPORTED["isaplanner_total"], summary["total"]),
+        ("solved", PAPER_REPORTED["isaplanner_solved"], summary["solved"]),
+        (
+            "solved in < 100 ms",
+            PAPER_REPORTED["isaplanner_solved_under_100ms"],
+            summary["solved_under_100ms"],
+        ),
+        (
+            "average time over solved (ms)",
+            PAPER_REPORTED["isaplanner_average_ms"],
+            summary["average_solved_ms"],
+        ),
+        (
+            "conditional (out of scope)",
+            PAPER_REPORTED["isaplanner_conditional_out_of_scope"],
+            summary["out_of_scope"],
+        ),
+    ]
+    return format_table(("metric", "paper", "measured"), rows)
+
+
+def tool_comparison_table(measured_solved: int) -> str:
+    """The Section 6.2 comparison of solved counts across tools.
+
+    All numbers other than this reproduction's are literature values, exactly as
+    in the paper ("as reported by [14, 53]").
+    """
+    comparison: Dict[str, int] = dict(PAPER_REPORTED["tool_comparison"])  # type: ignore[arg-type]
+    rows: List[Tuple[str, object]] = sorted(
+        comparison.items(), key=lambda item: -int(item[1])
+    )
+    rows.append(("CycleQ (this reproduction)", measured_solved))
+    return format_table(("tool", "problems solved"), rows)
+
+
+def ascii_cumulative_plot(result: SuiteResult, width: int = 60, height: int = 15) -> str:
+    """An ASCII rendering of the Fig. 7 cumulative solved-vs-time curve.
+
+    The x axis is log-scaled time in milliseconds (as in the paper's figure),
+    the y axis the number of problems solved within that time.
+    """
+    import math
+
+    curve = cumulative_curve(result)
+    if not curve:
+        return "(no problems solved)"
+    max_count = curve[-1][1]
+    min_time = max(min(t for t, _ in curve), 1e-3)
+    max_time = max(t for t, _ in curve)
+    span = math.log10(max_time / min_time) if max_time > min_time else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, count in curve:
+        x = int((math.log10(max(t, min_time) / min_time) / span) * (width - 1)) if span else 0
+        y = int((count / max_count) * (height - 1))
+        grid[height - 1 - y][x] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"time: {min_time:.2f} ms .. {max_time:.2f} ms (log scale), "
+        f"solved: {max_count}/{result.total}"
+    )
+    return "\n".join(lines)
+
+
+def unsolved_classification(result: SuiteResult, hinted: Optional[Dict[str, str]] = None) -> str:
+    """The Section 6.2 classification of unsolved problems.
+
+    Problems are split into: out of scope (conditional), requiring a lemma hint
+    (the paper's props 47/54/65/69), and other failures.
+    """
+    hinted = hinted or dict(PAPER_REPORTED["hinted_properties"])  # type: ignore[arg-type]
+    rows = []
+    for record in result.records:
+        if record.proved:
+            continue
+        if record.status == "out-of-scope":
+            category = "conditional (out of scope)"
+        elif record.name in hinted:
+            category = f"needs lemma: {hinted[record.name]}"
+        else:
+            category = "needs conditional reasoning or a lemma"
+        rows.append((record.name, category))
+    return format_table(("problem", "classification"), rows)

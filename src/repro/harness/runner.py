@@ -1,0 +1,162 @@
+"""The benchmark harness: run problem suites and collect timing data.
+
+The harness mirrors the paper's evaluation protocol: each problem is attempted
+with a fixed configuration and wall-clock budget, conditional problems are
+recorded as out of scope, and the results are aggregated into the statistics
+reported in Section 6 (number solved, number solved within 100 ms, average time
+over solved problems) and into the cumulative solved-vs-time series plotted in
+Fig. 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..benchmarks_data.registry import BenchmarkProblem
+from ..core.equations import Equation
+from ..search.config import ProverConfig
+from ..search.prover import Prover
+from ..search.result import ProofResult
+
+__all__ = ["SolveRecord", "SuiteResult", "run_suite", "cumulative_curve"]
+
+
+@dataclass
+class SolveRecord:
+    """The outcome of one benchmark problem."""
+
+    name: str
+    suite: str
+    status: str
+    """``proved``, ``failed``, or ``out-of-scope`` (conditional goal)."""
+
+    seconds: float = 0.0
+    nodes: int = 0
+    subst_attempts: int = 0
+    soundness_violations: int = 0
+    reason: str = ""
+
+    @property
+    def proved(self) -> bool:
+        return self.status == "proved"
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1000.0
+
+
+@dataclass
+class SuiteResult:
+    """Aggregated results of a suite run."""
+
+    suite: str
+    records: List[SolveRecord] = field(default_factory=list)
+
+    # -- aggregate views ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def solved(self) -> List[SolveRecord]:
+        return [r for r in self.records if r.proved]
+
+    @property
+    def out_of_scope(self) -> List[SolveRecord]:
+        return [r for r in self.records if r.status == "out-of-scope"]
+
+    @property
+    def failed(self) -> List[SolveRecord]:
+        return [r for r in self.records if r.status == "failed"]
+
+    def solved_within(self, milliseconds: float) -> List[SolveRecord]:
+        """Solved problems whose solve time is within the given bound."""
+        return [r for r in self.solved if r.milliseconds <= milliseconds]
+
+    def average_solved_ms(self) -> float:
+        """Average solve time over the solved problems (ms), 0 when none solved."""
+        solved = self.solved
+        if not solved:
+            return 0.0
+        return sum(r.milliseconds for r in solved) / len(solved)
+
+    def record(self, name: str) -> SolveRecord:
+        """Look up the record of one problem."""
+        for r in self.records:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def summary(self) -> Dict[str, object]:
+        """The headline numbers of the suite run."""
+        return {
+            "suite": self.suite,
+            "total": self.total,
+            "solved": len(self.solved),
+            "out_of_scope": len(self.out_of_scope),
+            "failed": len(self.failed),
+            "solved_under_100ms": len(self.solved_within(100.0)),
+            "average_solved_ms": round(self.average_solved_ms(), 2),
+        }
+
+
+def run_suite(
+    problems: Sequence[BenchmarkProblem],
+    config: Optional[ProverConfig] = None,
+    suite_name: Optional[str] = None,
+    hypotheses: Optional[Dict[str, Sequence[Equation]]] = None,
+    progress: Optional[Callable[[SolveRecord], None]] = None,
+) -> SuiteResult:
+    """Run the prover over a sequence of benchmark problems.
+
+    ``hypotheses`` optionally maps problem names to hint lemmas (used by the
+    hinted-properties experiment).  ``progress`` is an optional callback
+    invoked after each problem (used by the example scripts to print progress).
+    """
+    config = config or ProverConfig()
+    name = suite_name or (problems[0].suite if problems else "suite")
+    result = SuiteResult(suite=name)
+    provers: Dict[int, Prover] = {}
+    for problem in problems:
+        prover = provers.setdefault(id(problem.program), Prover(problem.program, config))
+        if problem.goal.is_conditional:
+            record = SolveRecord(
+                name=problem.name,
+                suite=problem.suite,
+                status="out-of-scope",
+                reason="conditional goal",
+            )
+        else:
+            hints = tuple(hypotheses.get(problem.name, ())) if hypotheses else ()
+            started = time.perf_counter()
+            outcome: ProofResult = prover.prove(
+                problem.goal.equation, goal_name=problem.name, hypotheses=hints
+            )
+            elapsed = time.perf_counter() - started
+            record = SolveRecord(
+                name=problem.name,
+                suite=problem.suite,
+                status="proved" if outcome.proved else "failed",
+                seconds=elapsed,
+                nodes=outcome.statistics.nodes_created,
+                subst_attempts=outcome.statistics.subst_attempts,
+                soundness_violations=outcome.statistics.soundness_violations,
+                reason=outcome.reason,
+            )
+        result.records.append(record)
+        if progress is not None:
+            progress(record)
+    return result
+
+
+def cumulative_curve(result: SuiteResult) -> List[Tuple[float, int]]:
+    """The Fig. 7 series: (time in ms, number of problems solved within that time).
+
+    The series contains one point per solved problem, sorted by solve time, so
+    plotting it directly reproduces the cumulative staircase of the paper.
+    """
+    times = sorted(r.milliseconds for r in result.solved)
+    return [(t, i + 1) for i, t in enumerate(times)]

@@ -1,0 +1,18 @@
+"""Implicit-induction baselines: rewriting induction, proof by consistency, structural induction."""
+
+from .inductionless import ConsistencyResult, proof_by_consistency
+from .rewriting_induction import (
+    RIResult,
+    RIStep,
+    RewritingInduction,
+    default_reduction_order,
+)
+from .structural import StructuralInductionProver, StructuralResult
+from .translation import TranslationResult, translate_to_partial_proof
+
+__all__ = [
+    "RewritingInduction", "RIResult", "RIStep", "default_reduction_order",
+    "proof_by_consistency", "ConsistencyResult",
+    "StructuralInductionProver", "StructuralResult",
+    "translate_to_partial_proof", "TranslationResult",
+]

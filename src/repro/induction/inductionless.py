@@ -1,0 +1,108 @@
+"""Inductionless induction / proof by consistency (Section 4 context).
+
+Musser's observation: if an equation can be consistently added to a
+sufficiently complete theory, it holds in the initial model.  Operationally,
+the conjecture is added to the program's rules as an axiom and Knuth–Bendix
+completion is run; the conjecture is an inductive theorem when completion
+terminates without deriving an inconsistency (here: an equation identifying
+two terms with distinct constructors at the root, or a constructor term with a
+strictly smaller constructor term).
+
+The implementation delegates the saturation to
+:func:`repro.rewriting.completion.complete` and adds the inconsistency check.
+Like all such procedures it is sensitive to the reduction order and refuses
+unorientable conjectures — exactly the limitation the cyclic system removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..core.terms import Sym, Term, spine
+from ..program import Program
+from ..rewriting.completion import CompletionResult, complete
+from ..rewriting.orders import TermOrder
+from ..rewriting.rules import RewriteRule
+from .rewriting_induction import default_reduction_order
+
+__all__ = ["ConsistencyResult", "proof_by_consistency"]
+
+
+@dataclass
+class ConsistencyResult:
+    """The outcome of a proof-by-consistency attempt."""
+
+    status: str
+    """``proved``, ``disproved``, or ``unknown``."""
+
+    goal: Equation
+    completion: Optional[CompletionResult] = None
+    witness: Optional[RewriteRule] = None
+    """The inconsistent rule found, when ``status == 'disproved'``."""
+
+    reason: str = ""
+
+    @property
+    def proved(self) -> bool:
+        return self.status == "proved"
+
+    def __bool__(self) -> bool:
+        return self.proved
+
+
+def _is_inconsistent(program: Program, rule: RewriteRule) -> bool:
+    """Does the rule identify two structurally incompatible constructor terms?"""
+    signature = program.signature
+    lhs_head, lhs_args = spine(rule.lhs)
+    rhs_head, rhs_args = spine(rule.rhs)
+    lhs_con = isinstance(lhs_head, Sym) and signature.is_constructor(lhs_head.name)
+    rhs_con = isinstance(rhs_head, Sym) and signature.is_constructor(rhs_head.name)
+    if lhs_con and rhs_con and lhs_head.name != rhs_head.name:
+        return True
+    # A constructor-headed term rewriting to one of its own proper subterms also
+    # collapses the free constructor algebra.
+    if lhs_con and rule.rhs != rule.lhs and _constructor_spine_contains(rule.lhs, rule.rhs, signature):
+        return True
+    return False
+
+
+def _constructor_spine_contains(big: Term, small: Term, signature) -> bool:
+    head, args = spine(big)
+    if not isinstance(head, Sym) or not signature.is_constructor(head.name):
+        return False
+    for arg in args:
+        if arg == small or _constructor_spine_contains(arg, small, signature):
+            return True
+    return False
+
+
+def proof_by_consistency(
+    program: Program,
+    equation: Equation,
+    order: Optional[TermOrder] = None,
+    hints: Sequence[Equation] = (),
+    max_iterations: int = 200,
+) -> ConsistencyResult:
+    """Attempt to establish ``equation`` by proof by consistency."""
+    order = order or default_reduction_order(program)
+    agenda = list(hints) + [equation]
+    result = complete(program.rules, agenda, order, max_iterations=max_iterations)
+    for rule in result.added_rules:
+        if _is_inconsistent(program, rule):
+            return ConsistencyResult(
+                status="disproved",
+                goal=equation,
+                completion=result,
+                witness=rule,
+                reason=f"completion derived the inconsistent rule {rule}",
+            )
+    if result.success:
+        return ConsistencyResult(status="proved", goal=equation, completion=result)
+    reason = "completion failed: " + (
+        "unorientable equations " + ", ".join(str(e) for e in result.unorientable)
+        if result.unorientable
+        else "iteration budget exhausted"
+    )
+    return ConsistencyResult(status="unknown", goal=equation, completion=result, reason=reason)

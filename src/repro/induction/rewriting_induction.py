@@ -1,0 +1,271 @@
+"""Rewriting induction (Reddy 1990), the baseline of Section 4.
+
+The calculus manipulates pairs ``(E, H)`` of equations still to be proved and
+hypothesis rewrite rules, with the rules of Fig. 5:
+
+* **Delete** — discard a trivial equation ``M = M``;
+* **Simplify** — rewrite a side of an equation with ``R ∪ H``;
+* **Expand** — pick an equation ``M = N`` with ``N < M`` in the reduction
+  order, narrow a basic (defined-function-headed, constructor-argument)
+  subterm of ``M`` with the program rules, add the resulting equations to
+  ``E`` and the oriented rule ``M -> N`` to ``H``.
+
+A derivation ends successfully when ``E`` is empty.  The prover below performs
+a straightforward saturation with these rules; its purpose is (a) to act as the
+implicit-induction baseline of the evaluation (it cannot prove inherently
+unorientable goals such as commutativity without a hint — exactly the
+limitation the paper discusses) and (b) to feed the translation into partial
+cyclic proofs of Theorem 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..core.matching import unify_or_none
+from ..core.substitution import Substitution
+from ..core.terms import Position, Sym, Term, Var, positions, replace_at, spine, subterms, term_size
+from ..program import Program
+from ..rewriting.orders import DecreasingOrder, LexicographicPathOrder, TermOrder, precedence_from_rules
+from ..rewriting.reduction import normalize
+from ..rewriting.rules import RewriteRule
+from ..rewriting.trs import RewriteSystem
+
+__all__ = ["RIStep", "RIResult", "RewritingInduction", "default_reduction_order"]
+
+
+def default_reduction_order(program: Program) -> TermOrder:
+    """An LPO whose precedence puts later-defined functions above earlier ones.
+
+    This is the conventional default for rewriting induction; the paper
+    stresses that the approach is very sensitive to this choice.
+    """
+    precedence = precedence_from_rules(
+        list(program.rules.defined_symbols()), list(program.signature.constructors)
+    )
+    return LexicographicPathOrder(precedence)
+
+
+@dataclass
+class RIStep:
+    """One inference step of a rewriting-induction derivation."""
+
+    rule: str
+    """``delete``, ``simplify`` or ``expand``."""
+
+    equation: Equation
+    """The equation the step operated on."""
+
+    results: Tuple[Equation, ...] = ()
+    """New equations added to ``E`` (for ``expand``) or the simplified form."""
+
+    hypothesis: Optional[RewriteRule] = None
+    """The rule added to ``H`` by an ``expand`` step."""
+
+    position: Optional[Position] = None
+    """The narrowing position used by ``expand``."""
+
+
+@dataclass
+class RIResult:
+    """The outcome of a rewriting-induction proof attempt."""
+
+    success: bool
+    goal: Equation
+    steps: Tuple[RIStep, ...] = ()
+    hypotheses: Tuple[RewriteRule, ...] = ()
+    remaining: Tuple[Equation, ...] = ()
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+class RewritingInduction:
+    """An automated prover for the rewriting-induction calculus."""
+
+    def __init__(
+        self,
+        program: Program,
+        order: Optional[TermOrder] = None,
+        max_steps: int = 400,
+        max_equation_size: int = 120,
+    ):
+        self.program = program
+        self.base_order = order or default_reduction_order(program)
+        # The induction order is Reddy's decreasing order ≺ (Lemma 4.1).
+        self.order = DecreasingOrder(self.base_order)
+        self.max_steps = max_steps
+        self.max_equation_size = max_equation_size
+
+    # -- public API --------------------------------------------------------------
+
+    def prove(self, equation: Equation, extra_hypotheses: Sequence[Equation] = ()) -> RIResult:
+        """Attempt a rewriting-induction proof of ``equation``.
+
+        ``extra_hypotheses`` are hint lemmas (already proved elsewhere); they
+        are oriented by the reduction order and added to ``H`` up front, which
+        is how the classical systems accept e.g. the commutativity lemma that
+        Cyclist requires for ``x + y = y + x``.
+        """
+        working: RewriteSystem = self.program.rules.copy()
+        hypotheses: List[RewriteRule] = []
+        steps: List[RIStep] = []
+
+        for hint in extra_hypotheses:
+            oriented = self.base_order.orientable(hint.lhs, hint.rhs)
+            if oriented is None:
+                continue
+            rule = RewriteRule(*oriented)
+            hypotheses.append(rule)
+            working.add_rule(rule, validate=False)
+
+        agenda: List[Equation] = [equation]
+        for _ in range(self.max_steps):
+            if not agenda:
+                return RIResult(
+                    success=True,
+                    goal=equation,
+                    steps=tuple(steps),
+                    hypotheses=tuple(hypotheses),
+                )
+            agenda.sort(key=lambda eq: term_size(eq.lhs) + term_size(eq.rhs))
+            current = agenda.pop(0)
+
+            # (Simplify) — normalise with R ∪ H.
+            simplified = Equation(
+                normalize(working, current.lhs), normalize(working, current.rhs)
+            )
+            if simplified != current:
+                steps.append(RIStep("simplify", current, results=(simplified,)))
+                current = simplified
+
+            # (Delete)
+            if current.is_trivial():
+                steps.append(RIStep("delete", current))
+                continue
+
+            if term_size(current.lhs) + term_size(current.rhs) > self.max_equation_size:
+                return RIResult(
+                    success=False,
+                    goal=equation,
+                    steps=tuple(steps),
+                    hypotheses=tuple(hypotheses),
+                    remaining=tuple([current] + agenda),
+                    reason="equation grew beyond the size budget",
+                )
+
+            # (Expand)
+            expanded = self._expand(current, working)
+            if expanded is None:
+                return RIResult(
+                    success=False,
+                    goal=equation,
+                    steps=tuple(steps),
+                    hypotheses=tuple(hypotheses),
+                    remaining=tuple([current] + agenda),
+                    reason="equation is neither orientable nor expandable",
+                )
+            new_equations, hypothesis_rule, position = expanded
+            hypotheses.append(hypothesis_rule)
+            working.add_rule(hypothesis_rule, validate=False)
+            agenda.extend(new_equations)
+            steps.append(
+                RIStep(
+                    "expand",
+                    current,
+                    results=tuple(new_equations),
+                    hypothesis=hypothesis_rule,
+                    position=position,
+                )
+            )
+
+        return RIResult(
+            success=False,
+            goal=equation,
+            steps=tuple(steps),
+            hypotheses=tuple(hypotheses),
+            remaining=tuple(agenda),
+            reason="step budget exhausted",
+        )
+
+    # -- (Expand) -------------------------------------------------------------------
+
+    def _expand(
+        self, equation: Equation, working: RewriteSystem
+    ) -> Optional[Tuple[List[Equation], RewriteRule, Position]]:
+        """Apply the Expand operator to the larger side of ``equation``.
+
+        Returns ``(new_equations, hypothesis_rule, position)`` or ``None`` when
+        the equation cannot be oriented or has no basic expandable position.
+        """
+        for bigger, smaller in self._orientations(equation):
+            for position in self._basic_positions(bigger):
+                new_equations = self._narrow(bigger, smaller, position)
+                if new_equations is None:
+                    continue
+                return new_equations, RewriteRule(bigger, smaller), position
+        return None
+
+    def _orientations(self, equation: Equation) -> List[Tuple[Term, Term]]:
+        ordered: List[Tuple[Term, Term]] = []
+        if self.base_order.greater(equation.lhs, equation.rhs):
+            ordered.append((equation.lhs, equation.rhs))
+        if self.base_order.greater(equation.rhs, equation.lhs):
+            ordered.append((equation.rhs, equation.lhs))
+        return ordered
+
+    def _basic_positions(self, term: Term) -> List[Position]:
+        """Candidate narrowing positions, most "basic" first.
+
+        A position is *basic* when it is headed by a defined function whose
+        arguments contain no defined function applications; those are tried
+        first (they correspond to the innermost induction step), but other
+        defined-function positions are kept as a fallback — higher-order
+        arguments such as ``map id xs`` mention defined symbols without them
+        being reducible calls.
+        """
+        signature = self.program.signature
+        basic: List[Position] = []
+        other: List[Position] = []
+        for position, sub in positions(term):
+            head, args = spine(sub)
+            if not isinstance(head, Sym) or not signature.is_defined(head.name):
+                continue
+            if not args or not self.program.rules.rules_for(head.name):
+                continue
+            has_defined_call = any(
+                isinstance(spine(inner)[0], Sym)
+                and signature.is_defined(spine(inner)[0].name)
+                and spine(inner)[1]
+                for arg in args
+                for inner in subterms(arg)
+            )
+            (other if has_defined_call else basic).append(position)
+        return basic + other
+
+    def _narrow(self, bigger: Term, smaller: Term, position: Position) -> Optional[List[Equation]]:
+        """Narrow the subterm of ``bigger`` at ``position`` with every program rule."""
+        from ..core.terms import subterm_at
+
+        redex = subterm_at(bigger, position)
+        head, _ = spine(redex)
+        if not isinstance(head, Sym):
+            return None
+        rules = self.program.rules.rules_for(head.name)
+        if not rules:
+            return None
+        results: List[Equation] = []
+        for index, rule in enumerate(rules):
+            renamed = rule.rename(f"#e{index}")
+            unifier = unify_or_none(redex, renamed.lhs)
+            if unifier is None:
+                continue
+            new_lhs = unifier.apply(replace_at(bigger, position, renamed.rhs))
+            new_rhs = unifier.apply(smaller)
+            results.append(Equation(new_lhs, new_rhs))
+        if not results:
+            return None
+        return results

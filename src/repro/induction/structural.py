@@ -1,0 +1,171 @@
+"""A classical explicit structural-induction prover (the Fig. 8 baseline).
+
+The prover picks one induction variable, generates one subgoal per
+constructor, makes the induction hypotheses available as rewrite rules (in
+both orientations) for the recursive components, and tries to close each
+subgoal by normalisation, hypothesis rewriting and constructor decomposition,
+possibly nesting further inductions up to a depth bound.
+
+It represents what a "traditional" inductive prover does without lemma
+discovery.  Its characteristic failures reproduce the qualitative comparisons
+in the paper:
+
+* goals needing *mutual* induction (``mapE id e ≈ e``) are out of reach because
+  the induction hypothesis for the sibling datatype is never available;
+* with the default single level of induction (the "fixed scheme" such tools
+  commit to), goals such as the commutativity of addition fail because the
+  S-case needs an auxiliary fact that only a *nested* induction can provide;
+  raising ``max_induction_depth`` shows exactly which goals need how much
+  nesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..core.matching import match_or_none
+from ..core.substitution import Substitution
+from ..core.terms import FreshNameSupply, Sym, Term, Var, apply_term, positions, replace_at, spine
+from ..core.types import DataTy
+from ..program import Program
+from ..rewriting.narrowing import case_candidates
+from ..rewriting.reduction import Normalizer
+
+__all__ = ["StructuralInductionProver", "StructuralResult"]
+
+
+@dataclass
+class StructuralResult:
+    """The outcome of a structural-induction attempt."""
+
+    proved: bool
+    equation: Equation
+    inductions: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.proved
+
+
+class StructuralInductionProver:
+    """One-variable structural induction with hypothesis rewriting."""
+
+    def __init__(self, program: Program, max_induction_depth: int = 1, max_rewrites: int = 64):
+        self.program = program
+        self.max_induction_depth = max_induction_depth
+        self.max_rewrites = max_rewrites
+        self.normalizer = Normalizer(program.rules)
+        self.fresh = FreshNameSupply()
+        self._inductions = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def prove(self, equation: Equation, hypotheses: Sequence[Equation] = ()) -> StructuralResult:
+        """Attempt a structural-induction proof of ``equation``."""
+        self._inductions = 0
+        self.fresh.reserve(equation.variable_names())
+        proved = self._prove(equation, list(hypotheses), depth=0)
+        return StructuralResult(
+            proved=proved,
+            equation=equation,
+            inductions=self._inductions,
+            reason="" if proved else "no applicable induction closed the goal",
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _normalize(self, equation: Equation) -> Equation:
+        return Equation(self.normalizer.normalize(equation.lhs), self.normalizer.normalize(equation.rhs))
+
+    def _prove(self, equation: Equation, hypotheses: List[Equation], depth: int) -> bool:
+        equation = self._normalize(equation)
+        if self._close(equation, hypotheses):
+            return True
+        if depth >= self.max_induction_depth:
+            return False
+        for variable in case_candidates(self.program.rules, equation.lhs, equation.rhs):
+            if self._induct(equation, variable, hypotheses, depth):
+                return True
+        return False
+
+    def _induct(self, equation: Equation, variable: Var, hypotheses: List[Equation], depth: int) -> bool:
+        if not isinstance(variable.ty, DataTy):
+            return False
+        try:
+            constructors = self.program.signature.instantiate_constructors(variable.ty)
+        except Exception:
+            return False
+        self._inductions += 1
+        for con_name, arg_types in constructors:
+            fresh_vars = [Var(self.fresh.fresh(variable.name), ty) for ty in arg_types]
+            pattern = apply_term(Sym(con_name), *fresh_vars)
+            subgoal = equation.apply(Substitution({variable.name: pattern}))
+            new_hypotheses = list(hypotheses)
+            for component in fresh_vars:
+                if component.ty == variable.ty:
+                    new_hypotheses.append(
+                        equation.apply(Substitution({variable.name: component}))
+                    )
+            if not self._prove(subgoal, new_hypotheses, depth + 1):
+                return False
+        return True
+
+    # -- closing subgoals --------------------------------------------------------------
+
+    def _close(self, equation: Equation, hypotheses: Sequence[Equation]) -> bool:
+        """Close a goal by normalisation, hypothesis rewriting and decomposition."""
+        seen = set()
+        frontier = [self._normalize(equation)]
+        budget = self.max_rewrites
+        while frontier and budget > 0:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            budget -= 1
+            if current.is_trivial():
+                return True
+            decomposed = self._decompose(current)
+            if decomposed is not None:
+                if all(self._close(part, hypotheses) for part in decomposed):
+                    return True
+                continue
+            for rewritten in self._hypothesis_rewrites(current, hypotheses):
+                frontier.append(self._normalize(rewritten))
+        return False
+
+    def _decompose(self, equation: Equation) -> Optional[List[Equation]]:
+        lhs_head, lhs_args = spine(equation.lhs)
+        rhs_head, rhs_args = spine(equation.rhs)
+        if (
+            isinstance(lhs_head, Sym)
+            and isinstance(rhs_head, Sym)
+            and lhs_head.name == rhs_head.name
+            and self.program.signature.is_constructor(lhs_head.name)
+            and len(lhs_args) == len(rhs_args)
+            and lhs_args
+        ):
+            return [Equation(l, r) for l, r in zip(lhs_args, rhs_args)]
+        return None
+
+    def _hypothesis_rewrites(self, equation: Equation, hypotheses: Sequence[Equation]) -> List[Equation]:
+        results: List[Equation] = []
+        for hypothesis in hypotheses:
+            for source, target in ((hypothesis.lhs, hypothesis.rhs), (hypothesis.rhs, hypothesis.lhs)):
+                if isinstance(source, Var):
+                    continue
+                for side_name in ("lhs", "rhs"):
+                    side = getattr(equation, side_name)
+                    other = equation.rhs if side_name == "lhs" else equation.lhs
+                    for position, sub in positions(side):
+                        theta = match_or_none(source, sub)
+                        if theta is None:
+                            continue
+                        rewritten = replace_at(side, position, theta.apply(target))
+                        if side_name == "lhs":
+                            results.append(Equation(rewritten, other))
+                        else:
+                            results.append(Equation(other, rewritten))
+        return results

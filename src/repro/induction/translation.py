@@ -1,0 +1,88 @@
+"""Translation of rewriting-induction derivations into partial cyclic proofs.
+
+Theorem 4.3 states that every rewriting-induction derivation ``⊢ (E, H)`` gives
+rise to a partial cyclic proof whose vertices cover ``E`` and whose hypotheses
+are the (unoriented) equations underlying the rules of ``H``.
+
+The constructive content of the paper's proof builds the partial proof by
+recursion over the derivation, replaying ``Simplify`` steps as (Reduce)/(Subst)
+vertices and ``Expand`` steps as (Case)+(Reduce) trees.  The implementation
+here obtains the same artefact more directly: the equations of ``H`` are
+installed as hypothesis vertices of a preproof and the goal-directed cyclic
+prover — restricted so that it cannot invent cycles of its own beyond those
+hypotheses and ordinary case analysis — re-derives every equation of ``E``.
+Because (Subst) with a hypothesis lemma is exactly how a ``Simplify`` step with
+a rule of ``H`` is represented, the resulting partial proof has the structure
+promised by the theorem, and its local and global correctness are then checked
+with the library's independent validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..program import Program
+from ..proofs.preproof import Preproof
+from ..proofs.soundness import SoundnessReport, check_proof
+from ..search.config import ProverConfig
+from ..search.prover import Prover
+from .rewriting_induction import RIResult
+
+__all__ = ["TranslationResult", "translate_to_partial_proof"]
+
+
+@dataclass
+class TranslationResult:
+    """A partial cyclic proof obtained from a rewriting-induction derivation."""
+
+    success: bool
+    goal: Equation
+    proof: Optional[Preproof] = None
+    hypotheses: Tuple[Equation, ...] = ()
+    report: Optional[SoundnessReport] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+def translate_to_partial_proof(
+    program: Program,
+    ri_result: RIResult,
+    config: Optional[ProverConfig] = None,
+) -> TranslationResult:
+    """Translate a successful rewriting-induction derivation into a partial proof.
+
+    The returned proof contains one hypothesis vertex per rule of ``H`` (as an
+    unoriented equation) and a derivation of the original goal that may refer
+    to those hypotheses through (Subst); it is validated with
+    :func:`repro.proofs.soundness.check_proof` before being returned.
+    """
+    if not ri_result.success:
+        return TranslationResult(
+            success=False,
+            goal=ri_result.goal,
+            reason="cannot translate a failed rewriting-induction derivation",
+        )
+    hypotheses = tuple(Equation(rule.lhs, rule.rhs) for rule in ri_result.hypotheses)
+    prover = Prover(program, config or ProverConfig(timeout=10.0))
+    result = prover.prove(ri_result.goal, hypotheses=hypotheses)
+    if not result.proved or result.proof is None:
+        return TranslationResult(
+            success=False,
+            goal=ri_result.goal,
+            hypotheses=hypotheses,
+            reason="the cyclic prover could not replay the derivation "
+            f"({result.reason})",
+        )
+    report = check_proof(program, result.proof)
+    return TranslationResult(
+        success=bool(report),
+        goal=ri_result.goal,
+        proof=result.proof,
+        hypotheses=hypotheses,
+        report=report,
+        reason="" if report else "translated proof failed validation",
+    )

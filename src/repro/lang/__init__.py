@@ -1,0 +1,39 @@
+"""The surface language: lexer, parser, type inference and elaboration."""
+
+from .ast import (
+    SApp,
+    SClause,
+    SCon,
+    SData,
+    SExpr,
+    SModule,
+    SNum,
+    SProperty,
+    SSig,
+    SType,
+    STyCon,
+    STyFun,
+    STyVar,
+    SVar,
+)
+from .elaborate import elaborate_module
+from .infer import TypeInference, prettify_type_vars, surface_type_to_core
+from .lexer import Token, logical_lines, tokenize
+from .loader import (
+    load_program,
+    load_program_file,
+    parse_equation_in_signature,
+    parse_term_in_signature,
+)
+from .parser import parse_expression, parse_module, parse_type
+
+__all__ = [
+    "tokenize", "logical_lines", "Token",
+    "parse_module", "parse_expression", "parse_type",
+    "elaborate_module", "load_program", "load_program_file",
+    "parse_term_in_signature", "parse_equation_in_signature",
+    "TypeInference", "surface_type_to_core", "prettify_type_vars",
+    "SModule", "SData", "SSig", "SClause", "SProperty",
+    "SExpr", "SVar", "SCon", "SApp", "SNum",
+    "SType", "STyCon", "STyVar", "STyFun",
+]

@@ -1,0 +1,151 @@
+"""Abstract syntax of the surface language (before elaboration)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "SType", "STyCon", "STyVar", "STyFun",
+    "SExpr", "SVar", "SCon", "SApp", "SNum",
+    "SDecl", "SData", "SSig", "SClause", "SProperty", "SModule",
+]
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class SType:
+    """Base class of surface types."""
+
+
+@dataclass(frozen=True)
+class STyCon(SType):
+    """A type constructor application, e.g. ``List a`` or ``Nat``."""
+
+    name: str
+    args: Tuple["SType", ...] = ()
+
+
+@dataclass(frozen=True)
+class STyVar(SType):
+    """A type variable, e.g. ``a``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class STyFun(SType):
+    """A function type ``arg -> res``."""
+
+    arg: SType
+    res: SType
+
+
+# ---------------------------------------------------------------------------
+# Expressions and patterns (shared shape)
+# ---------------------------------------------------------------------------
+
+
+class SExpr:
+    """Base class of surface expressions and patterns."""
+
+
+@dataclass(frozen=True)
+class SVar(SExpr):
+    """A lowercase identifier: a variable or a reference to a defined function."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SCon(SExpr):
+    """An uppercase identifier: a constructor."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SApp(SExpr):
+    """An application."""
+
+    fun: SExpr
+    arg: SExpr
+
+
+@dataclass(frozen=True)
+class SNum(SExpr):
+    """A numeric literal, sugar for a Peano numeral ``S (S (... Z))``."""
+
+    value: int
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+class SDecl:
+    """Base class of top-level declarations."""
+
+
+@dataclass
+class SData(SDecl):
+    """``data T a b = K1 t ... | K2 ...``"""
+
+    name: str
+    params: Tuple[str, ...]
+    constructors: Tuple[Tuple[str, Tuple[SType, ...]], ...]
+    line: int = 0
+
+
+@dataclass
+class SSig(SDecl):
+    """``f :: t``"""
+
+    name: str
+    type: SType
+    line: int = 0
+
+
+@dataclass
+class SClause(SDecl):
+    """``f p1 ... pn = rhs``"""
+
+    name: str
+    patterns: Tuple[SExpr, ...]
+    body: SExpr
+    line: int = 0
+
+
+@dataclass
+class SProperty(SDecl):
+    """``prop x y = [cond === cond ==>]* lhs === rhs``"""
+
+    name: str
+    binders: Tuple[str, ...]
+    conditions: Tuple[Tuple[SExpr, SExpr], ...]
+    lhs: SExpr
+    rhs: SExpr
+    line: int = 0
+
+
+@dataclass
+class SModule:
+    """A parsed module: the list of declarations in source order."""
+
+    declarations: List[SDecl] = field(default_factory=list)
+
+    def data_declarations(self) -> List[SData]:
+        return [d for d in self.declarations if isinstance(d, SData)]
+
+    def signatures(self) -> List[SSig]:
+        return [d for d in self.declarations if isinstance(d, SSig)]
+
+    def clauses(self) -> List[SClause]:
+        return [d for d in self.declarations if isinstance(d, SClause)]
+
+    def properties(self) -> List[SProperty]:
+        return [d for d in self.declarations if isinstance(d, SProperty)]

@@ -1,0 +1,214 @@
+"""Elaboration: surface modules to core programs.
+
+Elaboration turns a parsed :class:`repro.lang.ast.SModule` into a
+:class:`repro.program.Program`:
+
+* datatype declarations populate the :class:`repro.core.signature.Signature`;
+* function clauses become rewrite rules (one per clause) whose variables carry
+  the types discovered by :class:`repro.lang.infer.TypeInference`;
+* properties become named :class:`repro.program.Goal` objects, with equational
+  hypotheses preserved so that conditional goals can be classified as out of
+  scope, mirroring the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.equations import Equation
+from ..core.exceptions import ElaborationError
+from ..core.signature import Signature
+from ..core.terms import App, Sym, Term, Var, apply_term
+from ..core.types import DataTy, FunTy, Type, TypeVar, arg_types, fun_ty, result_type
+from ..program import Goal, Program
+from ..rewriting.rules import RewriteRule
+from ..rewriting.trs import RewriteSystem
+from .ast import SApp, SClause, SCon, SData, SExpr, SModule, SNum, SProperty, SSig, SVar
+from .infer import TypeInference, prettify_type_vars, surface_type_to_core
+
+__all__ = ["elaborate_module", "ElaboratedClause"]
+
+_PROPERTY_TYPE_NAMES = {"Equation", "Prop", "Property"}
+
+
+class ElaboratedClause:
+    """A clause whose constraints have been collected but whose terms are not yet built."""
+
+    def __init__(self, name: str, patterns, body, bindings: Dict[str, Type], line: int):
+        self.name = name
+        self.patterns = patterns
+        self.body = body
+        self.bindings = bindings
+        self.line = line
+
+
+def elaborate_module(module: SModule, name: str = "module", check_completeness: bool = True) -> Program:
+    """Elaborate a parsed module into a :class:`Program`."""
+    signature = Signature()
+    datatype_arities: Dict[str, int] = {}
+
+    # -- datatypes ----------------------------------------------------------------
+    for data in module.data_declarations():
+        datatype_arities[data.name] = len(data.params)
+    for data in module.data_declarations():
+        constructors = []
+        for con_name, con_args in data.constructors:
+            core_args = tuple(surface_type_to_core(a, datatype_arities) for a in con_args)
+            constructors.append((con_name, core_args))
+        signature.datatype(data.name, data.params, constructors)
+
+    # -- signatures ------------------------------------------------------------------
+    property_names = set()
+    declared_types: Dict[str, Type] = {}
+    for sig in module.signatures():
+        if _is_property_signature(sig):
+            property_names.add(sig.name)
+            continue
+        declared_types[sig.name] = surface_type_to_core(sig.type, datatype_arities)
+
+    clause_groups: Dict[str, List[SClause]] = {}
+    for clause in module.clauses():
+        clause_groups.setdefault(clause.name, []).append(clause)
+
+    for fname, ty in declared_types.items():
+        signature.declare_function(fname, ty)
+
+    inference = TypeInference(signature)
+
+    # Placeholder types for functions without a signature (supports mutual recursion).
+    for fname, clauses in clause_groups.items():
+        if fname in declared_types:
+            continue
+        arity = max(len(c.patterns) for c in clauses)
+        placeholder = fun_ty([inference.fresh("a") for _ in range(arity)], inference.fresh("r"))
+        inference.placeholders[fname] = placeholder
+
+    # -- clause constraint collection ------------------------------------------------------
+    elaborated: List[ElaboratedClause] = []
+    for fname, clauses in clause_groups.items():
+        for clause in clauses:
+            function_type = (
+                signature.symbol_type(fname)
+                if fname in declared_types
+                else inference.placeholders[fname]
+            )
+            expected_args = arg_types(function_type)
+            if len(clause.patterns) > len(expected_args):
+                raise ElaborationError(
+                    f"{fname} (line {clause.line}): clause has more patterns than its type has arguments"
+                )
+            bindings: Dict[str, Type] = {}
+            for pattern, expected in zip(clause.patterns, expected_args):
+                inference.infer_pattern(pattern, inference.resolve(expected), bindings)
+            remaining = function_type
+            for _ in range(len(clause.patterns)):
+                remaining = remaining.res  # type: ignore[attr-defined]
+            body_type = inference.infer_expr(clause.body, bindings)
+            inference.unify(body_type, remaining, context=f"{fname} (line {clause.line})")
+            elaborated.append(ElaboratedClause(fname, clause.patterns, clause.body, bindings, clause.line))
+
+    # -- declare inferred function types ------------------------------------------------------
+    for fname, placeholder in inference.placeholders.items():
+        resolved = inference.resolve(placeholder)
+        pretty = prettify_type_vars(resolved, {})
+        signature.declare_function(fname, pretty)
+
+    # -- build rewrite rules --------------------------------------------------------------------
+    rules = RewriteSystem(signature)
+    for clause in elaborated:
+        mapping: Dict[str, str] = {}
+        typed_bindings = {
+            var_name: prettify_type_vars(inference.resolve(var_type), mapping)
+            for var_name, var_type in clause.bindings.items()
+        }
+        lhs = apply_term(
+            Sym(clause.name),
+            *[_expr_to_term(p, typed_bindings, signature, inference) for p in clause.patterns],
+        )
+        rhs = _expr_to_term(clause.body, typed_bindings, signature, inference)
+        rules.add_rule(RewriteRule(lhs, rhs))
+
+    if check_completeness:
+        report = rules.completeness_report()
+        if not report:
+            raise ElaborationError(
+                "the program's pattern matches are not exhaustive: " + "; ".join(report.missing)
+            )
+
+    program = Program(signature, rules, name=name)
+
+    # -- properties ----------------------------------------------------------------------------------
+    for prop in module.properties():
+        goal = _elaborate_property(prop, signature, inference)
+        program.add_goal(goal)
+
+    return program
+
+
+def _is_property_signature(sig: SSig) -> bool:
+    ty = sig.type
+    from .ast import STyCon
+
+    return isinstance(ty, STyCon) and ty.name in _PROPERTY_TYPE_NAMES and not ty.args
+
+
+def _elaborate_property(prop: SProperty, signature: Signature, shared: TypeInference) -> Goal:
+    inference = TypeInference(signature)
+    env: Dict[str, Type] = {b: inference.fresh("b") for b in prop.binders}
+
+    def infer_pair(left: SExpr, right: SExpr) -> None:
+        lt = inference.infer_expr(left, env)
+        rt = inference.infer_expr(right, env)
+        inference.unify(lt, rt, context=f"property {prop.name}")
+
+    for cond_lhs, cond_rhs in prop.conditions:
+        infer_pair(cond_lhs, cond_rhs)
+    infer_pair(prop.lhs, prop.rhs)
+
+    mapping: Dict[str, str] = {}
+    typed_env = {
+        name: prettify_type_vars(inference.resolve(ty), mapping) for name, ty in env.items()
+    }
+
+    def to_term(expr: SExpr) -> Term:
+        return _expr_to_term(expr, typed_env, signature, inference)
+
+    conditions = tuple(Equation(to_term(l), to_term(r)) for l, r in prop.conditions)
+    equation = Equation(to_term(prop.lhs), to_term(prop.rhs))
+    return Goal(name=prop.name, equation=equation, conditions=conditions)
+
+
+def _expr_to_term(
+    expr: SExpr,
+    env: Mapping[str, Type],
+    signature: Signature,
+    inference: TypeInference,
+) -> Term:
+    """Convert a surface expression/pattern to a core term under ``env``."""
+    if isinstance(expr, SVar):
+        if expr.name in env:
+            return Var(expr.name, env[expr.name])
+        if signature.is_declared(expr.name):
+            return Sym(expr.name)
+        raise ElaborationError(f"unbound variable {expr.name}")
+    if isinstance(expr, SCon):
+        if not signature.is_constructor(expr.name):
+            raise ElaborationError(f"unknown constructor {expr.name}")
+        return Sym(expr.name)
+    if isinstance(expr, SNum):
+        return _peano(expr.value, signature)
+    if isinstance(expr, SApp):
+        return App(
+            _expr_to_term(expr.fun, env, signature, inference),
+            _expr_to_term(expr.arg, env, signature, inference),
+        )
+    raise ElaborationError(f"unsupported expression {expr!r}")
+
+
+def _peano(value: int, signature: Signature) -> Term:
+    if not signature.is_constructor("Z") or not signature.is_constructor("S"):
+        raise ElaborationError("numeric literals require a Nat datatype with constructors Z and S")
+    term: Term = Sym("Z")
+    for _ in range(value):
+        term = App(Sym("S"), term)
+    return term

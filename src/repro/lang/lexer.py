@@ -1,0 +1,142 @@
+"""Lexer for the small functional surface language.
+
+CycleQ is a GHC plugin and consumes a "small subset of Haskell": algebraic
+datatype declarations, top-level recursive function definitions and equations
+to be proved.  The reproduction provides an equivalent stand-alone surface
+language with the same flavour::
+
+    data Nat = Z | S Nat
+    data List a = Nil | Cons a (List a)
+
+    add :: Nat -> Nat -> Nat
+    add Z y = y
+    add (S x) y = S (add x y)
+
+    prop_add_comm :: Equation
+    prop_add_comm x y = add x y === add y x
+
+The lexer splits a source file into logical lines (a physical line starting
+with whitespace continues the previous declaration) and tokenises each logical
+line.  Tokens carry their line/column for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..core.exceptions import ParseError
+
+__all__ = ["Token", "tokenize", "logical_lines"]
+
+# Token kinds
+LOWER = "LOWER"
+UPPER = "UPPER"
+EQUALS = "EQUALS"          # =
+PIPE = "PIPE"              # |
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+DOUBLE_COLON = "DCOLON"    # ::
+ARROW = "ARROW"            # ->
+EQUIV = "EQUIV"            # === or ≈ or ≡
+IMPLIES = "IMPLIES"        # ==>
+COMMA = "COMMA"
+KEYWORD_DATA = "DATA"
+END = "END"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source location."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}"
+
+
+_SYMBOLS: Tuple[Tuple[str, str], ...] = (
+    ("==>", IMPLIES),
+    ("===", EQUIV),
+    ("≡", EQUIV),
+    ("≈", EQUIV),
+    ("::", DOUBLE_COLON),
+    ("->", ARROW),
+    ("=", EQUALS),
+    ("|", PIPE),
+    ("(", LPAREN),
+    (")", RPAREN),
+    (",", COMMA),
+)
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find("--")
+    if index >= 0:
+        return line[:index]
+    return line
+
+
+def logical_lines(source: str) -> List[Tuple[int, str]]:
+    """Split source into logical lines: indented lines continue the previous one.
+
+    Returns ``(first_physical_line_number, text)`` pairs; comments and blank
+    lines are dropped.
+    """
+    result: List[Tuple[int, str]] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line.strip():
+            continue
+        if line[0].isspace() and result:
+            first, text = result[-1]
+            result[-1] = (first, text + " " + line.strip())
+        else:
+            result.append((number, line.rstrip()))
+    return result
+
+
+def tokenize(text: str, line: int = 1) -> List[Token]:
+    """Tokenise one logical line."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        matched = False
+        for symbol, kind in _SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token(kind, symbol, line, index + 1))
+                index += len(symbol)
+                matched = True
+                break
+        if matched:
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] in "_'"):
+                index += 1
+            word = text[start:index]
+            if word == "data":
+                tokens.append(Token(KEYWORD_DATA, word, line, start + 1))
+            elif word[0].isupper():
+                tokens.append(Token(UPPER, word, line, start + 1))
+            else:
+                tokens.append(Token(LOWER, word, line, start + 1))
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and text[index].isdigit():
+                index += 1
+            # Numeric literals are sugar for Peano numerals, handled by the parser.
+            tokens.append(Token(UPPER, text[start:index], line, start + 1))
+            continue
+        raise ParseError(f"unexpected character {char!r}", line, index + 1)
+    tokens.append(Token(END, "", line, length + 1))
+    return tokens

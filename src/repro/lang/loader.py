@@ -1,0 +1,108 @@
+"""Top-level entry points: load programs and parse terms/equations.
+
+These are the functions user code typically calls:
+
+* :func:`load_program` — parse and elaborate a whole module from a string;
+* :func:`load_program_file` — the same, from a file path;
+* :func:`parse_term_in_signature` / :func:`parse_equation_in_signature` — parse
+  a single term or equation against an existing program's signature (used by
+  ``Program.parse_term`` and heavily by the test suite and examples).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from ..core.equations import Equation
+from ..core.exceptions import ElaborationError
+from ..core.signature import Signature
+from ..core.terms import Term
+from ..core.types import Type
+from ..program import Program
+from .ast import SExpr
+from .elaborate import _expr_to_term, elaborate_module
+from .infer import TypeInference, prettify_type_vars
+from .parser import parse_expression, parse_module
+
+__all__ = [
+    "load_program",
+    "load_program_file",
+    "parse_term_in_signature",
+    "parse_equation_in_signature",
+]
+
+
+def load_program(source: str, name: str = "module", check_completeness: bool = True) -> Program:
+    """Parse and elaborate a surface-language module given as a string."""
+    module = parse_module(source)
+    return elaborate_module(module, name=name, check_completeness=check_completeness)
+
+
+def load_program_file(path: Union[str, Path], check_completeness: bool = True) -> Program:
+    """Parse and elaborate a surface-language module from a file."""
+    path = Path(path)
+    return load_program(path.read_text(), name=path.stem, check_completeness=check_completeness)
+
+
+def _typed_environment(
+    expressions, signature: Signature, env: Mapping[str, Type]
+) -> Dict[str, Type]:
+    """Infer types for the free variables of the given expressions.
+
+    Variables already present in ``env`` keep their declared types; the types
+    of the remaining variables are inferred from use.
+    """
+    inference = TypeInference(signature)
+    working: Dict[str, Type] = dict(env)
+
+    def collect(expr: SExpr) -> None:
+        from .ast import SApp, SVar
+
+        if isinstance(expr, SVar):
+            if expr.name not in working and not signature.is_declared(expr.name):
+                working[expr.name] = inference.fresh("v")
+        elif isinstance(expr, SApp):
+            collect(expr.fun)
+            collect(expr.arg)
+
+    for expression in expressions:
+        collect(expression)
+    types = [inference.infer_expr(expression, working) for expression in expressions]
+    if len(types) == 2:
+        inference.unify(types[0], types[1], context="equation")
+    mapping: Dict[str, str] = {}
+    return {
+        name: prettify_type_vars(inference.resolve(ty), mapping) for name, ty in working.items()
+    }, inference
+
+
+def parse_term_in_signature(
+    source: str, signature: Signature, env: Optional[Mapping[str, Type]] = None
+) -> Term:
+    """Parse a single term against ``signature``; variable types from ``env`` or inferred."""
+    expression = parse_expression(source)
+    typed_env, inference = _typed_environment([expression], signature, env or {})
+    return _expr_to_term(expression, typed_env, signature, inference)
+
+
+def parse_equation_in_signature(
+    source: str, signature: Signature, env: Optional[Mapping[str, Type]] = None
+) -> Equation:
+    """Parse ``lhs === rhs`` (or ``≈``/``≡``/``=``) against ``signature``."""
+    for separator in ("===", "≈", "≡"):
+        if separator in source:
+            left_text, right_text = source.split(separator, 1)
+            break
+    else:
+        if "=" in source:
+            left_text, right_text = source.split("=", 1)
+        else:
+            raise ElaborationError(f"no equation separator found in {source!r}")
+    left_expr = parse_expression(left_text.strip())
+    right_expr = parse_expression(right_text.strip())
+    typed_env, inference = _typed_environment([left_expr, right_expr], signature, env or {})
+    return Equation(
+        _expr_to_term(left_expr, typed_env, signature, inference),
+        _expr_to_term(right_expr, typed_env, signature, inference),
+    )

@@ -1,0 +1,315 @@
+"""Recursive-descent parser for the surface language.
+
+Each logical line (see :func:`repro.lang.lexer.logical_lines`) is one
+declaration; the parser recognises four forms:
+
+* ``data T a = K1 ... | K2 ...`` — datatype declarations;
+* ``f :: type`` — type signatures (a signature of type ``Equation`` or
+  ``Prop`` merely marks the following definition as a property);
+* ``f p1 ... pn = body`` — a function clause, when the body contains no
+  top-level ``===``/``≈``/``==>``;
+* ``prop x y = [c1 === c2 ==>]* lhs === rhs`` — a property (conjecture),
+  possibly with equational hypotheses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.exceptions import ParseError
+from .ast import (
+    SApp,
+    SClause,
+    SCon,
+    SData,
+    SExpr,
+    SModule,
+    SNum,
+    SProperty,
+    SSig,
+    SType,
+    STyCon,
+    STyFun,
+    STyVar,
+    SVar,
+)
+from .lexer import (
+    ARROW,
+    COMMA,
+    DOUBLE_COLON,
+    END,
+    EQUALS,
+    EQUIV,
+    IMPLIES,
+    KEYWORD_DATA,
+    LOWER,
+    LPAREN,
+    PIPE,
+    RPAREN,
+    UPPER,
+    Token,
+    logical_lines,
+    tokenize,
+)
+
+__all__ = ["parse_module", "parse_expression", "parse_type"]
+
+
+class _TokenStream:
+    """A cursor over the token list of one logical line."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != END:
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.text!r}", token.line, token.column)
+        return self.next()
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def at_end(self) -> bool:
+        return self.peek().kind == END
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def _parse_type(stream: _TokenStream) -> SType:
+    left = _parse_btype(stream)
+    if stream.at(ARROW):
+        stream.next()
+        right = _parse_type(stream)
+        return STyFun(left, right)
+    return left
+
+
+def _parse_btype(stream: _TokenStream) -> SType:
+    atoms: List[SType] = [_parse_atype(stream)]
+    while stream.peek().kind in (UPPER, LOWER, LPAREN):
+        atoms.append(_parse_atype(stream))
+    if len(atoms) == 1:
+        return atoms[0]
+    head = atoms[0]
+    if isinstance(head, STyCon) and not head.args:
+        return STyCon(head.name, tuple(atoms[1:]))
+    raise stream.error("only a type constructor may be applied to type arguments")
+
+
+def _parse_atype(stream: _TokenStream) -> SType:
+    token = stream.peek()
+    if token.kind == UPPER:
+        stream.next()
+        return STyCon(token.text)
+    if token.kind == LOWER:
+        stream.next()
+        return STyVar(token.text)
+    if token.kind == LPAREN:
+        stream.next()
+        inner = _parse_type(stream)
+        stream.expect(RPAREN)
+        return inner
+    raise stream.error(f"expected a type, found {token.text!r}")
+
+
+def parse_type(source: str) -> SType:
+    """Parse a type written on its own (used by tests and the REPL helpers)."""
+    stream = _TokenStream(tokenize(source))
+    ty = _parse_type(stream)
+    if not stream.at_end():
+        raise stream.error("trailing input after type")
+    return ty
+
+
+# ---------------------------------------------------------------------------
+# Expressions and patterns
+# ---------------------------------------------------------------------------
+
+
+def _parse_expression(stream: _TokenStream) -> SExpr:
+    atoms: List[SExpr] = [_parse_atom(stream)]
+    while stream.peek().kind in (UPPER, LOWER, LPAREN):
+        atoms.append(_parse_atom(stream))
+    expr = atoms[0]
+    for atom in atoms[1:]:
+        expr = SApp(expr, atom)
+    return expr
+
+
+def _parse_atom(stream: _TokenStream) -> SExpr:
+    token = stream.peek()
+    if token.kind == UPPER:
+        stream.next()
+        if token.text.isdigit():
+            return SNum(int(token.text))
+        return SCon(token.text)
+    if token.kind == LOWER:
+        stream.next()
+        return SVar(token.text)
+    if token.kind == LPAREN:
+        stream.next()
+        inner = _parse_expression(stream)
+        stream.expect(RPAREN)
+        return inner
+    raise stream.error(f"expected an expression, found {token.text!r}")
+
+
+def parse_expression(source: str) -> SExpr:
+    """Parse a stand-alone expression (used by ``Program.parse_term``)."""
+    stream = _TokenStream(tokenize(source))
+    expr = _parse_expression(stream)
+    if not stream.at_end():
+        raise stream.error("trailing input after expression")
+    return expr
+
+
+def _parse_pattern(stream: _TokenStream) -> SExpr:
+    token = stream.peek()
+    if token.kind == LOWER:
+        stream.next()
+        return SVar(token.text)
+    if token.kind == UPPER:
+        stream.next()
+        if token.text.isdigit():
+            return SNum(int(token.text))
+        return SCon(token.text)
+    if token.kind == LPAREN:
+        stream.next()
+        inner = _parse_expression(stream)
+        stream.expect(RPAREN)
+        return inner
+    raise stream.error(f"expected a pattern, found {token.text!r}")
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+def _parse_data(stream: _TokenStream, line: int) -> SData:
+    stream.expect(KEYWORD_DATA)
+    name = stream.expect(UPPER).text
+    params: List[str] = []
+    while stream.at(LOWER):
+        params.append(stream.next().text)
+    stream.expect(EQUALS)
+    constructors: List[Tuple[str, Tuple[SType, ...]]] = []
+    while True:
+        con_name = stream.expect(UPPER).text
+        arg_types: List[SType] = []
+        while stream.peek().kind in (UPPER, LOWER, LPAREN):
+            arg_types.append(_parse_atype(stream))
+        constructors.append((con_name, tuple(arg_types)))
+        if stream.at(PIPE):
+            stream.next()
+            continue
+        break
+    if not stream.at_end():
+        raise stream.error("trailing input after data declaration")
+    return SData(name=name, params=tuple(params), constructors=tuple(constructors), line=line)
+
+
+def _contains_top_level(tokens: List[Token], start: int, kinds: Tuple[str, ...]) -> bool:
+    depth = 0
+    for token in tokens[start:]:
+        if token.kind == LPAREN:
+            depth += 1
+        elif token.kind == RPAREN:
+            depth -= 1
+        elif depth == 0 and token.kind in kinds:
+            return True
+    return False
+
+
+def _parse_signature(stream: _TokenStream, line: int) -> SSig:
+    name = stream.next().text
+    stream.expect(DOUBLE_COLON)
+    ty = _parse_type(stream)
+    if not stream.at_end():
+        raise stream.error("trailing input after type signature")
+    return SSig(name=name, type=ty, line=line)
+
+
+def _parse_property(stream: _TokenStream, line: int) -> SProperty:
+    name = stream.expect(LOWER).text
+    binders: List[str] = []
+    while stream.at(LOWER):
+        binders.append(stream.next().text)
+    stream.expect(EQUALS)
+    segments: List[Tuple[SExpr, SExpr]] = []
+    while True:
+        lhs = _parse_expression(stream)
+        stream.expect(EQUIV)
+        rhs = _parse_expression(stream)
+        segments.append((lhs, rhs))
+        if stream.at(IMPLIES):
+            stream.next()
+            continue
+        break
+    if not stream.at_end():
+        raise stream.error("trailing input after property")
+    *conditions, (lhs, rhs) = segments
+    return SProperty(
+        name=name,
+        binders=tuple(binders),
+        conditions=tuple(conditions),
+        lhs=lhs,
+        rhs=rhs,
+        line=line,
+    )
+
+
+def _parse_clause(stream: _TokenStream, line: int) -> SClause:
+    name = stream.expect(LOWER).text
+    patterns: List[SExpr] = []
+    while not stream.at(EQUALS):
+        patterns.append(_parse_pattern(stream))
+    stream.expect(EQUALS)
+    body = _parse_expression(stream)
+    if not stream.at_end():
+        raise stream.error("trailing input after function clause")
+    return SClause(name=name, patterns=tuple(patterns), body=body, line=line)
+
+
+def parse_module(source: str) -> SModule:
+    """Parse a whole module."""
+    module = SModule()
+    for line_number, text in logical_lines(source):
+        tokens = tokenize(text, line_number)
+        stream = _TokenStream(tokens)
+        first = stream.peek()
+        if first.kind == KEYWORD_DATA:
+            module.declarations.append(_parse_data(stream, line_number))
+        elif len(tokens) > 2 and tokens[1].kind == DOUBLE_COLON:
+            module.declarations.append(_parse_signature(stream, line_number))
+        elif first.kind == LOWER:
+            equals_index = next(
+                (i for i, t in enumerate(tokens) if t.kind == EQUALS), None
+            )
+            if equals_index is None:
+                raise ParseError("declaration has no '='", first.line, first.column)
+            if _contains_top_level(tokens, equals_index + 1, (EQUIV, IMPLIES)):
+                module.declarations.append(_parse_property(stream, line_number))
+            else:
+                module.declarations.append(_parse_clause(stream, line_number))
+        else:
+            raise ParseError(f"unexpected start of declaration {first.text!r}", first.line, first.column)
+    return module

@@ -1,0 +1,204 @@
+"""Programs: a signature, its rewrite rules, and named conjectures.
+
+A :class:`Program` is the unit the prover operates on — it corresponds to a
+Haskell module fed to the CycleQ GHC plugin: datatype declarations, function
+definitions (as rewrite rules), and a collection of equations the user wants
+proved.  Programs can be built programmatically, or parsed from the small
+functional surface language in :mod:`repro.lang`.
+
+The module also provides the *semantics* used for validity: enumeration of
+ground constructor terms and ground instances, and a bounded validity check
+``check_equation`` used extensively by the test suite to confirm that whatever
+the provers claim to have proved actually holds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .core.equations import Equation
+from .core.exceptions import SignatureError
+from .core.signature import Signature
+from .core.substitution import Substitution
+from .core.terms import Sym, Term, Var, apply_term
+from .core.types import DataTy, Type, TypeVar
+from .rewriting.reduction import Normalizer
+from .rewriting.trs import RewriteSystem
+
+__all__ = ["Goal", "Program", "ground_terms", "ground_instances", "check_equation"]
+
+
+@dataclass(frozen=True)
+class Goal:
+    """A named conjecture.
+
+    ``conditions`` holds the hypotheses of a conditional goal; CycleQ's proof
+    system handles unconditional equations only, so goals with conditions are
+    reported as out of scope (exactly as in the paper's evaluation).
+    """
+
+    name: str
+    equation: Equation
+    conditions: Tuple[Equation, ...] = ()
+    description: str = ""
+
+    @property
+    def is_conditional(self) -> bool:
+        """Does the goal carry hypotheses?"""
+        return bool(self.conditions)
+
+    def __str__(self) -> str:
+        if self.conditions:
+            premises = ", ".join(str(c) for c in self.conditions)
+            return f"{self.name}: {premises} ==> {self.equation}"
+        return f"{self.name}: {self.equation}"
+
+
+class Program:
+    """A functional program: signature + rewrite rules + named goals."""
+
+    def __init__(
+        self,
+        signature: Signature,
+        rules: RewriteSystem,
+        goals: Optional[Mapping[str, Goal]] = None,
+        name: str = "program",
+    ):
+        if rules.signature is not signature:
+            raise SignatureError("rewrite system must be built over the program's signature")
+        self.signature = signature
+        self.rules = rules
+        self.goals: Dict[str, Goal] = dict(goals or {})
+        self.name = name
+
+    # -- goals ---------------------------------------------------------------
+
+    def add_goal(self, goal: Goal) -> None:
+        """Register a named conjecture."""
+        self.goals[goal.name] = goal
+
+    def goal(self, name: str) -> Goal:
+        """Look up a conjecture by name."""
+        return self.goals[name]
+
+    def unconditional_goals(self) -> List[Goal]:
+        """Goals within the scope of the proof system (no hypotheses)."""
+        return [g for g in self.goals.values() if not g.is_conditional]
+
+    def conditional_goals(self) -> List[Goal]:
+        """Goals that are out of scope because they carry hypotheses."""
+        return [g for g in self.goals.values() if g.is_conditional]
+
+    # -- semantics --------------------------------------------------------------
+
+    def normalizer(self) -> Normalizer:
+        """A fresh caching normaliser for this program's rules."""
+        return Normalizer(self.rules)
+
+    def normalize(self, term: Term) -> Term:
+        """Normalise a single term (uncached; use :meth:`normalizer` in loops)."""
+        return Normalizer(self.rules).normalize(term)
+
+    # -- parsing convenience ------------------------------------------------------
+
+    def parse_term(self, source: str, env: Optional[Mapping[str, Type]] = None) -> Term:
+        """Parse a term in this program's signature (see :mod:`repro.lang`)."""
+        from .lang.loader import parse_term_in_signature
+
+        return parse_term_in_signature(source, self.signature, env or {})
+
+    def parse_equation(self, source: str, env: Optional[Mapping[str, Type]] = None) -> Equation:
+        """Parse an equation ``lhs ≈ rhs`` (also accepts ``=`` or ``==``)."""
+        from .lang.loader import parse_equation_in_signature
+
+        return parse_equation_in_signature(source, self.signature, env or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Program({self.name!r}, {len(self.rules)} rules, "
+            f"{len(self.goals)} goals)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ground semantics
+# ---------------------------------------------------------------------------
+
+
+def ground_terms(signature: Signature, ty: Type, depth: int) -> Iterator[Term]:
+    """Enumerate closed constructor terms of type ``ty`` up to the given depth.
+
+    Polymorphic type variables are instantiated as the ``Nat``-like first
+    nullary-constructor datatype available, or skipped when none exists.
+    """
+    ty = _concretise(signature, ty)
+    if not isinstance(ty, DataTy) or ty.name not in signature.datatypes:
+        return
+    if depth <= 0:
+        return
+    for con_name, arg_tys in signature.instantiate_constructors(ty):
+        if not arg_tys:
+            yield Sym(con_name)
+            continue
+        if depth == 1:
+            continue
+        argument_choices = [list(ground_terms(signature, at, depth - 1)) for at in arg_tys]
+        if any(not choice for choice in argument_choices):
+            continue
+        for combo in itertools.product(*argument_choices):
+            yield apply_term(Sym(con_name), *combo)
+
+
+def _concretise(signature: Signature, ty: Type) -> Type:
+    """Replace type variables by a small concrete datatype for enumeration."""
+    if isinstance(ty, TypeVar):
+        for name, decl in signature.datatypes.items():
+            if not decl.params and any(not c.arg_types for c in decl.constructors):
+                return DataTy(name)
+        return ty
+    if isinstance(ty, DataTy):
+        return DataTy(ty.name, tuple(_concretise(signature, a) for a in ty.args))
+    return ty
+
+
+def ground_instances(
+    signature: Signature,
+    variables: Sequence[Var],
+    depth: int,
+    limit: Optional[int] = None,
+) -> Iterator[Substitution]:
+    """Enumerate ground instances for the given variables up to a depth bound."""
+    domains: List[List[Term]] = []
+    for var in variables:
+        terms = list(ground_terms(signature, var.ty, depth))
+        if not terms:
+            return
+        domains.append(terms)
+    count = 0
+    for combo in itertools.product(*domains):
+        yield Substitution({var.name: term for var, term in zip(variables, combo)})
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def check_equation(
+    program: Program,
+    equation: Equation,
+    depth: int = 4,
+    limit: Optional[int] = 500,
+) -> bool:
+    """Bounded validity check: does the equation hold on all small ground instances?
+
+    This is the testing oracle used throughout the test suite — a sound proof
+    must never claim an equation that this check refutes.
+    """
+    normalizer = program.normalizer()
+    variables = equation.variables()
+    for instance in ground_instances(program.signature, variables, depth, limit):
+        closed = equation.apply(instance)
+        if normalizer.normalize(closed.lhs) != normalizer.normalize(closed.rhs):
+            return False
+    return True

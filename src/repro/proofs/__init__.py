@@ -1,0 +1,37 @@
+"""Cyclic preproofs, inference rules, traces, soundness checking and rendering."""
+
+from .inference import check_node, reachable_by_reduction
+from .preproof import (
+    ALL_RULES,
+    RULE_CASE,
+    RULE_CONG,
+    RULE_FUNEXT,
+    RULE_HYP,
+    RULE_REDUCE,
+    RULE_REFL,
+    RULE_SUBST,
+    Preproof,
+    ProofNode,
+)
+from .render import proof_summary, render_dot, render_text
+from .soundness import (
+    SoundnessReport,
+    check_global,
+    check_local,
+    check_proof,
+    edge_size_change_graph,
+    local_issues,
+    proof_size_change_graphs,
+)
+from .traces import TraceCheckResult, TraceStep, check_trace, variable_traces
+
+__all__ = [
+    "Preproof", "ProofNode",
+    "RULE_REFL", "RULE_REDUCE", "RULE_SUBST", "RULE_CASE", "RULE_CONG",
+    "RULE_FUNEXT", "RULE_HYP", "ALL_RULES",
+    "check_node", "reachable_by_reduction",
+    "check_trace", "variable_traces", "TraceCheckResult", "TraceStep",
+    "edge_size_change_graph", "proof_size_change_graphs",
+    "local_issues", "check_local", "check_global", "check_proof", "SoundnessReport",
+    "render_text", "render_dot", "proof_summary",
+]

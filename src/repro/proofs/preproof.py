@@ -1,0 +1,242 @@
+"""Cyclic preproofs (Definition 3.1) and partial proofs (Definition 4.3).
+
+A preproof is a finite set of vertices, each carrying an equation, the
+inference rule justifying it, and an ordered list of premise vertices.  Cycles
+arise because a premise may be *any* vertex of the proof — in particular an
+ancestor ("bud"/"companion" in the classical presentation) or even a cousin
+when it is used as the lemma of a (Subst) instance.
+
+The class below is deliberately mutable: the prover grows a preproof node by
+node and rolls additions back when a branch of the search fails.  Once search
+succeeds the structure is frozen in spirit — the checking functions in
+:mod:`repro.proofs.soundness` treat it as immutable data.
+
+Partial proofs add a set of *hypothesis* vertices (rule :data:`RULE_HYP`) that
+need no justification; they are what the translation from rewriting induction
+produces (Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..core.exceptions import ProofError
+from ..core.substitution import Substitution
+from ..core.terms import Position, Term, Var
+
+__all__ = [
+    "RULE_REFL",
+    "RULE_REDUCE",
+    "RULE_SUBST",
+    "RULE_CASE",
+    "RULE_CONG",
+    "RULE_FUNEXT",
+    "RULE_HYP",
+    "ALL_RULES",
+    "ProofNode",
+    "Preproof",
+]
+
+RULE_REFL = "Refl"
+RULE_REDUCE = "Reduce"
+RULE_SUBST = "Subst"
+RULE_CASE = "Case"
+RULE_CONG = "Cong"
+RULE_FUNEXT = "FunExt"
+RULE_HYP = "Hyp"
+
+ALL_RULES = (
+    RULE_REFL,
+    RULE_REDUCE,
+    RULE_SUBST,
+    RULE_CASE,
+    RULE_CONG,
+    RULE_FUNEXT,
+    RULE_HYP,
+)
+
+
+@dataclass
+class ProofNode:
+    """One vertex of a preproof.
+
+    ``rule`` is ``None`` while the node is still an open subgoal.  The
+    remaining fields carry rule-specific data used for local well-formedness
+    checking, size-change graph extraction and rendering:
+
+    * (Case): ``case_var`` is the variable analysed and ``case_constructors``
+      lists, per premise, the constructor that premise corresponds to.
+    * (Subst): ``premises[0]`` is the lemma vertex, ``premises[1]`` the
+      continuation; ``subst`` is θ, ``position``/``side`` locate the rewritten
+      occurrence inside the conclusion, ``lemma_flipped`` records whether the
+      lemma was used right-to-left.
+    """
+
+    ident: int
+    equation: Equation
+    rule: Optional[str] = None
+    premises: List[int] = field(default_factory=list)
+    case_var: Optional[Var] = None
+    case_constructors: Tuple[str, ...] = ()
+    subst: Optional[Substitution] = None
+    position: Optional[Position] = None
+    side: Optional[str] = None
+    lemma_flipped: bool = False
+    note: str = ""
+
+    @property
+    def is_open(self) -> bool:
+        """Is the node still an unjustified subgoal?"""
+        return self.rule is None
+
+    @property
+    def is_hypothesis(self) -> bool:
+        """Is the node a hypothesis of a partial proof?"""
+        return self.rule == RULE_HYP
+
+    def variables(self) -> Tuple[Var, ...]:
+        """The free variables of the node's equation."""
+        return self.equation.variables()
+
+    def variable_names(self) -> Tuple[str, ...]:
+        """The names of the free variables of the node's equation."""
+        return self.equation.variable_names()
+
+    def __str__(self) -> str:
+        rule = self.rule or "?"
+        return f"[{self.ident}] {self.equation}   ({rule})"
+
+
+class Preproof:
+    """A (possibly partial) cyclic preproof."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, ProofNode] = {}
+        self._next_id = 0
+        self.root: Optional[int] = None
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, equation: Equation, rule: Optional[str] = None, **data) -> ProofNode:
+        """Create a new vertex carrying ``equation`` and return it."""
+        node = ProofNode(ident=self._next_id, equation=equation, rule=rule, **data)
+        self._nodes[node.ident] = node
+        if self.root is None:
+            self.root = node.ident
+        self._next_id += 1
+        return node
+
+    def remove_node(self, ident: int) -> None:
+        """Remove a vertex (used when the prover backtracks)."""
+        self._nodes.pop(ident, None)
+        if self.root == ident:
+            self.root = None
+
+    # -- access -------------------------------------------------------------------
+
+    def node(self, ident: int) -> ProofNode:
+        """The vertex with the given identifier."""
+        try:
+            return self._nodes[ident]
+        except KeyError:
+            raise ProofError(f"no such proof vertex: {ident}") from None
+
+    def __contains__(self, ident: int) -> bool:
+        return ident in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[ProofNode]:
+        return iter(sorted(self._nodes.values(), key=lambda n: n.ident))
+
+    @property
+    def nodes(self) -> Tuple[ProofNode, ...]:
+        """All vertices ordered by identifier."""
+        return tuple(sorted(self._nodes.values(), key=lambda n: n.ident))
+
+    def open_nodes(self) -> Tuple[ProofNode, ...]:
+        """Vertices that are still unjustified subgoals."""
+        return tuple(n for n in self.nodes if n.is_open)
+
+    def hypotheses(self) -> Tuple[ProofNode, ...]:
+        """The hypothesis vertices of a partial proof."""
+        return tuple(n for n in self.nodes if n.is_hypothesis)
+
+    def is_closed(self) -> bool:
+        """Does every vertex carry a rule (no open subgoals)?"""
+        return not self.open_nodes()
+
+    def is_partial(self) -> bool:
+        """Does the proof rely on hypotheses (Definition 4.3)?"""
+        return bool(self.hypotheses())
+
+    # -- graph structure ---------------------------------------------------------------
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """All edges ``(vertex, premise_index, premise_vertex)`` of the underlying graph."""
+        for node in self.nodes:
+            for index, premise in enumerate(node.premises):
+                yield node.ident, index, premise
+
+    def successors(self, ident: int) -> Tuple[int, ...]:
+        """The premises of a vertex."""
+        return tuple(self.node(ident).premises)
+
+    def back_edge_targets(self) -> Tuple[int, ...]:
+        """The "companions" of the proof: targets of cycle-forming edges.
+
+        A premise edge ``(v, w)`` forms a cycle exactly when ``v`` is reachable
+        from ``w``; the returned vertices are the targets of such edges.
+        """
+        targets = set()
+        for source, _index, target in self.edges():
+            if target in self._nodes and source in self.reachable_from(target):
+                targets.add(target)
+        return tuple(sorted(targets))
+
+    def reachable_from(self, start: int) -> Tuple[int, ...]:
+        """All vertices reachable from ``start`` along premise edges."""
+        seen = set()
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self._nodes:
+                continue
+            seen.add(current)
+            stack.extend(self.node(current).premises)
+        return tuple(sorted(seen))
+
+    def cycles_exist(self) -> bool:
+        """Does the underlying graph contain a cycle?"""
+        colour: Dict[int, int] = {}
+
+        def visit(vertex: int) -> bool:
+            colour[vertex] = 1
+            for premise in self.node(vertex).premises:
+                if premise not in self._nodes:
+                    continue
+                state = colour.get(premise, 0)
+                if state == 1:
+                    return True
+                if state == 0 and visit(premise):
+                    return True
+            colour[vertex] = 2
+            return False
+
+        return any(visit(n.ident) for n in self.nodes if colour.get(n.ident, 0) == 0)
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def rule_counts(self) -> Dict[str, int]:
+        """How many vertices are justified by each rule."""
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            key = node.rule or "open"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Preproof({len(self)} vertices, root={self.root})"

@@ -1,0 +1,84 @@
+"""Rendering of preproofs: indented text trees and Graphviz DOT.
+
+The CycleQ plugin optionally outputs "a cyclic proof graph if successful"; this
+module provides the equivalent for the reproduction.  The text renderer follows
+the paper's presentation: the proof is shown as a tree, nodes that are the
+target of a back edge are labelled with their number (``0:``), and a premise
+that refers back to such a node is displayed as ``(0)`` without expanding it
+again (Remark 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .preproof import RULE_SUBST, Preproof, ProofNode
+
+__all__ = ["render_text", "render_dot", "proof_summary"]
+
+
+def render_text(proof: Preproof, root: Optional[int] = None) -> str:
+    """An indented, human-readable rendering of the proof tree."""
+    if root is None:
+        root = proof.root
+    if root is None:
+        return "<empty proof>"
+    companions = set(proof.back_edge_targets())
+    lines: List[str] = []
+    visited: Set[int] = set()
+
+    def visit(ident: int, depth: int) -> None:
+        node = proof.node(ident)
+        prefix = "  " * depth
+        label = f"{ident}: " if ident in companions else ""
+        rule = node.rule or "open"
+        detail = _rule_detail(node)
+        lines.append(f"{prefix}{label}{node.equation}   [{rule}{detail}]")
+        if ident in visited:
+            return
+        visited.add(ident)
+        for premise in node.premises:
+            if premise in visited and premise in companions:
+                lines.append("  " * (depth + 1) + f"({premise})")
+            else:
+                visit(premise, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def _rule_detail(node: ProofNode) -> str:
+    if node.rule == "Case" and node.case_var is not None:
+        return f" on {node.case_var.name}"
+    if node.rule == RULE_SUBST and node.premises:
+        return f" lemma {node.premises[0]}"
+    return ""
+
+
+def render_dot(proof: Preproof, name: str = "proof") -> str:
+    """A Graphviz DOT rendering of the underlying proof graph."""
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=\"monospace\"];"]
+    for node in proof.nodes:
+        rule = node.rule or "open"
+        label = f"{node.ident}: {node.equation}\\n({rule})"
+        label = label.replace('"', "'")
+        lines.append(f"  n{node.ident} [label=\"{label}\"];")
+    for source, index, target in proof.edges():
+        node = proof.node(source)
+        style = ""
+        if node.rule == RULE_SUBST and index == 0:
+            style = " [style=dashed, label=\"lemma\"]"
+        lines.append(f"  n{source} -> n{target}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def proof_summary(proof: Preproof) -> str:
+    """A one-paragraph summary: size, rule usage, companions."""
+    counts = proof.rule_counts()
+    companions = proof.back_edge_targets()
+    rules = ", ".join(f"{rule}: {count}" for rule, count in sorted(counts.items()))
+    return (
+        f"{len(proof)} vertices ({rules}); "
+        f"{len(companions)} cycle target(s): {list(companions)}"
+    )

@@ -1,0 +1,143 @@
+"""Local and global soundness of preproofs.
+
+* *Local* soundness (Corollary 3.2): every vertex must be a well-formed
+  instance of its rule — delegated to :mod:`repro.proofs.inference`.
+* *Global* soundness (Definition 3.6, Theorem 3.4): every infinite path must
+  have a suffix carrying an infinitely progressing trace.  Restricting to
+  variable traces over the substructural order, Section 5 reduces this to a
+  size-change condition (Theorem 5.2): extract a size-change graph for every
+  edge of the proof (Definition 5.3), close under composition, and require a
+  decreasing self edge of every idempotent self graph.
+
+Both a from-scratch checker (:func:`check_global`) and statistics-friendly
+entry points used by the ablation benchmarks are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.terms import Var
+from ..program import Program
+from ..sizechange.closure import IncrementalClosure, check_global_condition, closure_of, find_violation
+from ..sizechange.graph import DECREASE, NO_DECREASE, SizeChangeGraph, identity_graph
+from .inference import check_node
+from .preproof import RULE_CASE, RULE_SUBST, Preproof, ProofNode
+
+__all__ = [
+    "edge_size_change_graph",
+    "proof_size_change_graphs",
+    "local_issues",
+    "check_local",
+    "check_global",
+    "SoundnessReport",
+    "check_proof",
+]
+
+
+def edge_size_change_graph(proof: Preproof, source: int, premise_index: int) -> SizeChangeGraph:
+    """The canonical size-change graph of one edge of the proof (Definition 5.3)."""
+    node = proof.node(source)
+    target = node.premises[premise_index]
+    target_node = proof.node(target)
+    source_vars = node.equation.variable_names()
+    target_vars = target_node.equation.variable_names()
+    common = [name for name in source_vars if name in target_vars]
+
+    if node.rule == RULE_SUBST and premise_index == 0:
+        # Edge to the lemma: x ≃ y whenever theta(y) = x.
+        theta = node.subst
+        edges = []
+        if theta is not None:
+            for lemma_var in target_vars:
+                bound = theta.get(lemma_var)
+                if isinstance(bound, Var) and bound.name in source_vars:
+                    edges.append((bound.name, lemma_var, NO_DECREASE))
+        return SizeChangeGraph.make(source, target, edges)
+
+    if node.rule == RULE_CASE and node.case_var is not None:
+        case_name = node.case_var.name
+        fresh = [name for name in target_vars if name not in source_vars]
+        edges = [(case_name, name, DECREASE) for name in fresh]
+        edges.extend((name, name, NO_DECREASE) for name in common)
+        return SizeChangeGraph.make(source, target, edges)
+
+    # (Reduce), (Cong), (FunExt), (Refl) — identity on the common variables.
+    return identity_graph(source, target, common)
+
+
+def proof_size_change_graphs(proof: Preproof) -> List[SizeChangeGraph]:
+    """The size-change graphs of every edge of the proof."""
+    graphs: List[SizeChangeGraph] = []
+    for node in proof.nodes:
+        for index in range(len(node.premises)):
+            graphs.append(edge_size_change_graph(proof, node.ident, index))
+    return graphs
+
+
+def local_issues(program: Program, proof: Preproof) -> List[str]:
+    """All local well-formedness issues of the proof (empty list = locally sound)."""
+    issues: List[str] = []
+    for node in proof.nodes:
+        issues.extend(check_node(program, proof, node))
+    for source, _index, target in proof.edges():
+        if target not in proof:
+            issues.append(f"node {source}: dangling premise {target}")
+    return issues
+
+
+def check_local(program: Program, proof: Preproof) -> bool:
+    """Is every vertex a well-formed instance of its rule?"""
+    return not local_issues(program, proof)
+
+
+def check_global(proof: Preproof, incremental: bool = False) -> bool:
+    """Does the proof satisfy the global correctness condition (Theorem 5.2)?
+
+    With ``incremental=True`` the check replays the edges through an
+    :class:`IncrementalClosure`, mirroring what the prover does during search;
+    the result is identical, the flag exists for the ablation benchmarks.
+    """
+    graphs = proof_size_change_graphs(proof)
+    if incremental:
+        closure = IncrementalClosure()
+        for graph in graphs:
+            result = closure.add(graph)
+            if result.violation is not None:
+                return False
+        return True
+    return check_global_condition(graphs)
+
+
+@dataclass
+class SoundnessReport:
+    """The combined result of local and global soundness checking."""
+
+    locally_sound: bool
+    globally_sound: bool
+    closed: bool
+    issues: Tuple[str, ...] = ()
+    violation: Optional[SizeChangeGraph] = None
+
+    @property
+    def is_proof(self) -> bool:
+        """Is the preproof a genuine (total or partial) proof?"""
+        return self.locally_sound and self.globally_sound and self.closed
+
+    def __bool__(self) -> bool:
+        return self.is_proof
+
+
+def check_proof(program: Program, proof: Preproof) -> SoundnessReport:
+    """Full validation: local well-formedness, closedness, and the global condition."""
+    issues = local_issues(program, proof)
+    graphs = proof_size_change_graphs(proof)
+    violation = find_violation(closure_of(graphs))
+    return SoundnessReport(
+        locally_sound=not issues,
+        globally_sound=violation is None,
+        closed=proof.is_closed(),
+        issues=tuple(issues),
+        violation=violation,
+    )

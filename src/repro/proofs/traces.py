@@ -1,0 +1,161 @@
+"""Traces along preproof paths (Definitions 3.4–3.6).
+
+A trace assigns a term to every vertex along a path, subject to constraints
+determined by the rule applied at each vertex; a *progress point* is a strict
+decrease.  The global correctness condition demands that every infinite path
+has a suffix carrying a trace with infinitely many progress points.
+
+This module validates *explicit* traces — it is used by the test suite to check
+the hand-written traces of the paper's examples (e.g. the ``x, x', x, ...``
+trace of the commutativity proof in Fig. 4) — and can enumerate the variable
+traces of a finite path, which is how the size-change machinery of Section 5 is
+connected back to the declarative definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.substitution import Substitution
+from ..core.terms import Sym, Term, Var, apply_term
+from ..rewriting.orders import SubtermOrder, TermOrder
+from .preproof import RULE_CASE, RULE_SUBST, Preproof, ProofNode
+
+__all__ = ["TraceStep", "TraceCheckResult", "check_trace", "variable_traces"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a validated trace."""
+
+    vertex: int
+    term: Term
+    progress: bool
+
+
+@dataclass
+class TraceCheckResult:
+    """The outcome of validating an explicit trace."""
+
+    valid: bool
+    steps: Tuple[TraceStep, ...] = ()
+    progress_points: Tuple[int, ...] = ()
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def _case_instantiation(proof: Preproof, node: ProofNode, premise_id: int) -> Optional[Substitution]:
+    """The substitution ``[k x_0 ... x_n / x]`` of a (Case) premise."""
+    if node.case_var is None:
+        return None
+    index = node.premises.index(premise_id)
+    constructor = node.case_constructors[index] if node.case_constructors else None
+    if constructor is None:
+        return None
+    premise = proof.node(premise_id)
+    fresh = [v for v in premise.equation.variables() if v.name not in node.equation.variable_names()]
+    pattern = apply_term(Sym(constructor), *fresh)
+    return Substitution({node.case_var.name: pattern})
+
+
+def check_trace(
+    proof: Preproof,
+    path: Sequence[int],
+    terms: Sequence[Term],
+    order: Optional[TermOrder] = None,
+) -> TraceCheckResult:
+    """Validate that ``terms`` is a ≤-trace along ``path`` (Definition 3.5).
+
+    ``path`` must be a valid path of the preproof (each vertex a premise of the
+    previous one); ``terms`` must have the same length.  Returns the progress
+    points found.
+    """
+    order = order or SubtermOrder()
+    if len(path) != len(terms):
+        return TraceCheckResult(valid=False, reason="path and trace have different lengths")
+    steps: List[TraceStep] = []
+    progress: List[int] = []
+    for i in range(len(path) - 1):
+        vertex = path[i]
+        nxt = path[i + 1]
+        node = proof.node(vertex)
+        if nxt not in node.premises:
+            return TraceCheckResult(
+                valid=False, reason=f"{nxt} is not a premise of {vertex}: not a path"
+            )
+        current, following = terms[i], terms[i + 1]
+        ok, strict = _trace_step_ok(proof, node, nxt, current, following, order)
+        if not ok:
+            return TraceCheckResult(
+                valid=False,
+                reason=f"trace constraint violated at vertex {vertex}: {following} vs {current}",
+            )
+        steps.append(TraceStep(vertex=vertex, term=current, progress=strict))
+        if strict:
+            progress.append(i)
+    steps.append(TraceStep(vertex=path[-1], term=terms[-1], progress=False))
+    return TraceCheckResult(valid=True, steps=tuple(steps), progress_points=tuple(progress))
+
+
+def _trace_step_ok(
+    proof: Preproof,
+    node: ProofNode,
+    premise_id: int,
+    current: Term,
+    following: Term,
+    order: TermOrder,
+) -> Tuple[bool, bool]:
+    """Check one trace constraint; returns ``(satisfied, strict_decrease)``."""
+    if node.rule == RULE_CASE:
+        inst = _case_instantiation(proof, node, premise_id)
+        if inst is None:
+            return False, False
+        target = inst.apply(current)
+        if following == target:
+            return True, False
+        if order.greater(target, following):
+            return True, True
+        return False, False
+    if node.rule == RULE_SUBST and node.premises and premise_id == node.premises[0]:
+        theta = node.subst or Substitution()
+        instantiated = theta.apply(following)
+        if instantiated == current:
+            return True, False
+        if order.greater(current, instantiated):
+            return True, True
+        return False, False
+    # (Reduce), (Cong), (FunExt), the continuation of (Subst), ...
+    if following == current:
+        return True, False
+    if order.greater(current, following):
+        return True, True
+    return False, False
+
+
+def variable_traces(
+    proof: Preproof, path: Sequence[int], order: Optional[TermOrder] = None
+) -> List[TraceCheckResult]:
+    """All traces along ``path`` whose terms are single variables.
+
+    This brute-force enumeration is exponential in principle but the paths we
+    inspect in tests are short; the size-change closure is the efficient
+    representation of the same information (Lemma 5.1).
+    """
+    order = order or SubtermOrder()
+    results: List[TraceCheckResult] = []
+
+    def extend(index: int, chosen: List[Term]) -> None:
+        if index == len(path):
+            result = check_trace(proof, path, chosen, order)
+            if result:
+                results.append(result)
+            return
+        node = proof.node(path[index])
+        for var in node.equation.variables():
+            extend(index + 1, chosen + [var])
+
+    extend(0, [])
+    return results

@@ -1,0 +1,35 @@
+"""Rewriting substrate: rules, reduction, orders, critical pairs, completion."""
+
+from .completion import CompletionResult, complete
+from .critical_pairs import CriticalPair, critical_pairs, critical_pairs_between
+from .narrowing import case_candidates, demanded_variables
+from .orders import (
+    DecreasingOrder,
+    KnuthBendixOrder,
+    LexicographicPathOrder,
+    SubtermOrder,
+    TermOrder,
+    precedence_from_rules,
+)
+from .reduction import (
+    Normalizer,
+    Redex,
+    find_redex,
+    is_normal_form,
+    normalize,
+    one_step,
+    reducts,
+)
+from .rules import RewriteRule, is_constructor_pattern, rule_head
+from .trs import CompletenessReport, RewriteSystem
+
+__all__ = [
+    "RewriteRule", "is_constructor_pattern", "rule_head",
+    "RewriteSystem", "CompletenessReport",
+    "Redex", "find_redex", "one_step", "reducts", "is_normal_form", "normalize", "Normalizer",
+    "demanded_variables", "case_candidates",
+    "TermOrder", "SubtermOrder", "LexicographicPathOrder", "KnuthBendixOrder",
+    "DecreasingOrder", "precedence_from_rules",
+    "CriticalPair", "critical_pairs", "critical_pairs_between",
+    "CompletionResult", "complete",
+]

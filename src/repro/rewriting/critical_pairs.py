@@ -1,0 +1,93 @@
+"""Critical pairs between rewrite rules.
+
+A critical pair arises when the left-hand side of one rule unifies with a
+non-variable subterm of the left-hand side of another (after renaming apart);
+the two possible contractions of the resulting overlap give a pair of terms
+that must be joinable for the system to be (locally) confluent.
+
+Critical pairs feed two consumers:
+
+* :meth:`RewriteSystem.is_orthogonal` — functional programs have none (apart
+  from trivial root overlaps of identical rules), which implies confluence;
+* the Knuth–Bendix completion procedure in :mod:`repro.rewriting.completion`,
+  which is the engine behind classical "inductionless induction".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.matching import unify_or_none
+from ..core.substitution import Substitution
+from ..core.terms import Position, Term, Var, positions, replace_at
+from .rules import RewriteRule
+from .trs import RewriteSystem
+
+__all__ = ["CriticalPair", "critical_pairs", "critical_pairs_between"]
+
+
+@dataclass(frozen=True)
+class CriticalPair:
+    """A critical pair ``(left, right)`` obtained from an overlap.
+
+    ``position`` is the overlap position inside the outer rule's left-hand
+    side and ``inner``/``outer`` record the participating rules (after the
+    renaming used to keep their variables apart).
+    """
+
+    left: Term
+    right: Term
+    position: Position
+    outer: RewriteRule
+    inner: RewriteRule
+
+    def __str__(self) -> str:
+        return f"<{self.left}, {self.right}>"
+
+    def is_trivial(self) -> bool:
+        """Is the pair syntactically equal (hence trivially joinable)?"""
+        return self.left == self.right
+
+
+def critical_pairs_between(outer: RewriteRule, inner: RewriteRule) -> Iterator[CriticalPair]:
+    """All critical pairs of ``inner`` overlapping into ``outer``.
+
+    The rules are renamed apart internally; the root overlap of a rule with
+    itself is skipped (it is always trivial).
+    """
+    outer_renamed = outer.rename("#o")
+    inner_renamed = inner.rename("#i")
+    same_rule = outer == inner
+    for position, sub in positions(outer_renamed.lhs):
+        if isinstance(sub, Var):
+            continue
+        if same_rule and position == ():
+            continue
+        unifier = unify_or_none(sub, inner_renamed.lhs)
+        if unifier is None:
+            continue
+        overlapped = unifier.apply(outer_renamed.lhs)
+        reduced_outer = unifier.apply(outer_renamed.rhs)
+        reduced_inner = replace_at(
+            unifier.apply(outer_renamed.lhs), position, unifier.apply(inner_renamed.rhs)
+        )
+        yield CriticalPair(
+            left=reduced_outer,
+            right=reduced_inner,
+            position=position,
+            outer=outer_renamed,
+            inner=inner_renamed,
+        )
+
+
+def critical_pairs(system: RewriteSystem, include_trivial: bool = False) -> List[CriticalPair]:
+    """All (non-trivial by default) critical pairs of a rewrite system."""
+    pairs: List[CriticalPair] = []
+    rules = system.rules
+    for outer in rules:
+        for inner in rules:
+            for pair in critical_pairs_between(outer, inner):
+                if include_trivial or not pair.is_trivial():
+                    pairs.append(pair)
+    return pairs

@@ -1,0 +1,99 @@
+"""Demanded-variable analysis (needed-narrowing style case selection).
+
+The paper's proof search applies (Case) to "a variable preventing further
+(non-strict) reduction, much like needed narrowing" (Section 6).  This module
+computes those variables: for every stuck call ``f a_0 ... a_n`` it inspects
+the defining rules of ``f`` and collects the variables sitting at argument
+positions where some rule demands a constructor.  Stuck calls nested inside
+pattern positions are analysed recursively, so that e.g. in
+``take (minus (len ys) Z) ...`` the variable ``ys`` is discovered via the
+stuck inner call ``len ys``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.matching import match_or_none
+from ..core.terms import App, Sym, Term, Var, spine
+from ..core.types import DataTy
+from .trs import RewriteSystem
+
+__all__ = ["demanded_variables", "case_candidates"]
+
+
+def demanded_variables(system: RewriteSystem, term: Term) -> Tuple[Var, ...]:
+    """The variables of ``term`` whose instantiation could enable a reduction.
+
+    The result preserves the outermost-needed-first order in which variables
+    are discovered and contains no duplicates.  Only variables are returned;
+    filtering to datatype-typed variables is left to :func:`case_candidates`.
+    """
+    demanded: Dict[Var, None] = {}
+    walked: set = set()
+
+    def walk(t: Term) -> None:
+        # Memoise on the term itself: nested stuck calls are reachable both via
+        # the generic traversal and via the blocking analysis of every rule, and
+        # without the cut-off the traversal is exponential in the nesting depth.
+        if t in walked:
+            return
+        walked.add(t)
+        head, args = spine(t)
+        if isinstance(head, Sym) and system.signature.is_defined(head.name):
+            rules = system.rules_for(head.name)
+            if rules and not _reducible_at_root(system, t):
+                for rule in rules:
+                    patterns = rule.patterns
+                    if len(patterns) > len(args):
+                        continue  # partially applied: cannot reduce here anyway
+                    for pattern, arg in zip(patterns, args):
+                        _blocking(pattern, arg)
+        for arg in args:
+            walk(arg)
+
+    def _blocking(pattern: Term, actual: Term) -> None:
+        if isinstance(pattern, Var):
+            return
+        if isinstance(actual, Var):
+            demanded.setdefault(actual, None)
+            return
+        pattern_head, pattern_args = spine(pattern)
+        actual_head, actual_args = spine(actual)
+        if isinstance(actual_head, Sym) and system.signature.is_constructor(actual_head.name):
+            if isinstance(pattern_head, Sym) and pattern_head.name == actual_head.name:
+                for sub_pattern, sub_actual in zip(pattern_args, actual_args):
+                    _blocking(sub_pattern, sub_actual)
+            # Different constructors: this rule can never fire, nothing demanded.
+            return
+        # The actual argument is itself a (stuck) call: what it demands, we demand.
+        walk(actual)
+
+    walk(term)
+    return tuple(demanded)
+
+
+def _reducible_at_root(system: RewriteSystem, term: Term) -> bool:
+    head, _ = spine(term)
+    if not isinstance(head, Sym):
+        return False
+    return any(match_or_none(rule.lhs, term) is not None for rule in system.rules_for(head.name))
+
+
+def case_candidates(system: RewriteSystem, *terms: Term) -> Tuple[Var, ...]:
+    """Demanded variables of several terms that are eligible for (Case).
+
+    A variable is eligible when its type is a declared datatype (we cannot case
+    split on function-typed or polymorphic variables).  The order interleaves
+    the terms left to right, preserving each term's needed-first order.
+    """
+    seen: Dict[Var, None] = {}
+    for term in terms:
+        for var in demanded_variables(system, term):
+            seen.setdefault(var, None)
+    eligible: List[Var] = []
+    for var in seen:
+        ty = var.ty
+        if isinstance(ty, DataTy) and ty.name in system.signature.datatypes:
+            eligible.append(var)
+    return tuple(eligible)

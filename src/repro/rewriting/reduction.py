@@ -1,0 +1,159 @@
+"""Reduction: one-step rewriting and normalisation.
+
+The one-step relation is the contextual closure of the rules: ``C[M theta] ->_R
+C[N theta]`` whenever ``M -> N`` is a rule.  Normalisation uses the
+leftmost-outermost strategy, which is normalising for the orthogonal systems
+produced by functional programs, and is what the paper's (Reduce) rule and the
+semantics of equations (``M alpha ↓_R``) rely on.
+
+A :class:`Normalizer` caches normal forms — proof search normalises the same
+subgoals repeatedly, and the cache is shared across a whole proof attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import RewriteError
+from ..core.matching import match_or_none
+from ..core.substitution import Substitution
+from ..core.terms import App, Position, Sym, Term, Var, positions, replace_at, spine, subterm_at
+from .rules import RewriteRule
+from .trs import RewriteSystem
+
+__all__ = ["Redex", "find_redex", "one_step", "reducts", "is_normal_form", "normalize", "Normalizer"]
+
+DEFAULT_MAX_STEPS = 10_000
+
+
+@dataclass(frozen=True)
+class Redex:
+    """A redex: the position, the rule that applies there, and the matcher."""
+
+    position: Position
+    rule: RewriteRule
+    subst: Substitution
+
+
+def _match_rules(system: RewriteSystem, sub: Term) -> Optional[Tuple[RewriteRule, Substitution]]:
+    """Find the first rule whose left-hand side matches ``sub``."""
+    head, _args = spine(sub)
+    if not isinstance(head, Sym):
+        return None
+    for rule in system.rules_for(head.name):
+        theta = match_or_none(rule.lhs, sub)
+        if theta is not None:
+            return rule, theta
+    return None
+
+
+def find_redex(system: RewriteSystem, term: Term) -> Optional[Redex]:
+    """The leftmost-outermost redex of ``term``, if any."""
+    for position, sub in positions(term):
+        found = _match_rules(system, sub)
+        if found is not None:
+            rule, theta = found
+            return Redex(position, rule, theta)
+    return None
+
+
+def one_step(system: RewriteSystem, term: Term) -> Optional[Term]:
+    """Perform one leftmost-outermost reduction step, or ``None`` if in normal form."""
+    redex = find_redex(system, term)
+    if redex is None:
+        return None
+    return replace_at(term, redex.position, redex.subst.apply(redex.rule.rhs))
+
+
+def reducts(system: RewriteSystem, term: Term) -> Iterator[Term]:
+    """All one-step reducts of ``term`` (every redex, every applicable rule)."""
+    for position, sub in positions(term):
+        head, _ = spine(sub)
+        if not isinstance(head, Sym):
+            continue
+        for rule in system.rules_for(head.name):
+            theta = match_or_none(rule.lhs, sub)
+            if theta is not None:
+                yield replace_at(term, position, theta.apply(rule.rhs))
+
+
+def is_normal_form(system: RewriteSystem, term: Term) -> bool:
+    """Is ``term`` in normal form with respect to the system?"""
+    return find_redex(system, term) is None
+
+
+def normalize(system: RewriteSystem, term: Term, max_steps: int = DEFAULT_MAX_STEPS) -> Term:
+    """The normal form of ``term`` (leftmost-outermost, bounded by ``max_steps``).
+
+    Raises :class:`RewriteError` when the step budget is exhausted, which in
+    practice signals a non-terminating definition (outside the paper's standing
+    assumptions).
+    """
+    current = term
+    for _ in range(max_steps):
+        next_term = one_step(system, current)
+        if next_term is None:
+            return current
+        current = next_term
+    raise RewriteError(f"normalisation of {term} exceeded {max_steps} steps")
+
+
+class Normalizer:
+    """A normalisation engine with a normal-form cache.
+
+    The cache maps subterms already seen to their normal forms, which makes the
+    repeated normalisation performed by proof search cheap.  The cache is only
+    sound for a fixed rewrite system; create a new instance when rules change
+    (e.g. during Knuth-Bendix completion or rewriting induction).
+    """
+
+    def __init__(self, system: RewriteSystem, max_steps: int = DEFAULT_MAX_STEPS):
+        self.system = system
+        self.max_steps = max_steps
+        self._cache: Dict[Term, Term] = {}
+        self.steps_taken = 0
+
+    def normalize(self, term: Term) -> Term:
+        """The cached normal form of ``term``."""
+        cached = self._cache.get(term)
+        if cached is not None:
+            return cached
+        result = self._normalize_uncached(term)
+        self._cache[term] = result
+        return result
+
+    def __call__(self, term: Term) -> Term:
+        return self.normalize(term)
+
+    def _normalize_uncached(self, term: Term) -> Term:
+        # Normalise arguments first through the cache, then reduce at the root
+        # until stuck; this keeps the cache effective for shared subterms while
+        # agreeing with the leftmost-outermost normal form on confluent systems.
+        current = term
+        for _ in range(self.max_steps):
+            current = self._normalize_children(current)
+            found = _match_rules(self.system, current)
+            if found is None:
+                return current
+            rule, theta = found
+            current = theta.apply(rule.rhs)
+            self.steps_taken += 1
+        raise RewriteError(f"normalisation of {term} exceeded {self.max_steps} steps")
+
+    def _normalize_children(self, term: Term) -> Term:
+        if isinstance(term, App):
+            fun = self.normalize(term.fun)
+            arg = self.normalize(term.arg)
+            if fun is term.fun and arg is term.arg:
+                return term
+            return App(fun, arg)
+        return term
+
+    def cache_size(self) -> int:
+        """The number of cached normal forms."""
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Empty the cache."""
+        self._cache.clear()

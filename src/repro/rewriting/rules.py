@@ -1,0 +1,116 @@
+"""Rewrite rules.
+
+A rewrite rule ``M -> N`` (paper, Section 2) requires ``M`` to be of the form
+``f M_0 ... M_n`` where ``f`` is a defined function symbol and the ``M_i``
+contain no defined function symbols (i.e. they are constructor patterns over
+variables), and both sides to be of the same datatype.  Functional programs
+elaborate into exactly this shape: one rule per clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..core.exceptions import RewriteError
+from ..core.signature import Signature
+from ..core.substitution import Substitution
+from ..core.terms import App, Sym, Term, Var, free_vars, spine, subterms
+
+__all__ = ["RewriteRule", "is_constructor_pattern", "rule_head"]
+
+
+def is_constructor_pattern(term: Term, signature: Signature) -> bool:
+    """Does ``term`` consist only of constructors and variables?"""
+    for sub in subterms(term):
+        if isinstance(sub, Sym) and not signature.is_constructor(sub.name):
+            return False
+    return True
+
+
+def rule_head(lhs: Term) -> str:
+    """The defined function symbol heading a rule's left-hand side."""
+    head_term, _ = spine(lhs)
+    if not isinstance(head_term, Sym):
+        raise RewriteError(f"rule head is not a function symbol: {lhs}")
+    return head_term.name
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """A rewrite rule ``lhs -> rhs``."""
+
+    lhs: Term
+    rhs: Term
+
+    __slots__ = ("lhs", "rhs")
+
+    def __str__(self) -> str:
+        return f"{self.lhs} -> {self.rhs}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RewriteRule({self.lhs!r}, {self.rhs!r})"
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def head(self) -> str:
+        """The defined symbol at the head of the left-hand side."""
+        return rule_head(self.lhs)
+
+    @property
+    def patterns(self) -> Tuple[Term, ...]:
+        """The argument patterns of the left-hand side."""
+        return spine(self.lhs)[1]
+
+    def variables(self) -> Tuple[Var, ...]:
+        """The variables of the rule (all occur in the left-hand side)."""
+        return free_vars(self.lhs)
+
+    def is_left_linear(self) -> bool:
+        """Does every variable occur at most once in the left-hand side?"""
+        names = [v.name for v in _all_var_occurrences(self.lhs)]
+        return len(names) == len(set(names))
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self, signature: Signature) -> None:
+        """Check the well-formedness conditions of Section 2.
+
+        Raises :class:`RewriteError` when the rule is malformed.
+        """
+        head_term, args = spine(self.lhs)
+        if not isinstance(head_term, Sym) or not signature.is_defined(head_term.name):
+            raise RewriteError(
+                f"left-hand side of {self} must be headed by a defined function symbol"
+            )
+        for arg in args:
+            if not is_constructor_pattern(arg, signature):
+                raise RewriteError(
+                    f"argument pattern {arg} of {self} contains a defined function symbol"
+                )
+        lhs_vars = {v.name for v in free_vars(self.lhs)}
+        for var in free_vars(self.rhs):
+            if var.name not in lhs_vars:
+                raise RewriteError(
+                    f"right-hand side of {self} mentions unbound variable {var.name}"
+                )
+        for sub in subterms(self.rhs):
+            if isinstance(sub, Sym) and not signature.is_declared(sub.name):
+                raise RewriteError(f"right-hand side of {self} mentions unknown symbol {sub}")
+
+    # -- use --------------------------------------------------------------------
+
+    def rename(self, suffix: str) -> "RewriteRule":
+        """Rename all variables by appending ``suffix`` (used to rename apart)."""
+        mapping = {v.name: Var(v.name + suffix, v.ty) for v in free_vars(self.lhs)}
+        subst = Substitution({name: var for name, var in mapping.items()})
+        return RewriteRule(subst.apply(self.lhs), subst.apply(self.rhs))
+
+
+def _all_var_occurrences(term: Term) -> Iterator[Var]:
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, App):
+        yield from _all_var_occurrences(term.fun)
+        yield from _all_var_occurrences(term.arg)

@@ -1,0 +1,11 @@
+"""The CycleQ proof-search engine."""
+
+from .config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
+from .prover import Prover, prove, prove_goal
+from .result import ProofResult, SearchStatistics
+
+__all__ = [
+    "Prover", "prove", "prove_goal",
+    "ProverConfig", "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE",
+    "ProofResult", "SearchStatistics",
+]

@@ -1,0 +1,77 @@
+"""Configuration of the CycleQ proof-search algorithm.
+
+The defaults correspond to the strategy described in Section 6 of the paper:
+bounded depth-first search, lemmas restricted to (Case)-justified nodes
+(Section 5.1), and incremental size-change soundness checking (Section 5.2).
+The remaining knobs exist for the ablation experiments in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["ProverConfig", "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE"]
+
+LEMMAS_CASE_ONLY = "case-only"
+"""Only (Case)-justified nodes may serve as lemmas — the paper's restriction."""
+
+LEMMAS_ALL = "all"
+"""Every justified node may serve as a lemma (ablation; much larger search space)."""
+
+LEMMAS_NONE = "none"
+"""Disable the (Subst) rule entirely (ablation; no cycles can be formed)."""
+
+
+@dataclass(frozen=True)
+class ProverConfig:
+    """Tunable parameters of the proof search."""
+
+    max_depth: int = 14
+    """Maximum number of (Subst)/(Case) applications along a single branch."""
+
+    max_case_splits: int = 5
+    """Maximum number of (Case) applications along a single branch."""
+
+    max_nodes: int = 4000
+    """Total vertex budget for one proof attempt."""
+
+    max_subst_applications_per_goal: int = 24
+    """How many candidate (Subst) instances are tried for a single subgoal."""
+
+    max_goal_size: int = 300
+    """Maximum size (in term nodes) of a subgoal created by (Subst).
+
+    Rewriting with a lemma can grow the goal; continuations larger than this
+    bound are not explored, which keeps the failing branches of the search from
+    chasing ever larger terms."""
+
+    lemma_restriction: str = LEMMAS_CASE_ONLY
+    """Which nodes are eligible lemmas: ``case-only`` (paper), ``all``, or ``none``."""
+
+    incremental_soundness: bool = True
+    """Maintain the size-change closure incrementally (Section 5.2).
+
+    When ``False`` the global condition is recomputed from scratch every time a
+    potentially cycle-forming edge is added — the strategy the paper identifies
+    as a bottleneck in Cyclist-style provers."""
+
+    use_congruence: bool = True
+    """Apply constructor decomposition eagerly (Section 6)."""
+
+    use_funext: bool = True
+    """Apply function extensionality to goals of arrow type (Section 6)."""
+
+    timeout: Optional[float] = 5.0
+    """Wall-clock budget in seconds for one proof attempt (``None`` = unlimited)."""
+
+    def with_(self, **changes) -> "ProverConfig":
+        """A copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        if self.lemma_restriction not in (LEMMAS_CASE_ONLY, LEMMAS_ALL, LEMMAS_NONE):
+            raise ValueError(f"unknown lemma restriction {self.lemma_restriction!r}")
+        if self.max_depth < 1 or self.max_nodes < 1:
+            raise ValueError("search bounds must be positive")

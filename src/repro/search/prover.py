@@ -1,0 +1,546 @@
+"""The CycleQ prover: goal-directed cyclic proof search (Section 6).
+
+The prover performs a bounded depth-first search with the rule priority of the
+paper: reduction, reflexivity, congruence (constructor decomposition), function
+extensionality, substitution, case analysis.  The first four always simplify
+the goal and are applied eagerly without backtracking; (Subst) and (Case) are
+backtracking choice points.
+
+Cycle formation is mediated by (Subst) used as a matching function: the lemma
+of every (Subst) instance is an *existing node of the proof under
+construction*, restricted by default to (Case)-justified nodes (the redundancy
+eliminations of Section 5.1).  Global correctness is enforced during the search
+by annotating every edge with its size-change graph and maintaining the closure
+incrementally (Section 5.2): the moment a newly formed cycle admits no
+infinitely progressing variable trace, the branch is pruned.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.equations import Equation
+from ..core.matching import match_or_none
+from ..core.substitution import Substitution
+from ..core.terms import (
+    App,
+    FreshNameSupply,
+    Position,
+    Sym,
+    Term,
+    Var,
+    apply_term,
+    free_vars,
+    positions,
+    replace_at,
+    spine,
+    term_size,
+)
+from ..core.types import DataTy, FunTy
+from ..program import Goal, Program
+from ..proofs.preproof import (
+    RULE_CASE,
+    RULE_CONG,
+    RULE_FUNEXT,
+    RULE_HYP,
+    RULE_REDUCE,
+    RULE_REFL,
+    RULE_SUBST,
+    Preproof,
+    ProofNode,
+)
+from ..proofs.soundness import edge_size_change_graph, proof_size_change_graphs
+from ..rewriting.narrowing import case_candidates
+from ..rewriting.reduction import Normalizer
+from ..sizechange.closure import IncrementalClosure, check_global_condition
+from .config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
+from .result import ProofResult, SearchStatistics
+
+__all__ = ["Prover", "prove", "prove_goal"]
+
+
+class _Budget(Exception):
+    """Raised internally when the node or time budget is exhausted."""
+
+
+class Prover:
+    """A reusable prover bound to one program and one configuration."""
+
+    def __init__(self, program: Program, config: Optional[ProverConfig] = None):
+        self.program = program
+        self.config = config or ProverConfig()
+        self.config.validate()
+
+    # -- public API ----------------------------------------------------------
+
+    def prove(
+        self,
+        equation: Equation,
+        goal_name: str = "",
+        hypotheses: Sequence[Equation] = (),
+    ) -> ProofResult:
+        """Attempt to prove a single (unconditional) equation.
+
+        ``hypotheses`` are externally supplied lemmas (e.g. produced by a theory
+        exploration tool, a human hint, or the rewriting-induction translation
+        of Section 4).  They become unjustified hypothesis vertices of the
+        preproof — the result is then a *partial* proof in the sense of
+        Definition 4.3 — and are eligible as (Subst) lemmas.
+        """
+        attempt = _ProofAttempt(self.program, self.config)
+        return attempt.run(equation, goal_name, hypotheses=hypotheses)
+
+    def prove_goal(self, goal: Goal, hypotheses: Sequence[Equation] = ()) -> ProofResult:
+        """Attempt to prove a named goal; conditional goals fail as out of scope."""
+        if goal.is_conditional:
+            return ProofResult(
+                proved=False,
+                equation=goal.equation,
+                reason="conditional goal: out of scope for the unconditional proof system",
+                goal_name=goal.name,
+            )
+        return self.prove(goal.equation, goal_name=goal.name, hypotheses=hypotheses)
+
+
+def prove(program: Program, equation: Equation, config: Optional[ProverConfig] = None) -> ProofResult:
+    """Convenience wrapper: prove one equation over ``program``."""
+    return Prover(program, config).prove(equation)
+
+
+def prove_goal(program: Program, goal: Goal, config: Optional[ProverConfig] = None) -> ProofResult:
+    """Convenience wrapper: prove one named goal over ``program``."""
+    return Prover(program, config).prove_goal(goal)
+
+
+class _ProofAttempt:
+    """The mutable state of a single proof attempt."""
+
+    def __init__(self, program: Program, config: ProverConfig):
+        self.program = program
+        self.config = config
+        self.proof = Preproof()
+        self.closure = IncrementalClosure()
+        self.normalizer = Normalizer(program.rules)
+        self.fresh = FreshNameSupply()
+        self.stats = SearchStatistics()
+        self.trail: List[Tuple] = []
+        self.deadline: Optional[float] = None
+
+    # -- entry point -----------------------------------------------------------
+
+    def run(
+        self,
+        equation: Equation,
+        goal_name: str = "",
+        hypotheses: Sequence[Equation] = (),
+    ) -> ProofResult:
+        start = time.perf_counter()
+        if self.config.timeout is not None:
+            self.deadline = start + self.config.timeout
+        self.fresh.reserve(equation.variable_names())
+        reason = ""
+        try:
+            for hypothesis in hypotheses:
+                node = self._add_node(hypothesis)
+                self._assign(node, RULE_HYP)
+            premise, work = self._add_goal(equation)
+            self.proof.root = premise
+            proved = self._solve(work, depth=0, case_depth=0, path_goals=frozenset())
+        except _Budget as budget:
+            proved = False
+            reason = str(budget) or "search budget exhausted"
+        self.stats.elapsed_seconds = time.perf_counter() - start
+        self.stats.closure_compositions = self.closure.compositions_performed
+        if proved:
+            return ProofResult(
+                proved=True,
+                equation=equation,
+                proof=self.proof,
+                statistics=self.stats,
+                goal_name=goal_name,
+            )
+        return ProofResult(
+            proved=False,
+            equation=equation,
+            proof=None,
+            statistics=self.stats,
+            reason=reason or "no proof found within the search bounds",
+            goal_name=goal_name,
+        )
+
+    # -- budget ------------------------------------------------------------------
+
+    def _check_budget(self) -> None:
+        if self.stats.nodes_created > self.config.max_nodes:
+            raise _Budget(f"node budget of {self.config.max_nodes} exhausted")
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise _Budget(f"timeout of {self.config.timeout}s exceeded")
+
+    # -- trail (chronological backtracking) -----------------------------------------
+
+    def _mark(self) -> int:
+        return len(self.trail)
+
+    def _rollback(self, mark: int) -> None:
+        while len(self.trail) > mark:
+            kind, payload = self.trail.pop()
+            if kind == "node":
+                self.proof.remove_node(payload)
+            elif kind == "closure":
+                self.closure.remove(payload)
+            elif kind == "assign":
+                node = self.proof.node(payload)
+                node.rule = None
+                node.premises = []
+                node.case_var = None
+                node.case_constructors = ()
+                node.subst = None
+                node.position = None
+                node.side = None
+                node.lemma_flipped = False
+
+    # -- node and edge management -----------------------------------------------------
+
+    def _normalize_equation(self, equation: Equation) -> Equation:
+        return Equation(
+            self.normalizer.normalize(equation.lhs),
+            self.normalizer.normalize(equation.rhs),
+        )
+
+    def _add_node(self, equation: Equation) -> ProofNode:
+        self._check_budget()
+        node = self.proof.add_node(equation)
+        self.stats.nodes_created += 1
+        self.trail.append(("node", node.ident))
+        self.fresh.reserve(equation.variable_names())
+        return node
+
+    def _add_goal(self, equation: Equation) -> Tuple[int, int]:
+        """Create nodes for a new subgoal.
+
+        Returns ``(premise_id, work_id)``: the vertex the parent should use as
+        its premise, and the vertex carrying the normalised equation the search
+        should continue on.  When normalisation changes the equation an
+        explicit (Reduce) vertex is interposed, exactly as in the formal system
+        (the paper merely omits such vertices when *displaying* proofs).
+        """
+        node = self._add_node(equation)
+        normalized = self._normalize_equation(equation)
+        if normalized == equation:
+            return node.ident, node.ident
+        child = self._add_node(normalized)
+        self._assign(node, RULE_REDUCE, premises=[child.ident])
+        if not self._add_edges(node):
+            # Identity edges cannot invalidate the proof; defensive only.
+            raise _Budget("soundness violation on a reduction edge")
+        return node.ident, child.ident
+
+    def _assign(self, node: ProofNode, rule: str, premises: Sequence[int] = (), **data) -> None:
+        node.rule = rule
+        node.premises = list(premises)
+        for key, value in data.items():
+            setattr(node, key, value)
+        self.trail.append(("assign", node.ident))
+
+    def _add_edges(self, node: ProofNode) -> bool:
+        """Register the size-change graphs of all edges out of ``node``.
+
+        Returns ``False`` (after recording nothing further) when a newly closed
+        cycle violates the global condition; the caller is expected to roll the
+        whole alternative back.
+        """
+        self.stats.soundness_checks += 1
+        if self.config.incremental_soundness:
+            for index in range(len(node.premises)):
+                graph = edge_size_change_graph(self.proof, node.ident, index)
+                result = self.closure.add(graph)
+                self.trail.append(("closure", result.added))
+                if result.violation is not None:
+                    self.stats.soundness_violations += 1
+                    return False
+            return True
+        # Naive mode (ablation): rebuild all edge graphs and recheck from scratch.
+        graphs = proof_size_change_graphs(self.proof)
+        if not check_global_condition(graphs):
+            self.stats.soundness_violations += 1
+            return False
+        return True
+
+    # -- the search ----------------------------------------------------------------------
+
+    def _solve(self, node_id: int, depth: int, case_depth: int, path_goals: frozenset) -> bool:
+        self._check_budget()
+        self.stats.max_depth_reached = max(self.stats.max_depth_reached, depth)
+        node = self.proof.node(node_id)
+        equation = node.equation
+
+        # (Refl)
+        if equation.is_trivial():
+            self._assign(node, RULE_REFL)
+            return True
+
+        lhs_head, lhs_args = spine(equation.lhs)
+        rhs_head, rhs_args = spine(equation.rhs)
+        lhs_is_con = isinstance(lhs_head, Sym) and self.program.signature.is_constructor(lhs_head.name)
+        rhs_is_con = isinstance(rhs_head, Sym) and self.program.signature.is_constructor(rhs_head.name)
+
+        # Distinct constructors can never be equal: the branch is hopeless.
+        if lhs_is_con and rhs_is_con and lhs_head.name != rhs_head.name:
+            return False
+
+        # (Cong) — constructor decomposition, applied eagerly without backtracking.
+        if (
+            self.config.use_congruence
+            and lhs_is_con
+            and rhs_is_con
+            and lhs_head.name == rhs_head.name
+            and len(lhs_args) == len(rhs_args)
+            and lhs_args
+        ):
+            return self._apply_congruence(node, lhs_args, rhs_args, depth, case_depth, path_goals)
+
+        # (FunExt) — goals of arrow type are applied to a fresh variable.
+        if self.config.use_funext:
+            goal_type = self._goal_type(equation)
+            if isinstance(goal_type, FunTy):
+                return self._apply_funext(node, goal_type, depth, case_depth, path_goals)
+
+        if depth >= self.config.max_depth:
+            return False
+        if equation in path_goals:
+            return False
+        extended_path = path_goals | {equation}
+
+        # (Subst) — cycle formation through existing nodes of the proof.
+        if self.config.lemma_restriction != LEMMAS_NONE:
+            if self._apply_subst(node, depth, case_depth, extended_path):
+                return True
+
+        # (Case) — analysis of a variable blocking reduction.
+        if case_depth < self.config.max_case_splits:
+            if self._apply_case(node, depth, case_depth, extended_path):
+                return True
+
+        return False
+
+    # -- eager rules -------------------------------------------------------------------------
+
+    def _apply_congruence(
+        self,
+        node: ProofNode,
+        lhs_args: Tuple[Term, ...],
+        rhs_args: Tuple[Term, ...],
+        depth: int,
+        case_depth: int,
+        path_goals: frozenset,
+    ) -> bool:
+        mark = self._mark()
+        self.stats.congruence_steps += 1
+        premise_ids: List[int] = []
+        work_ids: List[int] = []
+        for left, right in zip(lhs_args, rhs_args):
+            premise, work = self._add_goal(Equation(left, right))
+            premise_ids.append(premise)
+            work_ids.append(work)
+        self._assign(node, RULE_CONG, premises=premise_ids)
+        if not self._add_edges(node):
+            self._rollback(mark)
+            return False
+        for work in work_ids:
+            if not self._solve(work, depth, case_depth, path_goals):
+                self._rollback(mark)
+                return False
+        return True
+
+    def _apply_funext(
+        self,
+        node: ProofNode,
+        goal_type: FunTy,
+        depth: int,
+        case_depth: int,
+        path_goals: frozenset,
+    ) -> bool:
+        mark = self._mark()
+        self.stats.funext_steps += 1
+        fresh_var = Var(self.fresh.fresh("v"), goal_type.arg)
+        extended = Equation(App(node.equation.lhs, fresh_var), App(node.equation.rhs, fresh_var))
+        premise, work = self._add_goal(extended)
+        self._assign(node, RULE_FUNEXT, premises=[premise])
+        if not self._add_edges(node):
+            self._rollback(mark)
+            return False
+        if self._solve(work, depth, case_depth, path_goals):
+            return True
+        self._rollback(mark)
+        return False
+
+    def _goal_type(self, equation: Equation):
+        try:
+            return self.program.signature.infer_type(equation.lhs)
+        except Exception:
+            return None
+
+    # -- (Subst) ---------------------------------------------------------------------------------
+
+    def _lemma_candidates(self, current: int) -> List[ProofNode]:
+        restriction = self.config.lemma_restriction
+        candidates: List[ProofNode] = []
+        for candidate in self.proof.nodes:
+            if candidate.ident == current or candidate.is_open:
+                continue
+            if candidate.rule == RULE_HYP:
+                # Externally supplied lemmas are always eligible.
+                candidates.append(candidate)
+                continue
+            if restriction == LEMMAS_CASE_ONLY and candidate.rule != RULE_CASE:
+                continue
+            if restriction == LEMMAS_ALL and candidate.rule in (RULE_REFL,):
+                continue
+            if candidate.equation.is_trivial():
+                continue
+            candidates.append(candidate)
+        # Most recent first: the nearest enclosing case split is the most
+        # likely induction hypothesis.
+        candidates.sort(key=lambda n: n.ident, reverse=True)
+        return candidates
+
+    def _apply_subst(self, node: ProofNode, depth: int, case_depth: int, path_goals: frozenset) -> bool:
+        equation = node.equation
+        attempts = 0
+        for lemma_node in self._lemma_candidates(node.ident):
+            self._check_budget()
+            lemma = lemma_node.equation
+            orientations = (
+                (lemma.lhs, lemma.rhs, False),
+                (lemma.rhs, lemma.lhs, True),
+            )
+            for lemma_from, lemma_to, flipped in orientations:
+                if isinstance(lemma_from, Var):
+                    continue
+                missing = {
+                    v.name for v in free_vars(lemma_to)
+                } - {v.name for v in free_vars(lemma_from)}
+                if missing:
+                    continue
+                for side_name in ("lhs", "rhs"):
+                    self._check_budget()
+                    goal_side = getattr(equation, side_name)
+                    other_side = equation.rhs if side_name == "lhs" else equation.lhs
+                    for position, sub in positions(goal_side):
+                        if isinstance(sub, Var):
+                            continue
+                        theta = match_or_none(lemma_from, sub)
+                        if theta is None:
+                            continue
+                        attempts += 1
+                        if attempts > self.config.max_subst_applications_per_goal:
+                            return False
+                        if self._try_subst(
+                            node,
+                            lemma_node,
+                            theta,
+                            position,
+                            side_name,
+                            flipped,
+                            lemma_to,
+                            depth,
+                            case_depth,
+                            path_goals,
+                        ):
+                            return True
+        return False
+
+    def _try_subst(
+        self,
+        node: ProofNode,
+        lemma_node: ProofNode,
+        theta: Substitution,
+        position: Position,
+        side_name: str,
+        flipped: bool,
+        lemma_to: Term,
+        depth: int,
+        case_depth: int,
+        path_goals: frozenset,
+    ) -> bool:
+        self.stats.subst_attempts += 1
+        equation = node.equation
+        goal_side = getattr(equation, side_name)
+        other_side = equation.rhs if side_name == "lhs" else equation.lhs
+        rewritten = replace_at(goal_side, position, theta.apply(lemma_to))
+        continuation = (
+            Equation(rewritten, other_side) if side_name == "lhs" else Equation(other_side, rewritten)
+        )
+        if term_size(continuation.lhs) + term_size(continuation.rhs) > self.config.max_goal_size:
+            return False  # rewriting grew the goal beyond the configured bound
+        if self._normalize_equation(continuation) == equation:
+            return False  # no progress: the rewrite did not change the goal
+        mark = self._mark()
+        premise, work = self._add_goal(continuation)
+        self._assign(
+            node,
+            RULE_SUBST,
+            premises=[lemma_node.ident, premise],
+            subst=theta.restrict(lemma_node.equation.variable_names()),
+            position=position,
+            side=side_name,
+            lemma_flipped=flipped,
+        )
+        if not self._add_edges(node):
+            self._rollback(mark)
+            return False
+        if self._solve(work, depth + 1, case_depth, path_goals):
+            return True
+        self._rollback(mark)
+        return False
+
+    # -- (Case) --------------------------------------------------------------------------------------
+
+    def _apply_case(self, node: ProofNode, depth: int, case_depth: int, path_goals: frozenset) -> bool:
+        equation = node.equation
+        candidates = case_candidates(self.program.rules, equation.lhs, equation.rhs)
+        for variable in candidates:
+            if self._try_case(node, variable, depth, case_depth, path_goals):
+                return True
+        return False
+
+    def _try_case(
+        self, node: ProofNode, variable: Var, depth: int, case_depth: int, path_goals: frozenset
+    ) -> bool:
+        if not isinstance(variable.ty, DataTy):
+            return False
+        try:
+            constructors = self.program.signature.instantiate_constructors(variable.ty)
+        except Exception:
+            return False
+        mark = self._mark()
+        self.stats.case_splits += 1
+        premise_ids: List[int] = []
+        work_ids: List[int] = []
+        constructor_names: List[str] = []
+        for con_name, arg_types in constructors:
+            fresh_vars = [
+                Var(self.fresh.fresh(variable.name), arg_type) for arg_type in arg_types
+            ]
+            pattern = apply_term(Sym(con_name), *fresh_vars)
+            instantiated = node.equation.apply(Substitution({variable.name: pattern}))
+            premise, work = self._add_goal(instantiated)
+            premise_ids.append(premise)
+            work_ids.append(work)
+            constructor_names.append(con_name)
+        self._assign(
+            node,
+            RULE_CASE,
+            premises=premise_ids,
+            case_var=variable,
+            case_constructors=tuple(constructor_names),
+        )
+        if not self._add_edges(node):
+            self._rollback(mark)
+            return False
+        for work in work_ids:
+            if not self._solve(work, depth + 1, case_depth + 1, path_goals):
+                self._rollback(mark)
+                return False
+        return True

@@ -1,0 +1,87 @@
+"""Results and statistics of proof search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.equations import Equation
+from ..proofs.preproof import Preproof
+
+__all__ = ["SearchStatistics", "ProofResult"]
+
+
+@dataclass
+class SearchStatistics:
+    """Counters collected during one proof attempt."""
+
+    nodes_created: int = 0
+    """Proof vertices created (including vertices later rolled back)."""
+
+    subst_attempts: int = 0
+    """Candidate (Subst) instances explored."""
+
+    case_splits: int = 0
+    """(Case) applications explored."""
+
+    congruence_steps: int = 0
+    """(Cong) decompositions applied."""
+
+    funext_steps: int = 0
+    """(FunExt) applications applied."""
+
+    soundness_checks: int = 0
+    """Global-condition checks performed."""
+
+    soundness_violations: int = 0
+    """Checks that detected an unsound cycle (branch pruned)."""
+
+    closure_compositions: int = 0
+    """Size-change graph compositions performed by the closure."""
+
+    max_depth_reached: int = 0
+    """Deepest branch explored."""
+
+    elapsed_seconds: float = 0.0
+    """Wall-clock duration of the attempt."""
+
+    def summary(self) -> str:
+        """A compact single-line rendering of the statistics."""
+        return (
+            f"nodes={self.nodes_created} subst={self.subst_attempts} "
+            f"case={self.case_splits} soundness={self.soundness_checks} "
+            f"violations={self.soundness_violations} "
+            f"compositions={self.closure_compositions} "
+            f"time={self.elapsed_seconds * 1000:.1f}ms"
+        )
+
+
+@dataclass
+class ProofResult:
+    """The outcome of one proof attempt."""
+
+    proved: bool
+    """Did the prover find a globally correct cyclic proof?"""
+
+    equation: Equation
+    """The goal equation."""
+
+    proof: Optional[Preproof] = None
+    """The proof found (``None`` when the attempt failed)."""
+
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    """Search counters."""
+
+    reason: str = ""
+    """Why the attempt failed (budget exhausted, no rule applicable, ...)."""
+
+    goal_name: str = ""
+    """The name of the goal, when proved from a :class:`repro.program.Goal`."""
+
+    def __bool__(self) -> bool:
+        return self.proved
+
+    def __str__(self) -> str:
+        status = "proved" if self.proved else f"failed ({self.reason})" if self.reason else "failed"
+        name = f"{self.goal_name}: " if self.goal_name else ""
+        return f"{name}{self.equation} — {status} [{self.statistics.summary()}]"

@@ -1,0 +1,18 @@
+"""Size-change graphs, their closure, and termination/global-condition checks."""
+
+from .closure import (
+    AdditionResult,
+    IncrementalClosure,
+    check_global_condition,
+    closure_of,
+    find_violation,
+)
+from .graph import DECREASE, NO_DECREASE, SizeChangeGraph, identity_graph
+from .termination import CallGraphEdge, TerminationReport, call_graphs_of, sct_terminates
+
+__all__ = [
+    "SizeChangeGraph", "identity_graph", "DECREASE", "NO_DECREASE",
+    "closure_of", "check_global_condition", "find_violation",
+    "IncrementalClosure", "AdditionResult",
+    "CallGraphEdge", "TerminationReport", "call_graphs_of", "sct_terminates",
+]

@@ -1,0 +1,180 @@
+"""Closure of size-change graphs and the incremental global-condition check.
+
+Definition 5.4 closes the per-edge size-change graphs of a preproof under
+composition; Theorem 5.2 then reduces the global correctness condition (for
+variable traces over the substructural order) to the property that every
+idempotent self graph in the closure has a strictly decreasing self edge.
+
+Two interfaces are provided:
+
+* :func:`closure_of` / :func:`check_global_condition` — the "from scratch"
+  computation, corresponding to how a non-incremental prover (e.g. Cyclist)
+  would re-validate every candidate proof;
+* :class:`IncrementalClosure` — the approach of Section 5.2: the closure is
+  maintained as the proof graph grows, each newly uncovered edge composes with
+  what is already known, violations are detected the moment they appear, and a
+  trail of additions supports backtracking during proof search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .graph import SizeChangeGraph
+
+__all__ = [
+    "closure_of",
+    "check_global_condition",
+    "find_violation",
+    "AdditionResult",
+    "IncrementalClosure",
+]
+
+
+def closure_of(graphs: Iterable[SizeChangeGraph], max_graphs: int = 100_000) -> Set[SizeChangeGraph]:
+    """The least set containing ``graphs`` and closed under composition."""
+    closure: Set[SizeChangeGraph] = set(graphs)
+    by_source: Dict[int, Set[SizeChangeGraph]] = {}
+    by_target: Dict[int, Set[SizeChangeGraph]] = {}
+    for g in closure:
+        by_source.setdefault(g.source, set()).add(g)
+        by_target.setdefault(g.target, set()).add(g)
+    worklist: List[SizeChangeGraph] = list(closure)
+    while worklist:
+        graph = worklist.pop()
+        successors = list(by_source.get(graph.target, ()))
+        predecessors = list(by_target.get(graph.source, ()))
+        candidates = [graph.compose(nxt) for nxt in successors]
+        candidates.extend(prev.compose(graph) for prev in predecessors)
+        for candidate in candidates:
+            if candidate not in closure:
+                closure.add(candidate)
+                by_source.setdefault(candidate.source, set()).add(candidate)
+                by_target.setdefault(candidate.target, set()).add(candidate)
+                worklist.append(candidate)
+                if len(closure) > max_graphs:
+                    raise RuntimeError("size-change closure exceeded its size budget")
+    return closure
+
+
+def find_violation(closure: Iterable[SizeChangeGraph]) -> Optional[SizeChangeGraph]:
+    """An idempotent self graph without a decreasing self edge, if one exists."""
+    for graph in closure:
+        if graph.is_self_graph() and graph.is_idempotent() and not graph.has_decreasing_self_edge():
+            return graph
+    return None
+
+
+def check_global_condition(graphs: Iterable[SizeChangeGraph]) -> bool:
+    """Theorem 5.2: is every idempotent self-loop of the closure progressing?"""
+    return find_violation(closure_of(graphs)) is None
+
+
+@dataclass
+class AdditionResult:
+    """The result of adding one edge graph to an :class:`IncrementalClosure`."""
+
+    added: Tuple[SizeChangeGraph, ...]
+    """Graphs newly added to the closure (including the edge graph itself)."""
+
+    violation: Optional[SizeChangeGraph]
+    """An idempotent self graph without a decreasing self edge, if introduced."""
+
+    @property
+    def sound(self) -> bool:
+        """Did the addition keep the closure free of violations?"""
+        return self.violation is None
+
+
+class IncrementalClosure:
+    """A size-change closure maintained incrementally with undo support.
+
+    Proof search adds the size-change graph of every edge as the corresponding
+    node is uncovered; compositions with the existing closure are computed
+    eagerly, so the moment a cycle becomes unsound a violation is reported and
+    the search can abandon the branch.  The :meth:`remove` operation supports
+    chronological backtracking: it must be called with exactly the graphs
+    reported by the corresponding :meth:`add` (most recent first), which is the
+    discipline a depth-first search naturally follows.
+    """
+
+    def __init__(self) -> None:
+        self._graphs: Set[SizeChangeGraph] = set()
+        self._by_source: Dict[int, Set[SizeChangeGraph]] = {}
+        self._by_target: Dict[int, Set[SizeChangeGraph]] = {}
+        self.compositions_performed = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, graph: SizeChangeGraph) -> bool:
+        return graph in self._graphs
+
+    def graphs(self) -> Tuple[SizeChangeGraph, ...]:
+        """All graphs currently in the closure."""
+        return tuple(self._graphs)
+
+    def self_graphs(self, vertex: int) -> Tuple[SizeChangeGraph, ...]:
+        """All closure graphs from ``vertex`` to itself."""
+        return tuple(
+            g for g in self._by_source.get(vertex, ()) if g.target == vertex
+        )
+
+    def is_sound(self) -> bool:
+        """Does the current closure satisfy Theorem 5.2?"""
+        return find_violation(self._graphs) is None
+
+    # -- updates --------------------------------------------------------------
+
+    def add(self, edge_graph: SizeChangeGraph) -> AdditionResult:
+        """Add the size-change graph of a newly uncovered edge.
+
+        All compositions with the existing closure are computed; the returned
+        :class:`AdditionResult` lists every graph that became part of the
+        closure as a consequence (for undo) and reports a violation if the new
+        edge closed an unsound cycle.
+        """
+        added: List[SizeChangeGraph] = []
+        violation: Optional[SizeChangeGraph] = None
+        worklist: List[SizeChangeGraph] = [edge_graph]
+        while worklist:
+            graph = worklist.pop()
+            if graph in self._graphs:
+                continue
+            self._graphs.add(graph)
+            self._by_source.setdefault(graph.source, set()).add(graph)
+            self._by_target.setdefault(graph.target, set()).add(graph)
+            added.append(graph)
+            if (
+                violation is None
+                and graph.is_self_graph()
+                and graph.is_idempotent()
+                and not graph.has_decreasing_self_edge()
+            ):
+                violation = graph
+            for successor in tuple(self._by_source.get(graph.target, ())):
+                self.compositions_performed += 1
+                worklist.append(graph.compose(successor))
+            for predecessor in tuple(self._by_target.get(graph.source, ())):
+                if predecessor is graph:
+                    continue
+                self.compositions_performed += 1
+                worklist.append(predecessor.compose(graph))
+        return AdditionResult(added=tuple(added), violation=violation)
+
+    def remove(self, graphs: Iterable[SizeChangeGraph]) -> None:
+        """Undo an earlier :meth:`add` by removing the graphs it introduced."""
+        for graph in graphs:
+            if graph in self._graphs:
+                self._graphs.discard(graph)
+                self._by_source.get(graph.source, set()).discard(graph)
+                self._by_target.get(graph.target, set()).discard(graph)
+
+    def clear(self) -> None:
+        """Remove every graph."""
+        self._graphs.clear()
+        self._by_source.clear()
+        self._by_target.clear()

@@ -1,0 +1,124 @@
+"""Size-change graphs (Definition 5.1 and 5.2).
+
+A size-change graph between two proof vertices (or, for the standalone
+termination analysis, between two function calls) is a labelled bipartite graph
+over the variables of its endpoints.  An edge ``x ≃ y`` says "the value of
+``y`` at the target is no larger than the value of ``x`` at the source"; the
+label ``≲`` marks a strict decrease, i.e. a possible progress point.
+
+Graphs compose (Definition 5.2); composing along a path yields a summary of all
+variable traces along that path, which is how the closure of a preproof
+represents its ω-regular language of traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+__all__ = ["DECREASE", "NO_DECREASE", "SizeChangeGraph", "identity_graph"]
+
+DECREASE = True
+"""Edge label for a strict decrease (the paper's ``≲``)."""
+
+NO_DECREASE = False
+"""Edge label for a non-increasing edge (the paper's ``≃``)."""
+
+Edge = Tuple[str, str, bool]
+
+
+@dataclass(frozen=True)
+class SizeChangeGraph:
+    """A size-change graph between vertex ``source`` and vertex ``target``.
+
+    ``edges`` is a set of ``(x, y, decreasing)`` triples relating a variable
+    ``x`` of the source vertex to a variable ``y`` of the target vertex.  The
+    representation is normalised: at most one edge per variable pair, keeping
+    the strongest (decreasing) label.
+    """
+
+    source: int
+    target: int
+    edges: FrozenSet[Edge]
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def make(source: int, target: int, edges: Iterable[Edge]) -> "SizeChangeGraph":
+        """Build a graph, normalising duplicate edges to the strongest label."""
+        best: Dict[Tuple[str, str], bool] = {}
+        for x, y, decreasing in edges:
+            key = (x, y)
+            best[key] = best.get(key, False) or decreasing
+        normalised = frozenset((x, y, dec) for (x, y), dec in best.items())
+        return SizeChangeGraph(source, target, normalised)
+
+    # -- queries ---------------------------------------------------------------
+
+    def has_edge(self, x: str, y: str) -> bool:
+        """Is there an edge (of either label) from ``x`` to ``y``?"""
+        return any(ex == x and ey == y for ex, ey, _ in self.edges)
+
+    def has_decreasing_edge(self, x: str, y: str) -> bool:
+        """Is there a strictly decreasing edge from ``x`` to ``y``?"""
+        return (x, y, DECREASE) in self.edges
+
+    def has_decreasing_self_edge(self) -> bool:
+        """Does some variable strictly decrease into itself? (Theorem 5.2)."""
+        return any(x == y and dec for x, y, dec in self.edges)
+
+    def sources(self) -> Tuple[str, ...]:
+        """The source variables mentioned by the edges."""
+        return tuple(sorted({x for x, _, _ in self.edges}))
+
+    def targets(self) -> Tuple[str, ...]:
+        """The target variables mentioned by the edges."""
+        return tuple(sorted({y for _, y, _ in self.edges}))
+
+    def is_self_graph(self) -> bool:
+        """Does the graph relate a vertex to itself?"""
+        return self.source == self.target
+
+    # -- composition --------------------------------------------------------------
+
+    def compose(self, then: "SizeChangeGraph") -> "SizeChangeGraph":
+        """The composition ``then ∘ self`` : source(self) → target(then).
+
+        Requires ``self.target == then.source``.  An edge ``x → z`` exists when
+        there is a variable ``y`` with ``x → y`` in ``self`` and ``y → z`` in
+        ``then``; it is decreasing when either step is.
+        """
+        if self.target != then.source:
+            raise ValueError(
+                f"cannot compose graph into {self.target} with graph from {then.source}"
+            )
+        by_source: Dict[str, list] = {}
+        for y, z, dec in then.edges:
+            by_source.setdefault(y, []).append((z, dec))
+        combined: Dict[Tuple[str, str], bool] = {}
+        for x, y, dec1 in self.edges:
+            for z, dec2 in by_source.get(y, ()):
+                key = (x, z)
+                combined[key] = combined.get(key, False) or dec1 or dec2
+        edges = frozenset((x, z, dec) for (x, z), dec in combined.items())
+        return SizeChangeGraph(self.source, then.target, edges)
+
+    def is_idempotent(self) -> bool:
+        """For self graphs: does ``G ∘ G == G`` hold?"""
+        return self.is_self_graph() and self.compose(self) == self
+
+    # -- rendering ----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            f"{x} {'≲' if dec else '≃'} {y}" for x, y, dec in sorted(self.edges)
+        )
+        return f"{self.source} -> {self.target}: {{{rendered}}}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SizeChangeGraph({self})"
+
+
+def identity_graph(source: int, target: int, variables: Sequence[str]) -> SizeChangeGraph:
+    """The identity graph ``z ≃ z`` for every variable in ``variables``."""
+    return SizeChangeGraph.make(source, target, ((v, v, NO_DECREASE) for v in variables))

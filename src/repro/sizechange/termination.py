@@ -1,0 +1,131 @@
+"""Standalone size-change termination analysis for rewrite systems.
+
+The paper's standing assumptions (Remark 2.1) include weak normalisation of the
+program and note that "practical algorithms exist for verifying this property".
+This module provides exactly such an algorithm: the classical size-change
+termination (SCT) principle of Lee, Jones and Ben-Amram applied to the
+recursive call structure of a rewrite system.
+
+For every rule ``f p_1 ... p_n -> rhs`` and every call ``g t_1 ... t_m`` of a
+defined function inside ``rhs``, a size-change graph is built relating the
+variables of the patterns to the call's arguments:
+
+* ``x ≲ y_j`` when the argument ``t_j`` is a strict subterm of the pattern
+  binding ``x`` (more precisely: ``t_j`` is a variable that sits strictly below
+  the position of ``x``'s pattern, or ``t_j`` is a strict subterm of the
+  pattern that contains ``x``);
+* ``x ≃ y_j`` when ``t_j`` is exactly the variable ``x``.
+
+The program passes the analysis when the closure of these graphs satisfies the
+usual SCT condition.  The analysis is sound but incomplete — e.g. functions
+that recurse through an accumulator that grows are rejected — which matches its
+role as a conservative check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.terms import Sym, Term, Var, free_vars, is_strict_subterm, positions, spine
+from ..rewriting.rules import RewriteRule
+from ..rewriting.trs import RewriteSystem
+from .closure import closure_of, find_violation
+from .graph import DECREASE, NO_DECREASE, SizeChangeGraph
+
+__all__ = ["CallGraphEdge", "call_graphs_of", "sct_terminates", "TerminationReport"]
+
+
+@dataclass(frozen=True)
+class CallGraphEdge:
+    """A recursive call site with its size-change information."""
+
+    caller: str
+    callee: str
+    graph: SizeChangeGraph
+
+
+@dataclass
+class TerminationReport:
+    """The outcome of a size-change termination analysis."""
+
+    terminates: bool
+    violation: Optional[SizeChangeGraph] = None
+    edges: Tuple[CallGraphEdge, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.terminates
+
+
+def _function_index(system: RewriteSystem) -> Dict[str, int]:
+    return {name: index for index, name in enumerate(sorted(system.signature.defined))}
+
+
+def _graph_for_call(
+    rule: RewriteRule, call_args: Tuple[Term, ...], caller_id: int, callee_id: int,
+    callee_param_names: Tuple[str, ...]
+) -> SizeChangeGraph:
+    edges = []
+    patterns = rule.patterns
+    for j, argument in enumerate(call_args):
+        if j >= len(callee_param_names):
+            break
+        target_var = callee_param_names[j]
+        for i, pattern in enumerate(patterns):
+            source_var = f"arg{i}"
+            if argument == pattern:
+                edges.append((source_var, target_var, NO_DECREASE))
+            elif is_strict_subterm(argument, pattern):
+                edges.append((source_var, target_var, DECREASE))
+    return SizeChangeGraph.make(caller_id, callee_id, edges)
+
+
+def call_graphs_of(system: RewriteSystem) -> List[CallGraphEdge]:
+    """The size-change graphs of every recursive call site of the system.
+
+    Variables are abstracted positionally: the i-th argument of a function is
+    the abstract variable ``arg<i>`` on both sides, so graphs between different
+    functions compose soundly.
+    """
+    index = _function_index(system)
+    edges: List[CallGraphEdge] = []
+    for rule in system.rules:
+        caller = rule.head
+        caller_id = index[caller]
+        for _pos, sub in positions(rule.rhs):
+            head, args = spine(sub)
+            if not isinstance(head, Sym) or not system.signature.is_defined(head.name):
+                continue
+            callee = head.name
+            if callee not in index or not args:
+                continue
+            callee_arity = system.signature.arity(callee)
+            if len(args) < callee_arity:
+                # A partial application is not a call yet; the fully applied
+                # occurrence (if any) is found at an enclosing position.
+                continue
+            callee_params = tuple(f"arg{i}" for i in range(callee_arity))
+            graph = _graph_for_call(
+                rule, tuple(args[:callee_arity]), caller_id, index[callee], callee_params
+            )
+            edges.append(CallGraphEdge(caller, callee, graph))
+    return edges
+
+
+def sct_terminates(system: RewriteSystem) -> TerminationReport:
+    """Does the system pass the size-change termination test?
+
+    Only calls between defined functions are considered; a system with no
+    recursive calls trivially terminates.
+    """
+    edges = call_graphs_of(system)
+    graphs = [edge.graph for edge in edges]
+    if not graphs:
+        return TerminationReport(terminates=True, edges=tuple(edges))
+    closure = closure_of(graphs)
+    violation = find_violation(closure)
+    return TerminationReport(
+        terminates=violation is None,
+        violation=violation,
+        edges=tuple(edges),
+    )

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight from a
+# checkout): put src/ on the path if the package is not importable.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)
+
+from repro import load_program  # noqa: E402
+from repro.benchmarks_data import isaplanner_program, mutual_program  # noqa: E402
+
+
+NAT_SOURCE = """
+data Nat = Z | S Nat
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+mul :: Nat -> Nat -> Nat
+mul Z y = Z
+mul (S x) y = add y (mul x y)
+
+double :: Nat -> Nat
+double Z = Z
+double (S x) = S (S (double x))
+"""
+
+
+LIST_SOURCE = """
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+id :: a -> a
+id x = x
+
+app :: List a -> List a -> List a
+app Nil ys = ys
+app (Cons x xs) ys = Cons x (app xs ys)
+
+len :: List a -> Nat
+len Nil = Z
+len (Cons x xs) = S (len xs)
+
+map :: (a -> b) -> List a -> List b
+map f Nil = Nil
+map f (Cons x xs) = Cons (f x) (map f xs)
+
+rev :: List a -> List a
+rev Nil = Nil
+rev (Cons x xs) = app (rev xs) (Cons x Nil)
+"""
+
+
+@pytest.fixture(scope="session")
+def nat_program():
+    """A small program over Peano naturals."""
+    return load_program(NAT_SOURCE, name="nat")
+
+
+@pytest.fixture(scope="session")
+def list_program():
+    """A small program over naturals and polymorphic lists."""
+    return load_program(LIST_SOURCE, name="list")
+
+
+@pytest.fixture(scope="session")
+def isaplanner():
+    """The full IsaPlanner benchmark program (prelude + 85 properties)."""
+    return isaplanner_program()
+
+
+@pytest.fixture(scope="session")
+def mutual():
+    """The mutual-induction benchmark program."""
+    return mutual_program()

@@ -1,0 +1,85 @@
+"""Unit tests for Knuth-Bendix completion and proof by consistency."""
+
+from repro.core.equations import Equation
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.induction.inductionless import proof_by_consistency
+from repro.induction.rewriting_induction import default_reduction_order
+from repro.program import check_equation
+from repro.rewriting.completion import complete
+from repro.rewriting.orders import LexicographicPathOrder
+from repro.rewriting.reduction import normalize
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+S = Sym("S")
+ZERO = Sym("Z")
+ADD = Sym("add")
+
+
+class TestCompletion:
+    def test_already_joinable_equation_needs_no_rules(self, nat_program):
+        order = default_reduction_order(nat_program)
+        eq = nat_program.parse_equation("add Z Z === Z")
+        result = complete(nat_program.rules, [eq], order)
+        assert result.success
+        assert result.added_rules == ()
+
+    def test_orientable_lemma_is_added_as_rule(self, nat_program):
+        order = default_reduction_order(nat_program)
+        # add x (S y) = S (add x y) is orientable left-to-right for LPO.
+        eq = nat_program.parse_equation("add x (S y) === S (add x y)")
+        result = complete(nat_program.rules, [eq], order)
+        assert result.success
+        assert result.added_rules
+        extended = nat_program.rules.copy()
+        for rule in result.added_rules:
+            extended.add_rule(rule, validate=False)
+        # The new system can now reduce add Z (S Z) either way to the same value.
+        assert normalize(extended, nat_program.parse_term("add (S Z) (S Z)")) == normalize(
+            nat_program.rules, nat_program.parse_term("add (S Z) (S Z)")
+        )
+
+    def test_unorientable_equation_fails(self, nat_program):
+        order = default_reduction_order(nat_program)
+        eq = nat_program.parse_equation("add x y === add y x")
+        result = complete(nat_program.rules, [eq], order)
+        assert not result.success
+        assert result.unorientable
+
+    def test_iteration_budget_respected(self, nat_program):
+        order = default_reduction_order(nat_program)
+        eq = nat_program.parse_equation("add x (S y) === S (add x y)")
+        result = complete(nat_program.rules, [eq], order, max_iterations=1)
+        assert result.iterations <= 1
+
+
+class TestProofByConsistency:
+    def test_proves_simple_inductive_theorem(self, nat_program):
+        eq = nat_program.parse_equation("add x (S y) === S (add x y)")
+        outcome = proof_by_consistency(nat_program, eq)
+        assert outcome.proved
+
+    def test_true_equation_is_semantically_valid(self, nat_program):
+        eq = nat_program.parse_equation("add x (S y) === S (add x y)")
+        assert check_equation(nat_program, eq, depth=4)
+
+    def test_refuses_unorientable_conjecture(self, nat_program):
+        eq = nat_program.parse_equation("add x y === add y x")
+        outcome = proof_by_consistency(nat_program, eq)
+        assert outcome.status == "unknown"
+        assert not outcome.proved
+
+    def test_disproves_false_conjecture(self, nat_program):
+        # double x = S x is false; completion derives an inconsistency such as Z = S Z.
+        eq = nat_program.parse_equation("double x === x")
+        outcome = proof_by_consistency(nat_program, eq)
+        assert outcome.status in ("disproved", "unknown")
+        assert not outcome.proved
+
+    def test_false_ground_equation_disproved(self, nat_program):
+        eq = Equation(apply_term(S, ZERO), ZERO)
+        outcome = proof_by_consistency(nat_program, eq)
+        assert outcome.status == "disproved"
+        assert outcome.witness is not None

@@ -1,0 +1,93 @@
+"""Unit tests for one-hole contexts (Lemma 2.1 / 2.2 territory)."""
+
+import pytest
+
+from repro.core.context import Context, context_at, decompositions, is_prefix
+from repro.core.terms import Sym, Var, apply_term, positions, subterm_at
+from repro.core.types import DataTy
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+ADD = Sym("add")
+S = Sym("S")
+TERM = apply_term(ADD, apply_term(S, X), Y)  # add (S x) y
+
+
+class TestBasicOperations:
+    def test_trivial_context_fills_to_term(self):
+        assert Context.trivial().fill(TERM) == TERM
+        assert Context.trivial().is_trivial
+
+    def test_of_position_and_fill_roundtrip(self):
+        for position, sub in positions(TERM):
+            context = Context.of_position(TERM, position)
+            assert context.fill(sub) == TERM
+
+    def test_context_at_returns_both_parts(self):
+        context, sub = context_at(TERM, (0, 1))
+        assert sub == apply_term(S, X)
+        assert context.fill(sub) == TERM
+
+    def test_decompositions_cover_all_subterms(self):
+        pairs = list(decompositions(TERM))
+        assert len(pairs) == len(list(positions(TERM)))
+        for context, sub in pairs:
+            assert context.fill(sub) == TERM
+
+
+class TestComposition:
+    def test_compose_associates_with_fill(self):
+        outer, middle = context_at(TERM, (0, 1))  # hole at (S x)
+        inner = Context.of_position(middle, (1,))  # hole at x inside S x
+        composed = outer.compose(inner)
+        assert composed.fill(Y) == outer.fill(inner.fill(Y))
+
+    def test_compose_with_trivial_is_identity(self):
+        context = Context.of_position(TERM, (1,))
+        assert context.compose(Context.trivial()) == context
+        assert Context.trivial().compose(context) == context
+
+
+class TestPrefixOrder:
+    def test_trivial_is_prefix_of_everything(self):
+        context = Context.of_position(TERM, (0, 1))
+        assert is_prefix(Context.trivial(), context)
+
+    def test_deeper_hole_is_not_prefix(self):
+        shallow = Context.of_position(TERM, (1,))
+        deep = Context.of_position(TERM, (0, 1, 1))
+        assert not is_prefix(deep, shallow)
+
+    def test_prefix_through_composition(self):
+        outer, middle = context_at(TERM, (0, 1))
+        inner = Context.of_position(middle, (1,))
+        composed = outer.compose(inner)
+        assert is_prefix(outer, composed)
+
+    def test_unrelated_contexts(self):
+        left = Context.of_position(TERM, (0, 1))   # hole at S x
+        right = Context.of_position(TERM, (1,))    # hole at y
+        assert not is_prefix(left, right)
+        assert not is_prefix(right, left)
+
+    def test_reflexive(self):
+        context = Context.of_position(TERM, (1,))
+        assert is_prefix(context, context)
+
+
+class TestLemma21:
+    """The subterm order is a well-founded partial order (Lemma 2.1)."""
+
+    def test_only_finitely_many_subterms(self):
+        subs = [sub for _p, sub in positions(TERM)]
+        assert len(subs) == 7  # add, S, x, y and the three applications
+
+    def test_antisymmetry_via_contexts(self):
+        # If C[M] = N and D[N] = M then both contexts are trivial and M = N.
+        for position, sub in positions(TERM):
+            if sub == TERM:
+                continue
+            assert subterm_at(TERM, position) == sub
+            # The reverse containment cannot hold for a strictly smaller subterm.
+            assert all(s != TERM for _q, s in positions(sub))

@@ -1,0 +1,74 @@
+"""Unit tests for unordered equations and their semantics."""
+
+from repro.core.equations import Equation, holds_on_instances, satisfied_by
+from repro.core.substitution import Substitution
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.program import check_equation, ground_instances, ground_terms
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+ADD = Sym("add")
+S = Sym("S")
+Z = Sym("Z")
+
+
+class TestUnorderedIdentity:
+    def test_equations_are_unordered(self):
+        assert Equation(X, Y) == Equation(Y, X)
+        assert hash(Equation(X, Y)) == hash(Equation(Y, X))
+
+    def test_flipped_is_equal(self):
+        eq = Equation(apply_term(ADD, X, Y), apply_term(ADD, Y, X))
+        assert eq.flipped() == eq
+
+    def test_different_equations_differ(self):
+        assert Equation(X, Y) != Equation(X, apply_term(S, Y))
+
+    def test_trivial(self):
+        assert Equation(X, X).is_trivial()
+        assert not Equation(X, Y).is_trivial()
+
+
+class TestViews:
+    def test_variables_ordered(self):
+        eq = Equation(apply_term(ADD, Y, X), apply_term(S, X))
+        assert eq.variables() == (Y, X)
+        assert eq.variable_names() == ("y", "x")
+
+    def test_apply_substitution(self):
+        eq = Equation(apply_term(ADD, X, Y), Y)
+        theta = Substitution.of((X, Z))
+        assert eq.apply(theta) == Equation(apply_term(ADD, Z, Y), Y)
+
+    def test_map_sides(self):
+        eq = Equation(X, Y)
+        wrapped = eq.map_sides(lambda t: apply_term(S, t))
+        assert wrapped == Equation(apply_term(S, X), apply_term(S, Y))
+
+
+class TestSemantics:
+    def test_satisfied_by_uses_normal_forms(self, nat_program):
+        normalizer = nat_program.normalizer()
+        eq = nat_program.parse_equation("add x Z === x")
+        instance = Substitution.of((Var("x", NAT), apply_term(S, Z)))
+        assert satisfied_by(eq, instance, normalizer)
+
+    def test_holds_on_instances(self, nat_program):
+        normalizer = nat_program.normalizer()
+        eq = nat_program.parse_equation("add x y === add y x")
+        instances = list(ground_instances(nat_program.signature, eq.variables(), depth=4, limit=50))
+        assert instances
+        assert holds_on_instances(eq, instances, normalizer)
+
+    def test_invalid_equation_refuted(self, nat_program):
+        eq = nat_program.parse_equation("add x y === x")
+        assert not check_equation(nat_program, eq, depth=4)
+
+    def test_ground_terms_enumeration(self, nat_program):
+        terms = list(ground_terms(nat_program.signature, NAT, depth=3))
+        # Z, S Z, S (S Z)
+        assert Z in terms
+        assert apply_term(S, Z) in terms
+        assert len(terms) == 3

@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts run end to end and report success."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script, expectations",
+    [
+        ("quickstart.py", ["prop_add_comm", "proved", "Case"]),
+        ("mutual_induction.py", ["mprop_01", "proved", "Expr"]),
+        ("commutativity.py", ["CycleQ: proved", "Rewriting induction", "failed"]),
+        ("butlast_take.py", ["Proved in", "HipSpec"]),
+        ("rewriting_induction_demo.py", ["Theorem 4.3", "unorientable", "CycleQ: proved"]),
+    ],
+)
+def test_example_runs_successfully(script, expectations):
+    completed = _run(script)
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    for fragment in expectations:
+        assert fragment in completed.stdout, f"{script}: missing {fragment!r} in output"
+
+
+def test_isaplanner_suite_quick_mode():
+    completed = _run("isaplanner_suite.py", "--quick", "--timeout", "0.5")
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "paper" in completed.stdout and "measured" in completed.stdout
+    assert "Mutual-induction suite" in completed.stdout

@@ -1,0 +1,173 @@
+"""Unit tests for local well-formedness checking of inference-rule instances."""
+
+import pytest
+
+from repro.core.equations import Equation
+from repro.core.substitution import Substitution
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.proofs.inference import check_node, reachable_by_reduction
+from repro.proofs.preproof import (
+    RULE_CASE,
+    RULE_CONG,
+    RULE_REDUCE,
+    RULE_REFL,
+    RULE_SUBST,
+    Preproof,
+)
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+S = Sym("S")
+Z = Sym("Z")
+ADD = Sym("add")
+
+
+class TestReachability:
+    def test_term_reaches_its_normal_form(self, nat_program):
+        term = nat_program.parse_term("add (S Z) (S Z)")
+        target = nat_program.parse_term("S (S Z)")
+        assert reachable_by_reduction(nat_program, term, target)
+
+    def test_reflexive(self, nat_program):
+        term = nat_program.parse_term("S Z")
+        assert reachable_by_reduction(nat_program, term, term)
+
+    def test_unreachable_term(self, nat_program):
+        assert not reachable_by_reduction(
+            nat_program, nat_program.parse_term("S Z"), nat_program.parse_term("Z")
+        )
+
+
+class TestRefl:
+    def test_valid_refl(self, nat_program):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, X), rule=RULE_REFL)
+        assert check_node(nat_program, proof, node) == []
+
+    def test_invalid_refl(self, nat_program):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, Y), rule=RULE_REFL)
+        assert check_node(nat_program, proof, node)
+
+
+class TestReduce:
+    def test_valid_reduce(self, nat_program):
+        proof = Preproof()
+        conclusion = proof.add_node(
+            nat_program.parse_equation("add Z x === add x Z"), rule=RULE_REDUCE
+        )
+        premise = proof.add_node(nat_program.parse_equation("x === add x Z"))
+        conclusion.premises = [premise.ident]
+        assert check_node(nat_program, proof, conclusion) == []
+
+    def test_invalid_reduce(self, nat_program):
+        proof = Preproof()
+        conclusion = proof.add_node(
+            nat_program.parse_equation("add Z x === x"), rule=RULE_REDUCE
+        )
+        premise = proof.add_node(nat_program.parse_equation("S x === x"))
+        conclusion.premises = [premise.ident]
+        assert check_node(nat_program, proof, conclusion)
+
+
+class TestSubst:
+    def test_valid_subst_instance(self, nat_program):
+        proof = Preproof()
+        lemma = proof.add_node(nat_program.parse_equation("add y Z === y"))
+        conclusion = proof.add_node(
+            nat_program.parse_equation("S (add x Z) === S x"), rule=RULE_SUBST
+        )
+        continuation = proof.add_node(nat_program.parse_equation("S x === S x"))
+        conclusion.premises = [lemma.ident, continuation.ident]
+        assert check_node(nat_program, proof, conclusion) == []
+
+    def test_invalid_subst_instance(self, nat_program):
+        proof = Preproof()
+        lemma = proof.add_node(nat_program.parse_equation("add y Z === y"))
+        conclusion = proof.add_node(
+            nat_program.parse_equation("S (add x Z) === S x"), rule=RULE_SUBST
+        )
+        continuation = proof.add_node(nat_program.parse_equation("Z === S x"))
+        conclusion.premises = [lemma.ident, continuation.ident]
+        assert check_node(nat_program, proof, conclusion)
+
+    def test_subst_wrong_arity(self, nat_program):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, X), rule=RULE_SUBST)
+        assert check_node(nat_program, proof, node)
+
+
+class TestCase:
+    def test_valid_case_split(self, nat_program):
+        proof = Preproof()
+        conclusion = proof.add_node(
+            nat_program.parse_equation("add x Z === x"),
+            rule=RULE_CASE,
+            case_var=Var("x", NAT),
+            case_constructors=("Z", "S"),
+        )
+        zero_case = proof.add_node(nat_program.parse_equation("add Z Z === Z"))
+        succ_case = proof.add_node(
+            nat_program.parse_equation("add (S x1) Z === S x1", {"x1": NAT})
+        )
+        conclusion.premises = [zero_case.ident, succ_case.ident]
+        assert check_node(nat_program, proof, conclusion) == []
+
+    def test_missing_constructor_premise(self, nat_program):
+        proof = Preproof()
+        conclusion = proof.add_node(
+            nat_program.parse_equation("add x Z === x"),
+            rule=RULE_CASE,
+            case_var=Var("x", NAT),
+            case_constructors=("Z",),
+        )
+        zero_case = proof.add_node(nat_program.parse_equation("add Z Z === Z"))
+        conclusion.premises = [zero_case.ident]
+        assert check_node(nat_program, proof, conclusion)
+
+    def test_wrong_premise_equation(self, nat_program):
+        proof = Preproof()
+        conclusion = proof.add_node(
+            nat_program.parse_equation("add x Z === x"),
+            rule=RULE_CASE,
+            case_var=Var("x", NAT),
+            case_constructors=("Z", "S"),
+        )
+        zero_case = proof.add_node(nat_program.parse_equation("add Z Z === Z"))
+        bogus = proof.add_node(nat_program.parse_equation("Z === Z"))
+        conclusion.premises = [zero_case.ident, bogus.ident]
+        assert check_node(nat_program, proof, conclusion)
+
+
+class TestCong:
+    def test_valid_decomposition(self, nat_program):
+        proof = Preproof()
+        conclusion = proof.add_node(
+            nat_program.parse_equation("S (add x y) === S (add y x)"), rule=RULE_CONG
+        )
+        premise = proof.add_node(nat_program.parse_equation("add x y === add y x"))
+        conclusion.premises = [premise.ident]
+        assert check_node(nat_program, proof, conclusion) == []
+
+    def test_non_constructor_head_rejected(self, nat_program):
+        proof = Preproof()
+        conclusion = proof.add_node(
+            nat_program.parse_equation("add x y === add y x"), rule=RULE_CONG
+        )
+        premise = proof.add_node(nat_program.parse_equation("x === y"))
+        conclusion.premises = [premise.ident, premise.ident]
+        assert check_node(nat_program, proof, conclusion)
+
+
+class TestOpenAndUnknown:
+    def test_open_node_is_an_issue(self, nat_program):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, X))
+        assert check_node(nat_program, proof, node)
+
+    def test_unknown_rule_is_an_issue(self, nat_program):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, X), rule="Magic")
+        assert check_node(nat_program, proof, node)

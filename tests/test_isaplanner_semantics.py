@@ -1,0 +1,53 @@
+"""Semantic validation of the benchmark encodings.
+
+Every *unconditional* IsaPlanner property and every mutual-induction property
+must hold on all small ground instances — this guards against mis-stating a
+property in the re-encoding (a prover cannot be evaluated against false
+conjectures).  Conditional properties are checked on the instances that satisfy
+their hypotheses.
+"""
+
+import pytest
+
+from repro.benchmarks_data import isaplanner_goals, mutual_goals
+from repro.program import check_equation, ground_instances
+
+
+@pytest.mark.parametrize("goal", [g for g in isaplanner_goals() if not g.is_conditional],
+                         ids=lambda g: g.name)
+def test_unconditional_isaplanner_property_is_valid(isaplanner, goal):
+    assert check_equation(isaplanner, goal.equation, depth=3, limit=300), (
+        f"{goal.name} is falsified on a small instance: {goal.equation}"
+    )
+
+
+@pytest.mark.parametrize("goal", [g for g in isaplanner_goals() if g.is_conditional],
+                         ids=lambda g: g.name)
+def test_conditional_isaplanner_property_is_valid_under_its_hypotheses(isaplanner, goal):
+    normalizer = isaplanner.normalizer()
+    variables = goal.equation.variables()
+    for condition in goal.conditions:
+        for var in condition.variables():
+            if var not in variables:
+                variables = variables + (var,)
+    checked = 0
+    for instance in ground_instances(isaplanner.signature, variables, depth=3, limit=300):
+        premises_hold = all(
+            normalizer.normalize(instance.apply(c.lhs)) == normalizer.normalize(instance.apply(c.rhs))
+            for c in goal.conditions
+        )
+        if not premises_hold:
+            continue
+        checked += 1
+        closed = goal.equation.apply(instance)
+        assert normalizer.normalize(closed.lhs) == normalizer.normalize(closed.rhs), (
+            f"{goal.name} fails on an instance satisfying its hypotheses"
+        )
+    assert checked > 0, f"no small instance satisfies the hypotheses of {goal.name}"
+
+
+@pytest.mark.parametrize("goal", mutual_goals(), ids=lambda g: g.name)
+def test_mutual_property_is_valid(mutual, goal):
+    assert check_equation(mutual, goal.equation, depth=4, limit=300), (
+        f"{goal.name} is falsified on a small instance"
+    )

@@ -1,0 +1,65 @@
+"""Unit tests for the surface-language lexer."""
+
+import pytest
+
+from repro.core.exceptions import ParseError
+from repro.lang.lexer import Token, logical_lines, tokenize
+
+
+class TestLogicalLines:
+    def test_blank_lines_and_comments_dropped(self):
+        source = """
+-- a comment
+
+data Nat = Z | S Nat
+add Z y = y   -- trailing comment
+"""
+        lines = logical_lines(source)
+        assert [text for _n, text in lines] == ["data Nat = Z | S Nat", "add Z y = y"]
+
+    def test_indented_lines_continue_previous(self):
+        source = "data Tree a = Leaf\n  | Node (Tree a) a (Tree a)\n"
+        lines = logical_lines(source)
+        assert len(lines) == 1
+        assert "| Node" in lines[0][1]
+
+    def test_line_numbers_recorded(self):
+        source = "\n\nadd Z y = y\n"
+        lines = logical_lines(source)
+        assert lines[0][0] == 3
+
+
+class TestTokenize:
+    def test_identifiers_classified_by_case(self):
+        kinds = [t.kind for t in tokenize("add Zero xs'")]
+        assert kinds == ["LOWER", "UPPER", "LOWER", "END"]
+
+    def test_symbols(self):
+        kinds = [t.kind for t in tokenize("f :: Nat -> Nat")]
+        assert kinds == ["LOWER", "DCOLON", "UPPER", "ARROW", "UPPER", "END"]
+
+    def test_equation_symbols(self):
+        assert [t.kind for t in tokenize("x === y")][1] == "EQUIV"
+        assert [t.kind for t in tokenize("x ≈ y")][1] == "EQUIV"
+        assert [t.kind for t in tokenize("x ≡ y")][1] == "EQUIV"
+        assert [t.kind for t in tokenize("a === b ==> c === d")][3] == "IMPLIES"
+
+    def test_numbers_lex_as_literals(self):
+        tokens = tokenize("take 2 xs")
+        assert tokens[1].text == "2"
+
+    def test_data_keyword(self):
+        assert tokenize("data Nat = Z")[0].kind == "DATA"
+
+    def test_columns_reported(self):
+        tokens = tokenize("add x")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 5
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("x @ y")
+
+    def test_parentheses(self):
+        kinds = [t.kind for t in tokenize("(S x)")]
+        assert kinds == ["LPAREN", "UPPER", "LOWER", "RPAREN", "END"]

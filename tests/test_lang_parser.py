@@ -1,0 +1,112 @@
+"""Unit tests for the surface-language parser."""
+
+import pytest
+
+from repro.core.exceptions import ParseError
+from repro.lang.ast import SApp, SClause, SCon, SData, SNum, SProperty, SSig, STyCon, STyFun, STyVar, SVar
+from repro.lang.parser import parse_expression, parse_module, parse_type
+
+
+class TestTypeParsing:
+    def test_simple_types(self):
+        assert parse_type("Nat") == STyCon("Nat")
+        assert parse_type("a") == STyVar("a")
+
+    def test_applied_type_constructor(self):
+        assert parse_type("List a") == STyCon("List", (STyVar("a"),))
+
+    def test_arrow_is_right_associative(self):
+        ty = parse_type("Nat -> Nat -> Nat")
+        assert ty == STyFun(STyCon("Nat"), STyFun(STyCon("Nat"), STyCon("Nat")))
+
+    def test_parenthesised_argument(self):
+        ty = parse_type("(a -> b) -> List a -> List b")
+        assert isinstance(ty, STyFun)
+        assert isinstance(ty.arg, STyFun)
+
+    def test_nested_application(self):
+        ty = parse_type("List (Pair a b)")
+        assert ty == STyCon("List", (STyCon("Pair", (STyVar("a"), STyVar("b"))),))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_type("Nat ->")
+
+
+class TestExpressionParsing:
+    def test_application_is_left_associative(self):
+        expr = parse_expression("add x y")
+        assert expr == SApp(SApp(SVar("add"), SVar("x")), SVar("y"))
+
+    def test_parentheses_override(self):
+        expr = parse_expression("S (add x y)")
+        assert isinstance(expr, SApp)
+        assert expr.fun == SCon("S")
+
+    def test_numeric_literal(self):
+        assert parse_expression("2") == SNum(2)
+
+    def test_error_on_empty(self):
+        with pytest.raises(ParseError):
+            parse_expression(")")
+
+
+class TestDeclarationParsing:
+    def test_data_declaration(self):
+        module = parse_module("data List a = Nil | Cons a (List a)")
+        (decl,) = module.data_declarations()
+        assert decl.name == "List" and decl.params == ("a",)
+        assert [c[0] for c in decl.constructors] == ["Nil", "Cons"]
+        assert decl.constructors[1][1] == (STyVar("a"), STyCon("List", (STyVar("a"),)))
+
+    def test_signature(self):
+        module = parse_module("add :: Nat -> Nat -> Nat")
+        (sig,) = module.signatures()
+        assert sig.name == "add"
+        assert isinstance(sig.type, STyFun)
+
+    def test_function_clause_with_patterns(self):
+        module = parse_module("add (S x) y = S (add x y)")
+        (clause,) = module.clauses()
+        assert clause.name == "add"
+        assert len(clause.patterns) == 2
+        assert clause.patterns[0] == SApp(SCon("S"), SVar("x"))
+
+    def test_property_with_binders(self):
+        module = parse_module("prop_comm x y = add x y === add y x")
+        (prop,) = module.properties()
+        assert prop.binders == ("x", "y")
+        assert prop.conditions == ()
+        assert prop.lhs == SApp(SApp(SVar("add"), SVar("x")), SVar("y"))
+
+    def test_conditional_property(self):
+        module = parse_module("prop x xs = x === Z ==> take x xs === Nil")
+        (prop,) = module.properties()
+        assert len(prop.conditions) == 1
+        assert prop.conditions[0][1] == SCon("Z")
+
+    def test_unicode_equation_symbol(self):
+        module = parse_module("prop xs = map id xs ≡ xs")
+        assert len(module.properties()) == 1
+
+    def test_full_module_roundtrip(self):
+        source = """
+data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+prop_right x = add x Z === x
+"""
+        module = parse_module(source)
+        assert len(module.data_declarations()) == 1
+        assert len(module.signatures()) == 1
+        assert len(module.clauses()) == 2
+        assert len(module.properties()) == 1
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("add x y")
+
+    def test_unknown_declaration_start_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("| foo")

@@ -1,0 +1,90 @@
+"""Unit tests for term matching and unification."""
+
+import pytest
+
+from repro.core.exceptions import MatchError, UnificationError
+from repro.core.matching import alpha_equivalent, match, match_or_none, unify, unify_or_none
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+Z_VAR = Var("z", NAT)
+ADD = Sym("add")
+S = Sym("S")
+ZERO = Sym("Z")
+
+
+class TestMatching:
+    def test_matches_variable_pattern(self):
+        theta = match(apply_term(ADD, X, Y), apply_term(ADD, ZERO, apply_term(S, ZERO)))
+        assert theta["x"] == ZERO
+        assert theta["y"] == apply_term(S, ZERO)
+
+    def test_matching_is_one_way(self):
+        assert match_or_none(apply_term(ADD, ZERO, ZERO), apply_term(ADD, X, Y)) is None
+
+    def test_nonlinear_pattern_requires_equal_arguments(self):
+        pattern = apply_term(ADD, X, X)
+        assert match_or_none(pattern, apply_term(ADD, ZERO, ZERO)) is not None
+        assert match_or_none(pattern, apply_term(ADD, ZERO, apply_term(S, ZERO))) is None
+
+    def test_symbol_mismatch(self):
+        assert match_or_none(apply_term(S, X), apply_term(ADD, ZERO, ZERO)) is None
+
+    def test_match_raises_on_failure(self):
+        with pytest.raises(MatchError):
+            match(ZERO, apply_term(S, ZERO))
+
+    def test_match_instance_property(self):
+        pattern = apply_term(ADD, X, apply_term(S, Y))
+        target = apply_term(ADD, apply_term(S, ZERO), apply_term(S, apply_term(S, ZERO)))
+        theta = match(pattern, target)
+        assert theta.apply(pattern) == target
+
+    def test_match_with_seed_bindings(self):
+        theta = match_or_none(Y, ZERO, {"y": ZERO})
+        assert theta is not None
+        assert match_or_none(Y, apply_term(S, ZERO), {"y": ZERO}) is None
+
+
+class TestUnification:
+    def test_unifies_both_directions(self):
+        left = apply_term(ADD, X, apply_term(S, ZERO))
+        right = apply_term(ADD, ZERO, Y)
+        sigma = unify(left, right)
+        assert sigma.apply(left) == sigma.apply(right)
+
+    def test_mgu_is_most_general_on_example(self):
+        sigma = unify(apply_term(S, X), apply_term(S, Y))
+        # x and y are identified but not instantiated to a ground term.
+        assert sigma.apply(X) == sigma.apply(Y)
+        assert isinstance(sigma.apply(X), Var)
+
+    def test_occurs_check(self):
+        assert unify_or_none(X, apply_term(S, X)) is None
+
+    def test_clash(self):
+        with pytest.raises(UnificationError):
+            unify(ZERO, apply_term(S, Y))
+
+    def test_unifier_is_idempotent(self):
+        left = apply_term(ADD, X, Y)
+        right = apply_term(ADD, apply_term(S, Z_VAR), Z_VAR)
+        sigma = unify(left, right)
+        applied_once = sigma.apply(left)
+        assert sigma.apply(applied_once) == applied_once
+
+
+class TestAlphaEquivalence:
+    def test_renamings_are_alpha_equivalent(self):
+        assert alpha_equivalent(apply_term(ADD, X, Y), apply_term(ADD, Y, X))
+        assert alpha_equivalent(apply_term(S, X), apply_term(S, Z_VAR))
+
+    def test_instances_are_not(self):
+        assert not alpha_equivalent(apply_term(S, X), apply_term(S, ZERO))
+
+    def test_collapsing_renaming_is_rejected(self):
+        # add x y vs add z z is not a bijective renaming.
+        assert not alpha_equivalent(apply_term(ADD, X, Y), apply_term(ADD, Z_VAR, Z_VAR))

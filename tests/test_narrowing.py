@@ -1,0 +1,66 @@
+"""Unit tests for demanded-variable analysis (Case selection)."""
+
+from repro.core.terms import Var
+from repro.core.types import DataTy, FunTy, TypeVar
+from repro.rewriting.narrowing import case_candidates, demanded_variables
+
+NAT = DataTy("Nat")
+
+
+class TestDemandedVariables:
+    def test_stuck_call_demands_scrutinised_variable(self, nat_program):
+        term = nat_program.parse_term("add x y", {"x": NAT, "y": NAT})
+        demanded = demanded_variables(nat_program.rules, term)
+        assert [v.name for v in demanded] == ["x"]
+
+    def test_constructor_argument_is_not_demanded(self, nat_program):
+        term = nat_program.parse_term("add (S x) y", {"x": NAT, "y": NAT})
+        assert demanded_variables(nat_program.rules, term) == ()
+
+    def test_nested_stuck_call(self, nat_program):
+        # add (add x y) z: the outer call is blocked by the inner one, which demands x.
+        term = nat_program.parse_term("add (add x y) z", {"x": NAT, "y": NAT, "z": NAT})
+        demanded = demanded_variables(nat_program.rules, term)
+        assert [v.name for v in demanded] == ["x"]
+
+    def test_nested_constructor_pattern_demand(self, isaplanner):
+        # butlast (Cons y ys) is stuck because the rules need to know whether ys
+        # is Nil or Cons: ys is the demanded variable.
+        list_nat = DataTy("List", (NAT,))
+        term = isaplanner.parse_term("butlast (Cons y ys)", {"y": NAT, "ys": list_nat})
+        demanded = demanded_variables(isaplanner.rules, term)
+        assert [v.name for v in demanded] == ["ys"]
+
+    def test_demand_through_inner_defined_call(self, isaplanner):
+        # take (minus (len ys) Z) xs: reduction is blocked by len ys, so ys is demanded.
+        list_nat = DataTy("List", (NAT,))
+        term = isaplanner.parse_term(
+            "take (minus (len ys) Z) xs", {"ys": list_nat, "xs": list_nat}
+        )
+        names = [v.name for v in demanded_variables(isaplanner.rules, term)]
+        assert "ys" in names
+
+    def test_value_term_demands_nothing(self, nat_program):
+        term = nat_program.parse_term("S (S Z)")
+        assert demanded_variables(nat_program.rules, term) == ()
+
+
+class TestCaseCandidates:
+    def test_candidates_merge_both_sides(self, nat_program):
+        lhs = nat_program.parse_term("add x y", {"x": NAT, "y": NAT})
+        rhs = nat_program.parse_term("add y x", {"x": NAT, "y": NAT})
+        names = [v.name for v in case_candidates(nat_program.rules, lhs, rhs)]
+        assert names == ["x", "y"]
+
+    def test_function_typed_variables_excluded(self, list_program):
+        f = Var("f", FunTy(NAT, NAT))
+        xs = Var("xs", DataTy("List", (NAT,)))
+        term = list_program.parse_term("map f xs", {"f": f.ty, "xs": xs.ty})
+        names = [v.name for v in case_candidates(list_program.rules, term)]
+        assert names == ["xs"]
+
+    def test_type_variable_typed_variables_excluded(self, list_program):
+        # A variable of polymorphic type cannot be case split.
+        xs = Var("xs", TypeVar("a"))
+        names = [v.name for v in case_candidates(list_program.rules, xs)]
+        assert names == []

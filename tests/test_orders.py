@@ -1,0 +1,144 @@
+"""Unit tests for term orders (subterm order, LPO, KBO, Reddy's ≺)."""
+
+import pytest
+
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.rewriting.orders import (
+    DecreasingOrder,
+    KnuthBendixOrder,
+    LexicographicPathOrder,
+    SubtermOrder,
+    precedence_from_rules,
+)
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+S = Sym("S")
+Z = Sym("Z")
+ADD = Sym("add")
+MUL = Sym("mul")
+
+PRECEDENCE = {"Z": 1, "S": 2, "add": 3, "mul": 4}
+
+
+def lpo() -> LexicographicPathOrder:
+    return LexicographicPathOrder(PRECEDENCE)
+
+
+class TestSubtermOrder:
+    def test_strict_subterm_is_smaller(self):
+        order = SubtermOrder()
+        assert order.greater(apply_term(S, X), X)
+        assert not order.greater(X, apply_term(S, X))
+
+    def test_irreflexive(self):
+        order = SubtermOrder()
+        assert not order.greater(X, X)
+
+    def test_unrelated_terms(self):
+        order = SubtermOrder()
+        assert not order.greater(apply_term(S, X), apply_term(S, Y))
+        assert not order.greater(apply_term(S, Y), apply_term(S, X))
+
+
+class TestLPO:
+    def test_program_rules_are_decreasing(self, nat_program):
+        order = LexicographicPathOrder(
+            precedence_from_rules(
+                list(nat_program.rules.defined_symbols()),
+                list(nat_program.signature.constructors),
+            )
+        )
+        for rule in nat_program.rules:
+            assert order.greater(rule.lhs, rule.rhs), f"{rule} should be decreasing"
+
+    def test_term_greater_than_its_variables(self):
+        assert lpo().greater(apply_term(ADD, X, Y), X)
+        assert not lpo().greater(X, apply_term(ADD, X, Y))
+
+    def test_variable_not_in_term_incomparable(self):
+        assert not lpo().greater(apply_term(S, X), Y)
+
+    def test_precedence_drives_comparison(self):
+        # mul > add in the precedence, so mul x y > add x y.
+        assert lpo().greater(apply_term(MUL, X, Y), apply_term(ADD, X, Y))
+        assert not lpo().greater(apply_term(ADD, X, Y), apply_term(MUL, X, Y))
+
+    def test_lexicographic_argument_comparison(self):
+        bigger = apply_term(ADD, apply_term(S, X), Y)
+        smaller = apply_term(ADD, X, Y)
+        assert lpo().greater(bigger, smaller)
+
+    def test_irreflexive_and_antisymmetric_on_samples(self):
+        samples = [X, apply_term(S, X), apply_term(ADD, X, Y), apply_term(MUL, X, apply_term(S, Y))]
+        for a in samples:
+            assert not lpo().greater(a, a)
+            for b in samples:
+                if lpo().greater(a, b):
+                    assert not lpo().greater(b, a)
+
+    def test_commutativity_is_unorientable(self):
+        # add x y vs add y x: neither direction is decreasing — the limitation
+        # of reduction orders the paper highlights.
+        assert lpo().orientable(apply_term(ADD, X, Y), apply_term(ADD, Y, X)) is None
+
+    def test_orientable_returns_decreasing_direction(self):
+        lhs = apply_term(ADD, X, Z)
+        oriented = lpo().orientable(X, lhs)
+        assert oriented == (lhs, X)
+
+
+class TestKBO:
+    def kbo(self) -> KnuthBendixOrder:
+        return KnuthBendixOrder(weights={"Z": 1, "S": 1, "add": 1, "mul": 1}, precedence=PRECEDENCE)
+
+    def test_heavier_term_is_greater(self):
+        assert self.kbo().greater(apply_term(ADD, apply_term(S, X), Y), apply_term(ADD, X, Y))
+
+    def test_variable_condition(self):
+        # add x y > y is fine, but y > add x y and add x x > add x y are not.
+        assert self.kbo().greater(apply_term(ADD, X, Y), Y)
+        assert not self.kbo().greater(Y, apply_term(ADD, X, Y))
+        assert not self.kbo().greater(apply_term(ADD, X, X), apply_term(ADD, X, Y))
+
+    def test_irreflexive(self):
+        assert not self.kbo().greater(apply_term(ADD, X, Y), apply_term(ADD, X, Y))
+
+    def test_program_rules_decrease(self, nat_program):
+        order = KnuthBendixOrder(
+            weights={name: 1 for name in nat_program.signature.constructors},
+            precedence=precedence_from_rules(
+                list(nat_program.rules.defined_symbols()),
+                list(nat_program.signature.constructors),
+            ),
+        )
+        add_rules = nat_program.rules.rules_for("add")
+        assert all(order.greater(rule.lhs, rule.rhs) for rule in add_rules)
+
+
+class TestDecreasingOrder:
+    def test_includes_base_order(self):
+        order = DecreasingOrder(lpo())
+        assert order.greater(apply_term(MUL, X, Y), apply_term(ADD, X, Y))
+
+    def test_includes_subterm_steps(self):
+        order = DecreasingOrder(lpo())
+        assert order.greater(apply_term(S, apply_term(ADD, X, Y)), X)
+
+    def test_composition_of_base_and_subterm(self):
+        order = DecreasingOrder(lpo())
+        # S (mul x y) ≻ add x y because mul x y > add x y and mul x y ◁ S (mul x y).
+        assert order.greater(apply_term(S, apply_term(MUL, X, Y)), apply_term(ADD, X, Y))
+
+    def test_irreflexive(self):
+        order = DecreasingOrder(lpo())
+        assert not order.greater(apply_term(ADD, X, Y), apply_term(ADD, X, Y))
+
+
+class TestPrecedenceFromRules:
+    def test_defined_above_constructors(self):
+        precedence = precedence_from_rules(["add", "mul"], ["Z", "S"])
+        assert precedence["add"] > precedence["S"]
+        assert precedence["mul"] > precedence["add"]

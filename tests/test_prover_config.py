@@ -1,0 +1,126 @@
+"""Tests for prover configuration and the ablation switches."""
+
+import pytest
+
+from repro.search import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, Prover, ProverConfig
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        ProverConfig().validate()
+
+    def test_with_returns_modified_copy(self):
+        config = ProverConfig()
+        changed = config.with_(max_depth=3)
+        assert changed.max_depth == 3
+        assert config.max_depth != 3 or config.max_depth == ProverConfig().max_depth
+        assert changed is not config
+
+    def test_bad_lemma_restriction_rejected(self):
+        with pytest.raises(ValueError):
+            ProverConfig(lemma_restriction="sometimes").validate()
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ProverConfig(max_depth=0).validate()
+        with pytest.raises(ValueError):
+            ProverConfig(max_nodes=0).validate()
+
+    def test_prover_validates_config(self, nat_program):
+        with pytest.raises(ValueError):
+            Prover(nat_program, ProverConfig(lemma_restriction="nope"))
+
+
+class TestLemmaRestrictionAblation:
+    def test_case_only_and_all_both_prove_simple_cycles(self, nat_program):
+        equation = nat_program.parse_equation("add x Z === x")
+        for restriction in (LEMMAS_CASE_ONLY, LEMMAS_ALL):
+            config = ProverConfig(lemma_restriction=restriction)
+            result = Prover(nat_program, config).prove(equation)
+            assert result.proved, restriction
+
+    def test_commutativity_needs_the_case_restriction_to_stay_tractable(self, nat_program):
+        # With every node eligible as a lemma the search space blows up and the
+        # commutativity proof is no longer found within a small budget — the
+        # redundancy eliminations of Section 5.1 are what keep it fast.
+        equation = nat_program.parse_equation("add x y === add y x")
+        restricted = Prover(
+            nat_program, ProverConfig(lemma_restriction=LEMMAS_CASE_ONLY, timeout=2.0)
+        ).prove(equation)
+        assert restricted.proved
+
+    def test_all_explores_no_fewer_candidates(self, nat_program):
+        equation = nat_program.parse_equation("add (add x y) z === add x (add y z)")
+        restricted = Prover(nat_program, ProverConfig(lemma_restriction=LEMMAS_CASE_ONLY)).prove(equation)
+        unrestricted = Prover(nat_program, ProverConfig(lemma_restriction=LEMMAS_ALL)).prove(equation)
+        assert restricted.proved and unrestricted.proved
+        assert unrestricted.statistics.subst_attempts >= restricted.statistics.subst_attempts
+
+    def test_none_disables_cycle_formation(self, nat_program):
+        equation = nat_program.parse_equation("add x Z === x")
+        config = ProverConfig(lemma_restriction=LEMMAS_NONE, timeout=1.0)
+        result = Prover(nat_program, config).prove(equation)
+        assert not result.proved
+        assert result.statistics.subst_attempts == 0
+
+
+class TestSoundnessCheckingAblation:
+    def test_incremental_and_naive_prove_the_same_goals(self, nat_program, list_program):
+        goals = [
+            (nat_program, "add x y === add y x"),
+            (nat_program, "add x Z === x"),
+            (list_program, "map id xs === xs"),
+            (list_program, "len (app xs ys) === add (len xs) (len ys)"),
+        ]
+        for program, source in goals:
+            equation = program.parse_equation(source)
+            incremental = Prover(program, ProverConfig(incremental_soundness=True)).prove(equation)
+            naive = Prover(program, ProverConfig(incremental_soundness=False)).prove(equation)
+            assert incremental.proved == naive.proved == True  # noqa: E712
+
+    def test_naive_mode_counts_checks(self, nat_program):
+        result = Prover(nat_program, ProverConfig(incremental_soundness=False)).prove(
+            nat_program.parse_equation("add x Z === x")
+        )
+        assert result.statistics.soundness_checks > 0
+
+
+class TestEagerRuleToggles:
+    def test_congruence_disabled_still_proves_simple_goal(self, nat_program):
+        config = ProverConfig(use_congruence=False)
+        result = Prover(nat_program, config).prove(nat_program.parse_equation("add x Z === x"))
+        assert result.proved
+        assert result.statistics.congruence_steps == 0
+
+    def test_funext_proves_eta_style_goal(self, list_program):
+        # map id ≈ id as functions over lists: needs (FunExt) to make progress.
+        equation = list_program.parse_equation("map id === id")
+        result = Prover(list_program).prove(equation)
+        assert result.proved
+        assert result.statistics.funext_steps >= 1
+
+    def test_funext_disabled_fails_functional_goal(self, list_program):
+        equation = list_program.parse_equation("map id === id")
+        config = ProverConfig(use_funext=False, timeout=1.0)
+        assert not Prover(list_program, config).prove(equation).proved
+
+
+class TestBudgets:
+    def test_node_budget_failure_is_reported(self, nat_program):
+        config = ProverConfig(max_nodes=3, timeout=None)
+        result = Prover(nat_program, config).prove(
+            nat_program.parse_equation("add x y === add y x")
+        )
+        assert not result.proved
+        assert "budget" in result.reason or "no proof" in result.reason
+
+    def test_timeout_is_respected(self, isaplanner):
+        import time
+
+        config = ProverConfig(timeout=0.3)
+        goal = isaplanner.goal("prop_54")  # unprovable without a hint
+        start = time.perf_counter()
+        result = Prover(isaplanner, config).prove_goal(goal)
+        elapsed = time.perf_counter() - start
+        assert not result.proved
+        assert elapsed < 3.0

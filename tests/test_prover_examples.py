@@ -1,0 +1,102 @@
+"""Integration tests: the paper's running examples (Figs. 1, 2, 4, 9) and hints."""
+
+import pytest
+
+from repro.benchmarks_data import HINTED_PROPERTIES
+from repro.program import check_equation
+from repro.proofs.preproof import RULE_CASE, RULE_SUBST
+from repro.proofs.render import render_text
+from repro.proofs.soundness import check_proof
+from repro.search import Prover, ProverConfig
+
+
+class TestFigure1MutualInduction:
+    def test_mapE_identity_law(self, mutual):
+        """Fig. 1: mapE id e ≈ e, requiring mutual induction over Term/Expr."""
+        result = Prover(mutual).prove_goal(mutual.goal("mprop_01"))
+        assert result.proved
+        assert check_proof(mutual, result.proof).is_proof
+        # The proof must contain case analyses over *both* datatypes.
+        case_types = {
+            node.case_var.ty.name
+            for node in result.proof.nodes
+            if node.rule == RULE_CASE and node.case_var is not None
+        }
+        assert {"Expr", "Term"} <= case_types
+
+    def test_mapT_identity_law(self, mutual):
+        result = Prover(mutual).prove_goal(mutual.goal("mprop_02"))
+        assert result.proved
+
+    def test_all_mutual_problems_solved(self, mutual):
+        prover = Prover(mutual, ProverConfig(timeout=5.0))
+        for goal in mutual.unconditional_goals():
+            result = prover.prove_goal(goal)
+            assert result.proved, f"{goal.name} should be provable: {result.reason}"
+
+
+class TestFigure2ButLast:
+    def test_butlast_take_equation(self, isaplanner):
+        """Fig. 2 / prop_50: butLast xs ≈ take (len xs - 1) xs, no lemma needed."""
+        goal = isaplanner.goal("prop_50")
+        result = Prover(isaplanner).prove_goal(goal)
+        assert result.proved
+        assert check_proof(isaplanner, result.proof).is_proof
+        # The cycle goes through the inner case analysis, as in the paper's figure.
+        assert result.proof.back_edge_targets()
+
+
+class TestFigure4Commutativity:
+    def test_commutativity_without_hints(self, nat_program):
+        """Fig. 4: x + y ≈ y + x proved with no externally supplied lemma."""
+        equation = nat_program.parse_equation("add x y === add y x")
+        result = Prover(nat_program).prove(equation)
+        assert result.proved
+        proof = result.proof
+        report = check_proof(nat_program, proof)
+        assert report.is_proof, report.issues
+        # The paper's proof has three case splits (on x, on y twice) and
+        # multiple cycles; ours must at least be genuinely cyclic with a nested
+        # case analysis.
+        counts = proof.rule_counts()
+        assert counts.get(RULE_CASE, 0) >= 3
+        assert len(proof.back_edge_targets()) >= 2
+        rendering = render_text(proof)
+        assert "add" in rendering
+
+    def test_commutativity_not_provable_without_subst(self, nat_program):
+        from repro.search import LEMMAS_NONE
+
+        config = ProverConfig(lemma_restriction=LEMMAS_NONE, timeout=1.0)
+        result = Prover(nat_program, config).prove(
+            nat_program.parse_equation("add x y === add y x")
+        )
+        assert not result.proved
+
+
+class TestFigure9MapId:
+    def test_map_id_proof_shape(self, list_program):
+        """Fig. 9: the cyclic proof of map id xs ≈ xs is tiny."""
+        result = Prover(list_program).prove(list_program.parse_equation("map id xs === xs"))
+        assert result.proved
+        counts = result.proof.rule_counts()
+        assert counts.get(RULE_CASE, 0) == 1
+        assert counts.get(RULE_SUBST, 0) == 1
+
+
+class TestHintedProperties:
+    """Section 6.2: props 47/54/65/69 become provable when given a commutativity hint."""
+
+    @pytest.mark.parametrize("name", sorted(HINTED_PROPERTIES))
+    def test_fails_without_hint_and_succeeds_with_it(self, isaplanner, name):
+        goal = isaplanner.goal(name)
+        hint_source = HINTED_PROPERTIES[name]
+        hint = isaplanner.parse_equation(hint_source)
+        assert check_equation(isaplanner, hint, depth=3), "the hint itself must be valid"
+        config = ProverConfig(timeout=5.0)
+        prover = Prover(isaplanner, config)
+        without = prover.prove_goal(goal)
+        assert not without.proved, f"{name} unexpectedly provable without the hint"
+        with_hint = prover.prove_goal(goal, hypotheses=[hint])
+        assert with_hint.proved, f"{name} should be provable given {hint_source}"
+        assert with_hint.proof.is_partial()

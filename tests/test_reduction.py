@@ -1,0 +1,121 @@
+"""Unit tests for reduction and normalisation."""
+
+import pytest
+
+from repro.core.exceptions import RewriteError
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.lang import load_program
+from repro.rewriting.reduction import (
+    Normalizer,
+    find_redex,
+    is_normal_form,
+    normalize,
+    one_step,
+    reducts,
+)
+from repro.rewriting.rules import RewriteRule
+from repro.rewriting.trs import RewriteSystem
+
+NAT = DataTy("Nat")
+S = Sym("S")
+Z = Sym("Z")
+
+
+def num(n):
+    term = Z
+    for _ in range(n):
+        term = apply_term(S, term)
+    return term
+
+
+class TestOneStep:
+    def test_finds_leftmost_outermost_redex(self, nat_program):
+        term = nat_program.parse_term("add (add Z Z) (add Z Z)")
+        redex = find_redex(nat_program.rules, term)
+        assert redex is not None
+        # The outer add is stuck (its first argument is not a constructor), so
+        # the leftmost-outermost redex is the inner add at position (0, 1).
+        assert redex.position == (0, 1)
+        assert redex.rule.head == "add"
+
+    def test_one_step_reduces(self, nat_program):
+        term = nat_program.parse_term("add Z (S Z)")
+        assert one_step(nat_program.rules, term) == num(1)
+
+    def test_normal_form_has_no_step(self, nat_program):
+        assert one_step(nat_program.rules, num(2)) is None
+        assert is_normal_form(nat_program.rules, num(2))
+
+    def test_open_term_can_be_stuck(self, nat_program):
+        x = Var("x", NAT)
+        stuck = apply_term(Sym("add"), x, Z)
+        assert is_normal_form(nat_program.rules, stuck)
+
+    def test_reducts_enumerates_all_positions(self, nat_program):
+        term = nat_program.parse_term("add (add Z Z) (add Z Z)")
+        all_reducts = list(reducts(nat_program.rules, term))
+        assert len(all_reducts) == 2
+
+
+class TestNormalize:
+    def test_normalize_computes_values(self, nat_program):
+        term = nat_program.parse_term("add (S Z) (S Z)")
+        assert normalize(nat_program.rules, term) == num(2)
+
+    def test_normalize_mul(self, nat_program):
+        term = nat_program.parse_term("mul (S (S Z)) (S (S (S Z)))")
+        assert normalize(nat_program.rules, term) == num(6)
+
+    def test_normalize_open_term(self, nat_program):
+        x = Var("x", NAT)
+        term = apply_term(Sym("add"), apply_term(Sym("S"), x), Z)
+        assert normalize(nat_program.rules, term) == apply_term(
+            Sym("S"), apply_term(Sym("add"), x, Z)
+        )
+
+    def test_step_budget_enforced(self):
+        source = """
+data Nat = Z | S Nat
+loop :: Nat -> Nat
+loop x = loop x
+"""
+        program = load_program(source)
+        with pytest.raises(RewriteError):
+            normalize(program.rules, program.parse_term("loop Z"), max_steps=50)
+
+
+class TestNormalizer:
+    def test_agrees_with_normalize(self, nat_program):
+        normalizer = Normalizer(nat_program.rules)
+        for source in ["add Z Z", "add (S Z) (S (S Z))", "mul (S (S Z)) (S (S Z))", "double (S Z)"]:
+            term = nat_program.parse_term(source)
+            assert normalizer.normalize(term) == normalize(nat_program.rules, term)
+
+    def test_cache_is_used(self, nat_program):
+        normalizer = Normalizer(nat_program.rules)
+        term = nat_program.parse_term("mul (S (S Z)) (S (S Z))")
+        normalizer.normalize(term)
+        first = normalizer.cache_size()
+        normalizer.normalize(term)
+        assert normalizer.cache_size() == first
+        assert first > 0
+
+    def test_clear_empties_cache(self, nat_program):
+        normalizer = Normalizer(nat_program.rules)
+        normalizer.normalize(nat_program.parse_term("add Z Z"))
+        normalizer.clear()
+        assert normalizer.cache_size() == 0
+
+    def test_idempotent(self, nat_program):
+        normalizer = Normalizer(nat_program.rules)
+        term = nat_program.parse_term("mul (S (S Z)) (double (S Z))")
+        nf = normalizer.normalize(term)
+        assert normalizer.normalize(nf) == nf
+        assert is_normal_form(nat_program.rules, nf)
+
+    def test_normalizer_on_list_program(self, list_program):
+        normalizer = Normalizer(list_program.rules)
+        term = list_program.parse_term("rev (Cons Z (Cons (S Z) Nil))")
+        expected = list_program.parse_term("Cons (S Z) (Cons Z Nil)")
+        assert normalizer.normalize(term) == expected

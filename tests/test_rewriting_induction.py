@@ -1,0 +1,134 @@
+"""Tests for the rewriting-induction baseline and its translation (Section 4)."""
+
+import pytest
+
+from repro.induction import (
+    RewritingInduction,
+    StructuralInductionProver,
+    default_reduction_order,
+    translate_to_partial_proof,
+)
+from repro.program import check_equation
+from repro.proofs.preproof import RULE_HYP
+from repro.proofs.soundness import check_proof
+
+
+class TestRewritingInduction:
+    def test_proves_right_identity(self, nat_program):
+        ri = RewritingInduction(nat_program)
+        result = ri.prove(nat_program.parse_equation("add x Z === x"))
+        assert result.success
+        assert result.hypotheses  # the goal itself became a hypothesis rule
+        assert any(step.rule == "expand" for step in result.steps)
+
+    def test_proves_successor_lemma(self, nat_program):
+        ri = RewritingInduction(nat_program)
+        result = ri.prove(nat_program.parse_equation("add x (S y) === S (add x y)"))
+        assert result.success
+
+    def test_proves_map_identity(self, list_program):
+        ri = RewritingInduction(list_program)
+        result = ri.prove(list_program.parse_equation("map id xs === xs"))
+        assert result.success
+
+    def test_cannot_orient_commutativity(self, nat_program):
+        """The inherent limitation of reduction orders (Section 4 / Garland-Guttag)."""
+        ri = RewritingInduction(nat_program)
+        result = ri.prove(nat_program.parse_equation("add x y === add y x"))
+        assert not result.success
+        assert "orientable" in result.reason or result.remaining
+
+    def test_commutativity_stays_unorientable_even_with_hints(self, nat_program):
+        """Unlike the cyclic system, rewriting induction cannot state the goal at
+        all: commutativity is inherently unorientable (Garland & Guttag's
+        critique, quoted in Section 4), so even the hint lemma does not help."""
+        ri = RewritingInduction(nat_program)
+        hint = nat_program.parse_equation("add x (S y) === S (add x y)")
+        result = ri.prove(nat_program.parse_equation("add x y === add y x"), extra_hypotheses=[hint])
+        assert not result.success
+
+    def test_false_equation_is_not_proved(self, nat_program):
+        ri = RewritingInduction(nat_program)
+        equation = nat_program.parse_equation("add x y === x")
+        assert not check_equation(nat_program, equation, depth=3)
+        assert not ri.prove(equation).success
+
+    def test_hypotheses_are_decreasing(self, nat_program):
+        ri = RewritingInduction(nat_program)
+        result = ri.prove(nat_program.parse_equation("add x Z === x"))
+        for rule in result.hypotheses:
+            assert ri.base_order.greater(rule.lhs, rule.rhs)
+
+
+class TestTranslationToCyclicProofs:
+    """Theorem 4.3: rewriting-induction derivations become partial cyclic proofs."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "add x Z === x",
+            "add x (S y) === S (add x y)",
+        ],
+    )
+    def test_nat_derivations_translate(self, nat_program, source):
+        ri = RewritingInduction(nat_program)
+        derivation = ri.prove(nat_program.parse_equation(source))
+        assert derivation.success
+        translation = translate_to_partial_proof(nat_program, derivation)
+        assert translation.success, translation.reason
+        proof = translation.proof
+        assert proof.is_partial()
+        assert any(node.rule == RULE_HYP for node in proof.nodes)
+        assert check_proof(nat_program, proof).is_proof
+
+    def test_list_derivation_translates(self, list_program):
+        ri = RewritingInduction(list_program)
+        derivation = ri.prove(list_program.parse_equation("map id xs === xs"))
+        assert derivation.success
+        translation = translate_to_partial_proof(list_program, derivation)
+        assert translation.success
+        assert translation.hypotheses
+
+    def test_failed_derivation_does_not_translate(self, nat_program):
+        ri = RewritingInduction(nat_program)
+        derivation = ri.prove(nat_program.parse_equation("add x y === add y x"))
+        translation = translate_to_partial_proof(nat_program, derivation)
+        assert not translation.success
+
+
+class TestStructuralInductionBaseline:
+    def test_proves_simple_structural_goals(self, nat_program, list_program):
+        assert StructuralInductionProver(nat_program).prove(
+            nat_program.parse_equation("add x Z === x")
+        ).proved
+        assert StructuralInductionProver(list_program).prove(
+            list_program.parse_equation("map id xs === xs")
+        ).proved
+
+    def test_uses_hypotheses_from_hints(self, nat_program):
+        # With the two standard auxiliary lemmas supplied, the classic one-level
+        # induction on x closes the commutativity proof.
+        prover = StructuralInductionProver(nat_program)
+        hints = [
+            nat_program.parse_equation("add y Z === y"),
+            nat_program.parse_equation("add x (S y) === S (add x y)"),
+        ]
+        result = prover.prove(nat_program.parse_equation("add x y === add y x"), hypotheses=hints)
+        assert result.proved
+
+    def test_commutativity_needs_nested_induction(self, nat_program):
+        # With the fixed one-level scheme the S-case gets stuck; allowing a
+        # nested induction (depth 2) recovers the classical proof.
+        equation = nat_program.parse_equation("add x y === add y x")
+        assert not StructuralInductionProver(nat_program).prove(equation).proved
+        assert StructuralInductionProver(nat_program, max_induction_depth=2).prove(equation).proved
+
+    def test_fails_on_mutual_induction(self, mutual):
+        """Single-variable structural induction cannot prove mapE id e ≈ e."""
+        prover = StructuralInductionProver(mutual)
+        assert not prover.prove(mutual.goal("mprop_01").equation).proved
+
+    def test_never_proves_false_goals(self, nat_program):
+        prover = StructuralInductionProver(nat_program)
+        for source in ["add x y === x", "double x === S x", "mul x y === add x y"]:
+            assert not prover.prove(nat_program.parse_equation(source)).proved

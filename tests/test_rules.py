@@ -1,0 +1,81 @@
+"""Unit tests for rewrite rules and their validation."""
+
+import pytest
+
+from repro.core.exceptions import RewriteError
+from repro.core.terms import Sym, Var, apply_term, free_vars
+from repro.core.types import DataTy
+from repro.rewriting.rules import RewriteRule, is_constructor_pattern, rule_head
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+
+
+def test_rule_head_and_patterns(nat_program):
+    rule = nat_program.rules.rules_for("add")[0]
+    assert rule.head == "add"
+    assert len(rule.patterns) == 2
+
+
+def test_is_constructor_pattern(nat_program):
+    sig = nat_program.signature
+    assert is_constructor_pattern(apply_term(Sym("S"), X), sig)
+    assert not is_constructor_pattern(apply_term(Sym("add"), X, Y), sig)
+
+
+def test_rule_head_requires_symbol():
+    with pytest.raises(RewriteError):
+        rule_head(X)
+
+
+def test_left_linearity(nat_program):
+    sig = nat_program.signature
+    linear = RewriteRule(apply_term(Sym("add"), X, Y), Y)
+    nonlinear = RewriteRule(apply_term(Sym("add"), X, X), X)
+    assert linear.is_left_linear()
+    assert not nonlinear.is_left_linear()
+
+
+def test_validate_accepts_program_rules(nat_program):
+    for rule in nat_program.rules:
+        rule.validate(nat_program.signature)  # should not raise
+
+
+def test_validate_rejects_defined_symbol_in_pattern(nat_program):
+    sig = nat_program.signature
+    bad = RewriteRule(
+        apply_term(Sym("add"), apply_term(Sym("add"), X, Y), Y), Y
+    )
+    with pytest.raises(RewriteError):
+        bad.validate(sig)
+
+
+def test_validate_rejects_constructor_head(nat_program):
+    sig = nat_program.signature
+    bad = RewriteRule(apply_term(Sym("S"), X), X)
+    with pytest.raises(RewriteError):
+        bad.validate(sig)
+
+
+def test_validate_rejects_unbound_rhs_variable(nat_program):
+    sig = nat_program.signature
+    bad = RewriteRule(apply_term(Sym("double"), X), Y)
+    with pytest.raises(RewriteError):
+        bad.validate(sig)
+
+
+def test_validate_rejects_unknown_symbol(nat_program):
+    sig = nat_program.signature
+    bad = RewriteRule(apply_term(Sym("double"), X), apply_term(Sym("missing"), X))
+    with pytest.raises(RewriteError):
+        bad.validate(sig)
+
+
+def test_rename_produces_fresh_variables(nat_program):
+    rule = nat_program.rules.rules_for("add")[1]
+    renamed = rule.rename("_1")
+    original_names = {v.name for v in free_vars(rule.lhs)}
+    renamed_names = {v.name for v in free_vars(renamed.lhs)}
+    assert original_names.isdisjoint(renamed_names)
+    assert len(original_names) == len(renamed_names)

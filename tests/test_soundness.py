@@ -1,0 +1,122 @@
+"""Unit tests for local/global soundness checking of preproofs."""
+
+import pytest
+
+from repro.core.equations import Equation
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.proofs.preproof import RULE_REFL, RULE_SUBST, Preproof
+from repro.proofs.render import proof_summary, render_dot, render_text
+from repro.proofs.soundness import (
+    check_global,
+    check_local,
+    check_proof,
+    edge_size_change_graph,
+    local_issues,
+    proof_size_change_graphs,
+)
+from repro.search import Prover, ProverConfig
+
+NAT = DataTy("Nat")
+
+
+def trivial_unsound_preproof(list_program) -> Preproof:
+    """Example 3.2: assume the goal by rewriting it with itself."""
+    x = Var("x", NAT)
+    xs = Var("xs", DataTy("List", (NAT,)))
+    proof = Preproof()
+    root = proof.add_node(Equation(apply_term(Sym("Cons"), x, xs), Sym("Nil")))
+    refl = proof.add_node(Equation(Sym("Nil"), Sym("Nil")), rule=RULE_REFL)
+    root.rule = RULE_SUBST
+    root.premises = [root.ident, refl.ident]
+    from repro.core.substitution import Substitution
+
+    root.subst = Substitution.of((x, x), (xs, xs))
+    root.position = ()
+    root.side = "lhs"
+    return proof
+
+
+class TestUnsoundPreproofRejected:
+    def test_example_32_fails_the_global_condition(self, list_program):
+        proof = trivial_unsound_preproof(list_program)
+        assert not check_global(proof)
+        assert not check_global(proof, incremental=True)
+
+    def test_example_32_report(self, list_program):
+        proof = trivial_unsound_preproof(list_program)
+        report = check_proof(list_program, proof)
+        assert not report.globally_sound
+        assert report.violation is not None
+        assert not report.is_proof
+
+
+class TestProverProofsAreSound:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "add x Z === x",
+            "add x y === add y x",
+            "add (add x y) z === add x (add y z)",
+        ],
+    )
+    def test_nat_proofs_validate(self, nat_program, source):
+        result = Prover(nat_program).prove(nat_program.parse_equation(source))
+        assert result.proved
+        report = check_proof(nat_program, result.proof)
+        assert report.is_proof, report.issues
+
+    def test_list_proof_validates(self, list_program):
+        result = Prover(list_program).prove(list_program.parse_equation("map id xs === xs"))
+        assert result.proved
+        report = check_proof(list_program, result.proof)
+        assert report.is_proof, report.issues
+
+    def test_incremental_and_from_scratch_agree(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x y === add y x"))
+        assert check_global(result.proof) == check_global(result.proof, incremental=True) is True
+
+    def test_local_issues_empty_for_prover_output(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x Z === x"))
+        assert local_issues(nat_program, result.proof) == []
+        assert check_local(nat_program, result.proof)
+
+
+class TestEdgeGraphs:
+    def test_every_edge_has_a_graph(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x y === add y x"))
+        proof = result.proof
+        graphs = proof_size_change_graphs(proof)
+        assert len(graphs) == len(list(proof.edges()))
+
+    def test_case_edges_carry_decreases(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x Z === x"))
+        proof = result.proof
+        case_nodes = [n for n in proof.nodes if n.rule == "Case"]
+        assert case_nodes
+        found_decrease = False
+        for node in case_nodes:
+            for index in range(len(node.premises)):
+                graph = edge_size_change_graph(proof, node.ident, index)
+                if any(dec for _x, _y, dec in graph.edges):
+                    found_decrease = True
+        assert found_decrease
+
+
+class TestRendering:
+    def test_text_rendering_mentions_companions(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x y === add y x"))
+        text = render_text(result.proof)
+        assert "add x y ≈ add y x" in text
+        assert "Case" in text and "Subst" in text
+
+    def test_dot_rendering_is_a_digraph(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x Z === x"))
+        dot = render_dot(result.proof)
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+        assert "lemma" in dot
+
+    def test_summary_counts_rules(self, nat_program):
+        result = Prover(nat_program).prove(nat_program.parse_equation("add x Z === x"))
+        summary = proof_summary(result.proof)
+        assert "Case" in summary and "cycle target" in summary

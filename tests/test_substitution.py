@@ -1,0 +1,84 @@
+"""Unit tests for substitutions."""
+
+import pytest
+
+from repro.core.substitution import Substitution, identity_subst
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+Z_VAR = Var("z", NAT)
+S = Sym("S")
+ZERO = Sym("Z")
+ADD = Sym("add")
+
+
+class TestApplication:
+    def test_apply_replaces_bound_variables(self):
+        theta = Substitution.of((X, ZERO))
+        assert theta.apply(apply_term(ADD, X, Y)) == apply_term(ADD, ZERO, Y)
+
+    def test_apply_leaves_unbound_variables(self):
+        theta = Substitution.of((X, ZERO))
+        assert theta.apply(Y) == Y
+
+    def test_identity_substitution_is_noop(self):
+        term = apply_term(ADD, X, Y)
+        assert identity_subst().apply(term) is term
+
+    def test_substitution_is_callable(self):
+        theta = Substitution.of((X, apply_term(S, Y)))
+        assert theta(X) == apply_term(S, Y)
+
+    def test_application_is_not_recursive(self):
+        # {x -> S x} applied once maps x to S x, not to an infinite term.
+        theta = Substitution.of((X, apply_term(S, X)))
+        assert theta.apply(X) == apply_term(S, X)
+
+
+class TestAlgebra:
+    def test_compose_applies_first_then_second(self):
+        first = Substitution.of((X, apply_term(S, Y)))
+        second = Substitution.of((Y, ZERO))
+        composed = second.compose(first)
+        # (second . first)(x) = second(first(x)) = S Z
+        assert composed.apply(X) == apply_term(S, ZERO)
+
+    def test_compose_keeps_outer_bindings(self):
+        first = Substitution.of((X, Y))
+        second = Substitution.of((Z_VAR, ZERO))
+        composed = second.compose(first)
+        assert composed.apply(Z_VAR) == ZERO
+
+    def test_compose_agrees_with_sequential_application(self):
+        term = apply_term(ADD, X, apply_term(S, Y))
+        first = Substitution.of((X, apply_term(S, Y)))
+        second = Substitution.of((Y, apply_term(S, ZERO)))
+        assert second.compose(first).apply(term) == second.apply(first.apply(term))
+
+    def test_extend_and_restrict(self):
+        theta = Substitution.of((X, ZERO)).extend(Y, apply_term(S, ZERO))
+        assert set(theta.domain()) == {"x", "y"}
+        assert theta.restrict(["x"]).domain() == ("x",)
+
+    def test_equality_and_hash(self):
+        a = Substitution.of((X, ZERO), (Y, apply_term(S, ZERO)))
+        b = Substitution.of((Y, apply_term(S, ZERO)), (X, ZERO))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPredicates:
+    def test_is_renaming(self):
+        assert Substitution.of((X, Y)).is_renaming()
+        assert not Substitution.of((X, ZERO)).is_renaming()
+
+    def test_is_identity(self):
+        assert Substitution.of((X, X)).is_identity()
+        assert not Substitution.of((X, Y)).is_identity()
+
+    def test_range_vars(self):
+        theta = Substitution.of((X, apply_term(ADD, Y, Z_VAR)))
+        assert set(theta.range_vars()) == {Y, Z_VAR}

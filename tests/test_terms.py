@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.terms import (
+    App,
+    FreshNameSupply,
+    Sym,
+    Var,
+    apply_term,
+    arguments,
+    free_vars,
+    fresh_name,
+    head,
+    is_strict_subterm,
+    is_subterm,
+    occurs,
+    positions,
+    proper_subterms,
+    rename_vars,
+    replace_at,
+    spine,
+    subterm_at,
+    subterms,
+    term_size,
+)
+from repro.core.types import DataTy
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+ADD = Sym("add")
+S = Sym("S")
+Z = Sym("Z")
+
+ADD_XY = apply_term(ADD, X, Y)          # add x y
+SX = apply_term(S, X)                   # S x
+NESTED = apply_term(ADD, SX, apply_term(ADD, X, Y))  # add (S x) (add x y)
+
+
+class TestConstruction:
+    def test_apply_term_associates_left(self):
+        assert ADD_XY == App(App(ADD, X), Y)
+
+    def test_spine_roundtrip(self):
+        head_term, args = spine(NESTED)
+        assert head_term == ADD
+        assert args == (SX, ADD_XY)
+        assert apply_term(head_term, *args) == NESTED
+
+    def test_head_and_arguments(self):
+        assert head(NESTED) == ADD
+        assert arguments(NESTED) == (SX, ADD_XY)
+        assert head(X) == X
+        assert arguments(Z) == ()
+
+    def test_str_uses_applicative_syntax(self):
+        assert str(NESTED) == "add (S x) (add x y)"
+
+    def test_term_size(self):
+        assert term_size(X) == 1
+        assert term_size(SX) == 3
+        assert term_size(ADD_XY) == 5
+
+
+class TestVariables:
+    def test_free_vars_ordered_no_duplicates(self):
+        assert free_vars(NESTED) == (X, Y)
+
+    def test_occurs(self):
+        assert occurs(X, NESTED)
+        assert not occurs(Var("z", NAT), NESTED)
+
+    def test_vars_distinguished_by_type(self):
+        other = Var("x", DataTy("Bool"))
+        assert other != X
+        assert free_vars(App(App(ADD, X), other)) == (X, other)
+
+    def test_rename_vars(self):
+        renamed = rename_vars(ADD_XY, {"x": Var("a", NAT)})
+        assert free_vars(renamed) == (Var("a", NAT), Y)
+
+
+class TestSubtermsAndPositions:
+    def test_subterms_preorder(self):
+        subs = list(subterms(SX))
+        assert subs == [SX, S, X]
+
+    def test_positions_index_subterms(self):
+        for position, sub in positions(NESTED):
+            assert subterm_at(NESTED, position) == sub
+
+    def test_replace_at_root(self):
+        assert replace_at(NESTED, (), Z) == Z
+
+    def test_replace_then_read_back(self):
+        for position, _sub in positions(NESTED):
+            replaced = replace_at(NESTED, position, Z)
+            assert subterm_at(replaced, position) == Z
+
+    def test_replace_at_invalid_position_raises(self):
+        with pytest.raises(IndexError):
+            subterm_at(X, (0,))
+        with pytest.raises(IndexError):
+            replace_at(X, (1,), Z)
+
+    def test_proper_subterms_excludes_term(self):
+        assert NESTED not in list(proper_subterms(NESTED))
+
+
+class TestSubtermOrder:
+    def test_reflexive(self):
+        assert is_subterm(NESTED, NESTED)
+
+    def test_strict_subterm(self):
+        assert is_strict_subterm(X, SX)
+        assert not is_strict_subterm(SX, SX)
+
+    def test_not_subterm(self):
+        assert not is_subterm(apply_term(S, Y), SX)
+
+    def test_antisymmetry_on_examples(self):
+        assert is_subterm(X, SX) and not is_subterm(SX, X)
+
+
+class TestFreshNames:
+    def test_fresh_name_avoids_taken(self):
+        assert fresh_name("x", ["x", "x1"]) == "x2"
+        assert fresh_name("y", ["x"]) == "y"
+
+    def test_supply_never_repeats(self):
+        supply = FreshNameSupply()
+        supply.reserve(["x", "x1"])
+        names = {supply.fresh("x") for _ in range(10)}
+        assert len(names) == 10
+        assert "x" not in names and "x1" not in names
+
+    def test_supply_multiple_bases(self):
+        supply = FreshNameSupply()
+        assert supply.fresh("a") != supply.fresh("b")

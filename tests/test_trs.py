@@ -1,0 +1,102 @@
+"""Unit tests for rewrite systems: indexing, completeness, orthogonality."""
+
+import pytest
+
+from repro.core.exceptions import RewriteError
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy, TypeVar, fun_ty
+from repro.lang import load_program
+from repro.rewriting.rules import RewriteRule
+from repro.rewriting.trs import RewriteSystem
+
+
+class TestIndexing:
+    def test_rules_indexed_by_head(self, nat_program):
+        assert len(nat_program.rules.rules_for("add")) == 2
+        assert len(nat_program.rules.rules_for("mul")) == 2
+        assert nat_program.rules.rules_for("unknown") == ()
+
+    def test_defined_symbols(self, nat_program):
+        assert set(nat_program.rules.defined_symbols()) == {"add", "mul", "double"}
+
+    def test_len_and_iteration(self, nat_program):
+        assert len(nat_program.rules) == 6
+        assert len(list(iter(nat_program.rules))) == 6
+
+    def test_copy_is_independent(self, nat_program):
+        clone = nat_program.rules.copy()
+        x = Var("x", DataTy("Nat"))
+        clone.add_rule(
+            RewriteRule(apply_term(Sym("double"), x), x), validate=False
+        )
+        assert len(clone) == len(nat_program.rules) + 1
+
+    def test_describe_lists_rules(self, nat_program):
+        assert "add Z y -> y" in nat_program.rules.describe()
+
+
+class TestCompleteness:
+    def test_benchmark_programs_are_complete(self, nat_program, list_program, isaplanner):
+        assert nat_program.rules.is_complete()
+        assert list_program.rules.is_complete()
+        assert isaplanner.rules.is_complete()
+
+    def test_missing_constructor_case_detected(self):
+        source = """
+data Nat = Z | S Nat
+pred :: Nat -> Nat
+pred (S x) = x
+"""
+        program = load_program(source, check_completeness=False)
+        report = program.rules.completeness_report()
+        assert not report.complete
+        assert any("pred" in issue for issue in report.missing)
+
+    def test_nested_pattern_coverage(self):
+        # butlast-style nested patterns cover the whole domain.
+        source = """
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+butlast :: List a -> List a
+butlast Nil = Nil
+butlast (Cons x Nil) = Nil
+butlast (Cons x (Cons y ys)) = Cons x (butlast (Cons y ys))
+"""
+        program = load_program(source)
+        assert program.rules.is_complete()
+
+    def test_nested_pattern_gap_detected(self):
+        source = """
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+f :: List a -> List a
+f Nil = Nil
+f (Cons x Nil) = Nil
+"""
+        program = load_program(source, check_completeness=False)
+        assert not program.rules.is_complete()
+        with pytest.raises(RewriteError):
+            program.rules.assert_complete()
+
+    def test_undefined_function_reported(self):
+        source = """
+data Nat = Z | S Nat
+mystery :: Nat -> Nat
+"""
+        program = load_program(source, check_completeness=False)
+        report = program.rules.completeness_report()
+        assert not report.complete
+
+
+class TestOrthogonality:
+    def test_functional_program_is_orthogonal(self, list_program):
+        assert list_program.rules.is_left_linear()
+        assert list_program.rules.is_orthogonal()
+
+    def test_overlapping_rules_are_not_orthogonal(self, nat_program):
+        system = nat_program.rules.copy()
+        x = Var("x", DataTy("Nat"))
+        y = Var("y", DataTy("Nat"))
+        # An extra rule overlapping with add Z y = y at the root.
+        system.add_rule(RewriteRule(apply_term(Sym("add"), x, y), y), validate=False)
+        assert not system.is_orthogonal()

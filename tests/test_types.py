@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.types."""
+
+import pytest
+
+from repro.core.exceptions import UnificationError
+from repro.core.types import (
+    DataTy,
+    FunTy,
+    TypeVar,
+    apply_type_subst,
+    arg_types,
+    free_type_vars,
+    fun_ty,
+    instantiate,
+    match_type,
+    resolve,
+    result_type,
+    type_order,
+    unify_types,
+)
+
+NAT = DataTy("Nat")
+BOOL = DataTy("Bool")
+LIST_A = DataTy("List", (TypeVar("a"),))
+
+
+class TestTypeConstruction:
+    def test_fun_ty_builds_curried_type(self):
+        ty = fun_ty([NAT, BOOL], NAT)
+        assert ty == FunTy(NAT, FunTy(BOOL, NAT))
+
+    def test_fun_ty_with_no_args_is_result(self):
+        assert fun_ty([], NAT) == NAT
+
+    def test_arg_types_and_result_type(self):
+        ty = fun_ty([NAT, LIST_A], BOOL)
+        assert arg_types(ty) == (NAT, LIST_A)
+        assert result_type(ty) == BOOL
+
+    def test_str_rendering(self):
+        assert str(fun_ty([NAT], NAT)) == "Nat -> Nat"
+        assert str(LIST_A) == "List a"
+        assert str(FunTy(FunTy(NAT, NAT), NAT)) == "(Nat -> Nat) -> Nat"
+
+
+class TestTypeOrder:
+    def test_base_types_have_order_zero(self):
+        assert type_order(NAT) == 0
+        assert type_order(LIST_A) == 0
+        assert type_order(TypeVar("a")) == 0
+
+    def test_first_order_function(self):
+        assert type_order(fun_ty([NAT, NAT], NAT)) == 1
+
+    def test_second_order_function(self):
+        # (Nat -> Nat) -> Nat has order 2.
+        assert type_order(FunTy(FunTy(NAT, NAT), NAT)) == 2
+
+
+class TestFreeTypeVars:
+    def test_collects_in_order_without_duplicates(self):
+        ty = fun_ty([TypeVar("a"), DataTy("List", (TypeVar("b"),)), TypeVar("a")], TypeVar("c"))
+        assert free_type_vars(ty) == ("a", "b", "c")
+
+    def test_ground_type_has_none(self):
+        assert free_type_vars(fun_ty([NAT], BOOL)) == ()
+
+
+class TestUnification:
+    def test_unifies_variable_with_type(self):
+        subst = unify_types(TypeVar("a"), NAT)
+        assert resolve(TypeVar("a"), subst) == NAT
+
+    def test_unifies_structures(self):
+        left = DataTy("List", (TypeVar("a"),))
+        right = DataTy("List", (NAT,))
+        subst = unify_types(left, right)
+        assert resolve(left, subst) == right
+
+    def test_unifies_function_types(self):
+        subst = unify_types(FunTy(TypeVar("a"), TypeVar("b")), FunTy(NAT, BOOL))
+        assert resolve(TypeVar("a"), subst) == NAT
+        assert resolve(TypeVar("b"), subst) == BOOL
+
+    def test_occurs_check(self):
+        with pytest.raises(UnificationError):
+            unify_types(TypeVar("a"), DataTy("List", (TypeVar("a"),)))
+
+    def test_clash_fails(self):
+        with pytest.raises(UnificationError):
+            unify_types(NAT, BOOL)
+
+    def test_arity_mismatch_fails(self):
+        with pytest.raises(UnificationError):
+            unify_types(DataTy("List", (NAT,)), DataTy("List", ()))
+
+
+class TestMatching:
+    def test_matches_pattern_onto_target(self):
+        subst = match_type(DataTy("List", (TypeVar("a"),)), DataTy("List", (NAT,)))
+        assert subst["a"] == NAT
+
+    def test_matching_is_one_way(self):
+        with pytest.raises(UnificationError):
+            match_type(DataTy("List", (NAT,)), DataTy("List", (TypeVar("a"),)))
+
+    def test_inconsistent_binding_fails(self):
+        pattern = FunTy(TypeVar("a"), TypeVar("a"))
+        with pytest.raises(UnificationError):
+            match_type(pattern, FunTy(NAT, BOOL))
+
+
+class TestInstantiate:
+    def test_instantiation_freshens_variables(self):
+        ty = fun_ty([TypeVar("a")], TypeVar("a"))
+        inst = instantiate(ty)
+        names = free_type_vars(inst)
+        assert len(names) == 1
+        assert names[0] != "a"
+
+    def test_distinct_instantiations_do_not_share(self):
+        ty = fun_ty([TypeVar("a")], TypeVar("a"))
+        assert free_type_vars(instantiate(ty)) != free_type_vars(instantiate(ty))
+
+    def test_apply_subst_leaves_unbound_vars(self):
+        ty = fun_ty([TypeVar("a")], TypeVar("b"))
+        out = apply_type_subst({"a": NAT}, ty)
+        assert out == fun_ty([NAT], TypeVar("b"))
