@@ -1,0 +1,433 @@
+"""Experiment E-core — hash-consed terms + rule index vs the seed term engine.
+
+This benchmark quantifies the tentpole refactor: interned (hash-consed) terms
+with cached structural attributes, an identity-keyed normal-form cache, and
+discrimination-tree rule retrieval, measured against a faithful re-creation of
+the *seed* engine (plain structural terms, recursive equality/hashing, linear
+per-head rule scans, a structurally-keyed normal-form cache).
+
+Two workloads:
+
+* **normalisation-heavy** — ground arithmetic/list terms over the IsaPlanner
+  prelude, normalised through the cached normaliser.  This is what the prover's
+  (Reduce) rule and equation semantics do constantly.
+* **matching-heavy** — redex scans (`find_redex` + all `reducts`) over a large
+  family of open terms, the inner loop of reduction, narrowing and proof
+  search.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_term_index.py``) for the
+full report, or through pytest for the asserted ≥2× speedup on the
+normalisation workload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from conftest import print_report  # shared benchmark helpers
+from repro.benchmarks_data import isaplanner_program
+from repro.core.terms import App, Sym, Term, Var, apply_term
+from repro.core.types import DataTy
+from repro.harness import format_table, normalizer_cache_table
+from repro.rewriting.reduction import Normalizer, find_redex, reducts
+
+NAT = DataTy("Nat")
+LIST_NAT = DataTy("List", (NAT,))
+
+
+# ---------------------------------------------------------------------------
+# A faithful copy of the seed term engine (pre-interning, pre-index)
+# ---------------------------------------------------------------------------
+#
+# Plain structural nodes: equality and hashing recurse over the whole term on
+# every call (as with the seed's frozen dataclasses), `free_vars`/`term_size`
+# re-walk the term, and rule lookup is a linear scan over the rules of the
+# head symbol.  This is the "seed path" the acceptance criterion compares to.
+
+
+class _SeedVar:
+    __slots__ = ("name", "ty")
+
+    def __init__(self, name, ty):
+        self.name = name
+        self.ty = ty
+
+    def __eq__(self, other):
+        return (
+            other.__class__ is _SeedVar
+            and self.name == other.name
+            and self.ty == other.ty
+        )
+
+    def __hash__(self):
+        return hash(("var", self.name, self.ty))
+
+
+class _SeedSym:
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __eq__(self, other):
+        return other.__class__ is _SeedSym and self.name == other.name
+
+    def __hash__(self):
+        return hash(("sym", self.name))
+
+
+class _SeedApp:
+    __slots__ = ("fun", "arg")
+
+    def __init__(self, fun, arg):
+        self.fun = fun
+        self.arg = arg
+
+    def __eq__(self, other):
+        return (
+            other.__class__ is _SeedApp
+            and self.fun == other.fun
+            and self.arg == other.arg
+        )
+
+    def __hash__(self):
+        return hash(("app", self.fun, self.arg))
+
+
+def _to_seed(term: Term):
+    if isinstance(term, Var):
+        return _SeedVar(term.name, term.ty)
+    if isinstance(term, Sym):
+        return _SeedSym(term.name)
+    return _SeedApp(_to_seed(term.fun), _to_seed(term.arg))
+
+
+def _seed_spine_head(term):
+    while term.__class__ is _SeedApp:
+        term = term.fun
+    return term
+
+
+def _seed_match(pattern, target) -> Optional[Dict[str, object]]:
+    bindings: Dict[str, object] = {}
+    stack = [(pattern, target)]
+    while stack:
+        pat, tgt = stack.pop()
+        if pat.__class__ is _SeedVar:
+            bound = bindings.get(pat.name)
+            if bound is None:
+                bindings[pat.name] = tgt
+            elif bound != tgt:
+                return None
+        elif pat.__class__ is _SeedSym:
+            if tgt.__class__ is not _SeedSym or pat.name != tgt.name:
+                return None
+        else:
+            if tgt.__class__ is not _SeedApp:
+                return None
+            stack.append((pat.fun, tgt.fun))
+            stack.append((pat.arg, tgt.arg))
+    # The seed wrapped the result in a fresh Substitution (one dict copy).
+    return dict(bindings)
+
+
+def _seed_apply(bindings: Dict[str, object], term):
+    if term.__class__ is _SeedVar:
+        return bindings.get(term.name, term)
+    if term.__class__ is _SeedApp:
+        return _SeedApp(_seed_apply(bindings, term.fun), _seed_apply(bindings, term.arg))
+    return term
+
+
+def _seed_positions(term):
+    stack = [((), term)]
+    while stack:
+        path, t = stack.pop()
+        yield path, t
+        if t.__class__ is _SeedApp:
+            stack.append((path + (1,), t.arg))
+            stack.append((path + (0,), t.fun))
+
+
+def _seed_replace_at(term, position, replacement):
+    if not position:
+        return replacement
+    step, rest = position[0], position[1:]
+    if step == 0:
+        return _SeedApp(_seed_replace_at(term.fun, rest, replacement), term.arg)
+    return _SeedApp(term.fun, _seed_replace_at(term.arg, rest, replacement))
+
+
+class _SeedSystem:
+    """The seed's rule store: declaration order, indexed by head symbol only."""
+
+    def __init__(self, system):
+        self.rules = [(_to_seed(r.lhs), _to_seed(r.rhs)) for r in system.rules]
+        self.by_head: Dict[str, List[Tuple[object, object]]] = {}
+        for lhs, rhs in self.rules:
+            head = _seed_spine_head(lhs)
+            self.by_head.setdefault(head.name, []).append((lhs, rhs))
+
+    def rules_for(self, name):
+        return self.by_head.get(name, ())
+
+
+def _seed_match_rules(system: _SeedSystem, sub):
+    head = _seed_spine_head(sub)
+    if head.__class__ is not _SeedSym:
+        return None
+    for lhs, rhs in system.rules_for(head.name):
+        theta = _seed_match(lhs, sub)
+        if theta is not None:
+            return (lhs, rhs), theta
+    return None
+
+
+class _SeedNormalizer:
+    """The seed's cached normaliser: a structurally-keyed normal-form cache."""
+
+    def __init__(self, system: _SeedSystem, max_steps: int = 100_000):
+        self.system = system
+        self.max_steps = max_steps
+        self._cache: Dict[object, object] = {}
+
+    def normalize(self, term):
+        cached = self._cache.get(term)
+        if cached is not None:
+            return cached
+        result = self._normalize_uncached(term)
+        self._cache[term] = result
+        return result
+
+    def _normalize_uncached(self, term):
+        current = term
+        for _ in range(self.max_steps):
+            current = self._normalize_children(current)
+            found = _seed_match_rules(self.system, current)
+            if found is None:
+                return current
+            (_lhs, rhs), theta = found
+            current = _seed_apply(theta, rhs)
+        raise RuntimeError("seed normalisation exceeded the step budget")
+
+    def _normalize_children(self, term):
+        if term.__class__ is _SeedApp:
+            fun = self.normalize(term.fun)
+            arg = self.normalize(term.arg)
+            if fun is term.fun and arg is term.arg:
+                return term
+            return _SeedApp(fun, arg)
+        return term
+
+
+def _seed_find_redex(system: _SeedSystem, term):
+    """The seed's `find_redex`: first rule matching at the leftmost-outermost
+    position."""
+    for position, sub in _seed_positions(term):
+        head = _seed_spine_head(sub)
+        if head.__class__ is not _SeedSym:
+            continue
+        for lhs, rhs in system.rules_for(head.name):
+            theta = _seed_match(lhs, sub)
+            if theta is not None:
+                return position, (lhs, rhs), theta
+    return None
+
+
+def _seed_reducts(system: _SeedSystem, term):
+    """The seed's `reducts`: every rule at every position, built lazily."""
+    for position, sub in _seed_positions(term):
+        head = _seed_spine_head(sub)
+        if head.__class__ is not _SeedSym:
+            continue
+        for lhs, rhs in system.rules_for(head.name):
+            theta = _seed_match(lhs, sub)
+            if theta is not None:
+                yield _seed_replace_at(term, position, _seed_apply(theta, rhs))
+
+
+def _seed_redex_scan(system: _SeedSystem, term) -> int:
+    """The seed workload step: one `find_redex` pass plus all `reducts`."""
+    _seed_find_redex(system, term)
+    return sum(1 for _ in _seed_reducts(system, term))
+
+
+# ---------------------------------------------------------------------------
+# Workload construction (over the IsaPlanner prelude)
+# ---------------------------------------------------------------------------
+
+
+def _peano(n: int) -> Term:
+    term: Term = Sym("Z")
+    for _ in range(n):
+        term = App(Sym("S"), term)
+    return term
+
+
+def _nat_list(values) -> Term:
+    term: Term = Sym("Nil")
+    for value in reversed(list(values)):
+        term = apply_term(Sym("Cons"), _peano(value), term)
+    return term
+
+
+def normalisation_workload(size: int = 12) -> List[Term]:
+    """Ground terms whose normalisation shares many subcomputations."""
+    xs = _nat_list(range(size))
+    ys = _nat_list(reversed(range(size)))
+    rev, app, length = Sym("rev"), Sym("app"), Sym("len")
+    add, minus, take, drop = Sym("add"), Sym("minus"), Sym("take"), Sym("drop")
+    eqn, count, sort = Sym("eqN"), Sym("count"), Sym("sort")
+    terms = [
+        apply_term(rev, apply_term(app, xs, ys)),
+        apply_term(app, apply_term(rev, xs), apply_term(rev, ys)),
+        apply_term(length, apply_term(app, xs, apply_term(rev, ys))),
+        apply_term(add, apply_term(length, xs), apply_term(length, apply_term(rev, ys))),
+        apply_term(take, _peano(size // 2), apply_term(app, ys, xs)),
+        apply_term(drop, _peano(size // 2), apply_term(rev, apply_term(app, xs, ys))),
+        apply_term(minus, apply_term(length, apply_term(app, xs, ys)), _peano(size)),
+        apply_term(eqn, apply_term(length, apply_term(rev, xs)), apply_term(length, xs)),
+        apply_term(count, _peano(3), apply_term(app, xs, apply_term(rev, xs))),
+        apply_term(sort, apply_term(app, xs, ys)),
+        apply_term(rev, apply_term(sort, apply_term(app, ys, xs))),
+    ]
+    return terms
+
+
+def matching_workload(size: int = 10) -> List[Term]:
+    """Open terms exercising the redex scan (reduction/narrowing inner loop)."""
+    n, m = Var("n", NAT), Var("m", NAT)
+    xs, ys = Var("xs", LIST_NAT), Var("ys", LIST_NAT)
+    add, minus, take, drop = Sym("add"), Sym("minus"), Sym("take"), Sym("drop")
+    rev, app, length, count = Sym("rev"), Sym("app"), Sym("len"), Sym("count")
+    terms: List[Term] = []
+    for i in range(size):
+        ground_list = _nat_list(range(i % 4 + 1))
+        terms.extend(
+            [
+                apply_term(take, apply_term(minus, apply_term(length, xs), _peano(i % 3)), xs),
+                apply_term(rev, apply_term(app, apply_term(rev, xs), apply_term(take, n, ys))),
+                apply_term(add, apply_term(count, n, ground_list), apply_term(length, apply_term(drop, m, ys))),
+                apply_term(app, apply_term(rev, apply_term(app, ground_list, xs)), apply_term(drop, _peano(i % 5), ys)),
+                apply_term(minus, apply_term(add, n, apply_term(length, ground_list)), apply_term(add, m, n)),
+            ]
+        )
+    return terms
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _time(thunk: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_comparison(size: int = 12, repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Time both engines on both workloads; returns seconds per engine/workload."""
+    program = isaplanner_program()
+    system = program.rules
+    seed_system = _SeedSystem(system)
+
+    norm_terms = normalisation_workload(size)
+    seed_norm_terms = [_to_seed(t) for t in norm_terms]
+
+    def run_interned_normalisation():
+        normalizer = Normalizer(system, max_steps=100_000)
+        for term in norm_terms:
+            normalizer.normalize(term)
+        return normalizer
+
+    def run_seed_normalisation():
+        normalizer = _SeedNormalizer(seed_system)
+        for term in seed_norm_terms:
+            normalizer.normalize(term)
+
+    match_terms = matching_workload()
+    seed_match_terms = [_to_seed(t) for t in match_terms]
+
+    def run_interned_matching():
+        total = 0
+        for term in match_terms:
+            find_redex(system, term)
+            total += sum(1 for _ in reducts(system, term))
+        return total
+
+    def run_seed_matching():
+        return sum(_seed_redex_scan(seed_system, term) for term in seed_match_terms)
+
+    # Sanity: both engines agree on the amount of redex work.
+    assert run_interned_matching() == run_seed_matching()
+
+    results = {
+        "normalisation": {
+            "seed": _time(run_seed_normalisation, repeats),
+            "interned": _time(run_interned_normalisation, repeats),
+        },
+        "matching": {
+            "seed": _time(run_seed_matching, repeats),
+            "interned": _time(run_interned_matching, repeats),
+        },
+    }
+    # One more instrumented run for the cache-effectiveness report.
+    results["cache_stats"] = run_interned_normalisation().cache_stats()
+    return results
+
+
+def speedup(results: Dict[str, Dict[str, float]], workload: str) -> float:
+    timings = results[workload]
+    return timings["seed"] / timings["interned"] if timings["interned"] else float("inf")
+
+
+def report(results: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    for workload in ("normalisation", "matching"):
+        timings = results[workload]
+        rows.append(
+            (
+                workload,
+                f"{timings['seed'] * 1000:.1f}",
+                f"{timings['interned'] * 1000:.1f}",
+                f"{speedup(results, workload):.1f}x",
+            )
+        )
+    table = format_table(("workload", "seed path (ms)", "interned+index (ms)", "speedup"), rows)
+    cache = normalizer_cache_table(("normalisation", results["cache_stats"]))
+    return f"{table}\n\n{cache}"
+
+
+# ---------------------------------------------------------------------------
+# Pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_normalisation_speedup_at_least_2x():
+    """Acceptance criterion: ≥2× over the seed path on normalisation."""
+    results = run_comparison()
+    print_report("Term engine comparison (seed vs interned+index)", report(results))
+    assert speedup(results, "normalisation") >= 2.0, report(results)
+
+
+def test_matching_not_materially_slower_than_seed():
+    """The one-shot redex scan is construction-heavy with no reuse, so the
+    interned engine only reaches parity here (its wins come from everything
+    downstream of construction: equality, hashing, caching, normalisation).
+    Guard against a real regression while tolerating timer noise."""
+    results = run_comparison(size=10, repeats=5)
+    assert speedup(results, "matching") >= 0.7, report(results)
+
+
+def main() -> None:
+    results = run_comparison()
+    print(report(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,7 @@ from .exceptions import (
     TypeCheckError,
     UnificationError,
 )
+from .interning import TermBank, current_bank, set_current_bank, use_bank
 from .matching import alpha_equivalent, match, match_or_none, unify, unify_or_none
 from .signature import ConstructorDecl, DataDecl, Signature
 from .substitution import Substitution, identity_subst
@@ -54,6 +55,8 @@ __all__ = [
     "Term", "Var", "Sym", "App", "apply_term", "spine", "head", "arguments",
     "free_vars", "subterms", "positions", "subterm_at", "replace_at",
     "term_size", "is_subterm", "is_strict_subterm", "Position", "FreshNameSupply",
+    # interning
+    "TermBank", "current_bank", "set_current_bank", "use_bank",
     # types
     "Type", "TypeVar", "DataTy", "FunTy", "fun_ty", "arg_types", "result_type", "type_order",
     # contexts

@@ -1,0 +1,320 @@
+"""Hash-consed term construction: the :class:`TermBank`.
+
+Every :class:`~repro.core.terms.Var`, :class:`~repro.core.terms.Sym` and
+:class:`~repro.core.terms.App` node is built through a *bank* that maintains
+maximal sharing: structurally equal terms built through the same bank are the
+very same Python object.  Within one bank, equality is therefore identity, and
+the structural attributes that the rest of the system needs over and over —
+size, free variables, head symbol, spine length, hash — are computed once at
+construction and cached on the node.
+
+The term constructors in :mod:`repro.core.terms` route through the *current*
+bank, so all existing construction sites (tests, examples, the parser, the
+prover) get sharing transparently.  A fresh bank can be installed for a scope
+with :func:`use_bank`, which is how tests exercise cross-bank behaviour.
+
+Invariant: the two children of an interned ``App`` always belong to the same
+bank as the application itself (:meth:`TermBank.app` interns foreign children
+first).  Consequently every subterm of a banked term lives in that bank, which
+is what makes the O(shared-nodes) subterm check of
+:func:`repro.core.terms.is_subterm` sound.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "TermBank",
+    "current_bank",
+    "set_current_bank",
+    "use_bank",
+]
+
+# Tags mixed into the cached hashes so that Var("x") and Sym("x") collide less.
+_VAR_TAG = 0x9E3779B1
+_SYM_TAG = 0x85EBCA77
+_APP_TAG = 0xC2B2AE3D
+
+# The concrete node classes, registered by repro.core.terms at import time.
+# interning.py deliberately does not import terms.py: the dependency points the
+# other way, which keeps the module graph acyclic.
+_VarCls: Any = None
+_SymCls: Any = None
+_AppCls: Any = None
+
+#: The current bank, held in a one-element list so that the term constructors
+#: can reach it with a single indexed load.
+_STATE: list = [None]
+
+
+def _install_node_types(var_cls: type, sym_cls: type, app_cls: type) -> None:
+    """Called once by :mod:`repro.core.terms` to register the node classes."""
+    global _VarCls, _SymCls, _AppCls
+    _VarCls, _SymCls, _AppCls = var_cls, sym_cls, app_cls
+    if _STATE[0] is None:
+        _STATE[0] = TermBank("default")
+
+
+class TermBank:
+    """An interning table producing maximally shared term nodes.
+
+    Each node carries a bank-stable integer id (``_id``) and cached structural
+    attributes.  The bank keeps strong references to every node it has ever
+    built, so ids and identities are stable for the bank's lifetime; create a
+    fresh bank (and :func:`use_bank` it) when full isolation is needed.
+    """
+
+    __slots__ = ("name", "_vars", "_syms", "_apps", "_next_id", "hits", "misses")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._vars: Dict[Tuple[str, Any], Any] = {}
+        self._syms: Dict[str, Any] = {}
+        self._apps: Dict[Tuple[int, int], Any] = {}
+        self._next_id = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TermBank({self.name or id(self):x}: {len(self)} nodes)"
+
+    def __len__(self) -> int:
+        return len(self._vars) + len(self._syms) + len(self._apps)
+
+    # -- node construction -----------------------------------------------------
+
+    def var(self, name: str, ty: Any):
+        """The unique ``Var(name, ty)`` node of this bank."""
+        key = (name, ty)
+        node = self._vars.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = object.__new__(_VarCls)
+        oset = object.__setattr__
+        oset(node, "name", name)
+        oset(node, "ty", ty)
+        oset(node, "_bank", self)
+        oset(node, "_id", self._next_id)
+        oset(node, "_size", 1)
+        oset(node, "_fvs", (node,))
+        oset(node, "_head", None)
+        oset(node, "_nargs", 0)
+        oset(node, "_hash", hash((_VAR_TAG, name, ty)))
+        self._next_id += 1
+        self._vars[key] = node
+        return node
+
+    def sym(self, name: str):
+        """The unique ``Sym(name)`` node of this bank."""
+        node = self._syms.get(name)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        node = object.__new__(_SymCls)
+        oset = object.__setattr__
+        oset(node, "name", name)
+        oset(node, "_bank", self)
+        oset(node, "_id", self._next_id)
+        oset(node, "_size", 1)
+        oset(node, "_fvs", ())
+        oset(node, "_head", name)
+        oset(node, "_nargs", 0)
+        oset(node, "_hash", hash((_SYM_TAG, name)))
+        self._next_id += 1
+        self._syms[name] = node
+        return node
+
+    def app(self, fun, arg):
+        """The unique ``App(fun, arg)`` node of this bank.
+
+        Children built in another bank are interned into this one first, so a
+        banked term never mixes nodes from several banks.  Applications over
+        *extended* syntax (children that are not terms, e.g. the hole of a
+        one-hole context) fall back to plain unshared nodes with ``_bank``
+        ``None`` — they compare structurally and never enter the intern table.
+        """
+        try:
+            if fun._bank is not self:
+                fun = self.intern(fun)
+            if arg._bank is not self:
+                arg = self.intern(arg)
+        except AttributeError:
+            return self._raw_app(fun, arg)
+        key = (fun._id, arg._id)
+        node = self._apps.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        self.misses += 1
+        ffvs = fun._fvs
+        afvs = arg._fvs
+        if not afvs:
+            fvs = ffvs
+        elif not ffvs:
+            fvs = afvs
+        else:
+            merged = list(ffvs)
+            present = set(ffvs)
+            for v in afvs:
+                if v not in present:
+                    merged.append(v)
+            fvs = tuple(merged)
+        node = object.__new__(_AppCls)
+        oset = object.__setattr__
+        oset(node, "fun", fun)
+        oset(node, "arg", arg)
+        oset(node, "_bank", self)
+        oset(node, "_id", self._next_id)
+        oset(node, "_size", 1 + fun._size + arg._size)
+        oset(node, "_fvs", fvs)
+        oset(node, "_head", fun._head)
+        oset(node, "_nargs", fun._nargs + 1)
+        oset(node, "_hash", hash((_APP_TAG, fun._hash, arg._hash)))
+        self._next_id += 1
+        self._apps[key] = node
+        return node
+
+    def _raw_app(self, fun, arg):
+        """An unshared application node over extended (non-term) children."""
+        node = object.__new__(_AppCls)
+        oset = object.__setattr__
+        oset(node, "fun", fun)
+        oset(node, "arg", arg)
+        oset(node, "_bank", None)
+        oset(node, "_id", -1)
+        oset(node, "_size", 1 + getattr(fun, "_size", 1) + getattr(arg, "_size", 1))
+        ffvs = getattr(fun, "_fvs", ())
+        afvs = getattr(arg, "_fvs", ())
+        oset(node, "_fvs", ffvs + tuple(v for v in afvs if v not in ffvs))
+        oset(node, "_head", getattr(fun, "_head", None))
+        oset(node, "_nargs", getattr(fun, "_nargs", 0) + 1)
+        oset(node, "_hash", hash((_APP_TAG, hash(fun), hash(arg))))
+        return node
+
+    # -- importing foreign terms -----------------------------------------------
+
+    def intern(self, term):
+        """The node of this bank structurally equal to ``term`` (created if new).
+
+        O(1) when ``term`` already belongs to this bank; otherwise the foreign
+        term is rebuilt bottom-up (iteratively, so arbitrarily deep spines are
+        safe), visiting each *shared* node once.
+        """
+        if term._bank is self:
+            return term
+        memo: Dict[int, Any] = {}
+        stack = [term]
+        app_cls = _AppCls
+        var_cls = _VarCls
+        while stack:
+            t = stack[-1]
+            if t._bank is self or id(t) in memo:
+                stack.pop()
+                continue
+            cls = t.__class__
+            if cls is app_cls:
+                fun, arg = t.fun, t.arg
+                pending = False
+                if not (fun._bank is self or id(fun) in memo):
+                    stack.append(fun)
+                    pending = True
+                if not (arg._bank is self or id(arg) in memo):
+                    stack.append(arg)
+                    pending = True
+                if pending:
+                    continue
+                stack.pop()
+                new_fun = fun if fun._bank is self else memo[id(fun)]
+                new_arg = arg if arg._bank is self else memo[id(arg)]
+                memo[id(t)] = self.app(new_fun, new_arg)
+            elif cls is var_cls:
+                stack.pop()
+                memo[id(t)] = self.var(t.name, t.ty)
+            else:
+                stack.pop()
+                memo[id(t)] = self.sym(t.name)
+        return memo[id(term)]
+
+    def find(self, term):
+        """The node of this bank structurally equal to ``term``, or ``None``.
+
+        Unlike :meth:`intern`, this never creates nodes, which makes it the
+        right primitive for containment queries such as ``is_subterm``.
+        """
+        if term._bank is self:
+            return term
+        memo: Dict[int, Any] = {}
+        stack = [term]
+        app_cls = _AppCls
+        var_cls = _VarCls
+        while stack:
+            t = stack[-1]
+            if t._bank is self or id(t) in memo:
+                stack.pop()
+                continue
+            cls = t.__class__
+            if cls is app_cls:
+                fun, arg = t.fun, t.arg
+                pending = False
+                for child in (fun, arg):
+                    if not (child._bank is self or id(child) in memo):
+                        stack.append(child)
+                        pending = True
+                if pending:
+                    continue
+                stack.pop()
+                new_fun = fun if fun._bank is self else memo[id(fun)]
+                new_arg = arg if arg._bank is self else memo[id(arg)]
+                if new_fun is None or new_arg is None:
+                    memo[id(t)] = None
+                else:
+                    memo[id(t)] = self._apps.get((new_fun._id, new_arg._id))
+            elif cls is var_cls:
+                stack.pop()
+                memo[id(t)] = self._vars.get((t.name, t.ty))
+            else:
+                stack.pop()
+                memo[id(t)] = self._syms.get(t.name)
+        return memo[id(term)]
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Interning counters: distinct nodes per kind plus hit/miss totals."""
+        return {
+            "vars": len(self._vars),
+            "syms": len(self._syms),
+            "apps": len(self._apps),
+            "nodes": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def current_bank() -> TermBank:
+    """The bank that the term constructors currently intern into."""
+    return _STATE[0]
+
+
+def set_current_bank(bank: TermBank) -> TermBank:
+    """Install ``bank`` as the current bank; returns the previous one."""
+    previous = _STATE[0]
+    _STATE[0] = bank
+    return previous
+
+
+@contextmanager
+def use_bank(bank: Optional[TermBank] = None) -> Iterator[TermBank]:
+    """Run a block with ``bank`` (default: a fresh bank) as the current bank."""
+    if bank is None:
+        bank = TermBank()
+    previous = set_current_bank(bank)
+    try:
+        yield bank
+    finally:
+        _STATE[0] = previous

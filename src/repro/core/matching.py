@@ -31,17 +31,32 @@ def match_or_none(pattern: Term, target: Term, subst: Optional[Dict[str, Term]] 
     stack = [(pattern, target)]
     while stack:
         pat, tgt = stack.pop()
-        if isinstance(pat, Var):
+        cls = pat.__class__
+        if cls is Var:
             bound = bindings.get(pat.name)
             if bound is None:
                 bindings[pat.name] = tgt
-            elif bound != tgt:
+            elif bound is not tgt and bound != tgt:
                 return None
-        elif isinstance(pat, Sym):
-            if not isinstance(tgt, Sym) or pat.name != tgt.name:
+        elif cls is Sym:
+            if pat is not tgt and (tgt.__class__ is not Sym or pat.name != tgt.name):
                 return None
-        elif isinstance(pat, App):
-            if not isinstance(tgt, App):
+        elif cls is App:
+            if tgt.__class__ is not App:
+                return None
+            # A symbol-headed pattern spine can only match a target spine with
+            # the same head symbol and the same number of arguments; both are
+            # cached at construction, so this prunes in O(1).
+            pat_head = pat._head
+            if pat_head is not None and (
+                pat_head != tgt._head or pat._nargs != tgt._nargs
+            ):
+                return None
+            # A ground (variable-free) pattern matches exactly itself; with
+            # hash-consing that comparison is (in-bank) an identity check.
+            if not pat._fvs:
+                if pat is tgt or pat == tgt:
+                    continue
                 return None
             stack.append((pat.fun, tgt.fun))
             stack.append((pat.arg, tgt.arg))
@@ -65,11 +80,17 @@ def _walk(term: Term, bindings: Dict[str, Term]) -> Term:
 
 
 def _occurs_in(name: str, term: Term, bindings: Dict[str, Term]) -> bool:
-    term = _walk(term, bindings)
-    if isinstance(term, Var):
-        return term.name == name
-    if isinstance(term, App):
-        return _occurs_in(name, term.fun, bindings) or _occurs_in(name, term.arg, bindings)
+    stack = [term]
+    while stack:
+        t = _walk(stack.pop(), bindings)
+        if isinstance(t, Var):
+            if t.name == name:
+                return True
+        elif isinstance(t, App):
+            if not t._fvs:
+                continue  # ground subterm: nothing to expand, nothing to find
+            stack.append(t.fun)
+            stack.append(t.arg)
     return False
 
 
@@ -99,6 +120,15 @@ def unify_or_none(left: Term, right: Term) -> Optional[Substitution]:
             if a.name != b.name:
                 return None
         elif isinstance(a, App) and isinstance(b, App):
+            # Two symbol-headed spines only unify when the heads agree and the
+            # spines have the same length (spine nodes are never variables, so
+            # bindings cannot rescue a head/arity clash).
+            if (
+                a._head is not None
+                and b._head is not None
+                and (a._head != b._head or a._nargs != b._nargs)
+            ):
+                return None
             stack.append((a.fun, b.fun))
             stack.append((a.arg, b.arg))
         else:

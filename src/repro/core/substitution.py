@@ -80,16 +80,70 @@ class Substitution(Mapping[str, Term]):
     # -- action on terms -------------------------------------------------------
 
     def apply(self, term: Term) -> Term:
-        """Apply the substitution to ``term``."""
-        if not self._mapping:
-            return term
-        return self._apply(term)
+        """Apply the substitution to ``term``.
 
-    def _apply(self, term: Term) -> Term:
+        The traversal is iterative (deep spines are safe) and memoised per
+        shared node, so DAG-shaped terms are rewritten in O(shared nodes).
+        Subterms whose free variables are disjoint from the domain are returned
+        unchanged — with hash-consed terms that check reads the cached
+        free-variable tuple instead of walking the subterm.
+        """
+        mapping = self._mapping
+        if not mapping or not term._fvs:
+            return term
+        if all(v.name not in mapping for v in term._fvs):
+            return term
+        if term._size <= 128:
+            return self._apply_small(term, mapping)
+        memo: Dict[int, Term] = {}
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            ident = id(t)
+            if ident in memo:
+                stack.pop()
+                continue
+            if isinstance(t, Var):
+                stack.pop()
+                memo[ident] = mapping.get(t.name, t)
+            elif isinstance(t, App):
+                if not t._fvs:
+                    stack.pop()
+                    memo[ident] = t
+                    continue
+                fun, arg = t.fun, t.arg
+                pending = False
+                if id(fun) not in memo:
+                    stack.append(fun)
+                    pending = True
+                if id(arg) not in memo:
+                    stack.append(arg)
+                    pending = True
+                if pending:
+                    continue
+                stack.pop()
+                new_fun, new_arg = memo[id(fun)], memo[id(arg)]
+                memo[ident] = (
+                    t if (new_fun is fun and new_arg is arg) else App(new_fun, new_arg)
+                )
+            else:
+                stack.pop()
+                memo[ident] = t
+        return memo[id(term)]
+
+    def _apply_small(self, term: Term, mapping: Dict[str, Term]) -> Term:
+        """Plain recursive application for small terms (bounded depth), where
+        the per-call constant beats the memoised traversal."""
         if isinstance(term, Var):
-            return self._mapping.get(term.name, term)
+            return mapping.get(term.name, term)
         if isinstance(term, App):
-            return App(self._apply(term.fun), self._apply(term.arg))
+            if not term._fvs:
+                return term
+            fun = self._apply_small(term.fun, mapping)
+            arg = self._apply_small(term.arg, mapping)
+            if fun is term.fun and arg is term.arg:
+                return term
+            return App(fun, arg)
         return term
 
     def __call__(self, term: Term) -> Term:

@@ -8,6 +8,13 @@ Terms are generated from application, function symbols, and variables
 Applications associate to the left.  Terms are immutable, hashable values, so
 they can be used freely as dictionary keys (e.g. for memoising normal forms).
 
+Construction is *hash-consed*: ``Var``/``Sym``/``App`` route through the
+current :class:`~repro.core.interning.TermBank`, so structurally equal terms
+built through the same bank are the same Python object.  Equality within one
+bank is therefore identity, hashes are cached, and the structural queries in
+this module (``term_size``, ``free_vars``, ``occurs``, ``is_subterm``) read
+attributes computed once at construction instead of re-walking the term.
+
 The module also provides *positions*: a position is a tuple of 0/1 choices
 through the binary ``App`` spine (0 selects the function part, 1 the argument
 part).  Positions index subterms and drive subterm replacement, which is how
@@ -17,9 +24,10 @@ for the explicit, paper-faithful context datatype).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from . import interning as _interning
+from .interning import _STATE
 from .types import Type
 
 __all__ = [
@@ -51,53 +59,137 @@ __all__ = [
 
 
 class Term:
-    """Abstract base class of all terms."""
+    """Abstract base class of all terms.
 
-    __slots__ = ()
+    Every concrete node carries the bank-maintained attributes ``_bank``,
+    ``_id`` (stable integer id within the bank), ``_size`` (tree size),
+    ``_fvs`` (free variables, left-to-right, no duplicates), ``_head`` (the
+    spine head symbol name, or ``None`` for variable-headed terms), ``_nargs``
+    (spine length) and ``_hash``.
+    """
+
+    __slots__ = ("_bank", "_id", "_size", "_fvs", "_head", "_nargs", "_hash", "__weakref__")
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"terms are immutable: cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"terms are immutable: cannot delete {name!r}")
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - repr is cosmetic
         return str(self)
 
 
-@dataclass(frozen=True)
+def _structurally_equal(left: Term, right: Term) -> bool:
+    """Structural equality across banks (within a bank, equality is identity)."""
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        if a is b:
+            continue
+        cls = a.__class__
+        if cls is not b.__class__:
+            return False
+        if cls is App:
+            if a._hash != b._hash:
+                return False
+            if a._bank is b._bank and a._bank is not None:
+                return False  # maximal sharing: same bank and not identical
+            stack.append((a.fun, b.fun))
+            stack.append((a.arg, b.arg))
+        elif cls is Var:
+            if a._bank is b._bank or a.name != b.name or a.ty != b.ty:
+                return False
+        elif cls is Sym:
+            if a._bank is b._bank or a.name != b.name:
+                return False
+        else:
+            # Extended nodes (e.g. the hole of a one-hole context).
+            if a != b:
+                return False
+    return True
+
+
 class Var(Term):
     """A variable.  Variables carry their type so that the (Case) rule can
     discover which datatype's constructors to enumerate."""
 
-    name: str
-    ty: Type
-
     __slots__ = ("name", "ty")
+
+    def __new__(cls, name: str, ty: Type) -> "Var":
+        return _STATE[0].var(name, ty)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Var:
+            return NotImplemented
+        if self._bank is other._bank:
+            return False
+        return self.name == other.name and self.ty == other.ty
+
+    __hash__ = Term.__hash__
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class Sym(Term):
     """An occurrence of a function symbol (constructor or defined function)."""
 
-    name: str
-
     __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "Sym":
+        return _STATE[0].sym(name)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Sym:
+            return NotImplemented
+        if self._bank is other._bank:
+            return False
+        return self.name == other.name
+
+    __hash__ = Term.__hash__
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class App(Term):
     """An application ``fun arg``."""
 
-    fun: Term
-    arg: Term
-
     __slots__ = ("fun", "arg")
+
+    def __new__(cls, fun: Term, arg: Term) -> "App":
+        return _STATE[0].app(fun, arg)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not App:
+            return NotImplemented
+        if self._bank is other._bank and self._bank is not None:
+            return False
+        if self._hash != other._hash or self._size != other._size:
+            return False
+        return _structurally_equal(self, other)
+
+    __hash__ = Term.__hash__
 
     def __str__(self) -> str:
         from .pretty import pretty_term  # local import to avoid a cycle
 
         return pretty_term(self)
+
+
+# Register the node classes with the interning layer (this also creates the
+# default bank on first import).
+_interning._install_node_types(Var, Sym, App)
 
 
 Position = Tuple[int, ...]
@@ -143,10 +235,8 @@ def arguments(term: Term) -> Tuple[Term, ...]:
 
 
 def term_size(term: Term) -> int:
-    """The number of variable/symbol/application nodes in ``term``."""
-    if isinstance(term, App):
-        return 1 + term_size(term.fun) + term_size(term.arg)
-    return 1
+    """The number of variable/symbol/application nodes in ``term`` (O(1))."""
+    return term._size
 
 
 # ---------------------------------------------------------------------------
@@ -155,32 +245,18 @@ def term_size(term: Term) -> int:
 
 
 def free_vars(term: Term) -> Tuple[Var, ...]:
-    """All variables of ``term`` in left-to-right order without duplicates."""
-    seen: Dict[Var, None] = {}
-
-    def walk(t: Term) -> None:
-        if isinstance(t, Var):
-            seen.setdefault(t, None)
-        elif isinstance(t, App):
-            walk(t.fun)
-            walk(t.arg)
-
-    walk(term)
-    return tuple(seen)
+    """All variables of ``term`` in left-to-right order without duplicates (O(1))."""
+    return term._fvs
 
 
 def var_names(term: Term) -> Tuple[str, ...]:
     """The names of the free variables of ``term`` (order preserved)."""
-    return tuple(v.name for v in free_vars(term))
+    return tuple(v.name for v in term._fvs)
 
 
 def occurs(var: Var, term: Term) -> bool:
-    """Does ``var`` occur in ``term``?"""
-    if isinstance(term, Var):
-        return term == var
-    if isinstance(term, App):
-        return occurs(var, term.fun) or occurs(var, term.arg)
-    return False
+    """Does ``var`` occur in ``term``?  O(|free_vars|) via the cached tuple."""
+    return var in term._fvs
 
 
 # ---------------------------------------------------------------------------
@@ -189,23 +265,31 @@ def occurs(var: Var, term: Term) -> bool:
 
 
 def subterms(term: Term) -> Iterator[Term]:
-    """Yield every subterm of ``term`` (including ``term``), pre-order."""
-    yield term
-    if isinstance(term, App):
-        yield from subterms(term.fun)
-        yield from subterms(term.arg)
+    """Yield every subterm of ``term`` (including ``term``), pre-order.
+
+    Iterative, so arbitrarily deep application spines are safe.
+    """
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        yield t
+        if t.__class__ is App:
+            stack.append(t.arg)
+            stack.append(t.fun)
 
 
 def positions(term: Term) -> Iterator[Tuple[Position, Term]]:
-    """Yield ``(position, subterm)`` pairs for every subterm, pre-order."""
+    """Yield ``(position, subterm)`` pairs for every subterm, pre-order.
 
-    def walk(t: Term, path: Tuple[int, ...]) -> Iterator[Tuple[Position, Term]]:
+    Iterative, so arbitrarily deep application spines are safe.
+    """
+    stack: List[Tuple[Position, Term]] = [((), term)]
+    while stack:
+        path, t = stack.pop()
         yield path, t
-        if isinstance(t, App):
-            yield from walk(t.fun, path + (0,))
-            yield from walk(t.arg, path + (1,))
-
-    yield from walk(term, ())
+        if t.__class__ is App:
+            stack.append((path + (1,), t.arg))
+            stack.append((path + (0,), t.fun))
 
 
 def subterm_at(term: Term, position: Position) -> Term:
@@ -224,12 +308,17 @@ def replace_at(term: Term, position: Position, replacement: Term) -> Term:
     """Replace the subterm of ``term`` at ``position`` with ``replacement``."""
     if not position:
         return replacement
-    if not isinstance(term, App):
-        raise IndexError(f"position {position} does not exist")
-    step, rest = position[0], position[1:]
-    if step == 0:
-        return App(replace_at(term.fun, rest, replacement), term.arg)
-    return App(term.fun, replace_at(term.arg, rest, replacement))
+    frames: List[Tuple[App, int]] = []
+    current = term
+    for step in position:
+        if not isinstance(current, App):
+            raise IndexError(f"position {position} does not exist")
+        frames.append((current, step))
+        current = current.fun if step == 0 else current.arg
+    result = replacement
+    for node, step in reversed(frames):
+        result = App(result, node.arg) if step == 0 else App(node.fun, result)
+    return result
 
 
 def proper_subterms(term: Term) -> Iterator[Term]:
@@ -240,8 +329,39 @@ def proper_subterms(term: Term) -> Iterator[Term]:
 
 
 def is_subterm(small: Term, big: Term) -> bool:
-    """The subterm relation ``small <= big`` (paper's ⊴, Lemma 2.1)."""
-    return any(small == sub for sub in subterms(big))
+    """The subterm relation ``small <= big`` (paper's ⊴, Lemma 2.1).
+
+    Because every subterm of a banked term belongs to the same bank, the check
+    resolves ``small`` into ``big``'s bank once (a pure lookup — no nodes are
+    created) and then walks ``big`` as a DAG comparing node *identities*: each
+    shared node is visited at most once.
+    """
+    if small is big:
+        return True
+    bank = big._bank
+    if small._bank is not bank:
+        resolved = bank.find(small)
+        if resolved is None:
+            return False
+        small = resolved
+        if small is big:
+            return True
+    small_size = small._size
+    if small_size > big._size:
+        return False
+    stack = [big]
+    seen = set()
+    while stack:
+        t = stack.pop()
+        if t is small:
+            return True
+        if t.__class__ is App and t._size > small_size:
+            ident = id(t)
+            if ident not in seen:
+                seen.add(ident)
+                stack.append(t.fun)
+                stack.append(t.arg)
+    return False
 
 
 def is_strict_subterm(small: Term, big: Term) -> bool:
@@ -254,22 +374,51 @@ def is_strict_subterm(small: Term, big: Term) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def _rebuild(term: Term, leaf: Callable[[Term], Term]) -> Term:
+    """Rebuild ``term`` bottom-up, replacing each leaf by ``leaf(node)``.
+
+    Iterative and memoised per shared node, so deep spines are safe and DAGs
+    are rebuilt in O(shared nodes).  Unchanged subtrees are returned as-is,
+    preserving sharing.
+    """
+    memo: Dict[int, Term] = {}
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        ident = id(t)
+        if ident in memo:
+            stack.pop()
+            continue
+        if t.__class__ is App:
+            fun, arg = t.fun, t.arg
+            pending = False
+            if id(fun) not in memo:
+                stack.append(fun)
+                pending = True
+            if id(arg) not in memo:
+                stack.append(arg)
+                pending = True
+            if pending:
+                continue
+            stack.pop()
+            new_fun, new_arg = memo[id(fun)], memo[id(arg)]
+            memo[ident] = t if (new_fun is fun and new_arg is arg) else App(new_fun, new_arg)
+        else:
+            stack.pop()
+            memo[ident] = leaf(t)
+    return memo[id(term)]
+
+
 def map_symbols(term: Term, rename: Callable[[str], str]) -> Term:
     """Rename the function symbols of ``term`` according to ``rename``."""
-    if isinstance(term, Sym):
-        return Sym(rename(term.name))
-    if isinstance(term, App):
-        return App(map_symbols(term.fun, rename), map_symbols(term.arg, rename))
-    return term
+    return _rebuild(term, lambda t: Sym(rename(t.name)) if t.__class__ is Sym else t)
 
 
 def rename_vars(term: Term, mapping: Dict[str, Var]) -> Term:
     """Replace variables (by name) according to ``mapping``; others unchanged."""
-    if isinstance(term, Var):
-        return mapping.get(term.name, term)
-    if isinstance(term, App):
-        return App(rename_vars(term.fun, mapping), rename_vars(term.arg, mapping))
-    return term
+    return _rebuild(
+        term, lambda t: mapping.get(t.name, t) if t.__class__ is Var else t
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.equations import Equation
 from ..program import Goal, Program
+from ..rewriting.reduction import Normalizer
 from ..search.config import ProverConfig
 from ..search.prover import Prover
 from ..search.result import ProofResult
@@ -58,8 +59,10 @@ class ExplorationResult:
     result: Optional[ProofResult] = None
     lemmas: Tuple[Equation, ...] = ()
     candidates_considered: int = 0
+    candidates_deduplicated: int = 0
     lemmas_proved: int = 0
     exploration_seconds: float = 0.0
+    normalizer_stats: Dict[str, int] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.proved
@@ -79,11 +82,20 @@ class TheoryExplorer:
         self.prover_config = prover_config or ProverConfig()
         self._library: Optional[List[Equation]] = None
         self._candidates_considered = 0
+        self._candidates_deduplicated = 0
+        self._normalizer = Normalizer(program.rules)
 
     # -- lemma library ---------------------------------------------------------
 
     def explore(self) -> List[Equation]:
-        """Build (and cache) the lemma library for this program."""
+        """Build (and cache) the lemma library for this program.
+
+        Candidates are normalised through a shared (interning-backed)
+        :class:`~repro.rewriting.reduction.Normalizer` first: a candidate whose
+        normal form is trivial carries no information, and two candidates with
+        the same normal form are the same lemma, so only the first is attempted.
+        This spends the per-lemma proof budget on genuinely distinct conjectures.
+        """
         if self._library is not None:
             return list(self._library)
         started = time.perf_counter()
@@ -93,11 +105,17 @@ class TheoryExplorer:
         library: List[Equation] = []
         candidates = candidate_equations(self.program, self.config.templates)
         self._candidates_considered = len(candidates)
+        seen_normal_forms: set = set()
         for candidate in candidates:
             if len(library) >= self.config.max_lemmas:
                 break
             if time.perf_counter() - started > self.config.total_budget:
                 break
+            normalized = candidate.map_sides(self._normalizer)
+            if normalized.is_trivial() or normalized in seen_normal_forms:
+                self._candidates_deduplicated += 1
+                continue
+            seen_normal_forms.add(normalized)
             # Lemmas proved earlier are available as hypotheses for later ones,
             # exactly like the incremental regime of HipSpec-style exploration.
             outcome = lemma_prover.prove(candidate, hypotheses=library)
@@ -130,8 +148,10 @@ class TheoryExplorer:
             result=assisted,
             lemmas=tuple(library),
             candidates_considered=self._candidates_considered,
+            candidates_deduplicated=self._candidates_deduplicated,
             lemmas_proved=len(library),
             exploration_seconds=time.perf_counter() - started,
+            normalizer_stats=self._normalizer.cache_stats(),
         )
 
     def prove_goal(self, goal: Goal) -> ExplorationResult:

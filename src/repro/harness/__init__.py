@@ -4,6 +4,8 @@ from .report import (
     ascii_cumulative_plot,
     format_table,
     isaplanner_summary_table,
+    normalizer_cache_table,
+    suite_cache_stats,
     tool_comparison_table,
     unsolved_classification,
 )
@@ -13,4 +15,5 @@ __all__ = [
     "run_suite", "SuiteResult", "SolveRecord", "cumulative_curve",
     "format_table", "isaplanner_summary_table", "tool_comparison_table",
     "ascii_cumulative_plot", "unsolved_classification",
+    "normalizer_cache_table", "suite_cache_stats",
 ]

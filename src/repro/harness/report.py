@@ -18,6 +18,8 @@ __all__ = [
     "tool_comparison_table",
     "ascii_cumulative_plot",
     "unsolved_classification",
+    "normalizer_cache_table",
+    "suite_cache_stats",
 ]
 
 
@@ -100,6 +102,46 @@ def ascii_cumulative_plot(result: SuiteResult, width: int = 60, height: int = 15
         f"solved: {max_count}/{result.total}"
     )
     return "\n".join(lines)
+
+
+def normalizer_cache_table(*labelled_stats: Tuple[str, Dict[str, int]]) -> str:
+    """Normal-form cache effectiveness, one row per labelled stats dict.
+
+    Each stats dict needs ``hits`` and ``misses`` keys (``size``/``steps`` are
+    shown when present) — i.e. exactly what
+    :meth:`repro.rewriting.reduction.Normalizer.cache_stats` returns, or what a
+    :class:`~repro.harness.runner.SuiteResult` aggregates via
+    :func:`suite_cache_stats`.  With hash-consed terms every hit replaces a
+    full normalisation by one integer-keyed dict probe, so the hit rate is the
+    direct measure of whether sharing is paying off.
+    """
+    rows = []
+    for label, stats in labelled_stats:
+        hits = int(stats.get("hits", 0))
+        misses = int(stats.get("misses", 0))
+        lookups = hits + misses
+        rate = f"{100.0 * hits / lookups:.1f}%" if lookups else "n/a"
+        rows.append(
+            (
+                label,
+                lookups,
+                hits,
+                misses,
+                rate,
+                stats.get("size", "-"),
+                stats.get("steps", "-"),
+            )
+        )
+    headers = ("workload", "lookups", "hits", "misses", "hit rate", "cached NFs", "rewrite steps")
+    return format_table(headers, rows)
+
+
+def suite_cache_stats(result: SuiteResult) -> Dict[str, int]:
+    """Aggregate the per-problem normal-form cache counters of a suite run."""
+    return {
+        "hits": sum(r.normalizer_hits for r in result.records),
+        "misses": sum(r.normalizer_misses for r in result.records),
+    }
 
 
 def unsolved_classification(result: SuiteResult, hinted: Optional[Dict[str, str]] = None) -> str:

@@ -36,6 +36,8 @@ class SolveRecord:
     nodes: int = 0
     subst_attempts: int = 0
     soundness_violations: int = 0
+    normalizer_hits: int = 0
+    normalizer_misses: int = 0
     reason: str = ""
 
     @property
@@ -144,6 +146,8 @@ def run_suite(
                 nodes=outcome.statistics.nodes_created,
                 subst_attempts=outcome.statistics.subst_attempts,
                 soundness_violations=outcome.statistics.soundness_violations,
+                normalizer_hits=outcome.statistics.normalizer_hits,
+                normalizer_misses=outcome.statistics.normalizer_misses,
                 reason=outcome.reason,
             )
         result.records.append(record)

@@ -2,6 +2,7 @@
 
 from .completion import CompletionResult, complete
 from .critical_pairs import CriticalPair, critical_pairs, critical_pairs_between
+from .index import RuleIndex
 from .narrowing import case_candidates, demanded_variables
 from .orders import (
     DecreasingOrder,
@@ -25,7 +26,7 @@ from .trs import CompletenessReport, RewriteSystem
 
 __all__ = [
     "RewriteRule", "is_constructor_pattern", "rule_head",
-    "RewriteSystem", "CompletenessReport",
+    "RewriteSystem", "CompletenessReport", "RuleIndex",
     "Redex", "find_redex", "one_step", "reducts", "is_normal_form", "normalize", "Normalizer",
     "demanded_variables", "case_candidates",
     "TermOrder", "SubtermOrder", "LexicographicPathOrder", "KnuthBendixOrder",

@@ -50,6 +50,31 @@ class CriticalPair:
         return self.left == self.right
 
 
+def _expand_overlap(
+    outer_renamed: RewriteRule,
+    inner_renamed: RewriteRule,
+    position: Position,
+    sub: Term,
+) -> Optional[CriticalPair]:
+    """The critical pair of ``inner_renamed`` overlapping into ``outer_renamed``
+    at ``position`` (whose subterm is ``sub``), or ``None`` when the overlap
+    does not unify.  Both rules must already be renamed apart."""
+    unifier = unify_or_none(sub, inner_renamed.lhs)
+    if unifier is None:
+        return None
+    reduced_outer = unifier.apply(outer_renamed.rhs)
+    reduced_inner = replace_at(
+        unifier.apply(outer_renamed.lhs), position, unifier.apply(inner_renamed.rhs)
+    )
+    return CriticalPair(
+        left=reduced_outer,
+        right=reduced_inner,
+        position=position,
+        outer=outer_renamed,
+        inner=inner_renamed,
+    )
+
+
 def critical_pairs_between(outer: RewriteRule, inner: RewriteRule) -> Iterator[CriticalPair]:
     """All critical pairs of ``inner`` overlapping into ``outer``.
 
@@ -64,30 +89,44 @@ def critical_pairs_between(outer: RewriteRule, inner: RewriteRule) -> Iterator[C
             continue
         if same_rule and position == ():
             continue
-        unifier = unify_or_none(sub, inner_renamed.lhs)
-        if unifier is None:
-            continue
-        overlapped = unifier.apply(outer_renamed.lhs)
-        reduced_outer = unifier.apply(outer_renamed.rhs)
-        reduced_inner = replace_at(
-            unifier.apply(outer_renamed.lhs), position, unifier.apply(inner_renamed.rhs)
-        )
-        yield CriticalPair(
-            left=reduced_outer,
-            right=reduced_inner,
-            position=position,
-            outer=outer_renamed,
-            inner=inner_renamed,
-        )
+        pair = _expand_overlap(outer_renamed, inner_renamed, position, sub)
+        if pair is not None:
+            yield pair
 
 
 def critical_pairs(system: RewriteSystem, include_trivial: bool = False) -> List[CriticalPair]:
-    """All (non-trivial by default) critical pairs of a rewrite system."""
+    """All (non-trivial by default) critical pairs of a rewrite system.
+
+    The inner loop is pruned through the system's discrimination-tree index:
+    for each non-variable subterm of an outer left-hand side, only the rules
+    whose left-hand side could *unify* with it (a renaming-insensitive trie
+    lookup) are renamed apart and handed to the unifier.  The enumeration
+    order (outer rule, then inner rule, then overlap position) matches the
+    naive all-pairs loop.
+    """
     pairs: List[CriticalPair] = []
     rules = system.rules
     for outer in rules:
+        outer_renamed = outer.rename("#o")
+        overlaps: List[Tuple[Position, Term, frozenset]] = [
+            (position, sub, frozenset(id(rule) for rule in system.unifiable_candidates(sub)))
+            for position, sub in positions(outer_renamed.lhs)
+            if not isinstance(sub, Var)
+        ]
         for inner in rules:
-            for pair in critical_pairs_between(outer, inner):
-                if include_trivial or not pair.is_trivial():
+            inner_ident = id(inner)
+            inner_renamed: Optional[RewriteRule] = None
+            same_rule: Optional[bool] = None
+            for position, sub, candidates in overlaps:
+                if inner_ident not in candidates:
+                    continue
+                if same_rule is None:
+                    same_rule = outer == inner
+                if same_rule and position == ():
+                    continue
+                if inner_renamed is None:
+                    inner_renamed = inner.rename("#i")
+                pair = _expand_overlap(outer_renamed, inner_renamed, position, sub)
+                if pair is not None and (include_trivial or not pair.is_trivial()):
                     pairs.append(pair)
     return pairs

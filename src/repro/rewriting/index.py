@@ -1,0 +1,184 @@
+"""A discrimination-tree index over rule left-hand sides.
+
+The index answers the two retrieval questions of a rewrite engine quickly:
+
+* which rules could *match* a given subject subterm (reduction, normalisation,
+  narrowing), and
+* which rules could *unify* with a given subterm (critical-pair computation)?
+
+Rule left-hand sides are flattened in pre-order over the binary ``App``
+structure — each node contributes one token (``@`` for an application, the
+symbol name for a :class:`~repro.core.terms.Sym`, a wildcard for a variable) —
+and the token strings are stored in a trie.  Retrieval walks the subject term
+against the trie, so only rules agreeing with the subject on their rigid
+skeleton are returned; variables act as wildcards on either side depending on
+the retrieval mode.  Retrieval is an *over-approximation*: callers still run
+the real matcher/unifier on the candidates, but the trie prunes the vast
+majority of rules without touching the matcher at all.
+
+Candidates are always returned in rule insertion order, which preserves the
+"first declared rule wins" semantics of leftmost-outermost reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.terms import App, Sym, Term, Var
+
+__all__ = ["RuleIndex"]
+
+#: Trie edge labels.  ``_VAR`` stands for any pattern variable; symbols are
+#: keyed by name; ``_APP`` is the application node marker.
+_VAR = 0
+_APP = 1
+
+
+class _Node:
+    """One trie node: outgoing edges plus the rules ending here."""
+
+    __slots__ = ("edges", "leaves")
+
+    def __init__(self) -> None:
+        self.edges: Dict[object, _Node] = {}
+        self.leaves: List[Tuple[int, object]] = []
+
+    def copy(self) -> "_Node":
+        clone = _Node()
+        clone.leaves = list(self.leaves)
+        clone.edges = {key: child.copy() for key, child in self.edges.items()}
+        return clone
+
+
+def _flatten(term: Term) -> List[object]:
+    """The pre-order token string of ``term`` (iterative; deep spines safe)."""
+    tokens: List[object] = []
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        cls = t.__class__
+        if cls is App:
+            tokens.append(_APP)
+            stack.append(t.arg)
+            stack.append(t.fun)
+        elif cls is Var:
+            tokens.append(_VAR)
+        else:
+            tokens.append(t.name)
+    return tokens
+
+
+class RuleIndex:
+    """A discrimination tree mapping left-hand sides to arbitrary values.
+
+    Values are usually :class:`~repro.rewriting.rules.RewriteRule` objects but
+    the index is agnostic: ``add(lhs, value)`` stores any value under the
+    pattern ``lhs``.
+    """
+
+    __slots__ = ("_root", "_count")
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RuleIndex({self._count} patterns)"
+
+    def copy(self) -> "RuleIndex":
+        clone = RuleIndex()
+        clone._root = self._root.copy()
+        clone._count = self._count
+        return clone
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, lhs: Term, value: object) -> None:
+        """Index ``value`` under the pattern ``lhs``."""
+        node = self._root
+        for token in _flatten(lhs):
+            child = node.edges.get(token)
+            if child is None:
+                child = _Node()
+                node.edges[token] = child
+            node = child
+        node.leaves.append((self._count, value))
+        self._count += 1
+
+    # -- retrieval ----------------------------------------------------------------
+
+    def matching(self, subject: Term) -> Tuple[object, ...]:
+        """Values whose pattern could *match* ``subject``, insertion order.
+
+        Pattern variables are wildcards; subject variables only ever match
+        pattern variables (one-way matching).
+        """
+        found: Dict[int, object] = {}
+        self._retrieve(self._root, [subject], found, unify=False)
+        return tuple(found[seq] for seq in sorted(found))
+
+    def unifiable(self, subject: Term) -> Tuple[object, ...]:
+        """Values whose pattern could *unify* with ``subject``, insertion order.
+
+        Variables are wildcards on both sides, so the result is insensitive to
+        renaming either the patterns or the subject apart.
+        """
+        found: Dict[int, object] = {}
+        self._retrieve(self._root, [subject], found, unify=True)
+        return tuple(found[seq] for seq in sorted(found))
+
+    def _retrieve(
+        self,
+        node: _Node,
+        stack: List[Term],
+        found: Dict[int, object],
+        unify: bool,
+    ) -> None:
+        # The subject stack is mutated in place and restored before returning,
+        # so the backtracking branches below never copy it.
+        if not stack:
+            for seq, value in node.leaves:
+                found.setdefault(seq, value)
+            return
+        subject = stack.pop()
+        edges = node.edges
+        # A pattern variable swallows the whole subject subterm.
+        var_child = edges.get(_VAR)
+        if var_child is not None:
+            self._retrieve(var_child, stack, found, unify)
+        cls = subject.__class__
+        if cls is Var:
+            if unify:
+                # A subject variable unifies with any pattern subterm: skip one
+                # whole pattern subtree along every edge.
+                for child in self._skip(node, 1):
+                    if child is not var_child:
+                        self._retrieve(child, stack, found, unify)
+        elif cls is App:
+            app_child = edges.get(_APP)
+            if app_child is not None:
+                stack.append(subject.arg)
+                stack.append(subject.fun)
+                self._retrieve(app_child, stack, found, unify)
+                stack.pop()
+                stack.pop()
+        else:
+            sym_child = edges.get(subject.name)
+            if sym_child is not None:
+                self._retrieve(sym_child, stack, found, unify)
+        stack.append(subject)
+
+    def _skip(self, node: _Node, count: int) -> Iterator[_Node]:
+        """All trie nodes reachable from ``node`` by consuming ``count`` whole
+        pattern subtrees (used when a subject variable acts as a wildcard)."""
+        if count == 0:
+            yield node
+            return
+        for token, child in node.edges.items():
+            if token == _APP:
+                yield from self._skip(child, count + 1)
+            else:
+                yield from self._skip(child, count - 1)

@@ -74,10 +74,12 @@ def demanded_variables(system: RewriteSystem, term: Term) -> Tuple[Var, ...]:
 
 
 def _reducible_at_root(system: RewriteSystem, term: Term) -> bool:
-    head, _ = spine(term)
-    if not isinstance(head, Sym):
-        return False
-    return any(match_or_none(rule.lhs, term) is not None for rule in system.rules_for(head.name))
+    if term._head is None:
+        return False  # variable-headed spine: no rule can match
+    return any(
+        match_or_none(rule.lhs, term) is not None
+        for rule in system.matching_candidates(term)
+    )
 
 
 def case_candidates(system: RewriteSystem, *terms: Term) -> Tuple[Var, ...]:

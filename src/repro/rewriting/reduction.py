@@ -6,19 +6,26 @@ leftmost-outermost strategy, which is normalising for the orthogonal systems
 produced by functional programs, and is what the paper's (Reduce) rule and the
 semantics of equations (``M alpha ↓_R``) rely on.
 
+Rule lookup goes through the discrimination-tree index of the
+:class:`~repro.rewriting.trs.RewriteSystem`, so each candidate position only
+pays for the rules that could plausibly match there.
+
 A :class:`Normalizer` caches normal forms — proof search normalises the same
 subgoals repeatedly, and the cache is shared across a whole proof attempt.
+With hash-consed terms the cache is keyed by the node's bank id, so a lookup
+is a single integer-keyed dict probe (equality within a bank is identity).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.exceptions import RewriteError
+from ..core.interning import TermBank, current_bank
 from ..core.matching import match_or_none
 from ..core.substitution import Substitution
-from ..core.terms import App, Position, Sym, Term, Var, positions, replace_at, spine, subterm_at
+from ..core.terms import App, Position, Term, positions, replace_at
 from .rules import RewriteRule
 from .trs import RewriteSystem
 
@@ -38,10 +45,9 @@ class Redex:
 
 def _match_rules(system: RewriteSystem, sub: Term) -> Optional[Tuple[RewriteRule, Substitution]]:
     """Find the first rule whose left-hand side matches ``sub``."""
-    head, _args = spine(sub)
-    if not isinstance(head, Sym):
-        return None
-    for rule in system.rules_for(head.name):
+    if sub._head is None:
+        return None  # variable-headed spine: no rule can match
+    for rule in system.matching_candidates(sub):
         theta = match_or_none(rule.lhs, sub)
         if theta is not None:
             return rule, theta
@@ -69,10 +75,9 @@ def one_step(system: RewriteSystem, term: Term) -> Optional[Term]:
 def reducts(system: RewriteSystem, term: Term) -> Iterator[Term]:
     """All one-step reducts of ``term`` (every redex, every applicable rule)."""
     for position, sub in positions(term):
-        head, _ = spine(sub)
-        if not isinstance(head, Sym):
+        if sub._head is None:
             continue
-        for rule in system.rules_for(head.name):
+        for rule in system.matching_candidates(sub):
             theta = match_or_none(rule.lhs, sub)
             if theta is not None:
                 yield replace_at(term, position, theta.apply(rule.rhs))
@@ -100,27 +105,43 @@ def normalize(system: RewriteSystem, term: Term, max_steps: int = DEFAULT_MAX_ST
 
 
 class Normalizer:
-    """A normalisation engine with a normal-form cache.
+    """A normalisation engine with an identity-keyed normal-form cache.
 
     The cache maps subterms already seen to their normal forms, which makes the
-    repeated normalisation performed by proof search cheap.  The cache is only
-    sound for a fixed rewrite system; create a new instance when rules change
-    (e.g. during Knuth-Bendix completion or rewriting induction).
+    repeated normalisation performed by proof search cheap.  Terms are interned
+    into the normaliser's bank on entry (a no-op for terms already built
+    through it, which is the common case), so the cache key is the node's
+    stable integer id and a hit costs one dict probe.  The cache is only sound
+    for a fixed rewrite system; create a new instance when rules change (e.g.
+    during Knuth-Bendix completion or rewriting induction).
     """
 
-    def __init__(self, system: RewriteSystem, max_steps: int = DEFAULT_MAX_STEPS):
+    def __init__(
+        self,
+        system: RewriteSystem,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        bank: Optional[TermBank] = None,
+    ):
         self.system = system
         self.max_steps = max_steps
-        self._cache: Dict[Term, Term] = {}
+        # `is not None`, not truthiness: an empty TermBank is falsy (len 0).
+        self._bank = bank if bank is not None else current_bank()
+        self._cache: Dict[int, Term] = {}
         self.steps_taken = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def normalize(self, term: Term) -> Term:
         """The cached normal form of ``term``."""
-        cached = self._cache.get(term)
+        if term._bank is not self._bank:
+            term = self._bank.intern(term)
+        cached = self._cache.get(term._id)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         result = self._normalize_uncached(term)
-        self._cache[term] = result
+        self._cache[term._id] = result
         return result
 
     def __call__(self, term: Term) -> Term:
@@ -147,13 +168,22 @@ class Normalizer:
             arg = self.normalize(term.arg)
             if fun is term.fun and arg is term.arg:
                 return term
-            return App(fun, arg)
+            return self._bank.app(fun, arg)
         return term
 
     def cache_size(self) -> int:
         """The number of cached normal forms."""
         return len(self._cache)
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Cache effectiveness counters (see :mod:`repro.harness.report`)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "steps": self.steps_taken,
+        }
+
     def clear(self) -> None:
-        """Empty the cache."""
+        """Empty the cache (the hit/miss counters are kept)."""
         self._cache.clear()

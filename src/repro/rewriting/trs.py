@@ -21,6 +21,7 @@ from ..core.exceptions import RewriteError
 from ..core.signature import Signature
 from ..core.terms import Sym, Term, Var, spine
 from ..core.types import DataTy, Type, TypeVar, arg_types
+from .index import RuleIndex
 from .rules import RewriteRule
 
 __all__ = ["RewriteSystem", "CompletenessReport"]
@@ -44,6 +45,7 @@ class RewriteSystem:
         self.signature = signature
         self._rules: List[RewriteRule] = []
         self._by_head: Dict[str, List[RewriteRule]] = {}
+        self._index = RuleIndex()
         for rule in rules:
             self.add_rule(rule)
 
@@ -55,6 +57,7 @@ class RewriteSystem:
             rule.validate(self.signature)
         self._rules.append(rule)
         self._by_head.setdefault(rule.head, []).append(rule)
+        self._index.add(rule.lhs, rule)
 
     def extend(self, rules: Iterable[RewriteRule], validate: bool = True) -> None:
         """Add several rules."""
@@ -66,6 +69,7 @@ class RewriteSystem:
         clone = RewriteSystem(self.signature)
         clone._rules = list(self._rules)
         clone._by_head = {head: list(rules) for head, rules in self._by_head.items()}
+        clone._index = self._index.copy()
         return clone
 
     # -- queries ------------------------------------------------------------------
@@ -78,6 +82,36 @@ class RewriteSystem:
     def rules_for(self, symbol: str) -> Tuple[RewriteRule, ...]:
         """The rules whose left-hand side is headed by ``symbol``."""
         return tuple(self._by_head.get(symbol, ()))
+
+    #: Head-symbol rule lists at most this long are scanned directly: for the
+    #: 2-3 defining clauses of a typical function the per-query constant of a
+    #: trie walk exceeds the cost of the (cached-attribute-pruned) matcher,
+    #: while large rule sets — completion, lemma libraries — go through the
+    #: discrimination tree.
+    LINEAR_SCAN_LIMIT = 4
+
+    def matching_candidates(self, term: Term) -> Sequence[RewriteRule]:
+        """Rules whose left-hand side could match ``term``, declaration order.
+
+        An over-approximation: callers still run the matcher.  Small per-head
+        rule lists are returned directly (do not mutate the result); larger
+        ones are filtered through the discrimination-tree index.
+        """
+        head = term._head
+        if head is None:
+            return ()  # variable-headed spine: no rule can match
+        by_head = self._by_head.get(head)
+        if by_head is None:
+            return ()
+        if len(by_head) <= self.LINEAR_SCAN_LIMIT:
+            return by_head
+        return self._index.matching(term)
+
+    def unifiable_candidates(self, term: Term) -> Tuple[RewriteRule, ...]:
+        """Rules whose left-hand side could unify with ``term`` after renaming
+        apart (discrimination-tree lookup; an over-approximation in
+        declaration order)."""
+        return self._index.unifiable(term)
 
     def defined_symbols(self) -> Tuple[str, ...]:
         """The defined symbols that own at least one rule."""

@@ -152,6 +152,8 @@ class _ProofAttempt:
             reason = str(budget) or "search budget exhausted"
         self.stats.elapsed_seconds = time.perf_counter() - start
         self.stats.closure_compositions = self.closure.compositions_performed
+        self.stats.normalizer_hits = self.normalizer.cache_hits
+        self.stats.normalizer_misses = self.normalizer.cache_misses
         if proved:
             return ProofResult(
                 proved=True,
@@ -423,12 +425,22 @@ class _ProofAttempt:
                 } - {v.name for v in free_vars(lemma_from)}
                 if missing:
                     continue
+                # A symbol-headed lemma side can only match subterms with the
+                # same head symbol and spine length; both are cached on the
+                # interned nodes, so the position scan prunes in O(1) per
+                # subterm without invoking the matcher.
+                lemma_head = lemma_from._head
+                lemma_nargs = lemma_from._nargs
                 for side_name in ("lhs", "rhs"):
                     self._check_budget()
                     goal_side = getattr(equation, side_name)
                     other_side = equation.rhs if side_name == "lhs" else equation.lhs
                     for position, sub in positions(goal_side):
                         if isinstance(sub, Var):
+                            continue
+                        if lemma_head is not None and (
+                            sub._head != lemma_head or sub._nargs != lemma_nargs
+                        ):
                             continue
                         theta = match_or_none(lemma_from, sub)
                         if theta is None:

@@ -45,6 +45,12 @@ class SearchStatistics:
     elapsed_seconds: float = 0.0
     """Wall-clock duration of the attempt."""
 
+    normalizer_hits: int = 0
+    """Normal-form cache hits during the attempt (sharing paying off)."""
+
+    normalizer_misses: int = 0
+    """Normal-form cache misses during the attempt."""
+
     def summary(self) -> str:
         """A compact single-line rendering of the statistics."""
         return (
@@ -52,6 +58,7 @@ class SearchStatistics:
             f"case={self.case_splits} soundness={self.soundness_checks} "
             f"violations={self.soundness_violations} "
             f"compositions={self.closure_compositions} "
+            f"nf-cache={self.normalizer_hits}/{self.normalizer_hits + self.normalizer_misses} "
             f"time={self.elapsed_seconds * 1000:.1f}ms"
         )
 

@@ -1,0 +1,327 @@
+"""Tests for the hash-consed term core (:mod:`repro.core.interning`).
+
+Covers the acceptance criterion that equality on interned terms is identity
+within one bank, cross-bank behaviour, the O(1) cached structural attributes,
+and property-style agreement between the interned engine and straightforward
+reference implementations of the seed's recursive algorithms (matching,
+unification, normalisation), plus prover verdicts on an IsaPlanner sample.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.equations import Equation
+from repro.core.interning import TermBank, current_bank, use_bank
+from repro.core.matching import match_or_none, unify_or_none
+from repro.core.substitution import Substitution
+from repro.core.terms import (
+    App,
+    Sym,
+    Term,
+    Var,
+    apply_term,
+    free_vars,
+    is_subterm,
+    occurs,
+    subterms,
+    term_size,
+)
+from repro.core.types import DataTy
+
+NAT = DataTy("Nat")
+
+# ---------------------------------------------------------------------------
+# Term generators (same shape as test_property_based)
+# ---------------------------------------------------------------------------
+
+_variables = st.sampled_from([Var("x", NAT), Var("y", NAT), Var("z", NAT)])
+_constants = st.sampled_from([Sym("Z")])
+
+
+def _apps(children):
+    unary = st.builds(lambda a: apply_term(Sym("S"), a), children)
+    binary = st.builds(
+        lambda f, a, b: apply_term(Sym(f), a, b),
+        st.sampled_from(["add", "mul"]),
+        children,
+        children,
+    )
+    return unary | binary
+
+
+terms = st.recursive(_variables | _constants, _apps, max_leaves=12)
+ground_terms = st.recursive(_constants, _apps, max_leaves=12)
+substitutions = st.fixed_dictionaries(
+    {},
+    optional={"x": ground_terms, "y": ground_terms, "z": ground_terms},
+).map(Substitution)
+
+
+# ---------------------------------------------------------------------------
+# Reference (seed-style) recursive implementations
+# ---------------------------------------------------------------------------
+
+
+def ref_size(term):
+    if isinstance(term, App):
+        return 1 + ref_size(term.fun) + ref_size(term.arg)
+    return 1
+
+
+def ref_free_vars(term):
+    seen = {}
+
+    def walk(t):
+        if isinstance(t, Var):
+            seen.setdefault(t, None)
+        elif isinstance(t, App):
+            walk(t.fun)
+            walk(t.arg)
+
+    walk(term)
+    return tuple(seen)
+
+
+def ref_is_subterm(small, big):
+    return any(small == sub for sub in subterms(big))
+
+
+def ref_match(pattern, target, bindings=None):
+    bindings = dict(bindings) if bindings else {}
+    stack = [(pattern, target)]
+    while stack:
+        pat, tgt = stack.pop()
+        if isinstance(pat, Var):
+            bound = bindings.get(pat.name)
+            if bound is None:
+                bindings[pat.name] = tgt
+            elif bound != tgt:
+                return None
+        elif isinstance(pat, Sym):
+            if not isinstance(tgt, Sym) or pat.name != tgt.name:
+                return None
+        else:
+            if not isinstance(tgt, App):
+                return None
+            stack.append((pat.fun, tgt.fun))
+            stack.append((pat.arg, tgt.arg))
+    return bindings
+
+
+# ---------------------------------------------------------------------------
+# Identity equality within one bank (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestIdentityEquality:
+    def test_equal_constructions_are_the_same_object(self):
+        a = apply_term(Sym("add"), Var("x", NAT), Var("y", NAT))
+        b = apply_term(Sym("add"), Var("x", NAT), Var("y", NAT))
+        assert a is b
+        assert Var("x", NAT) is Var("x", NAT)
+        assert Sym("S") is Sym("S")
+
+    @given(terms, terms)
+    @settings(max_examples=200)
+    def test_eq_iff_identity_within_one_bank(self, left, right):
+        # Both terms come from the default bank of the test process.
+        assert left._bank is right._bank
+        assert (left == right) == (left is right)
+        if left == right:
+            assert hash(left) == hash(right)
+
+    def test_distinct_terms_are_unequal(self):
+        assert Var("x", NAT) != Var("y", NAT)
+        assert Var("x", NAT) != Var("x", DataTy("Bool"))
+        assert Sym("S") != Sym("Z")
+        assert Var("x", NAT) != Sym("x")
+
+    def test_subterms_are_shared(self):
+        shared = apply_term(Sym("add"), Var("x", NAT), Var("y", NAT))
+        outer = App(Sym("S"), shared)
+        assert outer.arg is shared
+        assert App(Sym("S"), apply_term(Sym("add"), Var("x", NAT), Var("y", NAT))) is outer
+
+
+class TestCrossBank:
+    def test_cross_bank_terms_equal_but_not_identical(self):
+        t1 = apply_term(Sym("add"), Var("x", NAT), Sym("Z"))
+        with use_bank() as bank:
+            t2 = apply_term(Sym("add"), Var("x", NAT), Sym("Z"))
+            assert t2._bank is bank
+            assert t1 is not t2
+            assert t1 == t2 and t2 == t1
+            assert hash(t1) == hash(t2)
+
+    def test_find_and_intern(self):
+        t1 = apply_term(Sym("mul"), Var("x", NAT), Sym("Z"))
+        bank = TermBank("scratch")
+        assert bank.find(t1) is None
+        copy = bank.intern(t1)
+        assert copy == t1 and copy is not t1
+        assert bank.find(t1) is copy
+        assert bank.intern(copy) is copy
+
+    def test_app_interns_foreign_children(self):
+        default = current_bank()
+        with use_bank() as bank:
+            foreign = Var("w", NAT)
+            assert foreign._bank is bank
+        combined = App(Sym("S"), foreign)  # built in the default bank again
+        assert combined._bank is default
+        assert combined.arg._bank is default
+
+    def test_equation_equality_across_banks(self):
+        eq1 = Equation(Var("x", NAT), Sym("Z"))
+        with use_bank():
+            eq2 = Equation(Var("x", NAT), Sym("Z"))
+            assert eq1 == eq2
+            assert hash(eq1) == hash(eq2)
+
+
+class TestImmutability:
+    def test_terms_reject_mutation(self):
+        t = apply_term(Sym("S"), Var("x", NAT))
+        with pytest.raises(AttributeError):
+            t.fun = Sym("Z")
+        with pytest.raises(AttributeError):
+            del t.arg
+
+
+# ---------------------------------------------------------------------------
+# Cached attributes agree with the reference walkers
+# ---------------------------------------------------------------------------
+
+
+class TestCachedAttributes:
+    @given(terms)
+    @settings(max_examples=200)
+    def test_size_and_free_vars_match_reference(self, term):
+        assert term_size(term) == ref_size(term)
+        assert free_vars(term) == ref_free_vars(term)
+
+    @given(terms)
+    @settings(max_examples=100)
+    def test_occurs_matches_reference(self, term):
+        for var in (Var("x", NAT), Var("y", NAT), Var("w", NAT)):
+            assert occurs(var, term) == (var in ref_free_vars(term))
+
+    @given(terms, terms)
+    @settings(max_examples=200)
+    def test_is_subterm_matches_reference(self, small, big):
+        assert is_subterm(small, big) == ref_is_subterm(small, big)
+
+    @given(terms)
+    @settings(max_examples=100)
+    def test_subterm_check_against_fresh_bank_copy(self, term):
+        with use_bank():
+            copies = [Var("x", NAT), apply_term(Sym("S"), Var("x", NAT))]
+        for small in copies:
+            assert is_subterm(small, term) == ref_is_subterm(small, term)
+
+    def test_deep_spine_does_not_recurse(self):
+        deep = Var("x", NAT)
+        for _ in range(20_000):
+            deep = App(Sym("S"), deep)
+        assert term_size(deep) == 40_001
+        assert free_vars(deep) == (Var("x", NAT),)
+        assert is_subterm(Var("x", NAT), deep)
+
+
+# ---------------------------------------------------------------------------
+# Agreement with the seed's matching / unification / normalisation
+# ---------------------------------------------------------------------------
+
+
+class TestEngineAgreement:
+    @given(terms, substitutions)
+    @settings(max_examples=200)
+    def test_matching_agrees_with_reference(self, pattern, theta):
+        target = theta.apply(pattern)
+        ours = match_or_none(pattern, target)
+        reference = ref_match(pattern, target)
+        assert (ours is None) == (reference is None)
+        if ours is not None:
+            assert dict(ours) == reference
+            assert ours.apply(pattern) == target
+
+    @given(terms, terms)
+    @settings(max_examples=200)
+    def test_matching_failure_agrees_with_reference(self, pattern, target):
+        ours = match_or_none(pattern, target)
+        reference = ref_match(pattern, target)
+        assert (ours is None) == (reference is None)
+        if ours is not None:
+            assert dict(ours) == reference
+
+    @given(terms, terms)
+    @settings(max_examples=200)
+    def test_unifier_existence_is_consistent(self, left, right):
+        sigma = unify_or_none(left, right)
+        if sigma is not None:
+            assert sigma.apply(left) == sigma.apply(right)
+        else:
+            # No unifier: in particular neither side matches the other.
+            assert ref_match(left, right) is None or ref_match(right, left) is None
+
+    def test_normal_forms_agree_with_uncached_path(self, nat_program):
+        from repro.rewriting.reduction import Normalizer, normalize
+
+        normalizer = Normalizer(nat_program.rules)
+        two = apply_term(Sym("S"), apply_term(Sym("S"), Sym("Z")))
+        samples = [
+            nat_program.parse_term("add (S Z) (S Z)"),
+            nat_program.parse_term("mul (S (S Z)) (S (S (S Z)))"),
+            nat_program.parse_term("double (S (S Z))"),
+            apply_term(Sym("add"), Var("x", NAT), Sym("Z")),
+            apply_term(Sym("mul"), two, apply_term(Sym("add"), Var("x", NAT), two)),
+        ]
+        for sample in samples:
+            assert normalizer(sample) == normalize(nat_program.rules, sample)
+
+    @given(ground_terms)
+    @settings(max_examples=60, deadline=None)
+    def test_ground_normal_forms_agree(self, term):
+        from repro.rewriting.reduction import Normalizer, normalize
+
+        program = _NAT_PROGRAM[0]
+        normalizer = Normalizer(program.rules)
+        assert normalizer(term) == normalize(program.rules, term)
+
+
+_NAT_PROGRAM = [None]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _install_nat_program(nat_program):
+    _NAT_PROGRAM[0] = nat_program
+    yield
+    _NAT_PROGRAM[0] = None
+
+
+# ---------------------------------------------------------------------------
+# Prover verdicts on the IsaPlanner registry sample
+# ---------------------------------------------------------------------------
+
+#: Problems the seed prover solves quickly (within the paper's 2 s budget) —
+#: the interned engine must keep solving exactly these.
+_EXPECTED_SOLVED = (
+    "prop_01", "prop_06", "prop_10", "prop_11", "prop_12", "prop_13",
+    "prop_17", "prop_22", "prop_31", "prop_35", "prop_40", "prop_45",
+    "prop_50",
+)
+
+
+def test_prover_verdicts_on_isaplanner_sample():
+    from repro.benchmarks_data import isaplanner_problems
+    from repro.harness import run_suite
+    from repro.search import ProverConfig
+
+    wanted = set(_EXPECTED_SOLVED)
+    problems = [p for p in isaplanner_problems() if p.name in wanted]
+    assert len(problems) == len(wanted)
+    result = run_suite(problems, ProverConfig(timeout=5.0))
+    verdicts = {r.name: r.status for r in result.records}
+    assert verdicts == {name: "proved" for name in wanted}
+    # Sharing must actually be exercised: proof search hits the NF cache.
+    assert sum(r.normalizer_hits for r in result.records) > 0

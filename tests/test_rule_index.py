@@ -1,0 +1,184 @@
+"""Tests for the discrimination-tree rule index (:mod:`repro.rewriting.index`).
+
+The index must be a *complete* over-approximation: every rule that actually
+matches (resp. unifies with) a subject must be among the candidates, and the
+candidates must come back in rule insertion order so that "first declared rule
+wins" reduction semantics are preserved.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import match_or_none, unify_or_none
+from repro.core.terms import Sym, Var, apply_term
+from repro.core.types import DataTy
+from repro.rewriting.index import RuleIndex
+from repro.rewriting.reduction import find_redex, normalize
+from repro.rewriting.rules import RewriteRule
+
+NAT = DataTy("Nat")
+X = Var("x", NAT)
+Y = Var("y", NAT)
+
+_variables = st.sampled_from([Var("x", NAT), Var("y", NAT), Var("z", NAT)])
+_constants = st.sampled_from([Sym("Z")])
+
+
+def _apps(children):
+    unary = st.builds(lambda a: apply_term(Sym("S"), a), children)
+    binary = st.builds(
+        lambda f, a, b: apply_term(Sym(f), a, b),
+        st.sampled_from(["add", "mul", "double"]),
+        children,
+        children,
+    )
+    return unary | binary
+
+
+subject_terms = st.recursive(_variables | _constants, _apps, max_leaves=14)
+
+
+def _nat_rules(nat_program):
+    return nat_program.rules
+
+
+class TestRetrievalCompleteness:
+    @given(subject_terms)
+    @settings(max_examples=300)
+    def test_matching_candidates_cover_all_matching_rules(self, subject):
+        program = _PROGRAM[0]
+        system = program.rules
+        candidates = system.matching_candidates(subject)
+        for rule in system.rules:
+            if match_or_none(rule.lhs, subject) is not None:
+                assert rule in candidates, f"index missed matching rule {rule}"
+
+    @given(subject_terms)
+    @settings(max_examples=300)
+    def test_unifiable_candidates_cover_all_unifiable_rules(self, subject):
+        program = _PROGRAM[0]
+        system = program.rules
+        candidates = system.unifiable_candidates(subject)
+        for rule in system.rules:
+            renamed = rule.rename("#fresh")
+            if unify_or_none(renamed.lhs, subject) is not None:
+                assert rule in candidates, f"index missed unifiable rule {rule}"
+
+    @given(subject_terms)
+    @settings(max_examples=200)
+    def test_candidates_preserve_declaration_order(self, subject):
+        program = _PROGRAM[0]
+        system = program.rules
+        order = {id(rule): i for i, rule in enumerate(system.rules)}
+        ranks = [order[id(rule)] for rule in system.matching_candidates(subject)]
+        assert ranks == sorted(ranks)
+
+    @given(subject_terms)
+    @settings(max_examples=200, deadline=None)
+    def test_find_redex_agrees_with_linear_scan(self, subject):
+        from repro.core.terms import positions, spine
+
+        program = _PROGRAM[0]
+        system = program.rules
+        redex = find_redex(system, subject)
+        # Reference: the seed's linear scan over positions and per-head rules.
+        expected = None
+        for position, sub in positions(subject):
+            head, _ = spine(sub)
+            if not isinstance(head, Sym):
+                continue
+            for rule in system.rules_for(head.name):
+                theta = match_or_none(rule.lhs, sub)
+                if theta is not None:
+                    expected = (position, rule, theta)
+                    break
+            if expected:
+                break
+        if expected is None:
+            assert redex is None
+        else:
+            assert redex is not None
+            assert (redex.position, redex.rule, redex.subst) == expected
+
+
+class TestIndexStructure:
+    def test_head_symbol_discrimination(self):
+        index = RuleIndex()
+        add_rule = RewriteRule(apply_term(Sym("add"), Sym("Z"), Y), Y)
+        mul_rule = RewriteRule(apply_term(Sym("mul"), Sym("Z"), Y), Sym("Z"))
+        index.add(add_rule.lhs, add_rule)
+        index.add(mul_rule.lhs, mul_rule)
+        subject = apply_term(Sym("add"), Sym("Z"), Sym("Z"))
+        assert index.matching(subject) == (add_rule,)
+        assert index.unifiable(subject) == (add_rule,)
+
+    def test_argument_constructor_discrimination(self):
+        index = RuleIndex()
+        zero_rule = RewriteRule(apply_term(Sym("add"), Sym("Z"), Y), Y)
+        succ_rule = RewriteRule(
+            apply_term(Sym("add"), apply_term(Sym("S"), X), Y),
+            apply_term(Sym("S"), apply_term(Sym("add"), X, Y)),
+        )
+        index.add(zero_rule.lhs, zero_rule)
+        index.add(succ_rule.lhs, succ_rule)
+        s_subject = apply_term(Sym("add"), apply_term(Sym("S"), Sym("Z")), Sym("Z"))
+        assert index.matching(s_subject) == (succ_rule,)
+        # A variable first argument matches neither rule but unifies with both.
+        open_subject = apply_term(Sym("add"), Var("w", NAT), Sym("Z"))
+        assert index.matching(open_subject) == ()
+        assert index.unifiable(open_subject) == (zero_rule, succ_rule)
+
+    def test_arity_discrimination(self):
+        index = RuleIndex()
+        rule = RewriteRule(apply_term(Sym("f"), X), X)
+        index.add(rule.lhs, rule)
+        assert index.matching(apply_term(Sym("f"), Sym("Z"))) == (rule,)
+        assert index.matching(apply_term(Sym("f"), Sym("Z"), Sym("Z"))) == ()
+        assert index.matching(Sym("f")) == ()
+
+    def test_copy_is_independent(self):
+        index = RuleIndex()
+        rule = RewriteRule(apply_term(Sym("f"), X), X)
+        index.add(rule.lhs, rule)
+        clone = index.copy()
+        other = RewriteRule(apply_term(Sym("g"), X), X)
+        clone.add(other.lhs, other)
+        assert len(index) == 1 and len(clone) == 2
+        assert index.matching(apply_term(Sym("g"), Sym("Z"))) == ()
+        assert clone.matching(apply_term(Sym("g"), Sym("Z"))) == (other,)
+
+    def test_variable_headed_subjects_yield_no_matches(self):
+        index = RuleIndex()
+        rule = RewriteRule(apply_term(Sym("f"), X), X)
+        index.add(rule.lhs, rule)
+        applied_var = apply_term(Var("g", NAT), Sym("Z"))
+        assert index.matching(applied_var) == ()
+        # ... but an applied variable can still unify with an applied pattern.
+        assert index.unifiable(applied_var) == (rule,)
+
+
+class TestSystemIntegration:
+    def test_normalisation_through_the_index(self, nat_program):
+        term = nat_program.parse_term("add (S Z) (mul (S Z) (S (S Z)))")
+        assert str(normalize(nat_program.rules, term)) == "S (S (S Z))"
+
+    def test_copy_keeps_index_in_sync(self, nat_program):
+        system = nat_program.rules.copy()
+        lemma = RewriteRule(apply_term(Sym("add"), X, Sym("Z")), X)
+        system.add_rule(lemma, validate=False)
+        subject = apply_term(Sym("add"), Var("q", NAT), Sym("Z"))
+        assert lemma in system.matching_candidates(subject)
+        # The original system must not see the extra rule.
+        assert lemma not in nat_program.rules.matching_candidates(subject)
+
+
+_PROGRAM = [None]
+
+
+import pytest
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _install_program(nat_program):
+    _PROGRAM[0] = nat_program
+    yield
+    _PROGRAM[0] = None
