@@ -50,7 +50,7 @@ def main() -> int:
     config = ProverConfig(timeout=arguments.timeout)
 
     def progress(record):
-        marker = {"proved": "+", "failed": "-", "out-of-scope": "o"}[record.status]
+        marker = {"proved": "+", "failed": "-", "timeout": "t", "out-of-scope": "o"}[record.status]
         sys.stdout.write(marker)
         sys.stdout.flush()
 

@@ -1,0 +1,297 @@
+"""The ``python -m repro`` command line: solve goals, run suites, read stores.
+
+Three subcommands::
+
+    python -m repro solve --suite isaplanner --goal prop_01
+    python -m repro bench --suite isaplanner --jobs 4 --timeout 1 --store results.jsonl
+    python -m repro report --store results.jsonl
+
+``solve`` proves individual goals (from a built-in suite or a program file)
+and prints the proof-search statistics.  ``bench`` runs a suite on the
+parallel engine — ``--jobs``, ``--portfolio``, ``--store`` and ``--timeout``
+map straight onto :func:`repro.engine.suite.solve_suite` — and prints the
+paper-vs-measured tables.  ``report`` renders the same tables from a persisted
+result store without re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .benchmarks_data.registry import BenchmarkProblem, all_problems, isaplanner_problems, mutual_problems
+from .harness.report import (
+    ascii_cumulative_plot,
+    format_table,
+    isaplanner_summary_table,
+    portfolio_winner_table,
+    unsolved_classification,
+    worker_utilisation_table,
+)
+from .harness.runner import SolveRecord, SuiteResult, run_suite, run_suite_parallel
+from .search.config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
+
+__all__ = ["main", "build_parser"]
+
+SUITES = {
+    "isaplanner": isaplanner_problems,
+    "mutual": mutual_problems,
+    "all": all_problems,
+}
+
+#: Worker-side resolver per suite: workers only rebuild the programs they can
+#: actually be asked about, instead of every suite on every (re)spawn.
+RESOLVERS = {
+    "isaplanner": "repro.benchmarks_data.registry:isaplanner_problems",
+    "mutual": "repro.benchmarks_data.registry:mutual_problems",
+    "all": "repro.benchmarks_data.registry:all_problems",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CycleQ reproduction: prove equations, run benchmark suites, read result stores.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="prove one or more named goals")
+    source = solve.add_mutually_exclusive_group()
+    source.add_argument("--suite", choices=sorted(SUITES), default="all",
+                        help="built-in suite to look the goal up in (default: all)")
+    source.add_argument("--file", help="program file in the surface language")
+    solve.add_argument("--goal", action="append", default=[], metavar="NAME",
+                       help="goal name; repeatable (required with --suite)")
+    solve.add_argument("--hint", action="append", default=[], metavar="EQUATION",
+                       help="lemma hint as equation source, e.g. 'add a b === add b a'")
+    solve.add_argument("--timeout", type=float, default=None, help="per-goal budget in seconds")
+    solve.add_argument("--max-depth", type=int, default=None)
+    solve.add_argument("--lemmas", choices=(LEMMAS_CASE_ONLY, LEMMAS_ALL, LEMMAS_NONE), default=None)
+
+    bench = commands.add_parser("bench", help="run a benchmark suite on the parallel engine")
+    bench.add_argument("--suite", choices=sorted(SUITES), default="isaplanner")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: CPU count; 0 = serial in-process)")
+    bench.add_argument("--serial", action="store_true", help="force the serial runner")
+    bench.add_argument("--portfolio", action="store_true",
+                       help="race the default configuration portfolio per goal")
+    bench.add_argument("--store", default=None, metavar="PATH",
+                       help="JSON-lines result store; warm entries are replayed, not re-solved")
+    bench.add_argument("--timeout", type=float, default=None, help="per-goal budget in seconds")
+    bench.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="only the first N problems of the suite")
+    bench.add_argument("--names", default=None,
+                       help="comma-separated problem names to run (a slice of the suite)")
+    bench.add_argument("--plot", action="store_true", help="print the Fig. 7 ASCII cumulative plot")
+
+    report = commands.add_parser("report", help="render tables from a persisted result store")
+    report.add_argument("--store", required=True, metavar="PATH")
+    report.add_argument("--suite", default=None, help="only entries of this suite")
+    report.add_argument("--plot", action="store_true", help="print the cumulative plot")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# solve
+# ---------------------------------------------------------------------------
+
+
+def _solve_command(args) -> int:
+    from .search.prover import Prover
+
+    if args.file:
+        from .lang.loader import load_program_file
+
+        program = load_program_file(args.file)
+        missing = [name for name in args.goal if name not in program.goals]
+        if missing:
+            print(f"solve: unknown goal(s) {', '.join(missing)} in {args.file}", file=sys.stderr)
+            return 2
+        goals = [program.goal(name) for name in args.goal] if args.goal else list(program.goals.values())
+        pairs = [(program, goal) for goal in goals]
+    else:
+        if not args.goal:
+            print("solve: --goal is required with --suite", file=sys.stderr)
+            return 2
+        problems = {p.name: p for p in SUITES[args.suite]()}
+        missing = [name for name in args.goal if name not in problems]
+        if missing:
+            print(f"solve: unknown goal(s) {', '.join(missing)} in suite {args.suite}", file=sys.stderr)
+            return 2
+        pairs = [(problems[name].program, problems[name].goal) for name in args.goal]
+
+    config = ProverConfig()
+    changes = {}
+    if args.timeout is not None:
+        changes["timeout"] = args.timeout
+    if args.max_depth is not None:
+        changes["max_depth"] = args.max_depth
+    if args.lemmas is not None:
+        changes["lemma_restriction"] = args.lemmas
+    if changes:
+        config = config.with_(**changes)
+
+    all_proved = True
+    for program, goal in pairs:
+        hints = tuple(program.parse_equation(source) for source in args.hint)
+        result = Prover(program, config).prove_goal(goal, hypotheses=hints)
+        print(result)
+        all_proved = all_proved and result.proved
+    return 0 if all_proved else 1
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+
+def _select_problems(args) -> List[BenchmarkProblem]:
+    problems = SUITES[args.suite]()
+    if args.names:
+        wanted = {name.strip() for name in args.names.split(",") if name.strip()}
+        problems = [p for p in problems if p.name in wanted]
+    if args.limit is not None:
+        problems = problems[: max(0, args.limit)]
+    return problems
+
+
+def _print_suite_tables(result: SuiteResult, args, wall: float, parallel: bool, portfolio: bool = False) -> None:
+    summary = result.summary()
+    rows = [(key, value) for key, value in summary.items()]
+    print(format_table(("metric", "value"), rows))
+    print(f"\nwall-clock: {wall:.3f} s")
+    store = getattr(result, "store", None)
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} entries, {store.hits} hits / {store.misses} misses this run)")
+        replayed = sum(1 for record in result.records if record.cached)
+        print(f"replayed from store: {replayed}/{result.total}")
+    if parallel:
+        print("\n" + worker_utilisation_table(result, wall_seconds=wall))
+    if portfolio:
+        print("\nportfolio winners:")
+        print(portfolio_winner_table(result))
+    if args.suite == "isaplanner" and args.limit is None and not args.names:
+        print("\npaper vs measured (Section 6.1):")
+        print(isaplanner_summary_table(result))
+        print("\nunsolved problems:")
+        print(unsolved_classification(result))
+    if getattr(args, "plot", False):
+        print("\ncumulative solved-vs-time (Fig. 7):")
+        print(ascii_cumulative_plot(result))
+
+
+def _bench_command(args) -> int:
+    problems = _select_problems(args)
+    if not problems:
+        print("bench: no problems selected", file=sys.stderr)
+        return 2
+    config = ProverConfig()
+    if args.timeout is not None:
+        config = config.with_(timeout=args.timeout)
+    serial = args.serial or args.jobs == 0
+    started = time.monotonic()
+    if serial:
+        result = run_suite(problems, config, suite_name=args.suite)
+    else:
+        variants = None
+        if args.portfolio:
+            from .engine.portfolio import default_portfolio
+
+            variants = default_portfolio(config)
+        result = run_suite_parallel(
+            problems,
+            config,
+            suite_name=args.suite,
+            jobs=args.jobs,
+            variants=variants,
+            store=args.store,
+            resolver=RESOLVERS[args.suite],
+        )
+    wall = time.monotonic() - started
+    _print_suite_tables(result, args, wall, parallel=not serial, portfolio=args.portfolio)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveRecord]]:
+    """Reconstruct per-suite records from store entries (latest per key)."""
+    by_suite: Dict[str, Dict[str, SolveRecord]] = {}
+    for entry in store.entries():
+        goal_key = str(entry.get("goal", ""))
+        suite_name, _, name = goal_key.partition("/")
+        if suite and suite_name != suite:
+            continue
+        record = SolveRecord(
+            name=name or goal_key,
+            suite=suite_name,
+            status=str(entry.get("status", "failed")),
+            seconds=float(entry.get("seconds") or 0.0),
+            nodes=int(entry.get("nodes") or 0),
+            subst_attempts=int(entry.get("subst_attempts") or 0),
+            soundness_violations=int(entry.get("soundness_violations") or 0),
+            normalizer_hits=int(entry.get("normalizer_hits") or 0),
+            normalizer_misses=int(entry.get("normalizer_misses") or 0),
+            reason=str(entry.get("reason") or ""),
+            variant=str(entry.get("variant") or ""),
+            cached=True,
+        )
+        goals = by_suite.setdefault(suite_name, {})
+        # Several configs may have attempted the goal; keep the best outcome
+        # (a proof beats a failure, then the faster proof wins).
+        existing = goals.get(record.name)
+        if (
+            existing is None
+            or (record.proved and not existing.proved)
+            or (record.proved and existing.proved and record.seconds < existing.seconds)
+        ):
+            goals[record.name] = record
+    return {suite_name: list(goals.values()) for suite_name, goals in by_suite.items()}
+
+
+def _report_command(args) -> int:
+    from .engine.store import ResultStore
+
+    store = ResultStore(args.store)
+    if len(store) == 0:
+        print(f"report: store {args.store} is empty or missing", file=sys.stderr)
+        return 2
+    per_suite = _records_from_store(store, args.suite)
+    if not per_suite:
+        print(f"report: no entries for suite {args.suite!r} in {args.store}", file=sys.stderr)
+        return 2
+    print(f"store: {store.path} ({len(store)} entries)")
+    for suite_name in sorted(per_suite):
+        result = SuiteResult(suite=suite_name, records=per_suite[suite_name])
+        print(f"\n== {suite_name} ==")
+        rows = [(key, value) for key, value in result.summary().items()]
+        print(format_table(("metric", "value"), rows))
+        winners = portfolio_winner_table(result)
+        if "no proofs" not in winners:
+            print("\nwinning variants:")
+            print(winners)
+        if args.plot:
+            print(ascii_cumulative_plot(result))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "solve":
+            return _solve_command(args)
+        if args.command == "bench":
+            return _bench_command(args)
+        return _report_command(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLI tools.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0

@@ -1,0 +1,33 @@
+"""The parallel proof engine: scheduler, portfolio racing, persistent store.
+
+The engine turns the fast single-attempt core into suite-level throughput:
+
+* :class:`Scheduler` (:mod:`repro.engine.scheduler`) shards goals across a
+  pool of worker processes with per-goal deadlines, hard kills for hung
+  workers, and crash isolation — a worker dying on one goal never loses the
+  batch.
+* :class:`PortfolioVariant` / :func:`default_portfolio`
+  (:mod:`repro.engine.portfolio`) race several prover configurations per goal
+  and keep the first proof.
+* :class:`ResultStore` (:mod:`repro.engine.store`) memoises
+  ``(program fingerprint, goal, config)`` → outcome as JSON-lines, so re-runs
+  against a warm store re-solve nothing.
+* :func:`solve_suite` (:mod:`repro.engine.suite`) composes the three into a
+  drop-in parallel :func:`~repro.harness.runner.run_suite` — same
+  :class:`~repro.harness.runner.SuiteResult`, records in input order.
+
+Entry points: :func:`repro.harness.runner.run_suite_parallel` from code,
+``python -m repro`` from the command line.
+"""
+
+from .portfolio import PortfolioVariant, default_portfolio, select_winner, single_variant
+from .scheduler import DEFAULT_RESOLVER, Scheduler, Task, load_spec, solve_task
+from .store import ResultStore, config_fingerprint
+from .suite import solve_suite
+
+__all__ = [
+    "Scheduler", "Task", "solve_task", "load_spec", "DEFAULT_RESOLVER",
+    "PortfolioVariant", "default_portfolio", "single_variant", "select_winner",
+    "ResultStore", "config_fingerprint",
+    "solve_suite",
+]

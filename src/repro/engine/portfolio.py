@@ -1,0 +1,100 @@
+"""Configuration portfolios: race several prover configurations per goal.
+
+Bounded proof search is brittle under a fixed configuration — some IsaPlanner
+goals need a deeper (Subst)/(Case) budget, others only fall to the
+``LEMMAS_ALL`` ablation that the paper's default restriction rules out.  A
+*portfolio* attacks each goal with several configurations at once and keeps
+the **first proof** that arrives; the scheduler then cancels the goal's
+remaining attempts (pending siblings are never dispatched, in-flight siblings
+run out their own budget and are discarded).
+
+When no variant proves the goal, the *base* variant's outcome is reported, so
+a single-variant portfolio is observationally identical to the serial runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..search.config import LEMMAS_ALL, ProverConfig
+
+__all__ = ["PortfolioVariant", "default_portfolio", "single_variant", "select_winner"]
+
+BASE_VARIANT = "paper-default"
+"""Name of the paper-configuration variant every portfolio leads with."""
+
+
+@dataclass(frozen=True)
+class PortfolioVariant:
+    """One named configuration entered into the race."""
+
+    name: str
+    config: ProverConfig
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("portfolio variants need a non-empty name")
+        self.config.validate()
+
+
+def single_variant(config: ProverConfig) -> Tuple[PortfolioVariant, ...]:
+    """The trivial portfolio: just the given configuration."""
+    return (PortfolioVariant(BASE_VARIANT, config),)
+
+
+def default_portfolio(base: Optional[ProverConfig] = None) -> Tuple[PortfolioVariant, ...]:
+    """The standard three-way race.
+
+    * ``paper-default`` — the configuration as given (the paper's strategy);
+    * ``deep-search`` — double depth/case/node budgets, for goals that need a
+      longer induction;
+    * ``lemmas-all`` — every justified node is an eligible (Subst) lemma (the
+      Section 5.1 ablation), for goals the case-only restriction misses.
+
+    All variants share the base wall-clock timeout: the race trades CPU for
+    coverage, not latency.
+    """
+    base = base or ProverConfig()
+    return (
+        PortfolioVariant(BASE_VARIANT, base),
+        PortfolioVariant(
+            "deep-search",
+            base.with_(
+                max_depth=base.max_depth * 2,
+                max_case_splits=base.max_case_splits + 2,
+                max_nodes=base.max_nodes * 2,
+            ),
+        ),
+        PortfolioVariant("lemmas-all", base.with_(lemma_restriction=LEMMAS_ALL)),
+    )
+
+
+def select_winner(
+    outcomes: Dict[str, dict],
+    variant_order: Sequence[str],
+    arrival_order: Sequence[str] = (),
+) -> Tuple[str, dict]:
+    """Pick the goal's reported outcome from per-variant outcome dicts.
+
+    The first *proof* wins: by arrival order when known (the live race), by
+    variant order otherwise (e.g. outcomes replayed from the result store).
+    With no proof at all, the base variant (first in ``variant_order``) that
+    actually produced an outcome is reported — cancelled attempts never win.
+    """
+    for name in arrival_order:
+        outcome = outcomes.get(name)
+        if outcome is not None and outcome.get("status") == "proved":
+            return name, outcome
+    for name in variant_order:
+        outcome = outcomes.get(name)
+        if outcome is not None and outcome.get("status") == "proved":
+            return name, outcome
+    for name in variant_order:
+        outcome = outcomes.get(name)
+        if outcome is not None and outcome.get("status") not in (None, "cancelled"):
+            return name, outcome
+    # Every attempt was cancelled or lost — should not happen, but degrade
+    # gracefully rather than dropping the goal from the suite.
+    name = variant_order[0] if variant_order else ""
+    return name, {"status": "failed", "reason": "no attempt produced an outcome"}

@@ -1,0 +1,498 @@
+"""Multiprocess job scheduler: shard proof attempts across a worker pool.
+
+The paper's evaluation is embarrassingly parallel — every goal is attempted
+independently under a wall-clock budget — so the scheduler's job is purely
+throughput and robustness:
+
+* **Sharding.**  ``jobs`` worker processes each hold one task at a time; the
+  parent dispatches demand-driven (a task leaves the pending deque only when a
+  worker is idle), so cancellation and deadlines stay entirely in the parent.
+* **Crash isolation.**  A worker dying on one goal (segfault, ``os._exit``,
+  OOM kill) is detected by liveness polling; the goal in flight is recorded as
+  failed with the exit code in the reason, the worker is respawned, and the
+  rest of the batch proceeds.
+* **Per-goal deadlines.**  The prover enforces its own monotonic deadline
+  in-process (``ProverConfig.timeout``); the parent backs it with a *hard*
+  deadline (timeout + grace) after which a hung worker is killed and the goal
+  recorded as a timeout.
+
+Tasks carry only primitives (strings, numbers, dicts) across process
+boundaries: a worker never unpickles a term.  Problems are re-resolved inside
+each worker by a *resolver* — by default the benchmark registry
+(:data:`DEFAULT_RESOLVER`) — so hash-consed terms stay within the bank of the
+process that built them.  Lemma hints travel as equation *source text* and are
+re-parsed against the worker's own program.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..search.config import ProverConfig
+
+__all__ = [
+    "Task",
+    "Scheduler",
+    "DEFAULT_RESOLVER",
+    "load_spec",
+    "solve_task",
+    "STATUS_CANCELLED",
+]
+
+DEFAULT_RESOLVER = "repro.benchmarks_data.registry:all_problems"
+"""The default problem resolver: every problem of every built-in suite."""
+
+STATUS_CANCELLED = "cancelled"
+"""Internal status of a task skipped because a portfolio sibling already won."""
+
+Spec = Union[str, Callable]
+"""A callable, or a ``"module:attribute"`` string importable in a worker."""
+
+
+def load_spec(spec: Optional[Spec]):
+    """Resolve a :data:`Spec` to a callable (``None`` passes through)."""
+    if spec is None or callable(spec):
+        return spec
+    module_name, _, attribute = str(spec).partition(":")
+    if not module_name or not attribute:
+        raise ValueError(f"spec must look like 'module:attribute', got {spec!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: attempt one goal under one configuration."""
+
+    uid: int
+    """Unique id of the task within one scheduler run."""
+
+    index: int
+    """Position of the goal in the input problem sequence."""
+
+    suite: str
+    name: str
+
+    variant: str
+    """Name of the portfolio variant this attempt belongs to."""
+
+    config: Dict[str, object]
+    """``dataclasses.asdict`` of the :class:`ProverConfig` to run under."""
+
+    hints: Tuple[str, ...] = ()
+    """Lemma hints as equation source text, parsed inside the worker."""
+
+    program: str = ""
+    """Fingerprint of the program the caller expects the resolver to rebuild.
+
+    Empty disables the check (direct scheduler users without a program in
+    hand); when set, a worker whose resolver produced a *different* program
+    for ``suite/name`` fails the task instead of silently solving — and
+    persisting — an outcome for the wrong program.
+    """
+
+    @property
+    def key(self) -> str:
+        """The goal identity ``suite/name``."""
+        return f"{self.suite}/{self.name}"
+
+    def to_wire(self) -> dict:
+        """The primitive payload sent over the task queue."""
+        return {
+            "uid": self.uid,
+            "index": self.index,
+            "suite": self.suite,
+            "name": self.name,
+            "key": self.key,
+            "variant": self.variant,
+            "config": dict(self.config),
+            "hints": tuple(self.hints),
+            "program": self.program,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
+    """Attempt one task in the current process; returns a primitive outcome.
+
+    Used by the worker loop, and directly by the serial fallback paths (it is
+    deliberately free of any multiprocessing machinery).
+    """
+    from ..search.prover import Prover  # deferred: keep worker import cost low
+
+    if problem is None:
+        return {
+            "status": "failed",
+            "reason": f"unknown problem {task['key']}: not produced by the resolver",
+        }
+    expected_program = task.get("program", "")
+    if expected_program and problem.program.fingerprint() != expected_program:
+        return {
+            "status": "failed",
+            "reason": (
+                f"resolver produced a different program for {task['key']} "
+                "(fingerprint mismatch); pass a resolver matching the input problems"
+            ),
+        }
+    if hook is not None:
+        hook(task)  # test seam: may raise, hang, or kill the process
+    if problem.goal.is_conditional:
+        return {"status": "out-of-scope", "reason": "conditional goal"}
+    config = ProverConfig(**task["config"])
+    hints = []
+    for source in task.get("hints", ()):
+        try:
+            hints.append(problem.program.parse_equation(source))
+        except Exception as error:
+            return {"status": "failed", "reason": f"unparsable hint {source!r}: {error}"}
+    prover = Prover(problem.program, config)
+    started = time.perf_counter()
+    outcome = prover.prove(problem.goal.equation, goal_name=problem.name, hypotheses=tuple(hints))
+    elapsed = time.perf_counter() - started
+    stats = outcome.statistics
+    if outcome.proved:
+        status = "proved"
+    elif stats.timed_out:
+        status = "timeout"
+    else:
+        status = "failed"
+    return {
+        "status": status,
+        "seconds": elapsed,
+        "nodes": stats.nodes_created,
+        "subst_attempts": stats.subst_attempts,
+        "soundness_violations": stats.soundness_violations,
+        "normalizer_hits": stats.normalizer_hits,
+        "normalizer_misses": stats.normalizer_misses,
+        "reason": outcome.reason,
+    }
+
+
+def _worker_main(slot: int, resolver_spec: Spec, hook_spec: Optional[Spec], task_queue, result_queue) -> None:
+    """The worker process loop: resolve problems once, then solve until sentinel."""
+    problems: Dict[str, object] = {}
+    hook: Optional[Callable] = None
+    init_error = ""
+    try:
+        resolver = load_spec(resolver_spec)
+        problems = {f"{p.suite}/{p.name}": p for p in resolver()}
+        hook = load_spec(hook_spec)
+    except Exception as error:  # noqa: BLE001 - reported per task below
+        init_error = f"worker initialisation failed: {error!r}"
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        if init_error:
+            outcome = {"status": "failed", "reason": init_error}
+        else:
+            try:
+                outcome = solve_task(problems.get(task["key"]), task, hook)
+            except Exception as error:  # noqa: BLE001 - a bad goal must not kill the worker
+                outcome = {"status": "failed", "reason": f"worker error: {error!r}"}
+        result_queue.put((slot, task["uid"], outcome))
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerSlot:
+    """One slot of the pool: a live process, its queues, and bookkeeping.
+
+    Each slot owns a *private* pair of queues.  Sharing one result queue
+    across the pool would let a crashing worker corrupt it for everyone: a
+    process that dies while its queue feeder thread holds the shared write
+    lock leaves that lock held forever, silently blocking every other
+    worker's results.  With per-slot queues a dying worker can only break its
+    own channel, which is thrown away when the slot respawns.
+    """
+
+    def __init__(self, slot: int, context, resolver_spec: Spec, hook_spec: Optional[Spec]):
+        self.slot = slot
+        self.context = context
+        self.resolver_spec = resolver_spec
+        self.hook_spec = hook_spec
+        self.current: Optional[dict] = None
+        self.started_at = 0.0
+        self.tasks_done = 0
+        self.respawns = 0
+        self.process = None
+        self.task_queue = None
+        self.result_queue = None
+        self._start()
+
+    def _start(self) -> None:
+        self.task_queue = self.context.Queue()
+        self.result_queue = self.context.Queue()
+        self.process = self.context.Process(
+            target=_worker_main,
+            args=(self.slot, self.resolver_spec, self.hook_spec, self.task_queue, self.result_queue),
+            daemon=True,
+            name=f"repro-engine-worker-{self.slot}",
+        )
+        self.process.start()
+
+    def poll(self) -> Optional[Tuple[int, int, dict]]:
+        """A pending result of this slot, or ``None`` (never blocks)."""
+        try:
+            return self.result_queue.get_nowait()
+        except queue_module.Empty:
+            return None
+        except (OSError, ValueError):  # pragma: no cover - queue torn down
+            return None
+
+    @property
+    def idle(self) -> bool:
+        return self.current is None
+
+    def submit(self, task: dict) -> None:
+        assert self.current is None
+        self.current = task
+        self.started_at = time.monotonic()
+        self.task_queue.put(task)
+
+    def finish(self) -> None:
+        self.current = None
+        self.tasks_done += 1
+
+    def respawn(self) -> None:
+        """Replace a dead or killed process with a fresh one (fresh queues too)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        self._discard_queues()
+        self.current = None
+        self.respawns += 1
+        self._start()
+
+    def _discard_queues(self) -> None:
+        # The old queues may be corrupt (that is why we are respawning); never
+        # block on their feeder threads.
+        for q in (self.task_queue, self.result_queue):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - already broken
+                pass
+
+    def stop(self) -> None:
+        try:
+            self.task_queue.put(None)
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self._discard_queues()
+
+
+class Scheduler:
+    """Shard tasks over a pool of worker processes.
+
+    ``jobs``
+        Pool size; defaults to the CPU count.
+    ``resolver``
+        How workers obtain their problems (:data:`Spec` returning an iterable
+        of :class:`~repro.benchmarks_data.registry.BenchmarkProblem`).
+    ``worker_hook``
+        Optional :data:`Spec` invoked on every task inside the worker before
+        solving — the crash-injection seam used by the tests.
+    ``hard_kill_grace``
+        Extra seconds past a task's in-process timeout before the parent
+        terminates a (presumably hung) worker.
+    ``start_method``
+        ``multiprocessing`` start method; defaults to ``fork`` when available
+        (cheap on Linux — workers inherit already-imported modules) and the
+        platform default otherwise.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        resolver: Spec = DEFAULT_RESOLVER,
+        worker_hook: Optional[Spec] = None,
+        hard_kill_grace: float = 5.0,
+        start_method: Optional[str] = None,
+    ):
+        self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
+        self.resolver = resolver
+        self.worker_hook = worker_hook
+        self.hard_kill_grace = max(0.5, float(hard_kill_grace))
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.context = multiprocessing.get_context(start_method)
+        #: per-slot utilisation of the last run: {slot: {"tasks", "busy_seconds", "respawns"}}
+        self.worker_stats: Dict[int, Dict[str, float]] = {}
+        #: wall-clock duration of the last run
+        self.wall_seconds = 0.0
+
+    # -- deadline policy ---------------------------------------------------------
+
+    def _hard_deadline(self, task: dict, started_at: float) -> Optional[float]:
+        timeout = task.get("config", {}).get("timeout")
+        if timeout is None:
+            return None
+        return started_at + float(timeout) + self.hard_kill_grace
+
+    # -- the run loop --------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Iterable[Union[Task, dict]],
+        on_result: Optional[Callable[[dict, dict, Callable[[Iterable[int]], None]], None]] = None,
+    ) -> Dict[int, dict]:
+        """Execute every task; returns ``{uid: outcome dict}``.
+
+        Outcomes gain a ``"worker"`` key (the slot that solved them, ``-1``
+        for tasks cancelled before dispatch).  ``on_result(task, outcome,
+        cancel)`` is invoked in completion order; calling ``cancel(uids)``
+        marks still-pending tasks as :data:`STATUS_CANCELLED` without
+        dispatching them (in-flight tasks run to completion — their outcome is
+        still reported, the caller decides whether to use it).
+        """
+        started_run = time.monotonic()
+        wire: List[dict] = [t.to_wire() if isinstance(t, Task) else dict(t) for t in tasks]
+        results: Dict[int, dict] = {}
+        cancelled: set = set()
+
+        def cancel(uids: Iterable[int]) -> None:
+            cancelled.update(uids)
+
+        def finish(task: dict, outcome: dict, worker: int) -> None:
+            outcome = dict(outcome)
+            outcome["worker"] = worker
+            results[task["uid"]] = outcome
+            if on_result is not None:
+                on_result(task, outcome, cancel)
+
+        if not wire:
+            self.worker_stats = {}
+            self.wall_seconds = time.monotonic() - started_run
+            return results
+
+        pending = deque(wire)
+        pool = [
+            _WorkerSlot(slot, self.context, self.resolver, self.worker_hook)
+            for slot in range(min(self.jobs, len(wire)))
+        ]
+        busy_seconds = {worker.slot: 0.0 for worker in pool}
+        try:
+            while pending or any(not worker.idle for worker in pool):
+                # 1. Keep every idle worker fed (skipping cancelled tasks).
+                for worker in pool:
+                    if not worker.idle:
+                        continue
+                    while pending:
+                        task = pending.popleft()
+                        if task["uid"] in cancelled:
+                            finish(
+                                task,
+                                {
+                                    "status": STATUS_CANCELLED,
+                                    "reason": "a portfolio sibling already proved the goal",
+                                },
+                                worker=-1,
+                            )
+                            continue
+                        worker.submit(task)
+                        break
+
+                # 2. Collect finished results from every slot's own queue.
+                got_any = False
+                for worker in pool:
+                    message = worker.poll()
+                    if message is None:
+                        continue
+                    slot, uid, outcome = message
+                    got_any = True
+                    if uid in results:
+                        continue  # late echo of a task we already settled
+                    if worker.current is not None and worker.current["uid"] == uid:
+                        busy_seconds[worker.slot] += time.monotonic() - worker.started_at
+                        finish(worker.current, outcome, worker=worker.slot)
+                        worker.finish()
+                if got_any:
+                    continue  # drain eagerly before liveness checks
+
+                # 3. Crash isolation: a dead worker loses its own goal only.
+                now = time.monotonic()
+                checked_any = False
+                for worker in pool:
+                    if worker.idle:
+                        continue
+                    task = worker.current
+                    if not worker.process.is_alive():
+                        # One last drain: the result may have been flushed
+                        # just before the process died.
+                        message = worker.poll()
+                        if message is not None and message[1] == task["uid"]:
+                            busy_seconds[worker.slot] += now - worker.started_at
+                            finish(task, message[2], worker=worker.slot)
+                            worker.finish()
+                            worker.respawn()
+                            checked_any = True
+                            continue
+                        exit_code = worker.process.exitcode
+                        busy_seconds[worker.slot] += now - worker.started_at
+                        finish(
+                            task,
+                            {
+                                "status": "failed",
+                                "reason": f"worker crashed (exit code {exit_code}) while solving",
+                            },
+                            worker=worker.slot,
+                        )
+                        worker.respawn()
+                        checked_any = True
+                        continue
+                    # 4. Hard deadline: kill a hung worker past timeout+grace.
+                    deadline = self._hard_deadline(task, worker.started_at)
+                    if deadline is not None and now > deadline:
+                        busy_seconds[worker.slot] += now - worker.started_at
+                        finish(
+                            task,
+                            {
+                                "status": "timeout",
+                                "reason": (
+                                    f"hard deadline: worker killed "
+                                    f"{now - worker.started_at:.1f}s into a "
+                                    f"{task['config'].get('timeout')}s budget"
+                                ),
+                            },
+                            worker=worker.slot,
+                        )
+                        worker.respawn()
+                        checked_any = True
+                if not checked_any:
+                    time.sleep(0.01)  # idle poll: nothing finished, nobody died
+        finally:
+            for worker in pool:
+                worker.stop()
+            self.worker_stats = {
+                worker.slot: {
+                    "tasks": worker.tasks_done,
+                    "busy_seconds": round(busy_seconds[worker.slot], 6),
+                    "respawns": worker.respawns,
+                }
+                for worker in pool
+            }
+            self.wall_seconds = time.monotonic() - started_run
+        return results

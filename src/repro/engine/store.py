@@ -1,0 +1,168 @@
+"""Persistent result store: memoise proof outcomes across engine runs.
+
+The store maps ``(program fingerprint, goal, configuration fingerprint)`` to
+the outcome of one proof attempt, persisted as append-only JSON-lines.  A
+re-run of a suite against a warm store replays every already-attempted goal
+from disk instead of re-solving it — the suite-level speedup analogue of the
+normal-form cache inside one attempt.
+
+Keys are *content-addressed*: the program side is
+:meth:`repro.program.Program.fingerprint` (signature + rules, goals excluded),
+the goal side is ``suite/name`` plus the rendered equation (so a renamed or
+edited conjecture never aliases a stale entry), and the configuration side is
+:func:`config_fingerprint` over every field of
+:class:`~repro.search.config.ProverConfig` (so raising the timeout or the node
+budget correctly invalidates previous failures).
+
+The file format is one JSON object per line.  Corrupt or truncated lines
+(e.g. from a run killed mid-write) are skipped on load; later entries for the
+same key win, so the file can simply be appended to forever and compacted with
+:meth:`ResultStore.compact` when it grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..search.config import ProverConfig
+
+__all__ = ["ResultStore", "config_fingerprint"]
+
+StoreKey = Tuple[str, str, str, str]
+"""``(program fingerprint, suite/name, equation, config fingerprint)``."""
+
+#: Fields of an outcome payload persisted per entry (everything else in a line
+#: is key material or provenance).
+OUTCOME_FIELDS = (
+    "status",
+    "seconds",
+    "nodes",
+    "subst_attempts",
+    "soundness_violations",
+    "normalizer_hits",
+    "normalizer_misses",
+    "reason",
+    "variant",
+)
+
+
+def config_fingerprint(config: ProverConfig) -> str:
+    """A short stable digest of every field of a prover configuration."""
+    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class ResultStore:
+    """A JSON-lines memo of proof outcomes, keyed by :data:`StoreKey`."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self._entries: Dict[StoreKey, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # -- key construction -------------------------------------------------------
+
+    @staticmethod
+    def make_key(program_fingerprint: str, goal_key: str, equation: str, config_fp: str) -> StoreKey:
+        return (program_fingerprint, goal_key, equation, config_fp)
+
+    @staticmethod
+    def _key_of(entry: dict) -> StoreKey:
+        return (
+            str(entry.get("program", "")),
+            str(entry.get("goal", "")),
+            str(entry.get("equation", "")),
+            str(entry.get("config", "")),
+        )
+
+    # -- persistence ------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn write from a killed run; ignore
+                if not isinstance(entry, dict) or "status" not in entry:
+                    continue
+                self._entries[self._key_of(entry)] = entry
+
+    def _append(self, entry: dict) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def compact(self) -> None:
+        """Rewrite the file with one (latest) line per key, atomically."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".jsonl")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for entry in self._entries.values():
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    # -- lookup / insert ----------------------------------------------------------
+
+    def get(self, key: StoreKey) -> Optional[dict]:
+        """The stored outcome payload for ``key``, or ``None`` (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return {field: entry.get(field) for field in OUTCOME_FIELDS if field in entry}
+
+    def contains(self, key: StoreKey) -> bool:
+        return key in self._entries
+
+    def put(self, key: StoreKey, outcome: dict) -> None:
+        """Persist one outcome (overwriting any previous entry for the key)."""
+        program_fp, goal_key, equation, config_fp = key
+        entry = {
+            "program": program_fp,
+            "goal": goal_key,
+            "equation": equation,
+            "config": config_fp,
+        }
+        for field in OUTCOME_FIELDS:
+            if field in outcome:
+                entry[field] = outcome[field]
+        previous = self._entries.get(key)
+        if previous is not None and all(
+            previous.get(field) == entry.get(field) for field in OUTCOME_FIELDS
+        ):
+            return  # identical re-run: keep the file append-free
+        self._entries[key] = entry
+        self._append(entry)
+
+    # -- views ----------------------------------------------------------------------
+
+    def entries(self) -> Iterator[dict]:
+        """All current (deduplicated) entries."""
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({self.path!r}: {len(self)} entries)"

@@ -1,0 +1,233 @@
+"""Suite orchestration: problems × portfolio → scheduler → :class:`SuiteResult`.
+
+This is the layer behind :func:`repro.harness.runner.run_suite_parallel` and
+the ``python -m repro bench`` CLI.  It expands every (unconditional) goal into
+one task per portfolio variant, replays anything the persistent store already
+knows, races the rest on the multiprocess scheduler, and reassembles a
+:class:`~repro.harness.runner.SuiteResult` whose records sit in *input order*
+with the same statuses the serial runner would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..benchmarks_data.registry import BenchmarkProblem
+from ..harness.runner import SolveRecord, SuiteResult
+from ..search.config import ProverConfig
+from .portfolio import PortfolioVariant, select_winner, single_variant
+from .scheduler import DEFAULT_RESOLVER, STATUS_CANCELLED, Scheduler, Spec, Task
+from .store import ResultStore, config_fingerprint
+
+__all__ = ["solve_suite"]
+
+#: Reasons that describe the run environment rather than the goal; outcomes
+#: carrying them are never persisted (a crash must not poison a warm store).
+_UNSTORABLE_MARKERS = (
+    "worker crashed",
+    "worker initialisation failed",
+    "worker error",
+    "unknown problem",
+    "no attempt produced an outcome",
+)
+
+
+def _storable(outcome: dict) -> bool:
+    if outcome.get("status") not in ("proved", "failed", "timeout"):
+        return False
+    reason = str(outcome.get("reason", ""))
+    return not any(marker in reason for marker in _UNSTORABLE_MARKERS)
+
+
+class _GoalState:
+    """Mutable race state of one goal."""
+
+    __slots__ = (
+        "index", "problem", "key", "equation", "hints",
+        "outcomes", "arrival", "cached_variants", "uid_to_variant", "decided",
+    )
+
+    def __init__(self, index: int, problem: BenchmarkProblem, hints: Tuple[str, ...]):
+        self.index = index
+        self.problem = problem
+        self.key = f"{problem.suite}/{problem.name}"
+        # Lemma hints change what is provable, so they are part of the store
+        # identity of the attempt: a hintless outcome must never be replayed
+        # for a hinted run (or vice versa).
+        self.equation = str(problem.goal.equation)
+        if hints:
+            self.equation = " ; ".join(hints) + " ⊢ " + self.equation
+        self.hints = hints
+        self.outcomes: Dict[str, dict] = {}
+        self.arrival: List[str] = []
+        self.cached_variants: set = set()
+        self.uid_to_variant: Dict[int, str] = {}
+        self.decided = False
+
+
+def solve_suite(
+    problems: Sequence[BenchmarkProblem],
+    config: Optional[ProverConfig] = None,
+    suite_name: Optional[str] = None,
+    hypotheses: Optional[Dict[str, Sequence[object]]] = None,
+    progress: Optional[Callable[[SolveRecord], None]] = None,
+    *,
+    jobs: Optional[int] = None,
+    variants: Optional[Sequence[PortfolioVariant]] = None,
+    store: Union[ResultStore, str, None] = None,
+    resolver: Optional[Spec] = None,
+    worker_hook: Optional[Spec] = None,
+    hard_kill_grace: float = 5.0,
+    start_method: Optional[str] = None,
+    scheduler: Optional[Scheduler] = None,
+) -> SuiteResult:
+    """Solve a suite on the parallel engine; see :func:`run_suite_parallel`.
+
+    ``hypotheses`` maps problem names to lemma hints given as
+    :class:`~repro.core.equations.Equation` objects *or* equation source
+    strings — either way they cross the process boundary as source text and
+    are re-parsed inside the worker.
+
+    Conditional goals never reach a worker: they are recorded as
+    ``out-of-scope`` exactly as in the serial runner.  The scheduler used is
+    returned on the result as ``result.engine`` (worker utilisation and wall
+    time for the report layer).
+    """
+    config = config or ProverConfig()
+    variant_list: Tuple[PortfolioVariant, ...] = tuple(variants) if variants else single_variant(config)
+    variant_order = [v.name for v in variant_list]
+    if len(set(variant_order)) != len(variant_order):
+        raise ValueError(f"duplicate portfolio variant names: {variant_order}")
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = ResultStore(store)
+
+    name = suite_name or (problems[0].suite if problems else "suite")
+    result = SuiteResult(suite=name)
+    records: List[Optional[SolveRecord]] = [None] * len(problems)
+
+    def decide(state: _GoalState, variant: str, outcome: dict) -> None:
+        state.decided = True
+        record = SolveRecord(
+            name=state.problem.name,
+            suite=state.problem.suite,
+            status=outcome.get("status", "failed"),
+            seconds=float(outcome.get("seconds") or 0.0),
+            nodes=int(outcome.get("nodes") or 0),
+            subst_attempts=int(outcome.get("subst_attempts") or 0),
+            soundness_violations=int(outcome.get("soundness_violations") or 0),
+            normalizer_hits=int(outcome.get("normalizer_hits") or 0),
+            normalizer_misses=int(outcome.get("normalizer_misses") or 0),
+            reason=str(outcome.get("reason") or ""),
+            worker=int(outcome.get("worker", -1)),
+            variant=variant,
+            cached=variant in state.cached_variants,
+        )
+        records[state.index] = record
+        if progress is not None:
+            progress(record)
+
+    # -- phase 1: conditional goals and store replay ---------------------------
+
+    program_fps: Dict[int, str] = {}
+    config_fps = {v.name: config_fingerprint(v.config) for v in variant_list}
+    states: List[_GoalState] = []
+    tasks: List[Task] = []
+    uid_to_state: Dict[int, _GoalState] = {}
+    uid = 0
+
+    for index, problem in enumerate(problems):
+        if problem.goal.is_conditional:
+            record = SolveRecord(
+                name=problem.name,
+                suite=problem.suite,
+                status="out-of-scope",
+                reason="conditional goal",
+            )
+            records[index] = record
+            if progress is not None:
+                progress(record)
+            continue
+        raw_hints = (hypotheses or {}).get(problem.name, ())
+        hints = tuple(h if isinstance(h, str) else str(h) for h in raw_hints)
+        state = _GoalState(index, problem, hints)
+        states.append(state)
+        program_fp = program_fps.setdefault(id(problem.program), problem.program.fingerprint())
+
+        if store is not None:
+            for variant in variant_list:
+                key = ResultStore.make_key(program_fp, state.key, state.equation, config_fps[variant.name])
+                stored = store.get(key)
+                if stored is not None:
+                    state.outcomes[variant.name] = stored
+                    state.cached_variants.add(variant.name)
+            solved_from_store = any(
+                o.get("status") == "proved" for o in state.outcomes.values()
+            )
+            if solved_from_store or len(state.outcomes) == len(variant_list):
+                winner, outcome = select_winner(state.outcomes, variant_order)
+                decide(state, winner, outcome)
+                continue
+
+        for variant in variant_list:
+            if variant.name in state.outcomes:
+                continue  # replayed from the store; only race what is missing
+            task = Task(
+                uid=uid,
+                index=index,
+                suite=problem.suite,
+                name=problem.name,
+                variant=variant.name,
+                config=asdict(variant.config),
+                hints=hints,
+                program=program_fp,
+            )
+            tasks.append(task)
+            state.uid_to_variant[uid] = variant.name
+            uid_to_state[uid] = state
+            uid += 1
+
+    # -- phase 2: race the remaining tasks --------------------------------------
+
+    engine = scheduler or Scheduler(
+        jobs=jobs,
+        resolver=resolver or DEFAULT_RESOLVER,
+        worker_hook=worker_hook,
+        hard_kill_grace=hard_kill_grace,
+        start_method=start_method,
+    )
+
+    def on_result(task: dict, outcome: dict, cancel: Callable) -> None:
+        state = uid_to_state[task["uid"]]
+        variant = state.uid_to_variant[task["uid"]]
+        state.outcomes[variant] = outcome
+        if outcome.get("status") != STATUS_CANCELLED:
+            state.arrival.append(variant)
+            if store is not None and _storable(outcome):
+                program_fp = program_fps[id(state.problem.program)]
+                key = ResultStore.make_key(
+                    program_fp, state.key, state.equation, config_fps[variant]
+                )
+                payload = dict(outcome)
+                payload["variant"] = variant
+                store.put(key, payload)
+        if not state.decided and outcome.get("status") == "proved":
+            decide(state, variant, outcome)
+            siblings = [u for u in state.uid_to_variant if u != task["uid"]]
+            if siblings:
+                cancel(siblings)
+
+    if tasks:
+        engine.run(tasks, on_result=on_result)
+
+    # -- phase 3: settle goals no variant proved --------------------------------
+
+    for state in states:
+        if not state.decided:
+            winner, outcome = select_winner(state.outcomes, variant_order, state.arrival)
+            decide(state, winner, outcome)
+
+    result.records.extend(r for r in records if r is not None)
+    result.engine = engine  # worker utilisation / wall time, for the report layer
+    result.store = store
+    return result

@@ -1,19 +1,22 @@
-"""Benchmark harness: suite runner and paper-vs-measured reporting."""
+"""Benchmark harness: suite runners (serial and parallel) and reporting."""
 
 from .report import (
     ascii_cumulative_plot,
     format_table,
     isaplanner_summary_table,
     normalizer_cache_table,
+    portfolio_winner_table,
     suite_cache_stats,
     tool_comparison_table,
     unsolved_classification,
+    worker_utilisation_table,
 )
-from .runner import SolveRecord, SuiteResult, cumulative_curve, run_suite
+from .runner import SolveRecord, SuiteResult, cumulative_curve, run_suite, run_suite_parallel
 
 __all__ = [
-    "run_suite", "SuiteResult", "SolveRecord", "cumulative_curve",
+    "run_suite", "run_suite_parallel", "SuiteResult", "SolveRecord", "cumulative_curve",
     "format_table", "isaplanner_summary_table", "tool_comparison_table",
     "ascii_cumulative_plot", "unsolved_classification",
     "normalizer_cache_table", "suite_cache_stats",
+    "worker_utilisation_table", "portfolio_winner_table",
 ]

@@ -20,6 +20,8 @@ __all__ = [
     "unsolved_classification",
     "normalizer_cache_table",
     "suite_cache_stats",
+    "worker_utilisation_table",
+    "portfolio_winner_table",
 ]
 
 
@@ -57,6 +59,9 @@ def isaplanner_summary_table(result: SuiteResult) -> str:
             PAPER_REPORTED["isaplanner_conditional_out_of_scope"],
             summary["out_of_scope"],
         ),
+        # The paper folds timeouts into "unsolved"; the harness reports them
+        # separately since the timeout status split.
+        ("timed out (wall-clock budget)", "-", summary["timeout"]),
     ]
     return format_table(("metric", "paper", "measured"), rows)
 
@@ -159,7 +164,77 @@ def unsolved_classification(result: SuiteResult, hinted: Optional[Dict[str, str]
             category = "conditional (out of scope)"
         elif record.name in hinted:
             category = f"needs lemma: {hinted[record.name]}"
+        elif record.status == "timeout":
+            category = "timed out (wall-clock budget)"
         else:
             category = "needs conditional reasoning or a lemma"
         rows.append((record.name, category))
     return format_table(("problem", "classification"), rows)
+
+
+def worker_utilisation_table(result: SuiteResult, wall_seconds: Optional[float] = None) -> str:
+    """Per-worker utilisation of a parallel run.
+
+    Prefers the scheduler's own counters (every task the worker touched,
+    including portfolio losers) when the result carries its engine; otherwise
+    falls back to the winning records' ``worker``/``seconds`` fields.  Store
+    replays never occupied a worker and are shown as one ``(store)`` row.
+    """
+    engine = getattr(result, "engine", None)
+    if wall_seconds is None and engine is not None:
+        wall_seconds = engine.wall_seconds
+    per_worker: Dict[int, Dict[str, float]] = {}
+    if engine is not None and engine.worker_stats:
+        for slot, stats in engine.worker_stats.items():
+            per_worker[slot] = {
+                "tasks": int(stats.get("tasks", 0)),
+                "busy": float(stats.get("busy_seconds", 0.0)),
+                "respawns": int(stats.get("respawns", 0)),
+            }
+    else:
+        for record in result.records:
+            if record.worker < 0:
+                continue
+            stats = per_worker.setdefault(record.worker, {"tasks": 0, "busy": 0.0, "respawns": 0})
+            stats["tasks"] += 1
+            stats["busy"] += record.seconds
+    total_busy = sum(stats["busy"] for stats in per_worker.values())
+    rows: List[Tuple[object, ...]] = []
+    for slot in sorted(per_worker):
+        stats = per_worker[slot]
+        share = f"{100.0 * stats['busy'] / total_busy:.1f}%" if total_busy else "n/a"
+        utilisation = (
+            f"{100.0 * stats['busy'] / wall_seconds:.1f}%"
+            if wall_seconds
+            else "n/a"
+        )
+        rows.append(
+            (f"worker {slot}", int(stats["tasks"]), f"{stats['busy']:.3f}",
+             share, utilisation, int(stats["respawns"]))
+        )
+    cached = [r for r in result.records if r.cached]
+    if cached:
+        rows.append(("(store)", len(cached), "0.000", "-", "-", 0))
+    if not rows:
+        return "(serial run: no worker data)"
+    headers = ("worker", "tasks", "busy s", "busy share", "utilisation", "respawns")
+    table = format_table(headers, rows)
+    if wall_seconds:
+        table += f"\nwall-clock: {wall_seconds:.3f} s"
+    return table
+
+
+def portfolio_winner_table(result: SuiteResult) -> str:
+    """Which portfolio variant won each solved goal, and per-variant totals."""
+    by_variant: Dict[str, List[str]] = {}
+    for record in result.records:
+        if record.proved and record.variant:
+            by_variant.setdefault(record.variant, []).append(record.name)
+    if not by_variant:
+        return "(no proofs, or no portfolio data)"
+    rows = []
+    for variant in sorted(by_variant, key=lambda v: (-len(by_variant[v]), v)):
+        winners = by_variant[variant]
+        shown = ", ".join(winners[:6]) + (f", … (+{len(winners) - 6})" if len(winners) > 6 else "")
+        rows.append((variant, len(winners), shown))
+    return format_table(("variant", "wins", "goals"), rows)

@@ -20,7 +20,7 @@ from ..search.config import ProverConfig
 from ..search.prover import Prover
 from ..search.result import ProofResult
 
-__all__ = ["SolveRecord", "SuiteResult", "run_suite", "cumulative_curve"]
+__all__ = ["SolveRecord", "SuiteResult", "run_suite", "run_suite_parallel", "cumulative_curve"]
 
 
 @dataclass
@@ -30,7 +30,7 @@ class SolveRecord:
     name: str
     suite: str
     status: str
-    """``proved``, ``failed``, or ``out-of-scope`` (conditional goal)."""
+    """``proved``, ``failed``, ``timeout``, or ``out-of-scope`` (conditional goal)."""
 
     seconds: float = 0.0
     nodes: int = 0
@@ -40,9 +40,22 @@ class SolveRecord:
     normalizer_misses: int = 0
     reason: str = ""
 
+    worker: int = -1
+    """The parallel-engine worker slot that produced the record (-1: serial)."""
+
+    variant: str = ""
+    """The portfolio variant that produced the record ("" for the serial path)."""
+
+    cached: bool = False
+    """Was the outcome replayed from a persistent result store?"""
+
     @property
     def proved(self) -> bool:
         return self.status == "proved"
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status == "timeout"
 
     @property
     def milliseconds(self) -> float:
@@ -72,7 +85,11 @@ class SuiteResult:
 
     @property
     def failed(self) -> List[SolveRecord]:
-        return [r for r in self.records if r.status == "failed"]
+        return [r for r in self.records if r.status in ("failed", "timeout")]
+
+    @property
+    def timed_out(self) -> List[SolveRecord]:
+        return [r for r in self.records if r.status == "timeout"]
 
     def solved_within(self, milliseconds: float) -> List[SolveRecord]:
         """Solved problems whose solve time is within the given bound."""
@@ -86,11 +103,16 @@ class SuiteResult:
         return sum(r.milliseconds for r in solved) / len(solved)
 
     def record(self, name: str) -> SolveRecord:
-        """Look up the record of one problem."""
-        for r in self.records:
-            if r.name == name:
-                return r
-        raise KeyError(name)
+        """Look up the record of one problem (amortised O(1))."""
+        index = getattr(self, "_record_index", None)
+        if index is None or getattr(self, "_record_index_size", -1) != len(self.records):
+            index = {r.name: r for r in self.records}
+            object.__setattr__(self, "_record_index", index)
+            object.__setattr__(self, "_record_index_size", len(self.records))
+        try:
+            return index[name]
+        except KeyError:
+            raise KeyError(name) from None
 
     def summary(self) -> Dict[str, object]:
         """The headline numbers of the suite run."""
@@ -100,6 +122,7 @@ class SuiteResult:
             "solved": len(self.solved),
             "out_of_scope": len(self.out_of_scope),
             "failed": len(self.failed),
+            "timeout": len(self.timed_out),
             "solved_under_100ms": len(self.solved_within(100.0)),
             "average_solved_ms": round(self.average_solved_ms(), 2),
         }
@@ -121,9 +144,15 @@ def run_suite(
     config = config or ProverConfig()
     name = suite_name or (problems[0].suite if problems else "suite")
     result = SuiteResult(suite=name)
-    provers: Dict[int, Prover] = {}
+    # The prover cache is keyed by the program's *stable* fingerprint, not by
+    # ``id()``: two structurally identical programs (e.g. rebuilt by different
+    # callers, or resurrected by a different process) share one prover.
+    provers: Dict[str, Prover] = {}
     for problem in problems:
-        prover = provers.setdefault(id(problem.program), Prover(problem.program, config))
+        fingerprint = problem.program.fingerprint()
+        prover = provers.get(fingerprint)
+        if prover is None:
+            prover = provers[fingerprint] = Prover(problem.program, config)
         if problem.goal.is_conditional:
             record = SolveRecord(
                 name=problem.name,
@@ -138,10 +167,16 @@ def run_suite(
                 problem.goal.equation, goal_name=problem.name, hypotheses=hints
             )
             elapsed = time.perf_counter() - started
+            if outcome.proved:
+                status = "proved"
+            elif outcome.statistics.timed_out:
+                status = "timeout"
+            else:
+                status = "failed"
             record = SolveRecord(
                 name=problem.name,
                 suite=problem.suite,
-                status="proved" if outcome.proved else "failed",
+                status=status,
                 seconds=elapsed,
                 nodes=outcome.statistics.nodes_created,
                 subst_attempts=outcome.statistics.subst_attempts,
@@ -154,6 +189,50 @@ def run_suite(
         if progress is not None:
             progress(record)
     return result
+
+
+def run_suite_parallel(
+    problems: Sequence[BenchmarkProblem],
+    config: Optional[ProverConfig] = None,
+    suite_name: Optional[str] = None,
+    hypotheses: Optional[Dict[str, Sequence[Equation]]] = None,
+    progress: Optional[Callable[[SolveRecord], None]] = None,
+    *,
+    jobs: Optional[int] = None,
+    variants=None,
+    store=None,
+    resolver=None,
+    worker_hook=None,
+    hard_kill_grace: float = 5.0,
+) -> SuiteResult:
+    """Run a suite on the multiprocess proof engine (see :mod:`repro.engine`).
+
+    The returned :class:`SuiteResult` carries records in *input order* and the
+    per-problem statuses of the serial :func:`run_suite` — only timing (and the
+    ``worker``/``variant``/``cached`` provenance fields) differ.
+
+    ``jobs`` is the worker-pool size (default: the CPU count).  ``variants`` is
+    an optional sequence of :class:`repro.engine.PortfolioVariant` raced per
+    goal (first proof wins).  ``store`` is a path or
+    :class:`repro.engine.ResultStore` memoising outcomes across runs.
+    ``resolver`` and ``worker_hook`` are advanced hooks documented on
+    :func:`repro.engine.suite.solve_suite`.
+    """
+    from ..engine.suite import solve_suite  # local import: engine builds on the harness
+
+    return solve_suite(
+        problems,
+        config=config,
+        suite_name=suite_name,
+        hypotheses=hypotheses,
+        progress=progress,
+        jobs=jobs,
+        variants=variants,
+        store=store,
+        resolver=resolver,
+        worker_hook=worker_hook,
+        hard_kill_grace=hard_kill_grace,
+    )
 
 
 def cumulative_curve(result: SuiteResult) -> List[Tuple[float, int]]:

@@ -14,6 +14,7 @@ the provers claim to have proved actually holds.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -72,6 +73,40 @@ class Program:
         self.rules = rules
         self.goals: Dict[str, Goal] = dict(goals or {})
         self.name = name
+
+    # -- identity ------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of the program's signature and rewrite rules.
+
+        Two programs with the same datatypes, function types and rules (in
+        declaration order) have the same fingerprint, regardless of which
+        process built them or which term bank their nodes live in.  Goals are
+        deliberately excluded: adding a conjecture does not change what the
+        prover or the normaliser can do, so it must not invalidate persisted
+        results keyed by this digest (see ``repro.engine.store``).
+        """
+        rules = self.rules.rules
+        datatypes = self.signature.datatypes
+        # The digest is cached, keyed by the sizes of everything it covers, so
+        # adding rules, datatypes, or function declarations invalidates it.
+        cache_token = (len(rules), len(datatypes), len(self.signature.defined))
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and cached[0] == cache_token:
+            return cached[1]
+        hasher = hashlib.sha256()
+        for name in sorted(datatypes):
+            hasher.update(str(datatypes[name]).encode())
+            hasher.update(b"\n")
+        for symbol in sorted(self.signature.defined):
+            hasher.update(f"{symbol} :: {self.signature.symbol_type(symbol)}".encode())
+            hasher.update(b"\n")
+        for rule in rules:
+            hasher.update(str(rule).encode())
+            hasher.update(b"\n")
+        digest = hasher.hexdigest()
+        self._fingerprint_cache = (cache_token, digest)
+        return digest
 
     # -- goals ---------------------------------------------------------------
 

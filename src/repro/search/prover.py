@@ -137,7 +137,11 @@ class _ProofAttempt:
     ) -> ProofResult:
         start = time.perf_counter()
         if self.config.timeout is not None:
-            self.deadline = start + self.config.timeout
+            # The deadline lives on the monotonic clock: it must never jump
+            # (perf_counter is monotonic too, but monotonic() is the documented
+            # wall-clock-independent choice and what the engine's scheduler
+            # compares against for its hard kills).
+            self.deadline = time.monotonic() + self.config.timeout
         self.fresh.reserve(equation.variable_names())
         reason = ""
         try:
@@ -175,8 +179,10 @@ class _ProofAttempt:
 
     def _check_budget(self) -> None:
         if self.stats.nodes_created > self.config.max_nodes:
+            self.stats.node_budget_aborts += 1
             raise _Budget(f"node budget of {self.config.max_nodes} exhausted")
-        if self.deadline is not None and time.perf_counter() > self.deadline:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self.stats.timeout_aborts += 1
             raise _Budget(f"timeout of {self.config.timeout}s exceeded")
 
     # -- trail (chronological backtracking) -----------------------------------------

@@ -42,6 +42,12 @@ class SearchStatistics:
     max_depth_reached: int = 0
     """Deepest branch explored."""
 
+    timeout_aborts: int = 0
+    """Attempts aborted because the monotonic wall-clock deadline passed."""
+
+    node_budget_aborts: int = 0
+    """Attempts aborted because the vertex budget was exhausted."""
+
     elapsed_seconds: float = 0.0
     """Wall-clock duration of the attempt."""
 
@@ -51,15 +57,25 @@ class SearchStatistics:
     normalizer_misses: int = 0
     """Normal-form cache misses during the attempt."""
 
+    @property
+    def timed_out(self) -> bool:
+        """Was the attempt aborted by the wall-clock deadline?"""
+        return self.timeout_aborts > 0
+
     def summary(self) -> str:
         """A compact single-line rendering of the statistics."""
+        aborted = ""
+        if self.timeout_aborts:
+            aborted = " aborted=timeout"
+        elif self.node_budget_aborts:
+            aborted = " aborted=node-budget"
         return (
             f"nodes={self.nodes_created} subst={self.subst_attempts} "
             f"case={self.case_splits} soundness={self.soundness_checks} "
             f"violations={self.soundness_violations} "
             f"compositions={self.closure_compositions} "
             f"nf-cache={self.normalizer_hits}/{self.normalizer_hits + self.normalizer_misses} "
-            f"time={self.elapsed_seconds * 1000:.1f}ms"
+            f"time={self.elapsed_seconds * 1000:.1f}ms{aborted}"
         )
 
 

@@ -1,0 +1,32 @@
+"""Importable worker hooks and resolvers for the engine tests.
+
+Worker processes receive hooks/resolvers as ``"module:function"`` specs (or,
+under the ``fork`` start method, as inherited callables); this module provides
+the crash-injection seams the scheduler tests use.  It must stay importable on
+its own — pytest puts ``tests/`` on ``sys.path``, and forked workers inherit
+that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def crash_on_prop_11(task: dict) -> None:
+    """Kill the worker process outright when it picks up prop_11."""
+    if task["name"] == "prop_11":
+        os._exit(23)
+
+
+def hang_on_prop_11(task: dict) -> None:
+    """Simulate a hung worker: sleep far past any in-process deadline."""
+    if task["name"] == "prop_11":
+        time.sleep(3600.0)
+
+
+def tiny_resolver():
+    """A resolver producing only two named IsaPlanner problems."""
+    from repro.benchmarks_data import isaplanner_problems
+
+    return [p for p in isaplanner_problems() if p.name in ("prop_01", "prop_11")]

@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import subprocess
+import sys
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_solve_proved_goal_exits_zero(self, capsys):
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_01"]) == 0
+        out = capsys.readouterr().out
+        assert "prop_01" in out and "proved" in out
+
+    def test_solve_unproved_goal_exits_one(self, capsys):
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_54",
+                     "--timeout", "0.2"]) == 1
+        assert "prop_54" in capsys.readouterr().out
+
+    def test_solve_with_hint(self, capsys):
+        code = main(["solve", "--suite", "isaplanner", "--goal", "prop_54",
+                     "--timeout", "10", "--hint", "add a b === add b a"])
+        assert code == 0
+        assert "proved" in capsys.readouterr().out
+
+    def test_unknown_goal_is_a_usage_error(self, capsys):
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_999"]) == 2
+        assert "unknown goal" in capsys.readouterr().err
+
+    def test_goal_required_with_suite(self, capsys):
+        assert main(["solve", "--suite", "isaplanner"]) == 2
+
+
+class TestBench:
+    def test_bench_serial_slice(self, capsys):
+        assert main(["bench", "--suite", "isaplanner", "--serial",
+                     "--names", "prop_01,prop_06", "--timeout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "solved" in out and "wall-clock" in out
+
+    def test_bench_parallel_with_store_and_warm_rerun(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        args = ["bench", "--suite", "isaplanner", "--jobs", "2", "--timeout", "1",
+                "--names", "prop_01,prop_06,prop_11", "--store", store]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "replayed from store: 0/3" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "replayed from store: 3/3" in warm
+
+    def test_bench_portfolio(self, capsys):
+        assert main(["bench", "--suite", "isaplanner", "--jobs", "2", "--timeout", "1",
+                     "--names", "prop_01", "--portfolio"]) == 0
+        assert "portfolio winners" in capsys.readouterr().out
+
+    def test_bench_empty_selection_is_a_usage_error(self, capsys):
+        assert main(["bench", "--suite", "isaplanner", "--names", "nope"]) == 2
+
+
+class TestReport:
+    def test_report_renders_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["bench", "--suite", "isaplanner", "--jobs", "2", "--timeout", "1",
+                     "--names", "prop_01,prop_06", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "isaplanner" in out and "solved" in out
+
+    def test_report_missing_store_is_an_error(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_python_dash_m_entry_point():
+    """``python -m repro`` resolves through __main__.py in a fresh process."""
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ, PYTHONPATH=src + os.pathsep + os.environ.get("PYTHONPATH", ""))
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", "solve", "--suite", "isaplanner", "--goal", "prop_11"],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert process.returncode == 0, process.stderr
+    assert "proved" in process.stdout

@@ -1,0 +1,158 @@
+"""Tests for the persistent result store and the stable program fingerprint."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks_data import isaplanner_problems, isaplanner_program, mutual_program
+from repro.engine import ResultStore, config_fingerprint
+from repro.harness import run_suite_parallel
+from repro.search import ProverConfig
+
+
+class TestProgramFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert isaplanner_program().fingerprint() == isaplanner_program().fingerprint()
+
+    def test_distinguishes_programs(self):
+        assert isaplanner_program().fingerprint() != mutual_program().fingerprint()
+
+    def test_goals_do_not_affect_the_fingerprint(self):
+        from repro.program import Goal
+
+        program = isaplanner_program()
+        before = program.fingerprint()
+        equation = program.parse_equation("add a b === add b a")
+        program.add_goal(Goal(name="extra", equation=equation))
+        assert program.fingerprint() == before
+
+    def test_added_rules_invalidate_the_cached_fingerprint(self):
+        from repro import load_program
+
+        source = (
+            "data Nat = Z | S Nat\n"
+            "add :: Nat -> Nat -> Nat\n"
+            "add Z y = y\n"
+            "add (S x) y = S (add x y)\n"
+        )
+        extension = (
+            "double :: Nat -> Nat\n"
+            "double Z = Z\n"
+            "double (S x) = S (S (double x))\n"
+        )
+        assert load_program(source + extension).fingerprint() != load_program(source).fingerprint()
+
+
+class TestConfigFingerprint:
+    def test_stable(self):
+        assert config_fingerprint(ProverConfig()) == config_fingerprint(ProverConfig())
+
+    def test_every_budget_field_matters(self):
+        base = ProverConfig()
+        for changes in ({"timeout": 1.0}, {"max_nodes": 7}, {"max_depth": 3},
+                        {"lemma_restriction": "all"}):
+            assert config_fingerprint(base.with_(**changes)) != config_fingerprint(base)
+
+
+class TestResultStore:
+    def key(self):
+        return ResultStore.make_key("prog", "suite/goal", "lhs ≈ rhs", "cfg")
+
+    def test_round_trip_through_disk(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        assert len(store) == 0
+        store.put(self.key(), {"status": "proved", "seconds": 0.5, "reason": ""})
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        outcome = reloaded.get(self.key())
+        assert outcome["status"] == "proved"
+        assert outcome["seconds"] == 0.5
+        assert reloaded.hits == 1
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        assert store.get(self.key()) is None
+        assert store.misses == 1
+
+    def test_last_write_wins(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put(self.key(), {"status": "failed", "reason": "first"})
+        store.put(self.key(), {"status": "proved", "reason": "second"})
+        assert ResultStore(path).get(self.key())["status"] == "proved"
+
+    def test_identical_put_does_not_grow_the_file(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put(self.key(), {"status": "proved", "seconds": 0.5})
+        size = os.path.getsize(path)
+        store.put(self.key(), {"status": "proved", "seconds": 0.5})
+        assert os.path.getsize(path) == size
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put(self.key(), {"status": "proved"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{torn wri\n")
+            handle.write(json.dumps({"not": "an entry"}) + "\n")
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(self.key())["status"] == "proved"
+
+    def test_compact_rewrites_one_line_per_key(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put(self.key(), {"status": "failed"})
+        store.put(self.key(), {"status": "proved"})
+        store.compact()
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert ResultStore(path).get(self.key())["status"] == "proved"
+
+
+class TestWarmStoreRuns:
+    @pytest.fixture()
+    def problems(self):
+        return [p for p in isaplanner_problems() if p.name in ("prop_01", "prop_06", "prop_11")]
+
+    def test_second_run_resolves_nothing(self, problems, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        config = ProverConfig(timeout=2.0)
+        cold = run_suite_parallel(problems, config, jobs=1, store=path)
+        assert not any(r.cached for r in cold.records)
+        warm = run_suite_parallel(problems, config, jobs=1, store=path)
+        assert all(r.cached for r in warm.records)
+        assert [r.status for r in warm.records] == [r.status for r in cold.records]
+        # nothing was dispatched: the scheduler never spawned a worker
+        assert warm.engine.worker_stats == {}
+
+    def test_changed_config_invalidates_the_store(self, problems, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        run_suite_parallel(problems, ProverConfig(timeout=2.0), jobs=1, store=path)
+        rerun = run_suite_parallel(problems, ProverConfig(timeout=3.0), jobs=1, store=path)
+        assert not any(r.cached for r in rerun.records)
+
+    def test_hints_are_part_of_the_store_identity(self, tmp_path):
+        """A hintless outcome must never be replayed for a hinted run."""
+        path = str(tmp_path / "store.jsonl")
+        problems = [p for p in isaplanner_problems() if p.name == "prop_54"]
+        config = ProverConfig(timeout=0.5)
+        hintless = run_suite_parallel(problems, config, jobs=1, store=path)
+        assert not hintless.record("prop_54").proved
+        # Same config, hints added: must be attempted (and proved via the
+        # hint), not replayed from the hintless "timeout" entry.
+        hints = {"prop_54": ["add a b === add b a"]}
+        hinted = run_suite_parallel(problems, config, jobs=1, store=path, hypotheses=hints)
+        assert not hinted.record("prop_54").cached
+        assert hinted.record("prop_54").proved
+        # And the hinted outcome replays only for hinted re-runs.
+        rerun = run_suite_parallel(problems, config, jobs=1, store=path, hypotheses=hints)
+        assert rerun.record("prop_54").cached
+        assert rerun.record("prop_54").proved
+        hintless_rerun = run_suite_parallel(problems, config, jobs=1, store=path)
+        assert hintless_rerun.record("prop_54").cached
+        assert not hintless_rerun.record("prop_54").proved
