@@ -1,0 +1,198 @@
+"""Experiment E-strategies — search strategies on the explicit-agenda core.
+
+The agenda refactor made the search strategy a first-class configuration knob
+(``ProverConfig.strategy``): ``dfs`` (the paper's bounded depth-first search),
+``iddfs`` (iterative deepening on case depth), and ``best-first``
+(priority-queue ordering by normalised goal size).  This benchmark measures
+all three on the IsaPlanner + mutual suites and pins two guarantees:
+
+* **dfs parity.**  The ``dfs`` strategy must reproduce the *pre-refactor
+  recursive prover* exactly — same proved/failed statuses and the same node
+  counts.  The expected values below were recorded with the recursive
+  implementation (commit e971b71) under ``ProverConfig(timeout=None,
+  max_nodes=1200)``: no wall clock in the configuration means the whole
+  search is deterministic, so equality is exact, not statistical.
+* **Strategy diversity is not regression.**  The alternative strategies must
+  stay in the same solve-rate ballpark on the deterministic subset (they
+  explore the same bounded space in a different order).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_strategies.py``) for
+the per-strategy tables, or through pytest for the assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from conftest import print_report  # shared benchmark helpers
+from repro.benchmarks_data import isaplanner_problems, mutual_problems
+from repro.harness import format_table, run_suite, strategy_summary_table
+from repro.search import ProverConfig, strategy_names
+
+#: The deterministic measurement configuration: no wall clock, node budget
+#: only.  Every run under this configuration is exactly reproducible.
+DETERMINISTIC_CONFIG = ProverConfig(timeout=None, max_nodes=1200)
+
+#: Expected (status, nodes_created) of the *recursive* pre-agenda prover under
+#: :data:`DETERMINISTIC_CONFIG` — the fast deterministic subset of the
+#: IsaPlanner and mutual suites (problems whose pre-refactor search finished
+#: within 0.3 s; the slow failures are exercised by the full-suite parity
+#: sweep, which is too slow for CI).
+PINNED_RECURSIVE_BASELINE: Dict[str, Tuple[str, int]] = {
+    "isaplanner/prop_01": ("proved", 12),
+    "isaplanner/prop_06": ("proved", 10),
+    "isaplanner/prop_07": ("proved", 6),
+    "isaplanner/prop_08": ("proved", 6),
+    "isaplanner/prop_10": ("proved", 6),
+    "isaplanner/prop_11": ("proved", 2),
+    "isaplanner/prop_12": ("proved", 11),
+    "isaplanner/prop_13": ("proved", 2),
+    "isaplanner/prop_17": ("proved", 5),
+    "isaplanner/prop_18": ("proved", 6),
+    "isaplanner/prop_19": ("proved", 11),
+    "isaplanner/prop_21": ("proved", 6),
+    "isaplanner/prop_22": ("proved", 20),
+    "isaplanner/prop_23": ("proved", 22),
+    "isaplanner/prop_24": ("proved", 22),
+    "isaplanner/prop_25": ("proved", 16),
+    "isaplanner/prop_28": ("proved", 24),
+    "isaplanner/prop_30": ("failed", 204),
+    "isaplanner/prop_31": ("proved", 20),
+    "isaplanner/prop_32": ("proved", 22),
+    "isaplanner/prop_33": ("proved", 11),
+    "isaplanner/prop_34": ("proved", 17),
+    "isaplanner/prop_35": ("proved", 5),
+    "isaplanner/prop_36": ("proved", 8),
+    "isaplanner/prop_40": ("proved", 2),
+    "isaplanner/prop_41": ("proved", 13),
+    "isaplanner/prop_42": ("proved", 2),
+    "isaplanner/prop_43": ("failed", 9),
+    "isaplanner/prop_44": ("proved", 5),
+    "isaplanner/prop_45": ("proved", 2),
+    "isaplanner/prop_46": ("proved", 2),
+    "isaplanner/prop_50": ("proved", 14),
+    "isaplanner/prop_51": ("proved", 12),
+    "isaplanner/prop_57": ("proved", 27),
+    "isaplanner/prop_58": ("proved", 27),
+    "isaplanner/prop_64": ("proved", 10),
+    "isaplanner/prop_65": ("failed", 295),
+    "isaplanner/prop_66": ("failed", 9),
+    "isaplanner/prop_67": ("proved", 13),
+    "isaplanner/prop_68": ("failed", 169),
+    "isaplanner/prop_69": ("failed", 225),
+    "isaplanner/prop_73": ("failed", 9),
+    "isaplanner/prop_78": ("failed", 33),
+    "isaplanner/prop_80": ("proved", 17),
+    "isaplanner/prop_82": ("proved", 21),
+    "isaplanner/prop_83": ("proved", 16),
+    "isaplanner/prop_84": ("proved", 19),
+    "mutual/mprop_01": ("proved", 15),
+    "mutual/mprop_02": ("proved", 15),
+    "mutual/mprop_03": ("proved", 13),
+    "mutual/mprop_05": ("proved", 13),
+    "mutual/mprop_06": ("proved", 27),
+    "mutual/mprop_07": ("proved", 15),
+    "mutual/mprop_08": ("proved", 15),
+}
+
+PINNED_PROVED = sum(1 for status, _ in PINNED_RECURSIVE_BASELINE.values() if status == "proved")
+
+
+def _pinned_problems():
+    wanted = set(PINNED_RECURSIVE_BASELINE)
+    pool = list(isaplanner_problems()) + list(mutual_problems())
+    return [p for p in pool if f"{p.suite}/{p.name}" in wanted]
+
+
+def run_strategy_comparison() -> Tuple[Dict[str, object], str]:
+    """Run every strategy over the deterministic subset; returns data + table."""
+    problems = _pinned_problems()
+    rows: List[Tuple[object, ...]] = []
+    data: Dict[str, object] = {}
+    for strategy in strategy_names():
+        config = DETERMINISTIC_CONFIG.with_(strategy=strategy)
+        started = time.perf_counter()
+        result = run_suite(problems, config, suite_name="pinned")
+        wall = time.perf_counter() - started
+        solved = len(result.solved)
+        data[strategy] = {"result": result, "wall": wall, "solved": solved}
+        rows.append(
+            (
+                strategy,
+                f"{solved}/{result.total}",
+                f"{100.0 * solved / result.total:.0f}%",
+                f"{wall:.2f}",
+                max((r.max_agenda_size for r in result.records), default=0),
+                sum(r.choice_points for r in result.records),
+            )
+        )
+    table = format_table(
+        ("strategy", "solved", "rate", "wall s", "max agenda", "choice points"), rows
+    )
+    return data, table
+
+
+# ---------------------------------------------------------------------------
+# pytest assertions
+# ---------------------------------------------------------------------------
+
+
+def test_dfs_parity_with_the_recursive_prover():
+    """dfs reproduces the pre-refactor statuses and node counts exactly."""
+    problems = _pinned_problems()
+    assert len(problems) == len(PINNED_RECURSIVE_BASELINE)
+    result = run_suite(problems, DETERMINISTIC_CONFIG, suite_name="pinned")
+    mismatches = []
+    for record in result.records:
+        expected_status, expected_nodes = PINNED_RECURSIVE_BASELINE[f"{record.suite}/{record.name}"]
+        if record.status != expected_status or record.nodes != expected_nodes:
+            mismatches.append(
+                f"{record.suite}/{record.name}: expected {expected_status}/{expected_nodes}, "
+                f"got {record.status}/{record.nodes}"
+            )
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_alternative_strategies_stay_in_the_ballpark():
+    """iddfs and best-first solve-rates on the deterministic subset.
+
+    They explore the same bounded space in a different order, so they cannot
+    collapse — but order changes which goals fit inside the node budget, so
+    exact equality is not required.
+    """
+    data, table = run_strategy_comparison()
+    print_report("strategy comparison (deterministic subset)", table)
+    assert data["dfs"]["solved"] == PINNED_PROVED
+    for strategy in ("iddfs", "best-first"):
+        assert data[strategy]["solved"] >= int(0.8 * PINNED_PROVED), (
+            f"{strategy} solved only {data[strategy]['solved']}/{PINNED_PROVED}"
+        )
+
+
+def test_strategy_provenance_reaches_the_records():
+    """SolveRecords carry the strategy that produced them."""
+    problems = _pinned_problems()[:3]
+    config = DETERMINISTIC_CONFIG.with_(strategy="best-first")
+    result = run_suite(problems, config, suite_name="pinned")
+    assert all(r.strategy == "best-first" for r in result.records)
+    assert "best-first" in strategy_summary_table(result)
+
+
+# ---------------------------------------------------------------------------
+# direct execution: print the comparison tables
+# ---------------------------------------------------------------------------
+
+
+def main() -> None:
+    data, table = run_strategy_comparison()
+    print_report("strategy comparison (deterministic subset)", table)
+    for strategy in strategy_names():
+        print_report(
+            f"per-strategy summary: {strategy}",
+            strategy_summary_table(data[strategy]["result"]),
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,15 +23,18 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from .benchmarks_data.registry import BenchmarkProblem, all_problems, isaplanner_problems, mutual_problems
+from .engine.portfolio import PORTFOLIO_PRESETS
 from .harness.report import (
     ascii_cumulative_plot,
     format_table,
     isaplanner_summary_table,
     portfolio_winner_table,
+    strategy_summary_table,
     unsolved_classification,
     worker_utilisation_table,
 )
 from .harness.runner import SolveRecord, SuiteResult, run_suite, run_suite_parallel
+from .search.agenda import strategy_names
 from .search.config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
 
 __all__ = ["main", "build_parser"]
@@ -70,14 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--timeout", type=float, default=None, help="per-goal budget in seconds")
     solve.add_argument("--max-depth", type=int, default=None)
     solve.add_argument("--lemmas", choices=(LEMMAS_CASE_ONLY, LEMMAS_ALL, LEMMAS_NONE), default=None)
+    solve.add_argument("--strategy", choices=strategy_names(), default=None,
+                       help="search strategy for the agenda core (default: dfs)")
 
     bench = commands.add_parser("bench", help="run a benchmark suite on the parallel engine")
     bench.add_argument("--suite", choices=sorted(SUITES), default="isaplanner")
     bench.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: CPU count; 0 = serial in-process)")
     bench.add_argument("--serial", action="store_true", help="force the serial runner")
-    bench.add_argument("--portfolio", action="store_true",
-                       help="race the default configuration portfolio per goal")
+    bench.add_argument("--portfolio", nargs="?", const="default", default=None,
+                       choices=sorted(PORTFOLIO_PRESETS),
+                       help="race a portfolio per goal: 'default' (config knobs) or "
+                            "'strategy-race' (dfs vs iddfs vs best-first)")
+    bench.add_argument("--strategy", choices=strategy_names(), default=None,
+                       help="search strategy for the (base) configuration (default: dfs)")
     bench.add_argument("--store", default=None, metavar="PATH",
                        help="JSON-lines result store; warm entries are replayed, not re-solved")
     bench.add_argument("--timeout", type=float, default=None, help="per-goal budget in seconds")
@@ -132,6 +141,8 @@ def _solve_command(args) -> int:
         changes["max_depth"] = args.max_depth
     if args.lemmas is not None:
         changes["lemma_restriction"] = args.lemmas
+    if args.strategy is not None:
+        changes["strategy"] = args.strategy
     if changes:
         config = config.with_(**changes)
 
@@ -174,6 +185,8 @@ def _print_suite_tables(result: SuiteResult, args, wall: float, parallel: bool, 
     if portfolio:
         print("\nportfolio winners:")
         print(portfolio_winner_table(result))
+    print("\nper-strategy summary:")
+    print(strategy_summary_table(result))
     if args.suite == "isaplanner" and args.limit is None and not args.names:
         print("\npaper vs measured (Section 6.1):")
         print(isaplanner_summary_table(result))
@@ -192,16 +205,14 @@ def _bench_command(args) -> int:
     config = ProverConfig()
     if args.timeout is not None:
         config = config.with_(timeout=args.timeout)
+    if args.strategy is not None:
+        config = config.with_(strategy=args.strategy)
     serial = args.serial or args.jobs == 0
     started = time.monotonic()
     if serial:
         result = run_suite(problems, config, suite_name=args.suite)
     else:
-        variants = None
-        if args.portfolio:
-            from .engine.portfolio import default_portfolio
-
-            variants = default_portfolio(config)
+        variants = PORTFOLIO_PRESETS[args.portfolio](config) if args.portfolio else None
         result = run_suite_parallel(
             problems,
             config,
@@ -212,7 +223,7 @@ def _bench_command(args) -> int:
             resolver=RESOLVERS[args.suite],
         )
     wall = time.monotonic() - started
-    _print_suite_tables(result, args, wall, parallel=not serial, portfolio=args.portfolio)
+    _print_suite_tables(result, args, wall, parallel=not serial, portfolio=bool(args.portfolio))
     return 0
 
 
@@ -241,6 +252,9 @@ def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveReco
             normalizer_misses=int(entry.get("normalizer_misses") or 0),
             reason=str(entry.get("reason") or ""),
             variant=str(entry.get("variant") or ""),
+            strategy=str(entry.get("strategy") or ""),
+            max_agenda_size=int(entry.get("max_agenda_size") or 0),
+            choice_points=int(entry.get("choice_points") or 0),
             cached=True,
         )
         goals = by_suite.setdefault(suite_name, {})

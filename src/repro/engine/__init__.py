@@ -6,9 +6,10 @@ The engine turns the fast single-attempt core into suite-level throughput:
   pool of worker processes with per-goal deadlines, hard kills for hung
   workers, and crash isolation — a worker dying on one goal never loses the
   batch.
-* :class:`PortfolioVariant` / :func:`default_portfolio`
-  (:mod:`repro.engine.portfolio`) race several prover configurations per goal
-  and keep the first proof.
+* :class:`PortfolioVariant` / :func:`default_portfolio` / :func:`strategy_race`
+  (:mod:`repro.engine.portfolio`) race several prover configurations — or
+  several *search strategies* under one configuration — per goal and keep the
+  first proof.
 * :class:`ResultStore` (:mod:`repro.engine.store`) memoises
   ``(program fingerprint, goal, config)`` → outcome as JSON-lines, so re-runs
   against a warm store re-solve nothing.
@@ -20,14 +21,22 @@ Entry points: :func:`repro.harness.runner.run_suite_parallel` from code,
 ``python -m repro`` from the command line.
 """
 
-from .portfolio import PortfolioVariant, default_portfolio, select_winner, single_variant
+from .portfolio import (
+    PORTFOLIO_PRESETS,
+    PortfolioVariant,
+    default_portfolio,
+    select_winner,
+    single_variant,
+    strategy_race,
+)
 from .scheduler import DEFAULT_RESOLVER, Scheduler, Task, load_spec, solve_task
 from .store import ResultStore, config_fingerprint
 from .suite import solve_suite
 
 __all__ = [
     "Scheduler", "Task", "solve_task", "load_spec", "DEFAULT_RESOLVER",
-    "PortfolioVariant", "default_portfolio", "single_variant", "select_winner",
+    "PortfolioVariant", "default_portfolio", "strategy_race", "single_variant",
+    "select_winner", "PORTFOLIO_PRESETS",
     "ResultStore", "config_fingerprint",
     "solve_suite",
 ]

@@ -8,6 +8,12 @@ the **first proof** that arrives; the scheduler then cancels the goal's
 remaining attempts (pending siblings are never dispatched, in-flight siblings
 run out their own budget and are discarded).
 
+Since the agenda refactor a variant can differ by *search algorithm*, not just
+by knob values: :func:`strategy_race` races the same configuration under
+``dfs``, ``iddfs`` and ``best-first`` (one variant per registered strategy),
+which is the genuinely-diverse portfolio the knob racing of
+:func:`default_portfolio` cannot express.
+
 When no variant proves the goal, the *base* variant's outcome is reported, so
 a single-variant portfolio is observationally identical to the serial runner.
 """
@@ -17,9 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..search.agenda import strategy_names
 from ..search.config import LEMMAS_ALL, ProverConfig
 
-__all__ = ["PortfolioVariant", "default_portfolio", "single_variant", "select_winner"]
+__all__ = [
+    "PortfolioVariant",
+    "default_portfolio",
+    "strategy_race",
+    "single_variant",
+    "select_winner",
+    "PORTFOLIO_PRESETS",
+]
 
 BASE_VARIANT = "paper-default"
 """Name of the paper-configuration variant every portfolio leads with."""
@@ -68,6 +82,28 @@ def default_portfolio(base: Optional[ProverConfig] = None) -> Tuple[PortfolioVar
         ),
         PortfolioVariant("lemmas-all", base.with_(lemma_restriction=LEMMAS_ALL)),
     )
+
+
+def strategy_race(base: Optional[ProverConfig] = None) -> Tuple[PortfolioVariant, ...]:
+    """Race every registered search strategy under one configuration.
+
+    One variant per entry of ``repro.search.agenda.STRATEGIES`` — the same
+    budgets and lemma restriction everywhere, only the agenda discipline
+    differs.  The base variant (reported when nothing proves the goal) is the
+    ``dfs`` strategy, i.e. the paper's search; the variant *names* are the
+    strategy names, so the winner tables read as a strategy comparison.
+    """
+    base = base or ProverConfig()
+    return tuple(
+        PortfolioVariant(name, base.with_(strategy=name)) for name in strategy_names()
+    )
+
+
+PORTFOLIO_PRESETS = {
+    "default": default_portfolio,
+    "strategy-race": strategy_race,
+}
+"""Named portfolio presets selectable from the CLI (``--portfolio <name>``)."""
 
 
 def select_winner(

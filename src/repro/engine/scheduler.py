@@ -176,6 +176,9 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
         "normalizer_hits": stats.normalizer_hits,
         "normalizer_misses": stats.normalizer_misses,
         "reason": outcome.reason,
+        "strategy": stats.strategy,
+        "max_agenda_size": stats.max_agenda_size,
+        "choice_points": stats.choice_points_expanded,
     }
 
 

@@ -48,6 +48,9 @@ OUTCOME_FIELDS = (
     "normalizer_misses",
     "reason",
     "variant",
+    "strategy",
+    "max_agenda_size",
+    "choice_points",
 )
 
 

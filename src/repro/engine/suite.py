@@ -119,6 +119,9 @@ def solve_suite(
             normalizer_hits=int(outcome.get("normalizer_hits") or 0),
             normalizer_misses=int(outcome.get("normalizer_misses") or 0),
             reason=str(outcome.get("reason") or ""),
+            strategy=str(outcome.get("strategy") or ""),
+            max_agenda_size=int(outcome.get("max_agenda_size") or 0),
+            choice_points=int(outcome.get("choice_points") or 0),
             worker=int(outcome.get("worker", -1)),
             variant=variant,
             cached=variant in state.cached_variants,

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.equations import Equation
 from ..program import Goal, Program
 from ..rewriting.reduction import Normalizer
+from ..search.agenda import Agenda, BudgetExhausted, SearchBudget
 from ..search.config import ProverConfig
 from ..search.prover import Prover
 from ..search.result import ProofResult
@@ -63,6 +64,8 @@ class ExplorationResult:
     lemmas_proved: int = 0
     exploration_seconds: float = 0.0
     normalizer_stats: Dict[str, int] = field(default_factory=dict)
+    max_agenda_size: int = 0
+    """High-water mark of the candidate agenda during exploration."""
 
     def __bool__(self) -> bool:
         return self.proved
@@ -83,6 +86,7 @@ class TheoryExplorer:
         self._library: Optional[List[Equation]] = None
         self._candidates_considered = 0
         self._candidates_deduplicated = 0
+        self._max_agenda_size = 0
         self._normalizer = Normalizer(program.rules)
 
     # -- lemma library ---------------------------------------------------------
@@ -98,19 +102,28 @@ class TheoryExplorer:
         """
         if self._library is not None:
             return list(self._library)
-        started = time.perf_counter()
         lemma_prover = Prover(
             self.program, self.prover_config.with_(timeout=self.config.lemma_timeout)
         )
         library: List[Equation] = []
-        candidates = candidate_equations(self.program, self.config.templates)
-        self._candidates_considered = len(candidates)
+        # The candidate frontier lives on the shared agenda core, in
+        # enumeration order (smallest templates first, as generated), and the
+        # whole phase charges one SearchBudget — the same deadline object the
+        # per-candidate prover aborts against, so a lemma attempt never
+        # overruns the phase budget by more than one budget-check interval.
+        budget = SearchBudget(timeout=self.config.total_budget)
+        agenda = Agenda("fifo")
+        agenda.extend(candidate_equations(self.program, self.config.templates))
+        self._candidates_considered = len(agenda)
         seen_normal_forms: set = set()
-        for candidate in candidates:
+        while agenda:
             if len(library) >= self.config.max_lemmas:
                 break
-            if time.perf_counter() - started > self.config.total_budget:
+            try:
+                budget.check()
+            except BudgetExhausted:
                 break
+            candidate = agenda.pop()
             normalized = candidate.map_sides(self._normalizer)
             if normalized.is_trivial() or normalized in seen_normal_forms:
                 self._candidates_deduplicated += 1
@@ -118,9 +131,10 @@ class TheoryExplorer:
             seen_normal_forms.add(normalized)
             # Lemmas proved earlier are available as hypotheses for later ones,
             # exactly like the incremental regime of HipSpec-style exploration.
-            outcome = lemma_prover.prove(candidate, hypotheses=library)
+            outcome = lemma_prover.prove(candidate, hypotheses=library, budget=budget)
             if outcome.proved:
                 library.append(candidate)
+        self._max_agenda_size = agenda.max_size
         self._library = library
         return list(library)
 
@@ -152,6 +166,7 @@ class TheoryExplorer:
             lemmas_proved=len(library),
             exploration_seconds=time.perf_counter() - started,
             normalizer_stats=self._normalizer.cache_stats(),
+            max_agenda_size=self._max_agenda_size,
         )
 
     def prove_goal(self, goal: Goal) -> ExplorationResult:

@@ -6,6 +6,7 @@ from .report import (
     isaplanner_summary_table,
     normalizer_cache_table,
     portfolio_winner_table,
+    strategy_summary_table,
     suite_cache_stats,
     tool_comparison_table,
     unsolved_classification,
@@ -18,5 +19,5 @@ __all__ = [
     "format_table", "isaplanner_summary_table", "tool_comparison_table",
     "ascii_cumulative_plot", "unsolved_classification",
     "normalizer_cache_table", "suite_cache_stats",
-    "worker_utilisation_table", "portfolio_winner_table",
+    "worker_utilisation_table", "portfolio_winner_table", "strategy_summary_table",
 ]

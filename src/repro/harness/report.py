@@ -22,6 +22,7 @@ __all__ = [
     "suite_cache_stats",
     "worker_utilisation_table",
     "portfolio_winner_table",
+    "strategy_summary_table",
 ]
 
 
@@ -225,16 +226,61 @@ def worker_utilisation_table(result: SuiteResult, wall_seconds: Optional[float] 
 
 
 def portfolio_winner_table(result: SuiteResult) -> str:
-    """Which portfolio variant won each solved goal, and per-variant totals."""
-    by_variant: Dict[str, List[str]] = {}
+    """Which portfolio variant won each solved goal, and per-variant totals.
+
+    Since the strategy split a variant may differ by search *algorithm* rather
+    than knob values; the winning variant's strategy is reported alongside, so
+    a ``strategy-race`` run reads directly as a strategy comparison.
+    """
+    by_variant: Dict[str, List] = {}
     for record in result.records:
         if record.proved and record.variant:
-            by_variant.setdefault(record.variant, []).append(record.name)
+            by_variant.setdefault(record.variant, []).append(record)
     if not by_variant:
         return "(no proofs, or no portfolio data)"
     rows = []
     for variant in sorted(by_variant, key=lambda v: (-len(by_variant[v]), v)):
         winners = by_variant[variant]
-        shown = ", ".join(winners[:6]) + (f", … (+{len(winners) - 6})" if len(winners) > 6 else "")
-        rows.append((variant, len(winners), shown))
-    return format_table(("variant", "wins", "goals"), rows)
+        strategies = sorted({r.strategy for r in winners if r.strategy}) or ["-"]
+        names = [r.name for r in winners]
+        shown = ", ".join(names[:6]) + (f", … (+{len(names) - 6})" if len(names) > 6 else "")
+        rows.append((variant, "/".join(strategies), len(winners), shown))
+    return format_table(("variant", "strategy", "wins", "goals"), rows)
+
+
+def strategy_summary_table(result: SuiteResult) -> str:
+    """Per-strategy aggregates: solve rate, times, agenda and choice-point load.
+
+    Groups the suite's records by the strategy that produced them (records
+    without strategy provenance — out-of-scope goals, entries replayed from a
+    pre-strategy store — are collected under ``(unknown)``).
+    """
+    by_strategy: Dict[str, List] = {}
+    for record in result.records:
+        if record.status == "out-of-scope":
+            continue
+        by_strategy.setdefault(record.strategy or "(unknown)", []).append(record)
+    if not by_strategy:
+        return "(no attempts recorded)"
+    rows = []
+    for strategy in sorted(by_strategy):
+        records = by_strategy[strategy]
+        solved = [r for r in records if r.proved]
+        rate = f"{100.0 * len(solved) / len(records):.0f}%" if records else "n/a"
+        avg_ms = (
+            f"{sum(r.milliseconds for r in solved) / len(solved):.1f}" if solved else "-"
+        )
+        rows.append(
+            (
+                strategy,
+                len(records),
+                len(solved),
+                rate,
+                avg_ms,
+                max((r.max_agenda_size for r in records), default=0),
+                sum(r.choice_points for r in records),
+            )
+        )
+    headers = ("strategy", "attempts", "proved", "solve rate", "avg solved ms",
+               "max agenda", "choice points")
+    return format_table(headers, rows)

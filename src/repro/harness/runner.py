@@ -40,6 +40,15 @@ class SolveRecord:
     normalizer_misses: int = 0
     reason: str = ""
 
+    strategy: str = ""
+    """The search strategy that drove the attempt ("" for out-of-scope goals)."""
+
+    max_agenda_size: int = 0
+    """High-water mark of the prover's frame agenda (old call-stack depth)."""
+
+    choice_points: int = 0
+    """Choice points expanded by the agenda core during the attempt."""
+
     worker: int = -1
     """The parallel-engine worker slot that produced the record (-1: serial)."""
 
@@ -184,6 +193,9 @@ def run_suite(
                 normalizer_hits=outcome.statistics.normalizer_hits,
                 normalizer_misses=outcome.statistics.normalizer_misses,
                 reason=outcome.reason,
+                strategy=outcome.statistics.strategy,
+                max_agenda_size=outcome.statistics.max_agenda_size,
+                choice_points=outcome.statistics.choice_points_expanded,
             )
         result.records.append(record)
         if progress is not None:

@@ -25,6 +25,7 @@ from ..program import Program
 from ..rewriting.completion import CompletionResult, complete
 from ..rewriting.orders import TermOrder
 from ..rewriting.rules import RewriteRule
+from ..search.agenda import SearchBudget
 from .rewriting_induction import default_reduction_order
 
 __all__ = ["ConsistencyResult", "proof_by_consistency"]
@@ -84,11 +85,23 @@ def proof_by_consistency(
     order: Optional[TermOrder] = None,
     hints: Sequence[Equation] = (),
     max_iterations: int = 200,
+    timeout: Optional[float] = None,
+    budget: Optional[SearchBudget] = None,
 ) -> ConsistencyResult:
-    """Attempt to establish ``equation`` by proof by consistency."""
+    """Attempt to establish ``equation`` by proof by consistency.
+
+    The saturation runs on the shared agenda core: ``timeout`` (or a
+    caller-supplied ``budget``) bounds the completion wall clock through the
+    same :class:`SearchBudget` path the cyclic prover and the theory explorer
+    charge against.
+    """
     order = order or default_reduction_order(program)
+    if budget is None and timeout is not None:
+        budget = SearchBudget(timeout=timeout)
     agenda = list(hints) + [equation]
-    result = complete(program.rules, agenda, order, max_iterations=max_iterations)
+    result = complete(
+        program.rules, agenda, order, max_iterations=max_iterations, budget=budget
+    )
     for rule in result.added_rules:
         if _is_inconsistent(program, rule):
             return ConsistencyResult(
@@ -103,6 +116,6 @@ def proof_by_consistency(
     reason = "completion failed: " + (
         "unorientable equations " + ", ".join(str(e) for e in result.unorientable)
         if result.unorientable
-        else "iteration budget exhausted"
+        else (result.reason or "iteration budget exhausted")
     )
     return ConsistencyResult(status="unknown", goal=equation, completion=result, reason=reason)

@@ -32,6 +32,7 @@ from ..rewriting.orders import DecreasingOrder, LexicographicPathOrder, TermOrde
 from ..rewriting.reduction import normalize
 from ..rewriting.rules import RewriteRule
 from ..rewriting.trs import RewriteSystem
+from ..search.agenda import Agenda, BudgetExhausted, SearchBudget
 
 __all__ = ["RIStep", "RIResult", "RewritingInduction", "default_reduction_order"]
 
@@ -78,6 +79,8 @@ class RIResult:
     hypotheses: Tuple[RewriteRule, ...] = ()
     remaining: Tuple[Equation, ...] = ()
     reason: str = ""
+    max_agenda_size: int = 0
+    """High-water mark of the equation agenda during the derivation."""
 
     def __bool__(self) -> bool:
         return self.success
@@ -92,6 +95,7 @@ class RewritingInduction:
         order: Optional[TermOrder] = None,
         max_steps: int = 400,
         max_equation_size: int = 120,
+        timeout: Optional[float] = None,
     ):
         self.program = program
         self.base_order = order or default_reduction_order(program)
@@ -99,16 +103,26 @@ class RewritingInduction:
         self.order = DecreasingOrder(self.base_order)
         self.max_steps = max_steps
         self.max_equation_size = max_equation_size
+        self.timeout = timeout
 
     # -- public API --------------------------------------------------------------
 
-    def prove(self, equation: Equation, extra_hypotheses: Sequence[Equation] = ()) -> RIResult:
+    def prove(
+        self,
+        equation: Equation,
+        extra_hypotheses: Sequence[Equation] = (),
+        budget: Optional[SearchBudget] = None,
+    ) -> RIResult:
         """Attempt a rewriting-induction proof of ``equation``.
 
         ``extra_hypotheses`` are hint lemmas (already proved elsewhere); they
         are oriented by the reduction order and added to ``H`` up front, which
         is how the classical systems accept e.g. the commutativity lemma that
         Cyclist requires for ``x + y = y + x``.
+
+        ``budget`` is an optional caller-supplied :class:`SearchBudget`;
+        without one, the derivation runs under its own budget of
+        ``max_steps`` steps and the configured ``timeout``.
         """
         working: RewriteSystem = self.program.rules.copy()
         hypotheses: List[RewriteRule] = []
@@ -122,17 +136,34 @@ class RewritingInduction:
             hypotheses.append(rule)
             working.add_rule(rule, validate=False)
 
-        agenda: List[Equation] = [equation]
-        for _ in range(self.max_steps):
+        # Smallest-equation-first frontier on the shared agenda core; the
+        # insertion-order tie-break reproduces the classical stable
+        # sort-and-pop loop exactly.
+        budget = budget or SearchBudget(timeout=self.timeout, max_steps=self.max_steps)
+        agenda = Agenda("priority", key=lambda eq: term_size(eq.lhs) + term_size(eq.rhs))
+        agenda.push(equation)
+        while True:
             if not agenda:
                 return RIResult(
                     success=True,
                     goal=equation,
                     steps=tuple(steps),
                     hypotheses=tuple(hypotheses),
+                    max_agenda_size=agenda.max_size,
                 )
-            agenda.sort(key=lambda eq: term_size(eq.lhs) + term_size(eq.rhs))
-            current = agenda.pop(0)
+            try:
+                budget.charge()
+            except BudgetExhausted as error:
+                return RIResult(
+                    success=False,
+                    goal=equation,
+                    steps=tuple(steps),
+                    hypotheses=tuple(hypotheses),
+                    remaining=tuple(agenda.drain()),
+                    reason=str(error),
+                    max_agenda_size=agenda.max_size,
+                )
+            current = agenda.pop()
 
             # (Simplify) — normalise with R ∪ H.
             simplified = Equation(
@@ -153,8 +184,9 @@ class RewritingInduction:
                     goal=equation,
                     steps=tuple(steps),
                     hypotheses=tuple(hypotheses),
-                    remaining=tuple([current] + agenda),
+                    remaining=tuple([current] + agenda.drain()),
                     reason="equation grew beyond the size budget",
+                    max_agenda_size=agenda.max_size,
                 )
 
             # (Expand)
@@ -165,8 +197,9 @@ class RewritingInduction:
                     goal=equation,
                     steps=tuple(steps),
                     hypotheses=tuple(hypotheses),
-                    remaining=tuple([current] + agenda),
+                    remaining=tuple([current] + agenda.drain()),
                     reason="equation is neither orientable nor expandable",
+                    max_agenda_size=agenda.max_size,
                 )
             new_equations, hypothesis_rule, position = expanded
             hypotheses.append(hypothesis_rule)
@@ -181,15 +214,6 @@ class RewritingInduction:
                     position=position,
                 )
             )
-
-        return RIResult(
-            success=False,
-            goal=equation,
-            steps=tuple(steps),
-            hypotheses=tuple(hypotheses),
-            remaining=tuple(agenda),
-            reason="step budget exhausted",
-        )
 
     # -- (Expand) -------------------------------------------------------------------
 

@@ -47,6 +47,12 @@ class CompletionResult:
     iterations: int = 0
     """How many agenda items were processed."""
 
+    reason: str = ""
+    """Why completion stopped early (budget/deadline), empty otherwise."""
+
+    max_agenda_size: int = 0
+    """High-water mark of the equation agenda during the run."""
+
     def __bool__(self) -> bool:
         return self.success
 
@@ -57,25 +63,43 @@ def complete(
     order: TermOrder,
     max_iterations: int = 200,
     max_rule_size: int = 200,
+    budget=None,
 ) -> CompletionResult:
     """Run Knuth–Bendix completion of ``equations`` over ``system``.
 
     The original system is not modified; a copy is extended with the oriented
     equations and the rules generated from critical pairs.  Completion fails
     (``success=False``) when an equation cannot be oriented, when a generated
-    rule exceeds ``max_rule_size``, or when the iteration budget runs out.
+    rule exceeds ``max_rule_size``, or when the budget runs out.  ``budget``
+    is an optional caller-supplied :class:`SearchBudget` (deadline and/or
+    step cap) charged once per agenda item, *in addition to*
+    ``max_iterations``; inductionless induction threads its whole-attempt
+    budget through here.
     """
+    # Deferred import: this module is reachable from ``repro.program`` (via the
+    # rewriting package), which the search package itself depends on.
+    from ..search.agenda import Agenda, BudgetExhausted
+
     working = system.copy()
-    agenda: List[Equation] = list(equations)
+    # Smallest-first agenda keeps the procedure from chasing huge
+    # consequences; the insertion-order tie-break of the shared priority
+    # frontier reproduces the classical stable sort-and-pop loop exactly.
+    agenda = Agenda("priority", key=lambda eq: term_size(eq.lhs) + term_size(eq.rhs))
+    agenda.extend(equations)
     added: List[RewriteRule] = []
     unorientable: List[Equation] = []
     iterations = 0
+    reason = ""
 
     while agenda and iterations < max_iterations:
+        if budget is not None:
+            try:
+                budget.charge()
+            except BudgetExhausted as error:
+                reason = str(error)
+                break
         iterations += 1
-        # Smallest-first agenda keeps the procedure from chasing huge consequences.
-        agenda.sort(key=lambda eq: term_size(eq.lhs) + term_size(eq.rhs))
-        equation = agenda.pop(0)
+        equation = agenda.pop()
         lhs = normalize(working, equation.lhs)
         rhs = normalize(working, equation.rhs)
         if lhs == rhs:
@@ -92,6 +116,8 @@ def complete(
                 added_rules=tuple(added),
                 unorientable=tuple(unorientable),
                 iterations=iterations,
+                reason=f"generated rule exceeds the size bound of {max_rule_size}",
+                max_agenda_size=agenda.max_size,
             )
         rule = RewriteRule(bigger, smaller)
         # Completion rules need not be program rules (their argument patterns
@@ -102,11 +128,11 @@ def complete(
         for other in working.rules:
             for pair in critical_pairs_between(other, rule):
                 if not pair.is_trivial():
-                    agenda.append(Equation(pair.left, pair.right))
+                    agenda.push(Equation(pair.left, pair.right))
             if other != rule:
                 for pair in critical_pairs_between(rule, other):
                     if not pair.is_trivial():
-                        agenda.append(Equation(pair.left, pair.right))
+                        agenda.push(Equation(pair.left, pair.right))
 
     success = not agenda and not unorientable
     return CompletionResult(
@@ -115,4 +141,6 @@ def complete(
         added_rules=tuple(added),
         unorientable=tuple(unorientable),
         iterations=iterations,
+        reason=reason,
+        max_agenda_size=agenda.max_size,
     )

@@ -140,36 +140,83 @@ class Normalizer:
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
-        result = self._normalize_uncached(term)
-        self._cache[term._id] = result
-        return result
+        return self._normalize_iterative(term)
 
     def __call__(self, term: Term) -> Term:
         return self.normalize(term)
 
-    def _normalize_uncached(self, term: Term) -> Term:
-        # Normalise arguments first through the cache, then reduce at the root
-        # until stuck; this keeps the cache effective for shared subterms while
-        # agreeing with the leftmost-outermost normal form on confluent systems.
-        current = term
-        for _ in range(self.max_steps):
-            current = self._normalize_children(current)
-            found = _match_rules(self.system, current)
-            if found is None:
-                return current
-            rule, theta = found
-            current = theta.apply(rule.rhs)
-            self.steps_taken += 1
-        raise RewriteError(f"normalisation of {term} exceeded {self.max_steps} steps")
+    # Work-stack opcodes of the iterative normaliser.
+    _NORM = 0     # payload: a term — probe the cache, or open a frame
+    _ENTER = 1    # payload: a frame — schedule the children, then _FINISH
+    _FINISH = 2   # payload: a frame — rebuild from child NFs, reduce the root
 
-    def _normalize_children(self, term: Term) -> Term:
-        if isinstance(term, App):
-            fun = self.normalize(term.fun)
-            arg = self.normalize(term.arg)
-            if fun is term.fun and arg is term.arg:
-                return term
-            return self._bank.app(fun, arg)
-        return term
+    def _normalize_iterative(self, root: Term) -> Term:
+        """Normalise without recursing per term level.
+
+        Same discipline as before the agenda refactor — arguments first
+        through the cache, then reduce at the root until stuck, which agrees
+        with the leftmost-outermost normal form on confluent systems — but on
+        explicit work/value stacks: proof search on the iterative agenda core
+        can build terms deeper than ``sys.getrecursionlimit()``, and their
+        normalisation must not be the code path that overflows.
+
+        Frames are ``[orig, current, root_steps, children_pending]``; one
+        frame is one cache-missed term being normalised.
+        """
+        tasks = [(self._ENTER, [root, root, 0, False])]
+        values = []  # resolved normal forms, consumed by _FINISH
+        while tasks:
+            op, payload = tasks.pop()
+            if op == self._NORM:
+                term = payload
+                if term._bank is not self._bank:
+                    term = self._bank.intern(term)
+                cached = self._cache.get(term._id)
+                if cached is not None:
+                    self.cache_hits += 1
+                    values.append(cached)
+                    continue
+                self.cache_misses += 1
+                tasks.append((self._ENTER, [term, term, 0, False]))
+            elif op == self._ENTER:
+                frame = payload
+                current = frame[1]
+                if isinstance(current, App):
+                    # fun is pushed last so it resolves first, as the
+                    # recursive normaliser did.
+                    frame[3] = True
+                    tasks.append((self._FINISH, frame))
+                    tasks.append((self._NORM, current.arg))
+                    tasks.append((self._NORM, current.fun))
+                else:
+                    frame[3] = False
+                    tasks.append((self._FINISH, frame))
+            else:  # _FINISH
+                frame = payload
+                orig, current, steps, children_pending = frame
+                if children_pending:
+                    arg_nf = values.pop()
+                    fun_nf = values.pop()
+                    if fun_nf is not current.fun or arg_nf is not current.arg:
+                        current = self._bank.app(fun_nf, arg_nf)
+                found = _match_rules(self.system, current)
+                if found is None:
+                    self._cache[orig._id] = current
+                    values.append(current)
+                    continue
+                rule, theta = found
+                current = theta.apply(rule.rhs)
+                self.steps_taken += 1
+                steps += 1
+                if steps >= self.max_steps:
+                    raise RewriteError(
+                        f"normalisation of {orig} exceeded {self.max_steps} steps"
+                    )
+                frame[1] = current
+                frame[2] = steps
+                tasks.append((self._ENTER, frame))
+        assert len(values) == 1
+        return values[0]
 
     def cache_size(self) -> int:
         """The number of cached normal forms."""

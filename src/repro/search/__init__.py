@@ -1,11 +1,22 @@
 """The CycleQ proof-search engine."""
 
-from .config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
+from .agenda import (
+    Agenda,
+    BudgetExhausted,
+    SearchBudget,
+    SearchStrategy,
+    STRATEGIES,
+    get_strategy,
+    strategy_names,
+)
+from .config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, STRATEGY_DFS, ProverConfig
 from .prover import Prover, prove, prove_goal
 from .result import ProofResult, SearchStatistics
 
 __all__ = [
     "Prover", "prove", "prove_goal",
-    "ProverConfig", "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE",
+    "ProverConfig", "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE", "STRATEGY_DFS",
     "ProofResult", "SearchStatistics",
+    "Agenda", "SearchBudget", "BudgetExhausted",
+    "SearchStrategy", "STRATEGIES", "get_strategy", "strategy_names",
 ]

@@ -1,0 +1,421 @@
+"""The explicit-agenda search core shared by every search loop in the system.
+
+This module makes search *strategies* first-class.  It has two halves:
+
+* **Saturation frontiers** (:class:`Agenda`, :class:`SearchBudget`).  The
+  rewriting-induction prover, Knuth–Bendix completion (and through it
+  inductionless induction) and the theory explorer are all *saturation* loops:
+  pop an item from a frontier, process it, push consequences.  ``Agenda`` is
+  that frontier with a pluggable discipline (LIFO, FIFO, or a deterministic
+  priority queue), and ``SearchBudget`` is the shared deadline/step budget all
+  of them charge against — one budget path instead of four hand-rolled ones.
+
+* **The choice-point engine** (:class:`Frame`, :func:`run_choice_points`,
+  :class:`SearchStrategy`).  The cyclic prover's search (Section 6 of the
+  paper) is an AND/OR search over a *mutable* preproof with chronological
+  backtracking: a goal ("frame") is expanded into a stream of rule
+  *alternatives*, an alternative either resolves the goal outright or opens
+  AND-children that must all be solved, and failed alternatives are rolled
+  back through the prover's trail.  ``run_choice_points`` drives that search
+  with an explicit agenda of frames instead of Python recursion — deep case
+  splits and congruence chains can no longer hit the interpreter's recursion
+  limit — and a :class:`SearchStrategy` decides the frontier discipline
+  (which bound schedule to iterate, in which order AND-children are pursued)
+  and the choice-point ordering (in which order a goal's alternatives are
+  tried).
+
+Three strategies ship by default:
+
+``dfs``
+    Byte-for-byte the pre-agenda recursive search: alternatives in calculus
+    order, children left to right, one iteration at the configured bounds.
+``iddfs``
+    Iterative deepening on the (Case) depth: the whole search is re-run with
+    case-split bounds 0, 1, …, ``max_case_splits``, restarting from a clean
+    proof each round.  Finds shallow proofs the eager depth-first descent
+    misses, at the cost of re-exploring the shallow levels.
+``best-first``
+    Orders each goal's alternatives through a deterministic priority queue
+    scored by the size of the *normalised* continuation goal (the
+    normal-form distance proxy), smaller first, ties broken by calculus
+    order; AND-children are solved smallest goal first.
+
+Registering a new strategy is one class and one registry entry — see
+``docs/search.md`` for the contract.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BudgetExhausted",
+    "SearchBudget",
+    "Agenda",
+    "Frame",
+    "Alternative",
+    "SearchStrategy",
+    "DepthFirstStrategy",
+    "IterativeDeepeningStrategy",
+    "BestFirstStrategy",
+    "STRATEGIES",
+    "strategy_names",
+    "get_strategy",
+    "run_choice_points",
+]
+
+
+class BudgetExhausted(Exception):
+    """Raised when a search exceeds its node, step, or wall-clock budget."""
+
+
+class SearchBudget:
+    """A deadline plus an optional step budget, shared across search loops.
+
+    Every search consumer (cyclic prover, rewriting induction, completion,
+    exploration) charges the same object, so nested searches — e.g. the
+    explorer proving lemmas with the cyclic prover — can share one wall-clock
+    budget instead of each keeping its own idea of "time left".
+    """
+
+    __slots__ = ("deadline", "timeout", "max_steps", "steps")
+
+    def __init__(self, timeout: Optional[float] = None, max_steps: Optional[int] = None):
+        self.timeout = timeout
+        # The monotonic clock, as everywhere else in the engine: the deadline
+        # must never jump with the wall clock.
+        self.deadline = (time.monotonic() + timeout) if timeout is not None else None
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExhausted` when the deadline has passed."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExhausted(f"timeout of {self.timeout}s exceeded")
+
+    def charge(self, steps: int = 1) -> None:
+        """Consume ``steps`` from the step budget (and check the deadline)."""
+        self.steps += steps
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExhausted(f"step budget of {self.max_steps} exhausted")
+        self.check()
+
+    @property
+    def exhausted_steps(self) -> bool:
+        return self.max_steps is not None and self.steps >= self.max_steps
+
+    def remaining_seconds(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+
+class Agenda:
+    """A search frontier with a pluggable discipline.
+
+    ``discipline`` is one of ``"lifo"`` (stack), ``"fifo"`` (queue), or
+    ``"priority"`` (min-heap on ``key(item)``, FIFO among equal keys — the
+    insertion sequence number is the deterministic tie-break, so a priority
+    agenda reproduces the classical "stable sort then pop front" loops
+    exactly).  ``max_size`` records the high-water mark for statistics.
+    """
+
+    __slots__ = ("discipline", "key", "_items", "_seq", "max_size")
+
+    def __init__(self, discipline: str = "lifo", key: Optional[Callable] = None):
+        if discipline not in ("lifo", "fifo", "priority"):
+            raise ValueError(f"unknown agenda discipline {discipline!r}")
+        if discipline == "priority" and key is None:
+            raise ValueError("a priority agenda needs a key function")
+        self.discipline = discipline
+        self.key = key
+        # A heap for priority, a deque otherwise: fifo pops from the left,
+        # which on a plain list would cost O(n) per pop.
+        self._items = [] if discipline == "priority" else deque()
+        self._seq = 0
+        self.max_size = 0
+
+    def push(self, item) -> None:
+        if self.discipline == "priority":
+            heapq.heappush(self._items, (self.key(item), self._seq, item))
+        else:
+            self._items.append(item)
+        self._seq += 1
+        if len(self._items) > self.max_size:
+            self.max_size = len(self._items)
+
+    def extend(self, items: Iterable) -> None:
+        for item in items:
+            self.push(item)
+
+    def pop(self):
+        if not self._items:
+            raise IndexError("pop from an empty agenda")
+        if self.discipline == "priority":
+            return heapq.heappop(self._items)[2]
+        if self.discipline == "fifo":
+            return self._items.popleft()
+        return self._items.pop()
+
+    def drain(self) -> List:
+        """Remove and return every remaining item, in pop order."""
+        items = []
+        while self._items:
+            items.append(self.pop())
+        return items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+# ---------------------------------------------------------------------------
+# The choice-point engine
+# ---------------------------------------------------------------------------
+
+#: Frame states of the iterative engine.
+_NEW = 0        # not yet expanded
+_PICK = 1       # looking for the next applicable alternative
+_STEP = 2       # an alternative is open; dispatch its next AND-child
+_WAIT = 3       # an AND-child is on the agenda above this frame
+
+
+class Frame:
+    """One goal of the AND/OR search: a choice point over rule alternatives.
+
+    Mirrors one activation of the old recursive ``_solve``: the proof vertex
+    to justify, the (Subst)/(Case) depths, and the set of goal equations on
+    the current root-to-goal path (the loop check).  The engine adds the
+    mutable search state: the alternative stream, the trail mark of the
+    alternative currently open, and the AND-children still to be solved.
+    """
+
+    __slots__ = (
+        "node_id", "depth", "case_depth", "path_goals",
+        "alts", "alt_mark", "children", "child_idx", "state", "score",
+    )
+
+    def __init__(self, node_id: int, depth: int, case_depth: int, path_goals: frozenset,
+                 score: int = 0):
+        self.node_id = node_id
+        self.depth = depth
+        self.case_depth = case_depth
+        self.path_goals = path_goals
+        self.alts: Optional[Iterator["Alternative"]] = None
+        self.alt_mark = 0
+        self.children: Sequence["Frame"] = ()
+        self.child_idx = 0
+        self.state = _NEW
+        self.score = score
+
+
+class Alternative:
+    """One untried rule instance at a choice point.
+
+    ``kind`` names the calculus rule (``"cong"``, ``"funext"``, ``"subst"``,
+    ``"case"``); ``data`` is the rule-specific payload the calculus knows how
+    to apply; ``seq`` is the position in calculus order (the deterministic
+    tie-break of every strategy).
+    """
+
+    __slots__ = ("kind", "data", "seq")
+
+    def __init__(self, kind: str, data, seq: int):
+        self.kind = kind
+        self.data = data
+        self.seq = seq
+
+
+class SearchStrategy:
+    """The strategy contract: bound schedule, alternative order, child order.
+
+    A strategy never touches the proof or the trail — it only decides *order*:
+    which per-iteration case-split bounds to run (``case_bounds``), in which
+    order a goal's alternatives are attempted (``order_alternatives``), and in
+    which order the AND-children of an open alternative are pursued
+    (``order_children``).  Orders must be deterministic: given the same
+    calculus state they must produce the same sequence, or proof search stops
+    being reproducible across runs and processes.
+    """
+
+    name = "abstract"
+
+    def case_bounds(self, config) -> Tuple[int, ...]:
+        """The ``max_case_splits`` bound for each search iteration.
+
+        One entry per iteration; the search restarts from a clean proof
+        between entries and stops at the first proof.  The default is a
+        single iteration at the configured bound.
+        """
+        return (config.max_case_splits,)
+
+    def order_alternatives(self, calculus, frame: Frame,
+                           alts: Iterator[Alternative]) -> Iterator[Alternative]:
+        """The order in which a goal's alternatives are attempted.
+
+        ``alts`` is a *lazy* stream in calculus order; strategies that do not
+        reorder should return it untouched (materialising it changes when
+        budget checks run).  Reordering strategies may consume it and ask
+        ``calculus.score_alternative`` for a heuristic value.
+        """
+        return alts
+
+    def order_children(self, calculus, frame: Frame,
+                       children: Sequence[Frame]) -> Sequence[Frame]:
+        """The order in which an alternative's AND-children are solved."""
+        return children
+
+
+class DepthFirstStrategy(SearchStrategy):
+    """The paper's strategy: exactly the old recursive depth-first search."""
+
+    name = "dfs"
+
+
+class IterativeDeepeningStrategy(SearchStrategy):
+    """Iterative deepening on the (Case) depth.
+
+    Runs the full search with case-split bounds 0, 1, …, ``max_case_splits``,
+    restarting from an empty proof between rounds.  Within one round the
+    expansion order is exactly ``dfs`` — only the bound schedule differs.
+    The node and wall-clock budgets are global across rounds, so a goal that
+    exhausts the budget shallowly never reaches the deeper rounds.
+    """
+
+    name = "iddfs"
+
+    def case_bounds(self, config) -> Tuple[int, ...]:
+        return tuple(range(0, config.max_case_splits + 1))
+
+
+class BestFirstStrategy(SearchStrategy):
+    """Heuristic ordering through a deterministic priority queue.
+
+    Alternatives are scored by ``calculus.score_alternative`` — for (Subst)
+    instances the size of the normalised continuation goal (how close the
+    rewrite gets the goal to a normal form), for (Case) splits the goal size
+    plus a per-constructor penalty — and attempted smallest score first, with
+    the calculus enumeration order as the tie-break.  AND-children are solved
+    smallest goal first, so cheap subgoals fail fast before expensive
+    siblings are attempted.
+    """
+
+    name = "best-first"
+
+    def order_alternatives(self, calculus, frame: Frame,
+                           alts: Iterator[Alternative]) -> Iterator[Alternative]:
+        heap: List[Tuple[int, int, Alternative]] = [
+            (calculus.score_alternative(frame, alt), alt.seq, alt) for alt in alts
+        ]
+        heapq.heapify(heap)
+        while heap:
+            yield heapq.heappop(heap)[2]
+
+    def order_children(self, calculus, frame: Frame,
+                       children: Sequence[Frame]) -> Sequence[Frame]:
+        return sorted(children, key=lambda child: (child.score, child.node_id))
+
+
+STRATEGIES = {
+    strategy.name: strategy
+    for strategy in (DepthFirstStrategy(), IterativeDeepeningStrategy(), BestFirstStrategy())
+}
+"""The strategy registry; ``ProverConfig.strategy`` values are keys here."""
+
+
+def strategy_names() -> Tuple[str, ...]:
+    """The registered strategy names, ``dfs`` first (the default)."""
+    names = sorted(STRATEGIES)
+    names.remove(DepthFirstStrategy.name)
+    return (DepthFirstStrategy.name, *names)
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    """Look a strategy up by name; raises ``ValueError`` for unknown names."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown search strategy {name!r}; registered: {', '.join(sorted(STRATEGIES))}"
+        ) from None
+
+
+def run_choice_points(calculus, root: Frame, strategy: SearchStrategy, stats=None) -> bool:
+    """Drive the AND/OR search iteratively; returns whether ``root`` was solved.
+
+    The *calculus* supplies the proof system through four operations:
+
+    * ``expand(frame) -> Optional[bool]`` — apply the non-backtracking rules
+      to the frame's goal.  ``True``/``False`` resolves the goal outright;
+      ``None`` means the goal has alternatives and ``frame.alts`` has been
+      set to their lazy stream.
+    * ``apply_alternative(frame, alt) -> Optional[Sequence[Frame]]`` — try
+      one alternative.  ``None`` means it did not apply (any partial state
+      already rolled back); otherwise the returned AND-children must all be
+      solved for the alternative to stand.
+    * ``mark() -> int`` / ``rollback(mark)`` — the chronological trail.
+
+    The agenda is the explicit stack of frames (for ``dfs`` exactly the old
+    call stack); no Python recursion happens per proof node, so search depth
+    is bounded by memory, not by ``sys.getrecursionlimit()``.  The strategy
+    hooks decide alternative and child order; the engine owns correctness
+    (AND-semantics, rollback points, failure propagation).
+    """
+    agenda: List[Frame] = [root]
+    solved = False  # the result handed to the frame below the one just popped
+    while agenda:
+        if stats is not None and len(agenda) > stats.max_agenda_size:
+            stats.max_agenda_size = len(agenda)
+        frame = agenda[-1]
+
+        if frame.state == _NEW:
+            resolved = calculus.expand(frame)
+            if resolved is not None:
+                agenda.pop()
+                solved = resolved
+                continue
+            if stats is not None:
+                stats.choice_points_expanded += 1
+            frame.alts = strategy.order_alternatives(calculus, frame, frame.alts)
+            frame.state = _PICK
+
+        elif frame.state == _WAIT:
+            if solved:
+                frame.child_idx += 1
+                frame.state = _STEP
+            else:
+                # The failed child poisons the whole conjunction: undo the
+                # alternative (and every sibling subtree) and try the next.
+                calculus.rollback(frame.alt_mark)
+                frame.state = _PICK
+
+        if frame.state == _PICK:
+            children: Optional[Sequence[Frame]] = None
+            for alt in frame.alts:
+                frame.alt_mark = calculus.mark()
+                children = calculus.apply_alternative(frame, alt)
+                if children is not None:
+                    break
+            if children is None:
+                agenda.pop()
+                solved = False
+                continue
+            frame.children = strategy.order_children(calculus, frame, children)
+            frame.child_idx = 0
+            frame.state = _STEP
+
+        if frame.state == _STEP:
+            if frame.child_idx >= len(frame.children):
+                # Every AND-child solved: the open alternative justifies the goal.
+                agenda.pop()
+                solved = True
+                continue
+            frame.state = _WAIT
+            agenda.append(frame.children[frame.child_idx])
+
+    return solved

@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["ProverConfig", "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE"]
+__all__ = ["ProverConfig", "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE", "STRATEGY_DFS"]
+
+STRATEGY_DFS = "dfs"
+"""The default search strategy: the paper's bounded depth-first search."""
 
 LEMMAS_CASE_ONLY = "case-only"
 """Only (Case)-justified nodes may serve as lemmas — the paper's restriction."""
@@ -49,6 +52,14 @@ class ProverConfig:
     lemma_restriction: str = LEMMAS_CASE_ONLY
     """Which nodes are eligible lemmas: ``case-only`` (paper), ``all``, or ``none``."""
 
+    strategy: str = STRATEGY_DFS
+    """Which search strategy drives the agenda core (:mod:`repro.search.agenda`).
+
+    ``dfs`` (the paper's depth-first search, byte-for-byte the historical
+    expansion order), ``iddfs`` (iterative deepening on case depth), or
+    ``best-first`` (priority-queue ordering by normalised goal size).  New
+    strategies register themselves in ``repro.search.agenda.STRATEGIES``."""
+
     incremental_soundness: bool = True
     """Maintain the size-change closure incrementally (Section 5.2).
 
@@ -75,3 +86,8 @@ class ProverConfig:
             raise ValueError(f"unknown lemma restriction {self.lemma_restriction!r}")
         if self.max_depth < 1 or self.max_nodes < 1:
             raise ValueError("search bounds must be positive")
+        # Deferred import: agenda holds the strategy registry and must stay
+        # importable without the configuration module (and vice versa).
+        from .agenda import get_strategy
+
+        get_strategy(self.strategy)

@@ -1,10 +1,19 @@
 """The CycleQ prover: goal-directed cyclic proof search (Section 6).
 
-The prover performs a bounded depth-first search with the rule priority of the
-paper: reduction, reflexivity, congruence (constructor decomposition), function
-extensionality, substitution, case analysis.  The first four always simplify
-the goal and are applied eagerly without backtracking; (Subst) and (Case) are
-backtracking choice points.
+The prover searches with the rule priority of the paper: reduction,
+reflexivity, congruence (constructor decomposition), function extensionality,
+substitution, case analysis.  The first four always simplify the goal and are
+applied eagerly without backtracking; (Subst) and (Case) are backtracking
+choice points.
+
+The search itself runs on the explicit-agenda core of
+:mod:`repro.search.agenda`: every goal is a :class:`~repro.search.agenda.Frame`
+on an explicit stack, rule instances are streamed as alternatives, and a
+:class:`~repro.search.agenda.SearchStrategy` (``ProverConfig.strategy``)
+decides the order in which alternatives and AND-subgoals are pursued.  The
+default ``dfs`` strategy expands nodes in exactly the order of the original
+recursive implementation — but no code path recurses per proof node, so deep
+case splits and congruence chains cannot hit Python's recursion limit.
 
 Cycle formation is mediated by (Subst) used as a matching function: the lemma
 of every (Subst) instance is an *existing node of the proof under
@@ -18,7 +27,7 @@ infinitely progressing variable trace, the branch is pruned.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.equations import Equation
 from ..core.matching import match_or_none
@@ -54,14 +63,18 @@ from ..proofs.soundness import edge_size_change_graph, proof_size_change_graphs
 from ..rewriting.narrowing import case_candidates
 from ..rewriting.reduction import Normalizer
 from ..sizechange.closure import IncrementalClosure, check_global_condition
+from .agenda import (
+    Alternative,
+    BudgetExhausted,
+    Frame,
+    SearchBudget,
+    get_strategy,
+    run_choice_points,
+)
 from .config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
 from .result import ProofResult, SearchStatistics
 
 __all__ = ["Prover", "prove", "prove_goal"]
-
-
-class _Budget(Exception):
-    """Raised internally when the node or time budget is exhausted."""
 
 
 class Prover:
@@ -79,6 +92,7 @@ class Prover:
         equation: Equation,
         goal_name: str = "",
         hypotheses: Sequence[Equation] = (),
+        budget: Optional[SearchBudget] = None,
     ) -> ProofResult:
         """Attempt to prove a single (unconditional) equation.
 
@@ -87,9 +101,13 @@ class Prover:
         of Section 4).  They become unjustified hypothesis vertices of the
         preproof — the result is then a *partial* proof in the sense of
         Definition 4.3 — and are eligible as (Subst) lemmas.
+
+        ``budget`` is an optional outer :class:`SearchBudget` (e.g. the theory
+        explorer's whole-phase budget); the attempt aborts when either it or
+        the configuration's own timeout expires.
         """
         attempt = _ProofAttempt(self.program, self.config)
-        return attempt.run(equation, goal_name, hypotheses=hypotheses)
+        return attempt.run(equation, goal_name, hypotheses=hypotheses, budget=budget)
 
     def prove_goal(self, goal: Goal, hypotheses: Sequence[Equation] = ()) -> ProofResult:
         """Attempt to prove a named goal; conditional goals fail as out of scope."""
@@ -114,7 +132,15 @@ def prove_goal(program: Program, goal: Goal, config: Optional[ProverConfig] = No
 
 
 class _ProofAttempt:
-    """The mutable state of a single proof attempt."""
+    """The mutable state of a single proof attempt.
+
+    Implements the *calculus* protocol of
+    :func:`repro.search.agenda.run_choice_points`: :meth:`expand` applies the
+    eager rules and streams the backtracking alternatives of a goal,
+    :meth:`apply_alternative` tries one (Subst)/(Case)/(Cong)/(FunExt)
+    instance, and :meth:`mark`/:meth:`rollback` expose the chronological
+    trail the engine unwinds failed alternatives with.
+    """
 
     def __init__(self, program: Program, config: ProverConfig):
         self.program = program
@@ -125,7 +151,9 @@ class _ProofAttempt:
         self.fresh = FreshNameSupply()
         self.stats = SearchStatistics()
         self.trail: List[Tuple] = []
-        self.deadline: Optional[float] = None
+        self.budget = SearchBudget()
+        self.external_budget: Optional[SearchBudget] = None
+        self.case_bound = config.max_case_splits
 
     # -- entry point -----------------------------------------------------------
 
@@ -134,26 +162,44 @@ class _ProofAttempt:
         equation: Equation,
         goal_name: str = "",
         hypotheses: Sequence[Equation] = (),
+        budget: Optional[SearchBudget] = None,
     ) -> ProofResult:
         start = time.perf_counter()
-        if self.config.timeout is not None:
-            # The deadline lives on the monotonic clock: it must never jump
-            # (perf_counter is monotonic too, but monotonic() is the documented
-            # wall-clock-independent choice and what the engine's scheduler
-            # compares against for its hard kills).
-            self.deadline = time.monotonic() + self.config.timeout
+        strategy = get_strategy(self.config.strategy)
+        self.stats.strategy = strategy.name
+        # The deadline lives on the monotonic clock (via SearchBudget): it must
+        # never jump, and it is what the engine's scheduler compares its hard
+        # kills against.
+        self.budget = SearchBudget(timeout=self.config.timeout)
+        self.external_budget = budget
         self.fresh.reserve(equation.variable_names())
         reason = ""
+        proved = False
         try:
-            for hypothesis in hypotheses:
-                node = self._add_node(hypothesis)
-                self._assign(node, RULE_HYP)
-            premise, work = self._add_goal(equation)
-            self.proof.root = premise
-            proved = self._solve(work, depth=0, case_depth=0, path_goals=frozenset())
-        except _Budget as budget:
+            bounds = strategy.case_bounds(self.config) or (self.config.max_case_splits,)
+            for iteration, bound in enumerate(bounds):
+                self.case_bound = bound
+                self.stats.iterations += 1
+                base_mark = self.mark()
+                for hypothesis in hypotheses:
+                    node = self._add_node(hypothesis)
+                    self._assign(node, RULE_HYP)
+                premise, work = self._add_goal(equation)
+                self.proof.root = premise
+                proved = run_choice_points(
+                    self, Frame(work, 0, 0, frozenset()), strategy, self.stats
+                )
+                if proved:
+                    break
+                if iteration + 1 < len(bounds):
+                    # Iterative deepening: restart from a clean proof.  Every
+                    # mutation is on the trail, so one rollback resets the
+                    # preproof, the closure, and the root.
+                    self.rollback(base_mark)
+                    self.proof.root = None
+        except BudgetExhausted as budget_error:
             proved = False
-            reason = str(budget) or "search budget exhausted"
+            reason = str(budget_error) or "search budget exhausted"
         self.stats.elapsed_seconds = time.perf_counter() - start
         self.stats.closure_compositions = self.closure.compositions_performed
         self.stats.normalizer_hits = self.normalizer.cache_hits
@@ -180,17 +226,21 @@ class _ProofAttempt:
     def _check_budget(self) -> None:
         if self.stats.nodes_created > self.config.max_nodes:
             self.stats.node_budget_aborts += 1
-            raise _Budget(f"node budget of {self.config.max_nodes} exhausted")
-        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExhausted(f"node budget of {self.config.max_nodes} exhausted")
+        try:
+            self.budget.check()
+            if self.external_budget is not None:
+                self.external_budget.check()
+        except BudgetExhausted:
             self.stats.timeout_aborts += 1
-            raise _Budget(f"timeout of {self.config.timeout}s exceeded")
+            raise
 
     # -- trail (chronological backtracking) -----------------------------------------
 
-    def _mark(self) -> int:
+    def mark(self) -> int:
         return len(self.trail)
 
-    def _rollback(self, mark: int) -> None:
+    def rollback(self, mark: int) -> None:
         while len(self.trail) > mark:
             kind, payload = self.trail.pop()
             if kind == "node":
@@ -241,7 +291,7 @@ class _ProofAttempt:
         self._assign(node, RULE_REDUCE, premises=[child.ident])
         if not self._add_edges(node):
             # Identity edges cannot invalidate the proof; defensive only.
-            raise _Budget("soundness violation on a reduction edge")
+            raise BudgetExhausted("soundness violation on a reduction edge")
         return node.ident, child.ident
 
     def _assign(self, node: ProofNode, rule: str, premises: Sequence[int] = (), **data) -> None:
@@ -275,12 +325,27 @@ class _ProofAttempt:
             return False
         return True
 
-    # -- the search ----------------------------------------------------------------------
+    def _child(self, work_id: int, depth: int, case_depth: int, path_goals: frozenset) -> Frame:
+        equation = self.proof.node(work_id).equation
+        return Frame(
+            work_id, depth, case_depth, path_goals,
+            score=term_size(equation.lhs) + term_size(equation.rhs),
+        )
 
-    def _solve(self, node_id: int, depth: int, case_depth: int, path_goals: frozenset) -> bool:
+    # -- the calculus protocol (driven by agenda.run_choice_points) ---------------------
+
+    def expand(self, frame: Frame) -> Optional[bool]:
+        """Eager rules and hopeless-goal pruning; streams the alternatives.
+
+        Mirrors the prologue of the old recursive ``_solve``: (Refl),
+        constructor clash, (Cong) and (FunExt) — which never backtrack and
+        therefore resolve to a single mandatory alternative — then the depth
+        and loop checks guarding the (Subst)/(Case) choice points.
+        """
         self._check_budget()
-        self.stats.max_depth_reached = max(self.stats.max_depth_reached, depth)
-        node = self.proof.node(node_id)
+        if frame.depth > self.stats.max_depth_reached:
+            self.stats.max_depth_reached = frame.depth
+        node = self.proof.node(frame.node_id)
         equation = node.equation
 
         # (Refl)
@@ -306,44 +371,90 @@ class _ProofAttempt:
             and len(lhs_args) == len(rhs_args)
             and lhs_args
         ):
-            return self._apply_congruence(node, lhs_args, rhs_args, depth, case_depth, path_goals)
+            frame.alts = iter((Alternative("cong", (lhs_args, rhs_args), 0),))
+            return None
 
         # (FunExt) — goals of arrow type are applied to a fresh variable.
         if self.config.use_funext:
             goal_type = self._goal_type(equation)
             if isinstance(goal_type, FunTy):
-                return self._apply_funext(node, goal_type, depth, case_depth, path_goals)
+                frame.alts = iter((Alternative("funext", goal_type, 0),))
+                return None
 
-        if depth >= self.config.max_depth:
+        if frame.depth >= self.config.max_depth:
             return False
-        if equation in path_goals:
+        if equation in frame.path_goals:
             return False
-        extended_path = path_goals | {equation}
 
-        # (Subst) — cycle formation through existing nodes of the proof.
+        frame.alts = self._rule_alternatives(node, frame)
+        return None
+
+    def _rule_alternatives(self, node: ProofNode, frame: Frame) -> Iterator[Alternative]:
+        """The backtracking alternatives of a goal, lazily, in calculus order.
+
+        (Subst) instances first — cycle formation through existing proof nodes
+        — then (Case) splits, exactly the priority of the recursive search.
+        The stream is lazy so that under ``dfs`` candidate matching interleaves
+        with child solving precisely as it used to; ordering strategies may
+        materialise it.
+        """
+        seq = 0
         if self.config.lemma_restriction != LEMMAS_NONE:
-            if self._apply_subst(node, depth, case_depth, extended_path):
-                return True
+            for data in self._subst_candidates(node):
+                yield Alternative("subst", data, seq)
+                seq += 1
+        # The *iteration's* case bound, not the configuration's: iterative
+        # deepening tightens it round by round.
+        if frame.case_depth < self.case_bound:
+            equation = node.equation
+            for variable in case_candidates(self.program.rules, equation.lhs, equation.rhs):
+                yield Alternative("case", variable, seq)
+                seq += 1
 
-        # (Case) — analysis of a variable blocking reduction.
-        if case_depth < self.config.max_case_splits:
-            if self._apply_case(node, depth, case_depth, extended_path):
-                return True
+    def apply_alternative(self, frame: Frame, alt: Alternative) -> Optional[Sequence[Frame]]:
+        """Try one rule instance; returns its AND-children or ``None``.
 
-        return False
+        ``None`` means the alternative did not apply (size bound, no progress,
+        or an unsound cycle) and any partial state was rolled back to
+        ``frame.alt_mark``; otherwise the goal's node has been justified and
+        the returned subgoal frames must all be solved for it to stand.
+        """
+        if alt.kind == "subst":
+            return self._apply_subst_alternative(frame, alt.data)
+        if alt.kind == "case":
+            return self._apply_case_alternative(frame, alt.data)
+        if alt.kind == "cong":
+            return self._apply_cong_alternative(frame, alt.data)
+        if alt.kind == "funext":
+            return self._apply_funext_alternative(frame, alt.data)
+        raise ValueError(f"unknown alternative kind {alt.kind!r}")  # pragma: no cover
+
+    def score_alternative(self, frame: Frame, alt: Alternative) -> int:
+        """A heuristic cost for ordering strategies (smaller = more promising).
+
+        (Subst) alternatives score the size of the *normalised* continuation
+        goal — how close the rewrite brings the goal to a normal form; (Case)
+        alternatives score the goal size plus a constant split penalty, so a
+        simplifying rewrite always outranks a case split of the same goal.
+        The eager rules are mandatory and score 0.
+        """
+        if alt.kind == "subst":
+            node = self.proof.node(frame.node_id)
+            continuation = self._subst_continuation(node.equation, alt.data)
+            normalized = self._normalize_equation(continuation)
+            return term_size(normalized.lhs) + term_size(normalized.rhs)
+        if alt.kind == "case":
+            equation = self.proof.node(frame.node_id).equation
+            return term_size(equation.lhs) + term_size(equation.rhs) + 2
+        return 0
 
     # -- eager rules -------------------------------------------------------------------------
 
-    def _apply_congruence(
-        self,
-        node: ProofNode,
-        lhs_args: Tuple[Term, ...],
-        rhs_args: Tuple[Term, ...],
-        depth: int,
-        case_depth: int,
-        path_goals: frozenset,
-    ) -> bool:
-        mark = self._mark()
+    def _apply_cong_alternative(
+        self, frame: Frame, data: Tuple[Tuple[Term, ...], Tuple[Term, ...]]
+    ) -> Optional[Sequence[Frame]]:
+        lhs_args, rhs_args = data
+        node = self.proof.node(frame.node_id)
         self.stats.congruence_steps += 1
         premise_ids: List[int] = []
         work_ids: List[int] = []
@@ -353,35 +464,24 @@ class _ProofAttempt:
             work_ids.append(work)
         self._assign(node, RULE_CONG, premises=premise_ids)
         if not self._add_edges(node):
-            self._rollback(mark)
-            return False
-        for work in work_ids:
-            if not self._solve(work, depth, case_depth, path_goals):
-                self._rollback(mark)
-                return False
-        return True
+            self.rollback(frame.alt_mark)
+            return None
+        return [
+            self._child(work, frame.depth, frame.case_depth, frame.path_goals)
+            for work in work_ids
+        ]
 
-    def _apply_funext(
-        self,
-        node: ProofNode,
-        goal_type: FunTy,
-        depth: int,
-        case_depth: int,
-        path_goals: frozenset,
-    ) -> bool:
-        mark = self._mark()
+    def _apply_funext_alternative(self, frame: Frame, goal_type: FunTy) -> Optional[Sequence[Frame]]:
+        node = self.proof.node(frame.node_id)
         self.stats.funext_steps += 1
         fresh_var = Var(self.fresh.fresh("v"), goal_type.arg)
         extended = Equation(App(node.equation.lhs, fresh_var), App(node.equation.rhs, fresh_var))
         premise, work = self._add_goal(extended)
         self._assign(node, RULE_FUNEXT, premises=[premise])
         if not self._add_edges(node):
-            self._rollback(mark)
-            return False
-        if self._solve(work, depth, case_depth, path_goals):
-            return True
-        self._rollback(mark)
-        return False
+            self.rollback(frame.alt_mark)
+            return None
+        return [self._child(work, frame.depth, frame.case_depth, frame.path_goals)]
 
     def _goal_type(self, equation: Equation):
         try:
@@ -413,7 +513,14 @@ class _ProofAttempt:
         candidates.sort(key=lambda n: n.ident, reverse=True)
         return candidates
 
-    def _apply_subst(self, node: ProofNode, depth: int, case_depth: int, path_goals: frozenset) -> bool:
+    def _subst_candidates(self, node: ProofNode) -> Iterator[Tuple]:
+        """Stream the (Subst) instances of a goal in search order.
+
+        Yields ``(lemma_node, theta, position, side, flipped, lemma_to)``
+        payloads.  The candidate count is capped by
+        ``max_subst_applications_per_goal``; hitting the cap ends the stream
+        (the goal falls through to case analysis, as in the recursive search).
+        """
         equation = node.equation
         attempts = 0
         for lemma_node in self._lemma_candidates(node.ident):
@@ -440,7 +547,6 @@ class _ProofAttempt:
                 for side_name in ("lhs", "rhs"):
                     self._check_budget()
                     goal_side = getattr(equation, side_name)
-                    other_side = equation.rhs if side_name == "lhs" else equation.lhs
                     for position, sub in positions(goal_side):
                         if isinstance(sub, Var):
                             continue
@@ -453,48 +559,30 @@ class _ProofAttempt:
                             continue
                         attempts += 1
                         if attempts > self.config.max_subst_applications_per_goal:
-                            return False
-                        if self._try_subst(
-                            node,
-                            lemma_node,
-                            theta,
-                            position,
-                            side_name,
-                            flipped,
-                            lemma_to,
-                            depth,
-                            case_depth,
-                            path_goals,
-                        ):
-                            return True
-        return False
+                            return
+                        yield lemma_node, theta, position, side_name, flipped, lemma_to
 
-    def _try_subst(
-        self,
-        node: ProofNode,
-        lemma_node: ProofNode,
-        theta: Substitution,
-        position: Position,
-        side_name: str,
-        flipped: bool,
-        lemma_to: Term,
-        depth: int,
-        case_depth: int,
-        path_goals: frozenset,
-    ) -> bool:
-        self.stats.subst_attempts += 1
-        equation = node.equation
+    @staticmethod
+    def _subst_continuation(equation: Equation, data: Tuple) -> Equation:
+        """The goal remaining after rewriting with one (Subst) instance."""
+        _lemma_node, theta, position, side_name, _flipped, lemma_to = data
         goal_side = getattr(equation, side_name)
         other_side = equation.rhs if side_name == "lhs" else equation.lhs
         rewritten = replace_at(goal_side, position, theta.apply(lemma_to))
-        continuation = (
-            Equation(rewritten, other_side) if side_name == "lhs" else Equation(other_side, rewritten)
-        )
+        if side_name == "lhs":
+            return Equation(rewritten, other_side)
+        return Equation(other_side, rewritten)
+
+    def _apply_subst_alternative(self, frame: Frame, data: Tuple) -> Optional[Sequence[Frame]]:
+        self.stats.subst_attempts += 1
+        node = self.proof.node(frame.node_id)
+        equation = node.equation
+        lemma_node, theta, position, side_name, flipped, _lemma_to = data
+        continuation = self._subst_continuation(equation, data)
         if term_size(continuation.lhs) + term_size(continuation.rhs) > self.config.max_goal_size:
-            return False  # rewriting grew the goal beyond the configured bound
+            return None  # rewriting grew the goal beyond the configured bound
         if self._normalize_equation(continuation) == equation:
-            return False  # no progress: the rewrite did not change the goal
-        mark = self._mark()
+            return None  # no progress: the rewrite did not change the goal
         premise, work = self._add_goal(continuation)
         self._assign(
             node,
@@ -506,33 +594,22 @@ class _ProofAttempt:
             lemma_flipped=flipped,
         )
         if not self._add_edges(node):
-            self._rollback(mark)
-            return False
-        if self._solve(work, depth + 1, case_depth, path_goals):
-            return True
-        self._rollback(mark)
-        return False
+            self.rollback(frame.alt_mark)
+            return None
+        return [
+            self._child(work, frame.depth + 1, frame.case_depth, frame.path_goals | {equation})
+        ]
 
     # -- (Case) --------------------------------------------------------------------------------------
 
-    def _apply_case(self, node: ProofNode, depth: int, case_depth: int, path_goals: frozenset) -> bool:
-        equation = node.equation
-        candidates = case_candidates(self.program.rules, equation.lhs, equation.rhs)
-        for variable in candidates:
-            if self._try_case(node, variable, depth, case_depth, path_goals):
-                return True
-        return False
-
-    def _try_case(
-        self, node: ProofNode, variable: Var, depth: int, case_depth: int, path_goals: frozenset
-    ) -> bool:
+    def _apply_case_alternative(self, frame: Frame, variable: Var) -> Optional[Sequence[Frame]]:
         if not isinstance(variable.ty, DataTy):
-            return False
+            return None
         try:
             constructors = self.program.signature.instantiate_constructors(variable.ty)
         except Exception:
-            return False
-        mark = self._mark()
+            return None
+        node = self.proof.node(frame.node_id)
         self.stats.case_splits += 1
         premise_ids: List[int] = []
         work_ids: List[int] = []
@@ -555,10 +632,10 @@ class _ProofAttempt:
             case_constructors=tuple(constructor_names),
         )
         if not self._add_edges(node):
-            self._rollback(mark)
-            return False
-        for work in work_ids:
-            if not self._solve(work, depth + 1, case_depth + 1, path_goals):
-                self._rollback(mark)
-                return False
-        return True
+            self.rollback(frame.alt_mark)
+            return None
+        extended = frame.path_goals | {node.equation}
+        return [
+            self._child(work, frame.depth + 1, frame.case_depth + 1, extended)
+            for work in work_ids
+        ]

@@ -42,6 +42,18 @@ class SearchStatistics:
     max_depth_reached: int = 0
     """Deepest branch explored."""
 
+    strategy: str = ""
+    """Name of the search strategy that drove the agenda core."""
+
+    max_agenda_size: int = 0
+    """High-water mark of the explicit frame agenda (the old call-stack depth)."""
+
+    choice_points_expanded: int = 0
+    """Goals whose backtracking alternatives were opened on the agenda."""
+
+    iterations: int = 0
+    """Search rounds run (iterative deepening restarts; 1 for single-pass strategies)."""
+
     timeout_aborts: int = 0
     """Attempts aborted because the monotonic wall-clock deadline passed."""
 
@@ -69,12 +81,16 @@ class SearchStatistics:
             aborted = " aborted=timeout"
         elif self.node_budget_aborts:
             aborted = " aborted=node-budget"
+        strategy = f" strategy={self.strategy}" if self.strategy else ""
+        rounds = f"×{self.iterations}" if self.iterations > 1 else ""
         return (
             f"nodes={self.nodes_created} subst={self.subst_attempts} "
             f"case={self.case_splits} soundness={self.soundness_checks} "
             f"violations={self.soundness_violations} "
             f"compositions={self.closure_compositions} "
             f"nf-cache={self.normalizer_hits}/{self.normalizer_hits + self.normalizer_misses} "
+            f"agenda≤{self.max_agenda_size} choice-points={self.choice_points_expanded}"
+            f"{strategy}{rounds} "
             f"time={self.elapsed_seconds * 1000:.1f}ms{aborted}"
         )
 

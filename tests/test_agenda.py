@@ -1,0 +1,120 @@
+"""Unit tests for the explicit-agenda search core (repro.search.agenda)."""
+
+import time
+
+import pytest
+
+from repro.search.agenda import (
+    Agenda,
+    BestFirstStrategy,
+    BudgetExhausted,
+    DepthFirstStrategy,
+    IterativeDeepeningStrategy,
+    STRATEGIES,
+    SearchBudget,
+    get_strategy,
+    strategy_names,
+)
+from repro.search.config import ProverConfig
+
+
+class TestAgendaDisciplines:
+    def test_lifo_pops_in_stack_order(self):
+        agenda = Agenda("lifo")
+        agenda.extend([1, 2, 3])
+        assert [agenda.pop(), agenda.pop(), agenda.pop()] == [3, 2, 1]
+
+    def test_fifo_pops_in_queue_order(self):
+        agenda = Agenda("fifo")
+        agenda.extend([1, 2, 3])
+        assert [agenda.pop(), agenda.pop(), agenda.pop()] == [1, 2, 3]
+
+    def test_priority_pops_smallest_key_first(self):
+        agenda = Agenda("priority", key=len)
+        agenda.extend(["aaa", "b", "cc"])
+        assert [agenda.pop(), agenda.pop(), agenda.pop()] == ["b", "cc", "aaa"]
+
+    def test_priority_ties_break_by_insertion_order(self):
+        # The deterministic tie-break that makes the priority agenda reproduce
+        # the classical "stable sort then pop front" saturation loops.
+        agenda = Agenda("priority", key=lambda item: item[0])
+        agenda.extend([(1, "first"), (1, "second"), (0, "zero"), (1, "third")])
+        assert [agenda.pop() for _ in range(4)] == [
+            (0, "zero"), (1, "first"), (1, "second"), (1, "third"),
+        ]
+
+    def test_priority_requires_key(self):
+        with pytest.raises(ValueError):
+            Agenda("priority")
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            Agenda("random")
+
+    def test_max_size_high_water_mark(self):
+        agenda = Agenda("lifo")
+        agenda.extend([1, 2, 3])
+        agenda.pop()
+        agenda.push(4)
+        assert agenda.max_size == 3
+
+    def test_drain_empties_in_pop_order(self):
+        agenda = Agenda("priority", key=lambda x: x)
+        agenda.extend([3, 1, 2])
+        assert agenda.drain() == [1, 2, 3]
+        assert not agenda
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Agenda("fifo").pop()
+
+
+class TestSearchBudget:
+    def test_no_limits_never_raises(self):
+        budget = SearchBudget()
+        for _ in range(100):
+            budget.charge()
+
+    def test_step_budget_enforced(self):
+        budget = SearchBudget(max_steps=3)
+        for _ in range(3):
+            budget.charge()
+        with pytest.raises(BudgetExhausted):
+            budget.charge()
+
+    def test_deadline_enforced(self):
+        budget = SearchBudget(timeout=0.01)
+        time.sleep(0.05)
+        with pytest.raises(BudgetExhausted):
+            budget.check()
+
+    def test_remaining_seconds(self):
+        assert SearchBudget().remaining_seconds() is None
+        remaining = SearchBudget(timeout=10.0).remaining_seconds()
+        assert 0.0 < remaining <= 10.0
+
+
+class TestStrategyRegistry:
+    def test_three_builtin_strategies(self):
+        assert {"dfs", "iddfs", "best-first"} <= set(STRATEGIES)
+
+    def test_dfs_is_the_first_name(self):
+        # The CLI choices and the config default both lead with dfs.
+        assert strategy_names()[0] == "dfs"
+        assert set(strategy_names()) == set(STRATEGIES)
+
+    def test_get_strategy_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_strategy("bogo-search")
+
+    def test_config_validates_strategy(self):
+        with pytest.raises(ValueError):
+            ProverConfig(strategy="bogo-search").validate()
+        for name in strategy_names():
+            ProverConfig(strategy=name).validate()
+
+    def test_case_bound_schedules(self):
+        config = ProverConfig(max_case_splits=3)
+        assert DepthFirstStrategy().case_bounds(config) == (3,)
+        assert IterativeDeepeningStrategy().case_bounds(config) == (0, 1, 2, 3)
+        assert BestFirstStrategy().case_bounds(config) == (3,)

@@ -1,0 +1,148 @@
+"""Strategy behaviour on the agenda core: parity, diversity, deep proofs.
+
+The deep-goal tests are the regression guard for the iterative refactor: the
+old implementation solved goals by Python recursion (one ``_solve`` activation
+per proof node, one normaliser activation per term level), so proofs or
+reductions nested deeper than ``sys.getrecursionlimit()`` crashed with
+``RecursionError``.  The explicit agenda must handle them in constant stack.
+"""
+
+import sys
+
+import pytest
+
+from repro.core.equations import Equation
+from repro.core.terms import Sym, apply_term
+from repro.proofs.soundness import check_proof
+from repro.search import Prover, ProverConfig, strategy_names
+
+
+def _wrap_s(term, levels):
+    s = Sym("S")
+    for _ in range(levels):
+        term = apply_term(s, term)
+    return term
+
+
+class TestStrategyDiversity:
+    THEOREMS = [
+        "add x Z === x",
+        "add x (S y) === S (add x y)",
+        "add x y === add y x",
+    ]
+
+    @pytest.mark.parametrize("strategy", strategy_names())
+    @pytest.mark.parametrize("source", THEOREMS)
+    def test_every_strategy_proves_the_basics(self, nat_program, strategy, source):
+        equation = nat_program.parse_equation(source)
+        result = Prover(nat_program, ProverConfig(strategy=strategy)).prove(equation)
+        assert result.proved, f"{strategy} failed on {source}: {result.reason}"
+        report = check_proof(nat_program, result.proof)
+        assert report.is_proof, report.issues
+
+    @pytest.mark.parametrize("strategy", strategy_names())
+    def test_strategies_never_prove_non_theorems(self, nat_program, strategy):
+        equation = nat_program.parse_equation("add x y === x")
+        config = ProverConfig(strategy=strategy, timeout=5.0)
+        assert not Prover(nat_program, config).prove(equation).proved
+
+    def test_statistics_carry_strategy_provenance(self, nat_program):
+        equation = nat_program.parse_equation("add x Z === x")
+        for strategy in strategy_names():
+            stats = Prover(nat_program, ProverConfig(strategy=strategy)).prove(equation).statistics
+            assert stats.strategy == strategy
+            assert stats.max_agenda_size >= 1
+            assert stats.choice_points_expanded >= 1
+            assert stats.iterations >= 1
+
+    def test_iddfs_restarts_are_counted(self, nat_program):
+        # add x Z needs one case split, so iddfs runs the fruitless bound-0
+        # round first and proves in round two.
+        equation = nat_program.parse_equation("add x Z === x")
+        stats = Prover(nat_program, ProverConfig(strategy="iddfs")).prove(equation).statistics
+        assert stats.iterations == 2
+
+    def test_dfs_and_best_first_run_one_iteration(self, nat_program):
+        equation = nat_program.parse_equation("add x Z === x")
+        for strategy in ("dfs", "best-first"):
+            stats = Prover(nat_program, ProverConfig(strategy=strategy)).prove(equation).statistics
+            assert stats.iterations == 1
+
+
+class TestDfsParityWithRecursiveSearch:
+    """dfs must replicate the pre-agenda recursive prover byte for byte.
+
+    The pinned node counts below were recorded with the recursive
+    implementation (commit e971b71) under ``timeout=None`` — wall-clock-free,
+    so the whole search is deterministic.  ``benchmarks/bench_strategies.py``
+    checks a larger pinned set over the full IsaPlanner + mutual suites.
+    """
+
+    # name -> (status, nodes_created) under ProverConfig(timeout=None, max_nodes=1200)
+    PINNED = {
+        "prop_01": ("proved", 12),
+        "prop_06": ("proved", 10),
+        "prop_11": ("proved", 2),
+        "prop_54": ("failed", 1201),
+    }
+
+    def test_pinned_isaplanner_node_counts(self):
+        from repro.benchmarks_data.registry import isaplanner_problems
+
+        problems = {p.name: p for p in isaplanner_problems()}
+        config = ProverConfig(timeout=None, max_nodes=1200)
+        for name, (status, nodes) in self.PINNED.items():
+            problem = problems[name]
+            result = Prover(problem.program, config).prove(problem.goal.equation, goal_name=name)
+            assert ("proved" if result.proved else "failed") == status, name
+            assert result.statistics.nodes_created == nodes, name
+
+
+class TestDeepProofsNeedNoRecursion:
+    def test_reduction_chain_deeper_than_the_recursion_limit(self, nat_program):
+        # add (S^N Z) x normalises through N nested reduction steps; with
+        # N about three times the recursion limit the old per-level
+        # normaliser recursion is guaranteed to overflow, the iterative
+        # normaliser must prove via (Reduce) + (Refl).
+        levels = 3 * sys.getrecursionlimit()
+        base = nat_program.parse_equation("add Z x === x")
+        x = base.rhs
+        lhs = apply_term(Sym("add"), _wrap_s(Sym("Z"), levels), x)
+        equation = Equation(lhs, _wrap_s(x, levels))
+        config = ProverConfig(timeout=None, max_nodes=50)
+        result = Prover(nat_program, config).prove(equation)
+        assert result.proved, result.reason
+        assert result.statistics.nodes_created == 2  # goal + its normal form
+
+    def test_congruence_chain_deeper_than_the_recursion_limit(self, nat_program):
+        # S^N (add x Z) = S^N x forces N nested (Cong) steps before the
+        # add x Z = x cycle at the bottom.  The recursive search spent two
+        # Python frames per level, so at a limit of 300 a 150-level chain
+        # (plus pytest's own frames) could not complete; the agenda core
+        # holds the 150 open frames on its explicit stack.
+        levels = 150
+        base = nat_program.parse_equation("add x Z === x")
+        equation = Equation(_wrap_s(base.lhs, levels), _wrap_s(base.rhs, levels))
+        config = ProverConfig(timeout=None, max_nodes=4 * levels + 200)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(300)
+        try:
+            result = Prover(nat_program, config).prove(equation)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert result.proved, result.reason
+        assert result.statistics.max_agenda_size > levels
+
+    def test_deep_goal_exhausts_budget_cleanly(self, nat_program):
+        # A deep *false* goal must fail by budget, not by RecursionError.
+        levels = 150
+        base = nat_program.parse_equation("add x y === x")
+        equation = Equation(_wrap_s(base.lhs, levels), _wrap_s(base.rhs, levels))
+        config = ProverConfig(timeout=None, max_nodes=600)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(300)
+        try:
+            result = Prover(nat_program, config).prove(equation)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert not result.proved
