@@ -1,0 +1,184 @@
+"""Experiment E-certificates — cost of portable proof certificates.
+
+The certifying-prover discipline only pays off if the artifact is cheap: the
+search already did the hard work, so *emitting* a certificate (one linear walk
+over the finished proof, sharing intact) must be a rounding error next to
+finding the proof, and *checking* one — re-elaborating the program, decoding
+into a fresh bank, and re-running the local rules plus the from-scratch global
+size-change condition — should cost milliseconds per proof.
+
+This benchmark measures, over the pinned subset of quickly-provable IsaPlanner
+goals:
+
+* solve time with and without ``emit_proofs`` (the emit overhead);
+* encode / JSON round-trip / decode / independent-check time per proof;
+* certificate sizes (vertices, shared term-table entries, canonical bytes).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_certificates.py``) for
+the tables, or through pytest for the assertions:
+
+* every proof on the subset yields a certificate that round-trips through JSON
+  byte-for-byte and passes the independent checker;
+* total emit overhead stays under ~10% of total solve time on the subset
+  (measured as the best of three passes per mode, so scheduler noise on the
+  sub-millisecond goals cannot fake an overhead).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from conftest import print_report  # shared benchmark helpers
+from repro.benchmarks_data import isaplanner_problems
+from repro.core.interning import TermBank
+from repro.harness import format_table
+from repro.proofs.certificate import ProofCertificate, decode
+from repro.proofs.checker import CertificateChecker
+from repro.search import ProverConfig
+from repro.search.prover import Prover
+
+#: The pinned subset: goals the paper's configuration proves quickly but not
+#: trivially (a pure sub-100µs slice would measure timer granularity).  Keep
+#: in sync with nothing — this list is the benchmark's own fixture.
+PINNED = (
+    "prop_01", "prop_22", "prop_23", "prop_24", "prop_28",
+    "prop_31", "prop_55", "prop_57", "prop_58", "prop_61",
+)
+
+CONFIG = ProverConfig(timeout=5.0)
+PASSES = 3
+
+
+def _problems():
+    wanted = set(PINNED)
+    return [p for p in isaplanner_problems() if p.name in wanted]
+
+
+def _total_solve_seconds(config: ProverConfig) -> Tuple[float, List]:
+    """One pass: prove every pinned goal; returns (total seconds, results)."""
+    results = []
+    total = 0.0
+    for problem in _problems():
+        prover = Prover(problem.program, config)
+        started = time.perf_counter()
+        result = prover.prove(problem.goal.equation, goal_name=problem.name)
+        total += time.perf_counter() - started
+        assert result.proved, f"pinned goal {problem.name} must be provable"
+        results.append((problem, result))
+    return total, results
+
+
+def run_emit_overhead() -> Dict[str, object]:
+    """Best-of-N total solve time with and without certificate emission."""
+    plain = min(_total_solve_seconds(CONFIG)[0] for _ in range(PASSES))
+    emitting_results = None
+    emitting = float("inf")
+    for _ in range(PASSES):
+        seconds, results = _total_solve_seconds(CONFIG.with_(emit_proofs=True))
+        if seconds < emitting:
+            emitting, emitting_results = seconds, results
+    overhead = (emitting - plain) / plain if plain else 0.0
+    # The deterministic overhead measure: the encoder's own measured time per
+    # proof, summed, relative to the solve time that produced those proofs.
+    # (The wall-clock difference above is reported too, but on a
+    # milliseconds-sized subset it is dominated by scheduler noise.)
+    encode_seconds = sum(
+        result.statistics.certificate_seconds for _problem, result in emitting_results
+    )
+    return {
+        "plain_seconds": plain,
+        "emitting_seconds": emitting,
+        "overhead": overhead,
+        "encode_seconds": encode_seconds,
+        "encode_share": encode_seconds / emitting if emitting else 0.0,
+        "results": emitting_results,
+    }
+
+
+def run_lifecycle(results) -> Tuple[List[Tuple], str]:
+    """Per-goal encode/json/decode/check costs and sizes."""
+    source = _problems()[0].program.source
+    checker = CertificateChecker(source, name="bench")
+    rows = []
+    for problem, result in results:
+        cert = result.certificate
+        started = time.perf_counter()
+        text = cert.to_json()
+        json_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        reparsed = ProofCertificate.from_json(text)
+        decode(reparsed, bank=TermBank("bench"))
+        decode_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        report = checker.check(reparsed, goal_equation=str(problem.goal.equation))
+        check_seconds = time.perf_counter() - started
+        assert report.ok, (problem.name, report.issues)
+        assert reparsed.to_json() == text
+        rows.append(
+            (
+                problem.name,
+                cert.node_count,
+                cert.term_count,
+                len(text),
+                f"{result.statistics.certificate_seconds * 1000:.3f}",
+                f"{json_seconds * 1000:.3f}",
+                f"{decode_seconds * 1000:.3f}",
+                f"{check_seconds * 1000:.2f}",
+            )
+        )
+    headers = ("goal", "vertices", "terms", "bytes", "encode ms", "json ms",
+               "decode ms", "check ms")
+    return rows, format_table(headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_every_pinned_proof_certifies_and_round_trips():
+    _total, results = _total_solve_seconds(CONFIG.with_(emit_proofs=True))
+    rows, table = run_lifecycle(results)
+    print_report("certificate lifecycle (pinned subset)", table)
+    assert len(rows) == len(PINNED)
+
+
+def test_emit_overhead_is_bounded():
+    measurement = run_emit_overhead()
+    print_report(
+        "emit overhead",
+        f"plain {measurement['plain_seconds'] * 1000:.1f} ms, "
+        f"emitting {measurement['emitting_seconds'] * 1000:.1f} ms "
+        f"(wall-clock delta {measurement['overhead'] * 100:+.2f}%), "
+        f"measured encode time {measurement['encode_seconds'] * 1000:.2f} ms "
+        f"= {measurement['encode_share'] * 100:.2f}% of solve time",
+    )
+    # The ~10% issue budget, asserted on the *measured* per-proof encode time
+    # (certificate_seconds) rather than the difference of two independently
+    # noisy wall-clock totals: emitting is one linear walk over an
+    # already-built proof, so anything near 10% signals a real regression
+    # (e.g. re-walking per node) and cannot be faked by a loaded CI box.
+    assert measurement["encode_share"] < 0.10, (
+        f"certificate emission costs {measurement['encode_share'] * 100:.1f}% "
+        "of solve time on the pinned subset (budget: 10%)"
+    )
+
+
+def main() -> None:
+    measurement = run_emit_overhead()
+    print(
+        f"pinned subset ({len(PINNED)} goals): "
+        f"solve {measurement['plain_seconds'] * 1000:.1f} ms plain, "
+        f"{measurement['emitting_seconds'] * 1000:.1f} ms emitting certificates "
+        f"({measurement['overhead'] * 100:+.2f}% wall-clock; measured encode "
+        f"{measurement['encode_seconds'] * 1000:.2f} ms = "
+        f"{measurement['encode_share'] * 100:.2f}%)"
+    )
+    _rows, table = run_lifecycle(measurement["results"])
+    print()
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..program import Goal, Program
-from .isaplanner import HINTED_PROPERTIES, isaplanner_goals, isaplanner_program
-from .mutual import mutual_goals, mutual_program
+from .isaplanner import (
+    HINTED_PROPERTIES,
+    ISAPLANNER_PROPERTIES_SOURCE,
+    isaplanner_goals,
+    isaplanner_program,
+)
+from .mutual import MUTUAL_SOURCE, mutual_goals, mutual_program
+from .prelude import PRELUDE_SOURCE
 
 __all__ = [
     "BenchmarkProblem",
@@ -20,7 +26,17 @@ __all__ = [
     "mutual_problems",
     "all_problems",
     "PAPER_REPORTED",
+    "SUITE_PROGRAM_SOURCES",
 ]
+
+#: Raw surface source of each suite's program — exactly the text the
+#: ``*_program()`` builders elaborate.  Lets certificate checking re-elaborate
+#: a suite independently without first building the program a second time
+#: just to read its ``source`` attribute.
+SUITE_PROGRAM_SOURCES = {
+    "isaplanner": PRELUDE_SOURCE + ISAPLANNER_PROPERTIES_SOURCE,
+    "mutual": MUTUAL_SOURCE,
+}
 
 
 @dataclass(frozen=True)

@@ -1,22 +1,32 @@
-"""The ``python -m repro`` command line: solve goals, run suites, read stores.
+"""The ``python -m repro`` command line: solve, bench, report, check, store.
 
-Three subcommands::
+Five subcommands::
 
-    python -m repro solve --suite isaplanner --goal prop_01
+    python -m repro solve --suite isaplanner --goal prop_01 --emit-proofs
     python -m repro bench --suite isaplanner --jobs 4 --timeout 1 --store results.jsonl
     python -m repro report --store results.jsonl
+    python -m repro check --store results.jsonl --require-certificates
+    python -m repro store compact --store results.jsonl
 
 ``solve`` proves individual goals (from a built-in suite or a program file)
-and prints the proof-search statistics.  ``bench`` runs a suite on the
-parallel engine — ``--jobs``, ``--portfolio``, ``--store`` and ``--timeout``
+and prints the proof-search statistics; with ``--emit-proofs`` every proof is
+also encoded as a portable certificate (``--proof-dir`` writes self-contained
+certificate files).  ``bench`` runs a suite on the parallel engine —
+``--jobs``, ``--portfolio``, ``--store``, ``--timeout`` and ``--emit-proofs``
 map straight onto :func:`repro.engine.suite.solve_suite` — and prints the
 paper-vs-measured tables.  ``report`` renders the same tables from a persisted
-result store without re-running anything.
+result store without re-running anything.  ``check`` independently re-verifies
+proof certificates — from a result store or from certificate files — by
+re-elaborating the program into a fresh term bank and re-running the local and
+global soundness checks from scratch (exit code 1 when any proof is rejected).
+``store`` maintains persisted stores (``compact`` dedups superseded lines and
+drops stale-schema lines).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -26,9 +36,11 @@ from .benchmarks_data.registry import BenchmarkProblem, all_problems, isaplanner
 from .engine.portfolio import PORTFOLIO_PRESETS
 from .harness.report import (
     ascii_cumulative_plot,
+    check_time_table,
     format_table,
     isaplanner_summary_table,
     portfolio_winner_table,
+    proof_size_table,
     strategy_summary_table,
     unsolved_classification,
     worker_utilisation_table,
@@ -38,6 +50,11 @@ from .search.agenda import strategy_names
 from .search.config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
 
 __all__ = ["main", "build_parser"]
+
+#: Format marker of self-contained certificate *files* written by
+#: ``solve --emit-proofs --proof-dir`` (program source + certificate in one
+#: JSON document, so ``repro check file.json`` needs nothing else).
+CERTIFICATE_FILE_FORMAT = "cycleq.certificate-file"
 
 SUITES = {
     "isaplanner": isaplanner_problems,
@@ -75,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--lemmas", choices=(LEMMAS_CASE_ONLY, LEMMAS_ALL, LEMMAS_NONE), default=None)
     solve.add_argument("--strategy", choices=strategy_names(), default=None,
                        help="search strategy for the agenda core (default: dfs)")
+    solve.add_argument("--emit-proofs", action="store_true",
+                       help="encode every proof as a portable certificate")
+    solve.add_argument("--proof-dir", default=None, metavar="DIR",
+                       help="write self-contained certificate files to DIR (implies --emit-proofs)")
 
     bench = commands.add_parser("bench", help="run a benchmark suite on the parallel engine")
     bench.add_argument("--suite", choices=sorted(SUITES), default="isaplanner")
@@ -95,11 +116,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--names", default=None,
                        help="comma-separated problem names to run (a slice of the suite)")
     bench.add_argument("--plot", action="store_true", help="print the Fig. 7 ASCII cumulative plot")
+    bench.add_argument("--emit-proofs", action="store_true",
+                       help="workers encode certificates for every proof; persisted in the store")
 
     report = commands.add_parser("report", help="render tables from a persisted result store")
     report.add_argument("--store", required=True, metavar="PATH")
     report.add_argument("--suite", default=None, help="only entries of this suite")
     report.add_argument("--plot", action="store_true", help="print the cumulative plot")
+
+    check = commands.add_parser(
+        "check", help="independently re-verify proof certificates (store or files)"
+    )
+    check.add_argument("certificates", nargs="*", metavar="CERT",
+                       help="certificate JSON files (as written by solve --proof-dir)")
+    check.add_argument("--store", default=None, metavar="PATH",
+                       help="re-verify every certified proof in a result store")
+    check.add_argument("--suite", default=None,
+                       help="only store entries of this suite / program source for bare certificates")
+    check.add_argument("--file", default=None, metavar="PROGRAM",
+                       help="program file the certificates refer to (overrides embedded source)")
+    check.add_argument("--require-certificates", action="store_true",
+                       help="also fail when a proved store entry carries no certificate")
+    check.add_argument("--allow-hypotheses", action="store_true",
+                       help="accept partial proofs whose hypotheses are recorded with the "
+                            "goal (hinted runs); without this flag any proof that assumes "
+                            "a hypothesis is rejected")
+    check.add_argument("--render", action="store_true",
+                       help="render every verified proof tree after the table")
+
+    store = commands.add_parser("store", help="maintain a persisted result store")
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    compact = store_commands.add_parser(
+        "compact", help="rewrite the store with one line per key, dropping stale-schema lines"
+    )
+    compact.add_argument("--store", required=True, metavar="PATH")
 
     return parser
 
@@ -133,6 +183,7 @@ def _solve_command(args) -> int:
             return 2
         pairs = [(problems[name].program, problems[name].goal) for name in args.goal]
 
+    emit_proofs = args.emit_proofs or args.proof_dir is not None
     config = ProverConfig()
     changes = {}
     if args.timeout is not None:
@@ -143,8 +194,13 @@ def _solve_command(args) -> int:
         changes["lemma_restriction"] = args.lemmas
     if args.strategy is not None:
         changes["strategy"] = args.strategy
+    if emit_proofs:
+        changes["emit_proofs"] = True
     if changes:
         config = config.with_(**changes)
+
+    if args.proof_dir is not None:
+        os.makedirs(args.proof_dir, exist_ok=True)
 
     all_proved = True
     for program, goal in pairs:
@@ -152,6 +208,26 @@ def _solve_command(args) -> int:
         result = Prover(program, config).prove_goal(goal, hypotheses=hints)
         print(result)
         all_proved = all_proved and result.proved
+        certificate = result.certificate
+        if certificate is not None:
+            print(
+                f"  certificate: {certificate.node_count} vertices, "
+                f"{certificate.term_count} shared terms, {certificate.byte_size()} bytes, "
+                f"sha256 {certificate.digest()[:16]}…"
+            )
+            if args.proof_dir is not None:
+                path = os.path.join(args.proof_dir, f"{goal.name or 'goal'}.cert.json")
+                payload = {
+                    "format": CERTIFICATE_FILE_FORMAT,
+                    "version": 1,
+                    "program_source": program.source,
+                    "hints": list(args.hint),
+                    "certificate": certificate.to_dict(),
+                }
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                    handle.write("\n")
+                print(f"  wrote {path}")
     return 0 if all_proved else 1
 
 
@@ -187,6 +263,9 @@ def _print_suite_tables(result: SuiteResult, args, wall: float, parallel: bool, 
         print(portfolio_winner_table(result))
     print("\nper-strategy summary:")
     print(strategy_summary_table(result))
+    if getattr(args, "emit_proofs", False) or any(r.certificate for r in result.records):
+        print("\nproof certificates:")
+        print(proof_size_table(result))
     if args.suite == "isaplanner" and args.limit is None and not args.names:
         print("\npaper vs measured (Section 6.1):")
         print(isaplanner_summary_table(result))
@@ -207,6 +286,8 @@ def _bench_command(args) -> int:
         config = config.with_(timeout=args.timeout)
     if args.strategy is not None:
         config = config.with_(strategy=args.strategy)
+    if args.emit_proofs:
+        config = config.with_(emit_proofs=True)
     serial = args.serial or args.jobs == 0
     started = time.monotonic()
     if serial:
@@ -228,8 +309,27 @@ def _bench_command(args) -> int:
 
 
 # ---------------------------------------------------------------------------
-# report
+# report / check / store
 # ---------------------------------------------------------------------------
+
+
+def _open_store(path: str, command: str):
+    """Load a result store, or print a friendly one-line error and return ``None``.
+
+    A missing path, a directory, unreadable bytes, or any other I/O problem
+    must exit with a clear message and a nonzero code — never a traceback.
+    """
+    from .engine.store import ResultStore
+
+    if not os.path.exists(path):
+        print(f"{command}: store {path} does not exist", file=sys.stderr)
+        return None
+    try:
+        return ResultStore(path)
+    except (OSError, UnicodeDecodeError) as error:
+        detail = getattr(error, "strerror", None) or str(error)
+        print(f"{command}: cannot read store {path}: {detail}", file=sys.stderr)
+        return None
 
 
 def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveRecord]]:
@@ -256,6 +356,8 @@ def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveReco
             max_agenda_size=int(entry.get("max_agenda_size") or 0),
             choice_points=int(entry.get("choice_points") or 0),
             cached=True,
+            certificate=entry.get("certificate"),
+            certificate_seconds=float(entry.get("certificate_seconds") or 0.0),
         )
         goals = by_suite.setdefault(suite_name, {})
         # Several configs may have attempted the goal; keep the best outcome
@@ -271,11 +373,11 @@ def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveReco
 
 
 def _report_command(args) -> int:
-    from .engine.store import ResultStore
-
-    store = ResultStore(args.store)
+    store = _open_store(args.store, "report")
+    if store is None:
+        return 2
     if len(store) == 0:
-        print(f"report: store {args.store} is empty or missing", file=sys.stderr)
+        print(f"report: store {args.store} holds no readable entries", file=sys.stderr)
         return 2
     per_suite = _records_from_store(store, args.suite)
     if not per_suite:
@@ -291,8 +393,359 @@ def _report_command(args) -> int:
         if "no proofs" not in winners:
             print("\nwinning variants:")
             print(winners)
+        if any(r.certificate for r in result.records):
+            print("\nproof certificates:")
+            print(proof_size_table(result))
         if args.plot:
             print(ascii_cumulative_plot(result))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# check
+# ---------------------------------------------------------------------------
+
+
+def _suite_program_source(suite_name: str) -> Optional[str]:
+    """The surface source of a built-in suite's program, or ``None``.
+
+    Raw text, no elaboration: the checker will elaborate it itself, into its
+    own bank — building the program here too would double the work and leak
+    its terms into the CLI's ambient bank.
+    """
+    from .benchmarks_data.registry import SUITE_PROGRAM_SOURCES
+
+    return SUITE_PROGRAM_SOURCES.get(suite_name)
+
+
+def _split_stored_equation(text: str):
+    """Split a store equation field into (hint sources, goal equation source)."""
+    hints_text, separator, equation = text.partition("⊢")
+    if not separator:
+        return (), text.strip()
+    hints = tuple(h.strip() for h in hints_text.split(";") if h.strip())
+    return hints, equation.strip()
+
+
+def _check_store(args) -> int:
+    from .proofs.checker import CertificateChecker
+
+    store = _open_store(args.store, "check")
+    if store is None:
+        return 2
+    override_checker: Optional[CertificateChecker] = None
+    if args.file:
+        # Fail fast: an unreadable or unparseable program override is a usage
+        # error, not a verdict about anybody's proofs.
+        override_source = _read_program_file(args.file)
+        if override_source is None:
+            return 2
+        override_checker = _build_checker(override_source, args.file)
+        if override_checker is None:
+            return 2
+    checkers: Dict[str, Optional[CertificateChecker]] = {}
+    checker_errors: Dict[str, str] = {}
+    rows: List[dict] = []
+    rendered: List[str] = []
+    proved = rejected = missing = stale = 0
+    examined = 0
+    for entry in sorted(store.entries(), key=lambda e: str(e.get("goal", ""))):
+        goal_key = str(entry.get("goal", ""))
+        suite_name, _, _name = goal_key.partition("/")
+        if args.suite and suite_name != args.suite:
+            continue
+        examined += 1
+        if entry.get("status") != "proved":
+            continue
+        proved += 1
+        certificate = entry.get("certificate")
+        if certificate is None:
+            missing += 1
+            rows.append({"goal": goal_key, "status": "no certificate",
+                         "detail": "entry was persisted without emit_proofs"})
+            continue
+        if suite_name not in checkers:
+            if override_checker is not None:
+                checkers[suite_name] = override_checker
+            else:
+                source = _suite_program_source(suite_name)
+                if source is None:
+                    checkers[suite_name] = None
+                    checker_errors[suite_name] = (
+                        f"no program source for suite {suite_name!r} (use --file)"
+                    )
+                else:
+                    checkers[suite_name] = _build_checker(source, suite_name)
+                    if checkers[suite_name] is None:
+                        checker_errors[suite_name] = (
+                            f"program for suite {suite_name!r} failed to elaborate (see stderr)"
+                        )
+        checker = checkers[suite_name]
+        if checker is None:
+            rejected += 1
+            rows.append({"goal": goal_key, "status": "REJECTED",
+                         "detail": checker_errors[suite_name]})
+            continue
+        entry_fp = str(entry.get("program", ""))
+        if entry_fp and entry_fp != checker.program.fingerprint():
+            # The entry was persisted for a different program version; the
+            # source at hand cannot vouch for (or against) its proof.
+            # Skipped, not rejected — otherwise one edit to a benchmark
+            # definition would turn every old-but-valid line into a permanent
+            # failure that `store compact` cannot purge.
+            stale += 1
+            detail = (
+                "program fingerprint does not match the --file program"
+                if override_checker is not None
+                else "stale program fingerprint (entry predates the current program)"
+            )
+            rows.append({"goal": goal_key, "status": "skipped", "detail": detail})
+            continue
+        hints, equation = _split_stored_equation(str(entry.get("equation", "")))
+        granted = hints if args.allow_hypotheses else ()
+        report = checker.check(certificate, hypotheses=granted, goal_equation=equation or None)
+        rows.append(_check_row(goal_key, report, certificate))
+        if not report.ok:
+            rejected += 1
+        elif args.render:
+            rendered.append(_render_checked(goal_key, certificate))
+    if args.suite and examined == 0:
+        # A filter that matches nothing is a usage error (typo'd suite name),
+        # not a clean bill of health.
+        print(f"check: no entries for suite {args.suite!r} in {args.store}", file=sys.stderr)
+        return 2
+    if override_checker is not None and stale and len(rows) == missing + stale:
+        # The named program vouched for nothing: every certified entry was
+        # persisted under a different fingerprint.  A wrong --file must not
+        # read as a clean bill of health.
+        print(
+            f"check: no entries in {args.store} match the program from {args.file}",
+            file=sys.stderr,
+        )
+        return 2
+    print(check_time_table(rows))
+    skipped = f", {stale} skipped (stale program)" if stale else ""
+    checked = len(rows) - missing - stale
+    print(
+        f"\nchecked {checked} certificate(s) over {proved} proved entr(ies): "
+        f"{checked - rejected} verified, {rejected} rejected, "
+        f"{missing} without certificate{skipped}"
+    )
+    for block in rendered:
+        print("\n" + block)
+    # Strict mode: a proved entry that was not actually verified — no
+    # certificate, or skipped for a stale program — is a failure.  Without the
+    # flag, skips are informational so that editing a program does not turn
+    # every pre-existing (valid) line into a permanent red.
+    if rejected or (args.require_certificates and (missing or stale)):
+        return 1
+    return 0
+
+
+def _build_checker(source: str, name: str):
+    """Elaborate a checker program, or print a friendly error and return ``None``.
+
+    The source may be untrusted (embedded in a certificate file) or simply
+    wrong (a mistyped ``--file``); either way a parse/elaboration failure is a
+    one-line diagnostic, never a traceback.
+    """
+    from .core.exceptions import CycleQError
+    from .proofs.checker import CertificateChecker
+
+    try:
+        return CertificateChecker(source, name=name)
+    except CycleQError as error:
+        print(f"check: program for {name} does not elaborate: {error}", file=sys.stderr)
+        return None
+
+
+def _read_program_file(path: str) -> Optional[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as error:
+        print(f"check: cannot read program {path}: {error.strerror or error}", file=sys.stderr)
+        return None
+
+
+def _check_row(goal: str, report, certificate: dict) -> dict:
+    from .proofs.certificate import canonical_json
+
+    payload = canonical_json(certificate)
+    status = "verified" if report.ok else "REJECTED"
+    if report.ok and report.hypotheses:
+        status = f"verified ({len(report.hypotheses)} hyp)"
+    return {
+        "goal": goal,
+        "status": status,
+        "nodes": report.nodes,
+        "bytes": len(payload),
+        "seconds": report.seconds,
+        "detail": report.issues[0] if report.issues else "",
+    }
+
+
+def _render_checked(goal: str, certificate: dict) -> str:
+    from .proofs.render import render_certificate
+
+    return f"== {goal} ==\n{render_certificate(certificate)}"
+
+
+def _check_files(args) -> int:
+    from .proofs.checker import CertificateChecker
+
+    rows: List[dict] = []
+    rendered: List[str] = []
+    checkers: Dict[str, Optional[CertificateChecker]] = {}
+    rejected = 0
+    errors = 0
+    override_source: Optional[str] = None
+    if args.file:
+        override_source = _read_program_file(args.file)
+        if override_source is None:
+            return 2
+    suite_source: Optional[str] = None
+    if args.suite:
+        suite_source = _suite_program_source(args.suite)
+        if suite_source is None:
+            # Fail loudly: silently falling back to the file's own embedded
+            # source would verify against a program the user did not name.
+            print(f"check: unknown suite {args.suite!r}", file=sys.stderr)
+            return 2
+    for path in args.certificates:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"check: cannot read certificate {path}: {error}", file=sys.stderr)
+            errors += 1
+            continue
+        if isinstance(payload, dict) and "certificate" in payload:
+            fmt = payload.get("format", CERTIFICATE_FILE_FORMAT)
+            version = payload.get("version", 1)
+            if fmt != CERTIFICATE_FILE_FORMAT or version != 1:
+                print(
+                    f"check: {path} has unsupported certificate-file format "
+                    f"{fmt!r} version {version!r}",
+                    file=sys.stderr,
+                )
+                errors += 1
+                continue
+            certificate = payload["certificate"]
+            embedded_source = payload.get("program_source") or None
+            # A file must not grant its own hypotheses: a hand-crafted wrapper
+            # could otherwise "prove" anything with a single self-hinted Hyp
+            # vertex.  The caller opts in with --allow-hypotheses.
+            hints = tuple(payload.get("hints", ())) if args.allow_hypotheses else ()
+        else:
+            certificate = payload
+            embedded_source = None
+            hints = ()
+        # Explicit references beat data from the (untrusted) file: --file,
+        # then --suite, and only then the embedded source.  Verifying against
+        # an embedded source attests the proof *for that embedded program
+        # only* — its fingerprint is printed below so the caller can compare
+        # it against a program they actually trust.
+        source = override_source or suite_source or embedded_source
+        if not source:
+            print(
+                f"check: {path} does not embed its program source; pass --file or --suite",
+                file=sys.stderr,
+            )
+            errors += 1
+            continue
+        name = os.path.basename(path)
+        # One elaboration per distinct program, not per file: a directory of
+        # certificates from one solve run embeds the same source throughout.
+        if source not in checkers:
+            checkers[source] = _build_checker(source, name)
+        checker = checkers[source]
+        if checker is None:
+            errors += 1
+            continue
+        if isinstance(certificate, str):
+            # A wrapper may (adversarially) carry the certificate as JSON
+            # text; normalise so the provenance binding below cannot be
+            # sidestepped by the encoding.
+            try:
+                certificate = json.loads(certificate)
+            except ValueError:
+                certificate = None
+        if not isinstance(certificate, dict):
+            print(f"check: {path} does not contain a certificate object", file=sys.stderr)
+            errors += 1
+            continue
+        # Bind the proof to the equation the certificate *claims* to prove:
+        # the table's goal label comes from untrusted provenance, so a file
+        # whose root proves something other than its stated equation — or
+        # that states no equation at all — must be rejected, not labelled
+        # verified under the claimed name.
+        claimed = str(certificate.get("equation") or "")
+        goal = str(certificate.get("goal") or "") or name
+        if not claimed:
+            rejected += 1
+            rows.append({"goal": goal, "status": "REJECTED",
+                         "detail": "certificate does not state the equation it proves"})
+            continue
+        report = checker.check(certificate, hypotheses=hints, goal_equation=claimed)
+        row = _check_row(goal, report, certificate)
+        if report.ok and report.equation:
+            row["detail"] = report.equation  # show what was actually attested
+        rows.append(row)
+        if not report.ok:
+            rejected += 1
+        elif args.render:
+            rendered.append(_render_checked(goal, certificate))
+    if rows:
+        print(check_time_table(rows))
+        print(
+            f"\nchecked {len(rows)} certificate file(s): "
+            f"{len(rows) - rejected} verified, {rejected} rejected"
+        )
+        for checker in checkers.values():
+            if checker is not None:
+                print(
+                    f"program {checker.program.name}: "
+                    f"fingerprint {checker.program.fingerprint()}"
+                )
+    for block in rendered:
+        print("\n" + block)
+    if errors:
+        return 2
+    return 1 if rejected else 0
+
+
+def _check_command(args) -> int:
+    if not args.store and not args.certificates:
+        print("check: pass --store PATH and/or certificate files", file=sys.stderr)
+        return 2
+    codes = []
+    if args.store:
+        codes.append(_check_store(args))
+    if args.certificates:
+        codes.append(_check_files(args))
+    return max(codes)
+
+
+# ---------------------------------------------------------------------------
+# store
+# ---------------------------------------------------------------------------
+
+
+def _store_command(args) -> int:
+    store = _open_store(args.store, "store compact")
+    if store is None:
+        return 2
+    with open(args.store, "r", encoding="utf-8") as handle:
+        lines_before = sum(1 for line in handle if line.strip())
+    store.compact()
+    with open(args.store, "r", encoding="utf-8") as handle:
+        lines_after = sum(1 for line in handle if line.strip())
+    dropped = lines_before - lines_after
+    print(
+        f"store: compacted {args.store}: {lines_before} -> {lines_after} line(s) "
+        f"({dropped} superseded/stale dropped, {store.schema_skipped} of those schema mismatches)"
+    )
     return 0
 
 
@@ -303,6 +756,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _solve_command(args)
         if args.command == "bench":
             return _bench_command(args)
+        if args.command == "check":
+            return _check_command(args)
+        if args.command == "store":
+            return _store_command(args)
         return _report_command(args)
     except BrokenPipeError:
         # Output piped into e.g. `head`; exit quietly like other CLI tools.

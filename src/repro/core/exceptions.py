@@ -40,6 +40,10 @@ class GlobalConditionError(ProofError):
     """A preproof does not satisfy the global correctness condition."""
 
 
+class CertificateError(ProofError):
+    """A proof certificate is malformed, truncated, or of an unknown version."""
+
+
 class SearchError(CycleQError):
     """Proof search was configured inconsistently or hit an internal limit."""
 

@@ -30,13 +30,13 @@ from .portfolio import (
     strategy_race,
 )
 from .scheduler import DEFAULT_RESOLVER, Scheduler, Task, load_spec, solve_task
-from .store import ResultStore, config_fingerprint
+from .store import STORE_SCHEMA_VERSION, ResultStore, config_fingerprint
 from .suite import solve_suite
 
 __all__ = [
     "Scheduler", "Task", "solve_task", "load_spec", "DEFAULT_RESOLVER",
     "PortfolioVariant", "default_portfolio", "strategy_race", "single_variant",
     "select_winner", "PORTFOLIO_PRESETS",
-    "ResultStore", "config_fingerprint",
+    "ResultStore", "config_fingerprint", "STORE_SCHEMA_VERSION",
     "solve_suite",
 ]

@@ -167,7 +167,7 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
         status = "timeout"
     else:
         status = "failed"
-    return {
+    wire = {
         "status": status,
         "seconds": elapsed,
         "nodes": stats.nodes_created,
@@ -180,6 +180,13 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
         "max_agenda_size": stats.max_agenda_size,
         "choice_points": stats.choice_points_expanded,
     }
+    if outcome.certificate is not None:
+        # Certificates are primitive data by construction, so they are the one
+        # representation of a proof that may cross the process boundary — the
+        # terms themselves stay in the worker's bank.
+        wire["certificate"] = outcome.certificate.to_dict()
+        wire["certificate_seconds"] = stats.certificate_seconds
+    return wire
 
 
 def _worker_main(slot: int, resolver_spec: Spec, hook_spec: Optional[Spec], task_queue, result_queue) -> None:

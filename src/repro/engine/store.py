@@ -26,15 +26,27 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import asdict
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..search.config import ProverConfig
 
-__all__ = ["ResultStore", "config_fingerprint"]
+__all__ = ["ResultStore", "config_fingerprint", "STORE_SCHEMA_VERSION"]
 
 StoreKey = Tuple[str, str, str, str]
 """``(program fingerprint, suite/name, equation, config fingerprint)``."""
+
+STORE_SCHEMA_VERSION = 2
+"""Schema of the JSONL lines this build reads and writes.
+
+Bumped whenever the meaning of a line changes — new outcome fields whose
+absence is significant (e.g. proof certificates), or configuration-fingerprint
+semantics changes that would make old lines replay incorrectly.  Lines with a
+different (or missing — the pre-versioning era is schema 1) value are skipped
+*loudly* on load: a store full of stale lines should look like a warning and a
+cold run, never like silent data loss.  ``store compact`` drops them for good.
+"""
 
 #: Fields of an outcome payload persisted per entry (everything else in a line
 #: is key material or provenance).
@@ -51,6 +63,8 @@ OUTCOME_FIELDS = (
     "strategy",
     "max_agenda_size",
     "choice_points",
+    "certificate",
+    "certificate_seconds",
 )
 
 
@@ -68,6 +82,8 @@ class ResultStore:
         self._entries: Dict[StoreKey, dict] = {}
         self.hits = 0
         self.misses = 0
+        #: Lines skipped on load because their schema differs from this build's.
+        self.schema_skipped = 0
         self._load()
 
     # -- key construction -------------------------------------------------------
@@ -90,6 +106,7 @@ class ResultStore:
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
+        foreign_schemas: set = set()
         with open(self.path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -101,7 +118,23 @@ class ResultStore:
                     continue  # torn write from a killed run; ignore
                 if not isinstance(entry, dict) or "status" not in entry:
                     continue
+                schema = entry.get("schema", 1)
+                if schema != STORE_SCHEMA_VERSION:
+                    self.schema_skipped += 1
+                    # str(): the value is arbitrary JSON and may be unhashable.
+                    foreign_schemas.add(str(schema))
+                    continue
                 self._entries[self._key_of(entry)] = entry
+        if self.schema_skipped:
+            rendered = ", ".join(sorted(foreign_schemas))
+            warnings.warn(
+                f"{self.path}: skipped {self.schema_skipped} line(s) with store "
+                f"schema {rendered} (this build reads schema {STORE_SCHEMA_VERSION}); "
+                "affected goals will be re-solved — run `python -m repro store "
+                "compact` to drop the stale lines",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _append(self, entry: dict) -> None:
         directory = os.path.dirname(os.path.abspath(self.path))
@@ -110,7 +143,12 @@ class ResultStore:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
     def compact(self) -> None:
-        """Rewrite the file with one (latest) line per key, atomically."""
+        """Rewrite the file with one (latest) line per key, atomically.
+
+        Superseded lines (older outcomes for a key), torn writes, and lines
+        whose schema this build does not read are all dropped — the rewritten
+        file contains exactly the entries this store currently serves.
+        """
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".jsonl")
@@ -142,6 +180,7 @@ class ResultStore:
         """Persist one outcome (overwriting any previous entry for the key)."""
         program_fp, goal_key, equation, config_fp = key
         entry = {
+            "schema": STORE_SCHEMA_VERSION,
             "program": program_fp,
             "goal": goal_key,
             "equation": equation,

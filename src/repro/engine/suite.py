@@ -125,6 +125,8 @@ def solve_suite(
             worker=int(outcome.get("worker", -1)),
             variant=variant,
             cached=variant in state.cached_variants,
+            certificate=outcome.get("certificate"),
+            certificate_seconds=float(outcome.get("certificate_seconds") or 0.0),
         )
         records[state.index] = record
         if progress is not None:

@@ -23,6 +23,8 @@ __all__ = [
     "worker_utilisation_table",
     "portfolio_winner_table",
     "strategy_summary_table",
+    "proof_size_table",
+    "check_time_table",
 ]
 
 
@@ -246,6 +248,78 @@ def portfolio_winner_table(result: SuiteResult) -> str:
         shown = ", ".join(names[:6]) + (f", … (+{len(names) - 6})" if len(names) > 6 else "")
         rows.append((variant, "/".join(strategies), len(winners), shown))
     return format_table(("variant", "strategy", "wins", "goals"), rows)
+
+
+def proof_size_table(result: SuiteResult, limit: Optional[int] = 20) -> str:
+    """Per-goal certificate sizes of an ``emit_proofs`` run, largest first.
+
+    One row per proved record carrying a certificate: proof vertices, distinct
+    (shared) term-table entries, canonical JSON bytes, and the encoding cost —
+    the emit overhead relative to the solve time is what
+    ``benchmarks/bench_certificates.py`` bounds.  A trailing totals row
+    aggregates the whole suite.
+    """
+    rows: List[Tuple[object, ...]] = []
+    certified = [r for r in result.records if r.proved and r.certificate]
+    if not certified:
+        return "(no certificates: run with emit_proofs / --emit-proofs)"
+    from ..proofs.certificate import canonical_json
+
+    def size_of(record) -> Tuple[int, int, int]:
+        cert = record.certificate or {}
+        payload = canonical_json(cert)
+        return len(cert.get("nodes", ())), len(cert.get("terms", ())), len(payload)
+
+    sized = sorted(
+        ((record, *size_of(record)) for record in certified),
+        key=lambda item: -item[3],
+    )
+    shown = sized if limit is None else sized[:limit]
+    for record, nodes, terms, nbytes in shown:
+        rows.append(
+            (record.name, nodes, terms, nbytes, f"{record.certificate_seconds * 1000:.2f}",
+             f"{record.milliseconds:.1f}")
+        )
+    if limit is not None and len(sized) > limit:
+        rows.append((f"… (+{len(sized) - limit} more)", "", "", "", "", ""))
+    rows.append(
+        (
+            "total",
+            sum(n for _, n, _, _ in sized),
+            sum(t for _, _, t, _ in sized),
+            sum(b for _, _, _, b in sized),
+            f"{sum(r.certificate_seconds for r in certified) * 1000:.2f}",
+            f"{sum(r.milliseconds for r in certified):.1f}",
+        )
+    )
+    headers = ("goal", "proof vertices", "shared terms", "bytes", "encode ms", "solve ms")
+    return format_table(headers, rows)
+
+
+def check_time_table(rows: Sequence[Dict[str, object]]) -> str:
+    """The ``python -m repro check`` result table.
+
+    Each row dict describes one checked certificate: ``goal``, ``status``
+    (``verified``/``REJECTED``/``no certificate``/…), ``nodes``, ``bytes``,
+    ``seconds`` (check time), and an optional ``detail`` (first issue).
+    """
+    if not rows:
+        return "(nothing to check)"
+    rendered = []
+    for row in rows:
+        seconds = row.get("seconds")
+        rendered.append(
+            (
+                row.get("goal", ""),
+                row.get("status", ""),
+                row.get("nodes", ""),
+                row.get("bytes", ""),
+                f"{float(seconds) * 1000:.1f}" if isinstance(seconds, (int, float)) else "-",
+                str(row.get("detail", ""))[:80],
+            )
+        )
+    headers = ("goal", "status", "vertices", "bytes", "check ms", "detail")
+    return format_table(headers, rendered)
 
 
 def strategy_summary_table(result: SuiteResult) -> str:

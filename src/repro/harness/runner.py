@@ -58,6 +58,15 @@ class SolveRecord:
     cached: bool = False
     """Was the outcome replayed from a persistent result store?"""
 
+    certificate: Optional[dict] = None
+    """Portable proof certificate in primitive-dict form, when the run was
+    configured with ``emit_proofs`` and the goal was proved.  Decode with
+    :func:`repro.proofs.certificate.decode`; independently re-check with
+    :func:`repro.proofs.checker.check_certificate` or ``python -m repro check``."""
+
+    certificate_seconds: float = 0.0
+    """Wall-clock cost of encoding the certificate (0 when none was emitted)."""
+
     @property
     def proved(self) -> bool:
         return self.status == "proved"
@@ -196,6 +205,10 @@ def run_suite(
                 strategy=outcome.statistics.strategy,
                 max_agenda_size=outcome.statistics.max_agenda_size,
                 choice_points=outcome.statistics.choice_points_expanded,
+                certificate=(
+                    outcome.certificate.to_dict() if outcome.certificate is not None else None
+                ),
+                certificate_seconds=outcome.statistics.certificate_seconds,
             )
         result.records.append(record)
         if progress is not None:

@@ -36,7 +36,9 @@ __all__ = [
 def load_program(source: str, name: str = "module", check_completeness: bool = True) -> Program:
     """Parse and elaborate a surface-language module given as a string."""
     module = parse_module(source)
-    return elaborate_module(module, name=name, check_completeness=check_completeness)
+    program = elaborate_module(module, name=name, check_completeness=check_completeness)
+    program.source = source
+    return program
 
 
 def load_program_file(path: Union[str, Path], check_completeness: bool = True) -> Program:

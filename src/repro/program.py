@@ -73,6 +73,11 @@ class Program:
         self.rules = rules
         self.goals: Dict[str, Goal] = dict(goals or {})
         self.name = name
+        #: Surface-language source the program was elaborated from ("" when the
+        #: program was built programmatically).  Carried so that proof
+        #: certificates can be re-checked by an *independent* elaboration of
+        #: the very same text (see :mod:`repro.proofs.checker`).
+        self.source: str = ""
 
     # -- identity ------------------------------------------------------------
 

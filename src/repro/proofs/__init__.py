@@ -13,7 +13,15 @@ from .preproof import (
     Preproof,
     ProofNode,
 )
-from .render import proof_summary, render_dot, render_text
+from .certificate import (
+    CERTIFICATE_FORMAT,
+    CERTIFICATE_VERSION,
+    ProofCertificate,
+    decode,
+    encode,
+)
+from .checker import CertificateChecker, CheckReport, check_certificate
+from .render import proof_summary, render_certificate, render_dot, render_text
 from .soundness import (
     SoundnessReport,
     check_global,
@@ -33,5 +41,8 @@ __all__ = [
     "check_trace", "variable_traces", "TraceCheckResult", "TraceStep",
     "edge_size_change_graph", "proof_size_change_graphs",
     "local_issues", "check_local", "check_global", "check_proof", "SoundnessReport",
-    "render_text", "render_dot", "proof_summary",
+    "render_text", "render_dot", "proof_summary", "render_certificate",
+    "ProofCertificate", "encode", "decode",
+    "CERTIFICATE_FORMAT", "CERTIFICATE_VERSION",
+    "CertificateChecker", "CheckReport", "check_certificate",
 ]

@@ -1,0 +1,525 @@
+"""Portable proof certificates: a versioned, bank-independent preproof encoding.
+
+A successful CycleQ search yields a *checkable artifact* — a cyclic preproof
+whose local rule instances and global size-change condition can be verified
+independently of how the proof was found.  In-memory, however, a
+:class:`~repro.proofs.preproof.Preproof` is anything but portable: its
+equations are hash-consed terms tied to one :class:`~repro.core.interning.TermBank`
+in one process.  This module turns a preproof into plain JSON-able data and
+back:
+
+* :func:`encode` — ``Preproof -> ProofCertificate``.  Terms are flattened into
+  a *shared table*: every distinct node (variable, symbol, application) appears
+  once and is referenced by index, so the certificate inherits the compactness
+  of the hash-consed DAG instead of exploding shared subterms into trees.
+  Types get the same treatment (variables carry their type, which the (Case)
+  checker needs).
+* :func:`decode` — ``ProofCertificate -> Preproof``, rebuilding the terms
+  through whichever bank is current (or an explicitly supplied one), which is
+  exactly the "terms never cross process boundaries" discipline of the engine:
+  the *certificate* crosses the boundary, the terms are reborn on the other
+  side.
+
+Certificates are self-describing (``format``/``version`` fields) and
+deterministic: :meth:`ProofCertificate.to_json` is canonical (sorted keys, no
+whitespace), so equal proofs produce byte-identical certificates and
+:meth:`ProofCertificate.digest` is a stable content address.
+
+The independent checker that consumes certificates lives in
+:mod:`repro.proofs.checker`; it deliberately re-runs the local and global
+soundness checks from scratch rather than trusting anything recorded here
+beyond the proof structure itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import CertificateError
+from ..core.interning import TermBank, use_bank
+from ..core.substitution import Substitution
+from ..core.terms import App, Sym, Term, Var
+from ..core.types import DataTy, FunTy, Type, TypeVar
+from .preproof import ALL_RULES, Preproof, ProofNode
+
+__all__ = [
+    "CERTIFICATE_FORMAT",
+    "CERTIFICATE_VERSION",
+    "ProofCertificate",
+    "encode",
+    "decode",
+    "canonical_json",
+]
+
+
+def canonical_json(payload: dict) -> str:
+    """The canonical JSON rendering used everywhere certificates are sized,
+    hashed, or compared: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+CERTIFICATE_FORMAT = "cycleq.preproof"
+"""Format marker carried by every certificate."""
+
+CERTIFICATE_VERSION = 1
+"""Current encoding version; the checker rejects versions it does not know."""
+
+# Tags of the table entries.  Types: ("v", name) type variable, ("d", name,
+# [arg indices]) datatype, ("f", arg index, res index) function type.  Terms:
+# ("v", name, type index) variable, ("s", name) symbol, ("a", fun index,
+# arg index) application.
+
+
+@dataclass(frozen=True)
+class ProofCertificate:
+    """A serialized cyclic preproof, independent of any term bank or process.
+
+    ``types`` and ``terms`` are shared tables: entries may reference earlier
+    entries by index (strictly earlier, so the tables are self-delimiting and
+    cycle-free).  ``nodes`` carries one record per proof vertex under its
+    original identifier; ``root`` is the goal vertex.  ``program`` is the
+    :meth:`repro.program.Program.fingerprint` of the program the proof is
+    about, ``goal``/``equation`` are provenance for reports and sanity checks.
+    """
+
+    program: str = ""
+    goal: str = ""
+    equation: str = ""
+    types: Tuple[tuple, ...] = ()
+    terms: Tuple[tuple, ...] = ()
+    nodes: Tuple[dict, ...] = ()
+    root: Optional[int] = None
+    version: int = CERTIFICATE_VERSION
+    format: str = CERTIFICATE_FORMAT
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of proof vertices."""
+        return len(self.nodes)
+
+    @property
+    def term_count(self) -> int:
+        """Number of distinct (shared) term nodes in the table."""
+        return len(self.terms)
+
+    def byte_size(self) -> int:
+        """Size of the canonical JSON encoding in bytes."""
+        return len(self.to_json().encode("utf-8"))
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-able dict of primitives (lists, dicts, strings, ints)."""
+        return {
+            "format": self.format,
+            "version": self.version,
+            "program": self.program,
+            "goal": self.goal,
+            "equation": self.equation,
+            "types": [_entry_as_lists(entry) for entry in self.types],
+            "terms": [_entry_as_lists(entry) for entry in self.terms],
+            "nodes": [_node_copy(node) for node in self.nodes],
+            "root": self.root,
+        }
+
+    def to_json(self) -> str:
+        """The canonical JSON rendering (sorted keys, no whitespace)."""
+        return canonical_json(self.to_dict())
+
+    def digest(self) -> str:
+        """A stable sha256 content address of the canonical encoding."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProofCertificate":
+        """Rebuild a certificate from :meth:`to_dict` output.
+
+        Raises :class:`~repro.core.exceptions.CertificateError` on unknown
+        formats/versions or structurally broken payloads.
+        """
+        if not isinstance(payload, dict):
+            raise CertificateError(f"certificate payload must be an object, got {type(payload).__name__}")
+        fmt = payload.get("format")
+        if fmt != CERTIFICATE_FORMAT:
+            raise CertificateError(f"unknown certificate format {fmt!r}")
+        version = payload.get("version")
+        if version != CERTIFICATE_VERSION:
+            raise CertificateError(
+                f"unsupported certificate version {version!r} (this build reads version {CERTIFICATE_VERSION})"
+            )
+        try:
+            types = tuple(_entry_as_tuples(entry) for entry in payload.get("types", ()))
+            terms = tuple(_entry_as_tuples(entry) for entry in payload.get("terms", ()))
+            node_records = []
+            for node in payload.get("nodes", ()):
+                if not isinstance(node, dict):
+                    raise CertificateError(f"proof vertex must be an object, got {node!r}")
+                node_records.append(_node_copy(node))
+            nodes = tuple(node_records)
+        except CertificateError:
+            raise
+        except (TypeError, ValueError, AttributeError) as error:
+            raise CertificateError(f"malformed certificate tables: {error}") from None
+        root = payload.get("root")
+        if root is not None and not isinstance(root, int):
+            raise CertificateError(f"certificate root must be a vertex id, got {root!r}")
+        return cls(
+            program=str(payload.get("program", "")),
+            goal=str(payload.get("goal", "")),
+            equation=str(payload.get("equation", "")),
+            types=types,
+            terms=terms,
+            nodes=nodes,
+            root=root,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProofCertificate":
+        """Rebuild a certificate from its JSON rendering."""
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise CertificateError(f"certificate is not valid JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def coerce(cls, value: Union["ProofCertificate", dict, str]) -> "ProofCertificate":
+        """Normalise a certificate given as object, dict, or JSON text."""
+        if isinstance(value, ProofCertificate):
+            return value
+        if isinstance(value, str):
+            return cls.from_json(value)
+        return cls.from_dict(value)
+
+
+def _node_copy(node: dict) -> dict:
+    """A copy of a node record that shares no mutable containers.
+
+    Used on both (de)serialization directions so that certificates are truly
+    value-like: a caller mutating the lists inside a ``to_dict()`` result (or
+    the payload it fed to ``from_dict``) cannot retroactively change a frozen
+    certificate's bytes, digest, or equality.
+    """
+    return {
+        key: (
+            dict(value)
+            if isinstance(value, dict)
+            else list(value)
+            if isinstance(value, (list, tuple))
+            else value
+        )
+        for key, value in node.items()
+    }
+
+
+def _entry_as_lists(entry):
+    """Normalise a table entry to lists all the way down (the JSON shape)."""
+    return [
+        _entry_as_lists(item) if isinstance(item, (list, tuple)) else item for item in entry
+    ]
+
+
+def _entry_as_tuples(entry):
+    """Normalise a table entry to tuples all the way down (the in-memory shape).
+
+    Kept in sync with :func:`_entry_as_lists` so that
+    ``from_dict(to_dict(cert)) == cert`` holds — datatype entries nest an
+    argument list (``["d", "List", [0]]``) that must not survive as a list on
+    one side and a tuple on the other.
+    """
+    return tuple(
+        _entry_as_tuples(item) if isinstance(item, (list, tuple)) else item for item in entry
+    )
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+class _Tables:
+    """Shared type/term tables under construction (encoder side)."""
+
+    def __init__(self) -> None:
+        self.types: List[tuple] = []
+        self.terms: List[tuple] = []
+        self._type_index: Dict[Type, int] = {}
+        # Keyed by node identity: within one bank structurally equal terms are
+        # the same object, so the table inherits the hash-consed sharing.  A
+        # term from another bank simply gets its own entries — correct, just
+        # less shared.
+        self._term_index: Dict[int, int] = {}
+
+    def type_ref(self, ty: Type) -> int:
+        index = self._type_index.get(ty)
+        if index is not None:
+            return index
+        if isinstance(ty, TypeVar):
+            entry = ("v", ty.name)
+        elif isinstance(ty, DataTy):
+            entry = ("d", ty.name, tuple(self.type_ref(a) for a in ty.args))
+        elif isinstance(ty, FunTy):
+            entry = ("f", self.type_ref(ty.arg), self.type_ref(ty.res))
+        else:
+            raise CertificateError(f"cannot encode type {ty!r}")
+        index = self._type_index.get(ty)
+        if index is not None:  # the recursive calls may have inserted it
+            return index
+        self.types.append(entry)
+        self._type_index[ty] = len(self.types) - 1
+        return len(self.types) - 1
+
+    def term_ref(self, term: Term) -> int:
+        """Append ``term`` (post-order, iterative) and return its index."""
+        existing = self._term_index.get(id(term))
+        if existing is not None:
+            return existing
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            if id(t) in self._term_index:
+                stack.pop()
+                continue
+            cls = t.__class__
+            if cls is App:
+                pending = False
+                if id(t.fun) not in self._term_index:
+                    stack.append(t.fun)
+                    pending = True
+                if id(t.arg) not in self._term_index:
+                    stack.append(t.arg)
+                    pending = True
+                if pending:
+                    continue
+                stack.pop()
+                entry = ("a", self._term_index[id(t.fun)], self._term_index[id(t.arg)])
+            elif cls is Var:
+                stack.pop()
+                entry = ("v", t.name, self.type_ref(t.ty))
+            elif cls is Sym:
+                stack.pop()
+                entry = ("s", t.name)
+            else:
+                raise CertificateError(f"cannot encode extended term node {t!r}")
+            self.terms.append(entry)
+            self._term_index[id(t)] = len(self.terms) - 1
+        return self._term_index[id(term)]
+
+
+def _encode_node(node: ProofNode, tables: _Tables) -> dict:
+    record: dict = {
+        "id": node.ident,
+        "eq": [tables.term_ref(node.equation.lhs), tables.term_ref(node.equation.rhs)],
+        "rule": node.rule,
+        "premises": list(node.premises),
+    }
+    if node.case_var is not None:
+        record["case_var"] = tables.term_ref(node.case_var)
+    if node.case_constructors:
+        record["cons"] = list(node.case_constructors)
+    if node.subst is not None:
+        record["subst"] = {name: tables.term_ref(term) for name, term in node.subst.items()}
+    if node.position is not None:
+        record["pos"] = list(node.position)
+    if node.side is not None:
+        record["side"] = node.side
+    if node.lemma_flipped:
+        record["flipped"] = True
+    return record
+
+
+def encode(
+    proof: Preproof,
+    *,
+    program_fingerprint: str = "",
+    goal_name: str = "",
+    equation: str = "",
+) -> ProofCertificate:
+    """Serialize a preproof into a portable :class:`ProofCertificate`.
+
+    ``program_fingerprint`` should be the owning program's
+    :meth:`~repro.program.Program.fingerprint`, so the checker can refuse to
+    validate the proof against a different program.  ``equation`` defaults to
+    the rendering of the root vertex's equation.
+    """
+    tables = _Tables()
+    nodes = tuple(_encode_node(node, tables) for node in proof.nodes)
+    if not equation and proof.root is not None and proof.root in proof:
+        equation = str(proof.node(proof.root).equation)
+    return ProofCertificate(
+        program=program_fingerprint,
+        goal=goal_name,
+        equation=equation,
+        types=tuple(tables.types),
+        terms=tuple(tables.terms),
+        nodes=nodes,
+        root=proof.root,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def _decode_types(entries: Sequence[tuple]) -> List[Type]:
+    types: List[Type] = []
+    for index, entry in enumerate(entries):
+        try:
+            tag = entry[0]
+            if tag == "v":
+                types.append(TypeVar(str(entry[1])))
+            elif tag == "d":
+                args = tuple(types[_back_ref(a, index, "type")] for a in entry[2])
+                types.append(DataTy(str(entry[1]), args))
+            elif tag == "f":
+                types.append(
+                    FunTy(
+                        types[_back_ref(entry[1], index, "type")],
+                        types[_back_ref(entry[2], index, "type")],
+                    )
+                )
+            else:
+                raise CertificateError(f"unknown type tag {tag!r}")
+        except (IndexError, TypeError) as error:
+            raise CertificateError(f"broken type table entry {index}: {error}") from None
+    return types
+
+
+def _back_ref(value, limit: int, what: str) -> int:
+    """Validate a table back-reference: an int strictly before ``limit``."""
+    if not isinstance(value, int) or not 0 <= value < limit:
+        raise CertificateError(f"{what} reference {value!r} is not a previous table index")
+    return value
+
+
+def _decode_terms(entries: Sequence[tuple], types: List[Type]) -> List[Term]:
+    terms: List[Term] = []
+    for index, entry in enumerate(entries):
+        try:
+            tag = entry[0]
+            if tag == "v":
+                ty_index = entry[2]
+                if not isinstance(ty_index, int) or not 0 <= ty_index < len(types):
+                    raise CertificateError(f"type reference {ty_index!r} out of range")
+                terms.append(Var(str(entry[1]), types[ty_index]))
+            elif tag == "s":
+                terms.append(Sym(str(entry[1])))
+            elif tag == "a":
+                terms.append(
+                    App(
+                        terms[_back_ref(entry[1], index, "term")],
+                        terms[_back_ref(entry[2], index, "term")],
+                    )
+                )
+            else:
+                raise CertificateError(f"unknown term tag {tag!r}")
+        except (IndexError, TypeError) as error:
+            raise CertificateError(f"broken term table entry {index}: {error}") from None
+    return terms
+
+
+def _decode_node(record: dict, terms: List[Term]) -> ProofNode:
+    def term_at(value, what: str) -> Term:
+        if not isinstance(value, int) or not 0 <= value < len(terms):
+            raise CertificateError(f"{what} reference {value!r} out of range")
+        return terms[value]
+
+    from ..core.equations import Equation
+
+    ident = record.get("id")
+    if not isinstance(ident, int):
+        raise CertificateError(f"proof vertex without an integer id: {record!r}")
+    eq = record.get("eq")
+    if not (isinstance(eq, (list, tuple)) and len(eq) == 2):
+        raise CertificateError(f"vertex {ident}: equation must be a [lhs, rhs] pair")
+    rule = record.get("rule")
+    if rule is not None and rule not in ALL_RULES:
+        raise CertificateError(f"vertex {ident}: unknown rule {rule!r}")
+    premises = record.get("premises", [])
+    if not isinstance(premises, (list, tuple)) or not all(isinstance(p, int) for p in premises):
+        raise CertificateError(f"vertex {ident}: premises must be vertex ids")
+    case_var = record.get("case_var")
+    subst_record = record.get("subst")
+    subst = None
+    if subst_record is not None:
+        if not isinstance(subst_record, dict):
+            raise CertificateError(f"vertex {ident}: substitution must be an object")
+        subst = Substitution(
+            {str(name): term_at(value, f"vertex {ident} substitution") for name, value in subst_record.items()}
+        )
+    position = record.get("pos")
+    if position is not None:
+        if not isinstance(position, (list, tuple)) or not all(step in (0, 1) for step in position):
+            raise CertificateError(f"vertex {ident}: position must be a list of 0/1 steps")
+        position = tuple(position)
+    side = record.get("side")
+    if side is not None and side not in ("lhs", "rhs"):
+        raise CertificateError(f"vertex {ident}: side must be 'lhs' or 'rhs', got {side!r}")
+    constructors = record.get("cons", ())
+    if not isinstance(constructors, (list, tuple)):
+        raise CertificateError(f"vertex {ident}: case constructors must be a list")
+    decoded_case_var = None
+    if case_var is not None:
+        decoded_case_var = term_at(case_var, f"vertex {ident} case variable")
+        if not isinstance(decoded_case_var, Var):
+            raise CertificateError(f"vertex {ident}: case variable is not a variable")
+    return ProofNode(
+        ident=ident,
+        equation=Equation(term_at(eq[0], f"vertex {ident} lhs"), term_at(eq[1], f"vertex {ident} rhs")),
+        rule=rule,
+        premises=list(premises),
+        case_var=decoded_case_var,
+        case_constructors=tuple(str(c) for c in constructors),
+        subst=subst,
+        position=position,
+        side=side,
+        lemma_flipped=bool(record.get("flipped", False)),
+    )
+
+
+def decode(
+    cert: Union[ProofCertificate, dict, str],
+    bank: Optional[TermBank] = None,
+) -> Preproof:
+    """Rehydrate a certificate into a :class:`Preproof`.
+
+    Terms are rebuilt through ``bank`` when given, otherwise through the
+    current bank — so a checker can decode into a completely fresh
+    :class:`TermBank` and never share a node with the process that produced
+    the certificate.  Raises :class:`CertificateError` on malformed input.
+    """
+    cert = ProofCertificate.coerce(cert)
+    if bank is not None:
+        with use_bank(bank):
+            return _decode(cert)
+    return _decode(cert)
+
+
+def _decode(cert: ProofCertificate) -> Preproof:
+    # Untrusted input: anything that slips past the targeted validations must
+    # still surface as CertificateError, never as a raw TypeError/KeyError.
+    try:
+        return _decode_validated(cert)
+    except CertificateError:
+        raise
+    except Exception as error:  # noqa: BLE001 - decode() promises CertificateError
+        raise CertificateError(f"malformed certificate: {error!r}") from error
+
+
+def _decode_validated(cert: ProofCertificate) -> Preproof:
+    types = _decode_types(cert.types)
+    terms = _decode_terms(cert.terms, types)
+    proof = Preproof()
+    for record in cert.nodes:
+        # restore_node is the single authority on duplicate vertex ids; its
+        # ProofError surfaces as CertificateError via _decode's handler.
+        proof.restore_node(_decode_node(record, terms))
+    if cert.root is not None and cert.root not in proof:
+        raise CertificateError(f"certificate root {cert.root} is not a vertex of the proof")
+    proof.root = cert.root
+    return proof

@@ -1,0 +1,281 @@
+"""Independent re-checking of proof certificates.
+
+This is the consumer side of :mod:`repro.proofs.certificate`, and the reason
+certificates exist at all: an artifact that only the process that found it can
+validate is barely better than a boolean.  :func:`check_certificate` takes the
+*source text* of a program and a certificate and re-establishes, from scratch,
+everything the proof claims:
+
+1. the program is **re-elaborated** from its surface syntax into a **fresh
+   term bank** — no term, rule, or signature object is shared with whatever
+   process ran the search;
+2. the certificate is decoded into that bank, and its stated program
+   fingerprint is compared against the fresh elaboration (a proof about a
+   different program is rejected before any rule is looked at);
+3. every vertex is checked as a well-formed instance of its inference rule
+   (:func:`repro.proofs.inference.check_node` — the Fig. 3 local conditions);
+4. the global size-change condition (Theorem 5.2) is recomputed **from
+   scratch** over the decoded proof's edge graphs — deliberately *not* via the
+   prover's :class:`~repro.sizechange.closure.IncrementalClosure`, so a bug in
+   the incremental bookkeeping used during search cannot vouch for its own
+   proofs.
+
+Hypothesis vertices (partial proofs, Definition 4.3) are only accepted when
+the caller explicitly grants them: a certificate that silently assumes a lemma
+is rejected unless that lemma was part of the goal's statement (e.g. a hinted
+benchmark run).
+
+For checking many certificates against one program (the ``python -m repro
+check`` path over a result store), :class:`CertificateChecker` elaborates the
+program once into a private bank and re-uses it per certificate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.equations import Equation
+from ..core.exceptions import CertificateError, CycleQError
+from ..core.interning import TermBank, use_bank
+from ..program import Program
+from ..sizechange.closure import closure_of, find_violation
+from .certificate import ProofCertificate, decode
+from .preproof import Preproof
+
+__all__ = ["CheckReport", "CertificateChecker", "check_certificate"]
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """The outcome of independently re-checking one certificate."""
+
+    ok: bool
+    """Did the certificate verify (decoded, closed, locally and globally sound)?"""
+
+    goal: str = ""
+    equation: str = ""
+
+    locally_sound: bool = False
+    globally_sound: bool = False
+    closed: bool = False
+    fingerprint_ok: bool = True
+
+    issues: Tuple[str, ...] = ()
+    """Every problem found (empty when ``ok``)."""
+
+    hypotheses: Tuple[str, ...] = ()
+    """Renderings of the hypothesis vertices the proof relies on (partial proofs)."""
+
+    nodes: int = 0
+    """Proof vertices checked."""
+
+    seconds: float = 0.0
+    """Wall-clock cost of the check (decode + local + global)."""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        """A one-line rendering for tables and logs."""
+        status = "verified" if self.ok else "REJECTED"
+        hyp = f" ({len(self.hypotheses)} hypotheses)" if self.hypotheses else ""
+        detail = f": {self.issues[0]}" if self.issues else ""
+        return f"{status}{hyp} [{self.nodes} vertices, {self.seconds * 1000:.1f} ms]{detail}"
+
+
+class CertificateChecker:
+    """Check certificates against one program, elaborated once into a private bank.
+
+    ``program`` may be surface source text (the independent path: it is
+    re-elaborated from scratch inside a bank owned by this checker) or an
+    already-built :class:`~repro.program.Program` (the in-process path used by
+    tests and by callers that just produced the program themselves).
+    """
+
+    def __init__(self, program: Union[str, Program], name: str = "check"):
+        if isinstance(program, Program):
+            self.bank: Optional[TermBank] = None
+            self.program = program
+        else:
+            from ..lang.loader import load_program  # deferred: checker stays importable sans parser
+
+            self.bank = TermBank(f"cert:{name}")
+            with use_bank(self.bank):
+                self.program = load_program(program, name=name)
+
+    def check(
+        self,
+        cert: Union[ProofCertificate, dict, str],
+        *,
+        hypotheses: Sequence[Union[str, Equation]] = (),
+        goal_equation: Union[str, Equation, None] = None,
+    ) -> CheckReport:
+        """Re-check one certificate; never raises on bad certificates.
+
+        ``hypotheses`` are the lemmas the proof is *allowed* to assume (as
+        equation source text or :class:`Equation` objects); any other
+        hypothesis vertex is an issue.  ``goal_equation``, when given, must
+        match the root vertex's equation — this ties the certificate to the
+        goal a store entry or a caller claims it proves.
+        """
+        if self.bank is not None:
+            with use_bank(self.bank):
+                return self._check(cert, hypotheses, goal_equation)
+        return self._check(cert, hypotheses, goal_equation)
+
+    # -- the actual pipeline ---------------------------------------------------
+
+    def _parse(self, value: Union[str, Equation], what: str, issues: List[str]) -> Optional[Equation]:
+        if isinstance(value, Equation):
+            return value
+        try:
+            return self.program.parse_equation(value)
+        except CycleQError as error:
+            issues.append(f"unparsable {what} {value!r}: {error}")
+            return None
+
+    def _check(
+        self,
+        cert: Union[ProofCertificate, dict, str],
+        hypotheses: Sequence[Union[str, Equation]],
+        goal_equation: Union[str, Equation, None],
+    ) -> CheckReport:
+        started = time.perf_counter()
+        issues: List[str] = []
+        try:
+            cert = ProofCertificate.coerce(cert)
+        except CertificateError as error:
+            return CheckReport(
+                ok=False,
+                issues=(str(error),),
+                seconds=time.perf_counter() - started,
+            )
+
+        fingerprint_ok = True
+        if cert.program:
+            fingerprint_ok = cert.program == self.program.fingerprint()
+            if not fingerprint_ok:
+                issues.append(
+                    "certificate was issued for a different program "
+                    f"(certificate {cert.program[:16]}…, checking against "
+                    f"{self.program.fingerprint()[:16]}…)"
+                )
+
+        try:
+            # With a private bank we are already inside use_bank(self.bank);
+            # on the pre-built-Program path decode into a throwaway bank so
+            # untrusted certificates never intern into the caller's ambient
+            # bank (render_certificate takes the same precaution).
+            proof = decode(cert) if self.bank is not None else decode(cert, bank=TermBank("cert-decode"))
+        except CertificateError as error:
+            return CheckReport(
+                ok=False,
+                goal=cert.goal,
+                equation=cert.equation,
+                fingerprint_ok=fingerprint_ok,
+                issues=tuple(issues) + (str(error),),
+                seconds=time.perf_counter() - started,
+            )
+
+        issues.extend(self._structural_issues(cert, proof, goal_equation, hypotheses))
+
+        # Local soundness: every vertex a well-formed instance of its rule.
+        # local_issues is total on adversarial proofs (dangling premises and
+        # raising rule checkers become issues, never exceptions).
+        from .soundness import local_issues as collect_local_issues
+
+        local = collect_local_issues(self.program, proof)
+        issues.extend(local)
+
+        # Global soundness, from scratch: rebuild every edge's size-change
+        # graph from the decoded proof, close under composition, and demand a
+        # decreasing self edge of every idempotent self graph.  (The prover's
+        # incremental closure is intentionally not consulted.)
+        from .soundness import proof_size_change_graphs
+
+        globally_sound = True
+        try:
+            violation = find_violation(closure_of(proof_size_change_graphs(proof)))
+        except Exception as error:  # noqa: BLE001 - closure_of's size budget raises
+            # RuntimeError; an adversarial certificate must yield a rejection,
+            # never a traceback.
+            violation = None
+            globally_sound = False
+            issues.append(f"size-change analysis failed: {error}")
+        if violation is not None:
+            globally_sound = False
+            issues.append(
+                f"global condition violated: idempotent self graph at vertex "
+                f"{violation.source} has no decreasing self edge"
+            )
+
+        closed = proof.is_closed()
+        if not closed:
+            issues.append(f"proof has {len(proof.open_nodes())} open subgoal(s)")
+
+        hypothesis_texts = tuple(str(n.equation) for n in proof.hypotheses())
+        return CheckReport(
+            ok=not issues,
+            goal=cert.goal,
+            equation=cert.equation,
+            locally_sound=not local,
+            globally_sound=globally_sound,
+            closed=closed,
+            fingerprint_ok=fingerprint_ok,
+            issues=tuple(issues),
+            hypotheses=hypothesis_texts,
+            nodes=len(proof),
+            seconds=time.perf_counter() - started,
+        )
+
+    def _structural_issues(
+        self,
+        cert: ProofCertificate,
+        proof: Preproof,
+        goal_equation: Union[str, Equation, None],
+        hypotheses: Sequence[Union[str, Equation]],
+    ) -> List[str]:
+        issues: List[str] = []
+        if proof.root is None:
+            issues.append("certificate has no root vertex")
+        elif goal_equation is not None:
+            expected = self._parse(goal_equation, "goal equation", issues)
+            if expected is not None and proof.node(proof.root).equation != expected:
+                issues.append(
+                    f"root equation {proof.node(proof.root).equation} does not match "
+                    f"the stated goal {expected}"
+                )
+        allowed: List[Equation] = []
+        for hypothesis in hypotheses:
+            parsed = self._parse(hypothesis, "hypothesis", issues)
+            if parsed is not None:
+                allowed.append(parsed)
+        for node in proof.hypotheses():
+            if not any(node.equation == granted for granted in allowed):
+                issues.append(
+                    f"node {node.ident}: proof assumes hypothesis {node.equation} "
+                    "that the goal does not grant"
+                )
+        return issues
+
+
+def check_certificate(
+    program: Union[str, Program],
+    cert: Union[ProofCertificate, dict, str],
+    *,
+    hypotheses: Sequence[Union[str, Equation]] = (),
+    goal_equation: Union[str, Equation, None] = None,
+) -> CheckReport:
+    """Independently re-check one certificate against one program.
+
+    When ``program`` is source text the check is fully independent: the
+    program is re-elaborated into a fresh term bank and the certificate is
+    decoded there (see the module docstring for the complete pipeline).
+    Convenience wrapper over :class:`CertificateChecker` — use the class
+    directly to amortise elaboration over many certificates.
+    """
+    return CertificateChecker(program).check(
+        cert, hypotheses=hypotheses, goal_equation=goal_equation
+    )

@@ -134,6 +134,20 @@ class Preproof:
         if self.root == ident:
             self.root = None
 
+    def restore_node(self, node: ProofNode) -> ProofNode:
+        """Insert a fully built vertex under its own identifier.
+
+        Used when rehydrating a proof from a serialized certificate
+        (:mod:`repro.proofs.certificate`), where vertex identifiers must be
+        preserved exactly (premise lists reference them).  Raises
+        :class:`ProofError` if the identifier is already taken.
+        """
+        if node.ident in self._nodes:
+            raise ProofError(f"duplicate proof vertex: {node.ident}")
+        self._nodes[node.ident] = node
+        self._next_id = max(self._next_id, node.ident + 1)
+        return node
+
     # -- access -------------------------------------------------------------------
 
     def node(self, ident: int) -> ProofNode:

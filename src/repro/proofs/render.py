@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Set
 
 from .preproof import RULE_SUBST, Preproof, ProofNode
 
-__all__ = ["render_text", "render_dot", "proof_summary"]
+__all__ = ["render_text", "render_dot", "proof_summary", "render_certificate"]
 
 
 def render_text(proof: Preproof, root: Optional[int] = None) -> str:
@@ -71,6 +71,28 @@ def render_dot(proof: Preproof, name: str = "proof") -> str:
         lines.append(f"  n{source} -> n{target}{style};")
     lines.append("}")
     return "\n".join(lines)
+
+
+def render_certificate(cert, dot: bool = False) -> str:
+    """Render a serialized certificate without any pre-existing proof objects.
+
+    Accepts a :class:`~repro.proofs.certificate.ProofCertificate`, its dict
+    form, or JSON text; the proof is decoded into a fresh term bank (nothing
+    is interned into the caller's bank) and rendered with :func:`render_text`
+    (or :func:`render_dot` when ``dot`` is true).
+    """
+    from ..core.interning import TermBank
+    from .certificate import ProofCertificate, decode
+
+    cert = ProofCertificate.coerce(cert)
+    proof = decode(cert, bank=TermBank("render"))
+    header = []
+    if cert.goal:
+        header.append(f"-- goal: {cert.goal}")
+    if cert.program:
+        header.append(f"-- program: {cert.program[:16]}…")
+    body = render_dot(proof, name=cert.goal or "proof") if dot else render_text(proof)
+    return "\n".join(header + [body]) if header and not dot else body
 
 
 def proof_summary(proof: Preproof) -> str:

@@ -77,13 +77,26 @@ def proof_size_change_graphs(proof: Preproof) -> List[SizeChangeGraph]:
 
 
 def local_issues(program: Program, proof: Preproof) -> List[str]:
-    """All local well-formedness issues of the proof (empty list = locally sound)."""
+    """All local well-formedness issues of the proof (empty list = locally sound).
+
+    Total on arbitrary (e.g. decoded-from-certificate, possibly adversarial)
+    proofs: dangling premises are reported up front and exempt their vertex
+    from rule checking, and a rule checker that raises on malformed vertex
+    data contributes an issue instead of propagating.
+    """
     issues: List[str] = []
-    for node in proof.nodes:
-        issues.extend(check_node(program, proof, node))
+    dangling = set()
     for source, _index, target in proof.edges():
         if target not in proof:
             issues.append(f"node {source}: dangling premise {target}")
+            dangling.add(source)
+    for node in proof.nodes:
+        if node.ident in dangling:
+            continue
+        try:
+            issues.extend(check_node(program, proof, node))
+        except Exception as error:  # noqa: BLE001 - malformed input must report, not raise
+            issues.append(f"node {node.ident}: rule check failed: {error}")
     return issues
 
 

@@ -76,6 +76,16 @@ class ProverConfig:
     timeout: Optional[float] = 5.0
     """Wall-clock budget in seconds for one proof attempt (``None`` = unlimited)."""
 
+    emit_proofs: bool = False
+    """Attach a portable :class:`~repro.proofs.certificate.ProofCertificate`
+    to every successful result (:attr:`repro.search.result.ProofResult.certificate`).
+
+    Certificates are bank-independent primitive data, so they survive process
+    boundaries and result-store round trips; re-check them with
+    :func:`repro.proofs.checker.check_certificate` or ``python -m repro check``.
+    Part of the configuration fingerprint: an outcome persisted without a
+    certificate is never replayed for a run that expects one."""
+
     def with_(self, **changes) -> "ProverConfig":
         """A copy of the configuration with the given fields replaced."""
         return replace(self, **changes)

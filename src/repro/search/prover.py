@@ -205,10 +205,23 @@ class _ProofAttempt:
         self.stats.normalizer_hits = self.normalizer.cache_hits
         self.stats.normalizer_misses = self.normalizer.cache_misses
         if proved:
+            certificate = None
+            if self.config.emit_proofs:
+                from ..proofs.certificate import encode  # deferred: success path only
+
+                encode_started = time.perf_counter()
+                certificate = encode(
+                    self.proof,
+                    program_fingerprint=self.program.fingerprint(),
+                    goal_name=goal_name,
+                    equation=str(equation),
+                )
+                self.stats.certificate_seconds = time.perf_counter() - encode_started
             return ProofResult(
                 proved=True,
                 equation=equation,
                 proof=self.proof,
+                certificate=certificate,
                 statistics=self.stats,
                 goal_name=goal_name,
             )

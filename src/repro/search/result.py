@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.equations import Equation
 from ..proofs.preproof import Preproof
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..proofs.certificate import ProofCertificate
 
 __all__ = ["SearchStatistics", "ProofResult"]
 
@@ -69,6 +72,9 @@ class SearchStatistics:
     normalizer_misses: int = 0
     """Normal-form cache misses during the attempt."""
 
+    certificate_seconds: float = 0.0
+    """Wall-clock cost of encoding the proof certificate (0 when not emitted)."""
+
     @property
     def timed_out(self) -> bool:
         """Was the attempt aborted by the wall-clock deadline?"""
@@ -107,6 +113,10 @@ class ProofResult:
 
     proof: Optional[Preproof] = None
     """The proof found (``None`` when the attempt failed)."""
+
+    certificate: Optional["ProofCertificate"] = None
+    """Portable encoding of :attr:`proof`, when the configuration asked for one
+    (:attr:`repro.search.config.ProverConfig.emit_proofs`)."""
 
     statistics: SearchStatistics = field(default_factory=SearchStatistics)
     """Search counters."""

@@ -61,6 +61,311 @@ class TestBench:
         assert main(["bench", "--suite", "isaplanner", "--names", "nope"]) == 2
 
 
+class TestEmitProofs:
+    def test_solve_emit_proofs_prints_certificate(self, capsys):
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_11",
+                     "--emit-proofs"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate:" in out and "sha256" in out
+
+    def test_solve_proof_dir_writes_self_contained_files(self, tmp_path, capsys):
+        import json
+
+        proof_dir = str(tmp_path / "certs")
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_11",
+                     "--proof-dir", proof_dir]) == 0
+        path = os.path.join(proof_dir, "prop_11.cert.json")
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["program_source"]
+        assert payload["certificate"]["nodes"]
+        capsys.readouterr()
+        # The file embeds everything `check` needs.
+        assert main(["check", path]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_bench_emit_proofs_prints_size_table(self, capsys):
+        assert main(["bench", "--suite", "isaplanner", "--jobs", "2", "--timeout", "1",
+                     "--names", "prop_01,prop_11", "--emit-proofs"]) == 0
+        out = capsys.readouterr().out
+        assert "proof certificates" in out and "shared terms" in out
+
+
+class TestCheck:
+    def _bench(self, store, extra=()):
+        return main(["bench", "--suite", "isaplanner", "--jobs", "2", "--timeout", "1",
+                     "--names", "prop_01,prop_06,prop_11", "--store", store,
+                     "--emit-proofs", *extra])
+
+    def test_check_verifies_a_certified_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert self._bench(store) == 0
+        capsys.readouterr()
+        assert main(["check", "--store", store, "--require-certificates"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "0 rejected" in out
+
+    def test_check_rejects_a_tampered_store(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store.jsonl")
+        assert self._bench(store) == 0
+        entries = []
+        with open(store, encoding="utf-8") as handle:
+            for line in handle:
+                entry = json.loads(line)
+                cert = entry.get("certificate")
+                if cert and len(cert["nodes"]) > 2:
+                    victim = cert["nodes"][1]
+                    victim["premises"] = []
+                entries.append(entry)
+        with open(store, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+        capsys.readouterr()
+        assert main(["check", "--store", store]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_check_flags_missing_certificates_only_when_required(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["bench", "--suite", "isaplanner", "--jobs", "2", "--timeout", "1",
+                     "--names", "prop_01,prop_11", "--store", store]) == 0  # no --emit-proofs
+        capsys.readouterr()
+        assert main(["check", "--store", store]) == 0
+        assert "without certificate" in capsys.readouterr().out
+        assert main(["check", "--store", store, "--require-certificates"]) == 1
+
+    def test_check_missing_store_is_a_friendly_error(self, tmp_path, capsys):
+        assert main(["check", "--store", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+
+    def test_check_without_inputs_is_a_usage_error(self, capsys):
+        assert main(["check"]) == 2
+
+    def test_check_unreadable_program_override_is_a_usage_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert self._bench(store) == 0
+        capsys.readouterr()
+        assert main(["check", "--store", store, "--file", str(tmp_path / "typo.eq")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read program" in err
+
+    def test_hinted_proofs_need_allow_hypotheses(self, tmp_path, capsys):
+        proof_dir = str(tmp_path / "certs")
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_54",
+                     "--timeout", "20", "--hint", "add a b === add b a",
+                     "--proof-dir", proof_dir]) == 0
+        path = os.path.join(proof_dir, "prop_54.cert.json")
+        capsys.readouterr()
+        # A certificate file must not grant its own hypotheses...
+        assert main(["check", path]) == 1
+        assert "does not grant" in capsys.readouterr().out
+        # ...but the caller may opt in explicitly.
+        assert main(["check", path, "--allow-hypotheses"]) == 0
+        assert "1 hyp" in capsys.readouterr().out
+
+    def test_self_hinted_hyp_only_certificate_is_rejected(self, tmp_path, capsys):
+        """A hand-crafted wrapper cannot 'prove' a goal via a single Hyp vertex."""
+        import json
+
+        from repro.benchmarks_data import isaplanner_problems
+        from repro.proofs.certificate import encode
+        from repro.proofs.preproof import RULE_HYP, Preproof
+
+        problem = next(p for p in isaplanner_problems() if p.name == "prop_54")
+        proof = Preproof()
+        proof.add_node(problem.goal.equation, rule=RULE_HYP)
+        payload = {
+            "format": "cycleq.certificate-file",
+            "version": 1,
+            "program_source": problem.program.source,
+            "hints": [str(problem.goal.equation)],
+            "certificate": encode(
+                proof, program_fingerprint=problem.program.fingerprint()
+            ).to_dict(),
+        }
+        path = str(tmp_path / "vacuous.cert.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert main(["check", path]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_garbage_embedded_program_source_is_a_friendly_error(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "bad-source.cert.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "cycleq.certificate-file", "version": 1,
+                       "program_source": "garbage {", "certificate": {}}, handle)
+        assert main(["check", path]) == 2
+        err = capsys.readouterr().err
+        assert "does not elaborate" in err and "Traceback" not in err
+
+    def test_unparseable_program_override_is_a_friendly_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert self._bench(store) == 0
+        bad = tmp_path / "bad.eq"
+        bad.write_text("garbage {")
+        capsys.readouterr()
+        # The override fails to elaborate: a usage error up front, never a
+        # traceback and never a spurious REJECTED verdict.
+        assert main(["check", "--store", store, "--file", str(bad)]) == 2
+        assert "does not elaborate" in capsys.readouterr().err
+
+    def test_stale_program_fingerprint_entries_are_skipped_not_rejected(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store.jsonl")
+        assert self._bench(store) == 0
+        entries = []
+        with open(store, encoding="utf-8") as handle:
+            for line in handle:
+                entry = json.loads(line)
+                if entry.get("status") == "proved" and entry.get("goal", "").endswith("prop_01"):
+                    entry["program"] = "0" * 64  # predates the current program
+                entries.append(entry)
+        with open(store, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+        capsys.readouterr()
+        assert main(["check", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "skipped (stale program)" in out and "0 rejected" in out
+        # Strict mode refuses to call an unverified store green.
+        assert main(["check", "--store", store, "--require-certificates"]) == 1
+
+    def test_check_unknown_suite_filter_is_a_usage_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert self._bench(store) == 0
+        capsys.readouterr()
+        assert main(["check", "--store", store, "--suite", "isaplaner",
+                     "--require-certificates"]) == 2
+        assert "no entries for suite" in capsys.readouterr().err
+
+    def test_explicit_suite_beats_embedded_program_source(self, tmp_path, capsys):
+        proof_dir = str(tmp_path / "certs")
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_11",
+                     "--proof-dir", proof_dir]) == 0
+        path = os.path.join(proof_dir, "prop_11.cert.json")
+        capsys.readouterr()
+        # Checked against the *mutual* program as requested — the embedded
+        # isaplanner source must not silently win — so the fingerprint differs.
+        assert main(["check", path, "--suite", "mutual"]) == 1
+        assert "different program" in capsys.readouterr().out
+
+    def test_check_files_with_unknown_suite_is_a_usage_error(self, tmp_path, capsys):
+        proof_dir = str(tmp_path / "certs")
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_11",
+                     "--proof-dir", proof_dir]) == 0
+        capsys.readouterr()
+        # A typo'd suite must not fall back to the file's embedded source.
+        assert main(["check", os.path.join(proof_dir, "prop_11.cert.json"),
+                     "--suite", "isaplaner"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_check_files_print_the_vouching_fingerprint(self, tmp_path, capsys):
+        proof_dir = str(tmp_path / "certs")
+        assert main(["solve", "--suite", "isaplanner", "--goal", "prop_11",
+                     "--proof-dir", proof_dir]) == 0
+        capsys.readouterr()
+        assert main(["check", os.path.join(proof_dir, "prop_11.cert.json")]) == 0
+        assert "fingerprint" in capsys.readouterr().out
+
+    def test_certificate_claiming_a_different_equation_is_rejected(self, tmp_path, capsys):
+        """A file whose root proves x ≈ x must not verify under prop_54's name."""
+        import json
+
+        from repro.benchmarks_data import isaplanner_problems
+        from repro.core.terms import Var
+        from repro.core.types import DataTy
+        from repro.core.equations import Equation
+        from repro.proofs.certificate import encode
+        from repro.proofs.preproof import RULE_REFL, Preproof
+
+        problem = next(p for p in isaplanner_problems() if p.name == "prop_54")
+        proof = Preproof()
+        x = Var("x", DataTy("Nat"))
+        proof.add_node(Equation(x, x), rule=RULE_REFL)
+        cert = encode(proof, program_fingerprint=problem.program.fingerprint(),
+                      goal_name="prop_54").to_dict()
+        cert["goal"] = "prop_54"
+        cert["equation"] = str(problem.goal.equation)  # forged provenance
+        path = str(tmp_path / "forged.cert.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "cycleq.certificate-file", "version": 1,
+                       "program_source": problem.program.source,
+                       "certificate": cert}, handle)
+        assert main(["check", path]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+        # Scrubbing the equation provenance must not bypass the binding...
+        cert["equation"] = ""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "cycleq.certificate-file", "version": 1,
+                       "program_source": problem.program.source,
+                       "certificate": cert}, handle)
+        assert main(["check", path]) == 1
+        assert "does not state the equation" in capsys.readouterr().out
+        # ...and neither must smuggling the certificate as JSON text.
+        cert["equation"] = str(problem.goal.equation)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "cycleq.certificate-file", "version": 1,
+                       "program_source": problem.program.source,
+                       "certificate": json.dumps(cert)}, handle)
+        assert main(["check", path]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_wrong_file_override_on_store_is_a_usage_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert self._bench(store) == 0
+        other = tmp_path / "other.eq"
+        other.write_text(
+            "data Nat = Z | S Nat\n"
+            "add :: Nat -> Nat -> Nat\n"
+            "add Z y = y\n"
+            "add (S x) y = S (add x y)\n"
+        )
+        capsys.readouterr()
+        assert main(["check", "--store", store, "--file", str(other)]) == 2
+        assert "match the program" in capsys.readouterr().err
+
+    def test_unsupported_certificate_file_format_is_an_error(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "future.cert.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "cycleq.certificate-file", "version": 99,
+                       "certificate": {}}, handle)
+        assert main(["check", path]) == 2
+        assert "unsupported certificate-file format" in capsys.readouterr().err
+
+
+class TestStoreMaintenance:
+    def test_store_compact_dedups_superseded_lines(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store.jsonl")
+        args = ["bench", "--suite", "isaplanner", "--jobs", "2", "--timeout", "1",
+                "--names", "prop_01,prop_11", "--store", store]
+        assert main(args) == 0
+        # Duplicate every line to simulate superseded appends.
+        with open(store, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(store, "a", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        capsys.readouterr()
+        assert main(["store", "compact", "--store", store]) == 0
+        assert "compacted" in capsys.readouterr().out
+        with open(store, encoding="utf-8") as handle:
+            remaining = [json.loads(line) for line in handle if line.strip()]
+        assert len(remaining) == len(lines)
+
+    def test_store_compact_missing_path_is_a_friendly_error(self, tmp_path, capsys):
+        assert main(["store", "compact", "--store", str(tmp_path / "nope.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_renders_store(self, tmp_path, capsys):
         store = str(tmp_path / "store.jsonl")
@@ -73,6 +378,18 @@ class TestReport:
 
     def test_report_missing_store_is_an_error(self, tmp_path, capsys):
         assert main(["report", "--store", str(tmp_path / "nope.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_malformed_store_is_a_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_bytes(b"\xff\xfe\x00garbage\x00" * 16)
+        assert main(["report", "--store", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "report:" in err and "Traceback" not in err
+
+    def test_report_store_path_that_is_a_directory_is_a_friendly_error(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path)]) == 2
+        assert "cannot read store" in capsys.readouterr().err
 
 
 def test_python_dash_m_entry_point():

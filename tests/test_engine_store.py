@@ -6,7 +6,7 @@ import os
 import pytest
 
 from repro.benchmarks_data import isaplanner_problems, isaplanner_program, mutual_program
-from repro.engine import ResultStore, config_fingerprint
+from repro.engine import STORE_SCHEMA_VERSION, ResultStore, config_fingerprint
 from repro.harness import run_suite_parallel
 from repro.search import ProverConfig
 
@@ -112,6 +112,62 @@ class TestResultStore:
             lines = [line for line in handle if line.strip()]
         assert len(lines) == 1
         assert ResultStore(path).get(self.key())["status"] == "proved"
+
+    def test_certificates_round_trip_through_disk(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        certificate = {"format": "cycleq.preproof", "version": 1, "nodes": [{"id": 0}]}
+        store = ResultStore(path)
+        store.put(self.key(), {"status": "proved", "certificate": certificate,
+                               "certificate_seconds": 0.001})
+        outcome = ResultStore(path).get(self.key())
+        assert outcome["certificate"] == certificate
+        assert outcome["certificate_seconds"] == 0.001
+
+
+class TestStoreSchema:
+    def key(self):
+        return ResultStore.make_key("prog", "suite/goal", "lhs ≈ rhs", "cfg")
+
+    def test_every_line_carries_the_schema_version(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        ResultStore(path).put(self.key(), {"status": "proved"})
+        with open(path, encoding="utf-8") as handle:
+            entry = json.loads(handle.readline())
+        assert entry["schema"] == STORE_SCHEMA_VERSION
+
+    def test_foreign_schema_lines_are_skipped_with_a_warning(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put(self.key(), {"status": "proved"})
+        stale = {"schema": STORE_SCHEMA_VERSION + 1, "program": "prog", "goal": "suite/other",
+                 "equation": "a ≈ b", "config": "cfg", "status": "proved"}
+        legacy = {"program": "prog", "goal": "suite/legacy",  # pre-versioning: schema 1
+                  "equation": "a ≈ b", "config": "cfg", "status": "proved"}
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stale) + "\n")
+            handle.write(json.dumps(legacy) + "\n")
+        with pytest.warns(RuntimeWarning, match="schema"):
+            reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.schema_skipped == 2
+        assert reloaded.get(self.key())["status"] == "proved"
+
+    def test_compact_drops_stale_schema_lines(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        ResultStore(path).put(self.key(), {"status": "proved"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"schema": 1, "program": "p", "goal": "s/g",
+                                     "equation": "a ≈ b", "config": "c",
+                                     "status": "failed"}) + "\n")
+        with pytest.warns(RuntimeWarning):
+            store = ResultStore(path)
+        store.compact()
+        with open(path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert lines[0]["schema"] == STORE_SCHEMA_VERSION
+        # A reload after compaction is warning-free.
+        assert ResultStore(path).schema_skipped == 0
 
 
 class TestWarmStoreRuns:

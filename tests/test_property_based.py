@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) for the core data structures and invariants."""
 
+import json
+
 from hypothesis import given, settings, strategies as st
 
 from repro.core.equations import Equation
@@ -215,3 +217,101 @@ class TestSizeChangeProperties:
         for x, y, dec in composed.edges:
             if dec:
                 assert (x, y, DECREASE) in g.edges
+
+
+# ---------------------------------------------------------------------------
+# Proof certificates: encode/decode round trips over generated preproofs
+# ---------------------------------------------------------------------------
+
+from repro.core.interning import TermBank  # noqa: E402
+from repro.proofs.certificate import ProofCertificate, decode, encode  # noqa: E402
+from repro.proofs.preproof import ALL_RULES, Preproof  # noqa: E402
+
+_equations = st.builds(Equation, terms, terms)
+_rules = st.none() | st.sampled_from(ALL_RULES)
+_positions = st.none() | st.lists(st.sampled_from([0, 1]), max_size=4).map(tuple)
+_sides = st.none() | st.sampled_from(["lhs", "rhs"])
+
+
+@st.composite
+def preproofs(draw):
+    """Random preproofs: structurally arbitrary, not necessarily *valid*.
+
+    The encoder must faithfully round-trip whatever vertex data the prover (or
+    a tamperer) put in the proof — validity is the checker's business, not the
+    codec's — so the generator deliberately produces wild rule/premise
+    combinations, including cycles and dangling metadata.
+    """
+    proof = Preproof()
+    count = draw(st.integers(min_value=1, max_value=6))
+    nodes = [proof.add_node(draw(_equations)) for _ in range(count)]
+    for node in nodes:
+        rule = draw(_rules)
+        node.rule = rule
+        if rule is not None:
+            node.premises = draw(
+                st.lists(st.integers(min_value=0, max_value=count - 1), max_size=3)
+            )
+        if draw(st.booleans()):
+            node.subst = draw(substitutions)
+        node.position = draw(_positions)
+        node.side = draw(_sides)
+        node.lemma_flipped = draw(st.booleans())
+        if rule == "Case":
+            node.case_var = draw(_variables)
+            node.case_constructors = tuple(
+                draw(st.lists(st.sampled_from(["Z", "S"]), max_size=2))
+            )
+    proof.root = draw(st.none() | st.sampled_from([n.ident for n in nodes]))
+    return proof
+
+
+class TestCertificateProperties:
+    @given(preproofs())
+    @settings(max_examples=60)
+    def test_encode_decode_round_trips_every_vertex(self, proof):
+        cert = encode(proof, program_fingerprint="fp", goal_name="g")
+        rebuilt = decode(cert, bank=TermBank("property"))
+        assert len(rebuilt) == len(proof)
+        assert rebuilt.root == proof.root
+        for node in proof.nodes:
+            twin = rebuilt.node(node.ident)
+            assert twin.rule == node.rule
+            assert twin.premises == node.premises
+            assert twin.equation == node.equation
+            assert twin.position == node.position
+            assert twin.side == node.side
+            assert twin.lemma_flipped == node.lemma_flipped
+            assert twin.case_constructors == node.case_constructors
+            if node.subst is None:
+                assert twin.subst is None
+            else:
+                assert twin.subst == node.subst
+            if node.case_var is None:
+                assert twin.case_var is None
+            else:
+                assert twin.case_var == node.case_var
+
+    @given(preproofs())
+    @settings(max_examples=60)
+    def test_json_round_trip_is_byte_identical(self, proof):
+        cert = encode(proof)
+        text = cert.to_json()
+        assert ProofCertificate.from_json(text).to_json() == text
+        assert json.loads(text)["version"] == cert.version
+
+    @given(preproofs())
+    @settings(max_examples=30)
+    def test_re_encoding_a_decoded_proof_is_stable(self, proof):
+        cert = encode(proof)
+        rebuilt = decode(cert, bank=TermBank("stable"))
+        assert encode(rebuilt).to_json() == cert.to_json()
+
+    @given(preproofs())
+    @settings(max_examples=30)
+    def test_term_table_is_shared_and_back_referencing(self, proof):
+        cert = encode(proof)
+        for index, entry in enumerate(cert.terms):
+            if entry[0] == "a":
+                assert 0 <= entry[1] < index
+                assert 0 <= entry[2] < index
