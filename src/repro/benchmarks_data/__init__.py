@@ -6,12 +6,18 @@ from .isaplanner import (
     isaplanner_goals,
     isaplanner_program,
 )
+from .false_conjectures import (
+    FALSE_CONJECTURES_SOURCE,
+    false_conjectures_goals,
+    false_conjectures_program,
+)
 from .mutual import MUTUAL_SOURCE, mutual_goals, mutual_program
 from .prelude import PRELUDE_SOURCE
 from .registry import (
     PAPER_REPORTED,
     BenchmarkProblem,
     all_problems,
+    false_conjectures_problems,
     isaplanner_problems,
     mutual_problems,
 )
@@ -20,6 +26,8 @@ __all__ = [
     "PRELUDE_SOURCE",
     "ISAPLANNER_PROPERTIES_SOURCE", "isaplanner_program", "isaplanner_goals", "HINTED_PROPERTIES",
     "MUTUAL_SOURCE", "mutual_program", "mutual_goals",
+    "FALSE_CONJECTURES_SOURCE", "false_conjectures_program", "false_conjectures_goals",
     "BenchmarkProblem", "all_problems", "isaplanner_problems", "mutual_problems",
+    "false_conjectures_problems",
     "PAPER_REPORTED",
 ]

@@ -1,0 +1,74 @@
+"""Plausible-but-false conjectures over the prelude: the refutation suite.
+
+Every property in this suite *looks* like a textbook lemma — a distributivity
+law with the sides in the wrong order, a symmetry that does not hold, an
+off-by-one — and every one of them is false.  They exercise the path the other
+suites cannot: the falsifier (:mod:`repro.semantics.falsify`) must find a
+counterexample for each within its default budgets, and no proof attempt may
+ever "prove" one (that would be a soundness bug caught by the test suite).
+
+Each conjecture is refutable by *small* instances: the exhaustive regime of
+the default :class:`~repro.semantics.falsify.FalsificationConfig` (depth 4,
+fair-shell order) already finds a witness for all of them, so suite runs are
+deterministic and do not depend on the random regime.  ``fc_12`` is
+conditional — premises included, it is still false — exercising the one
+verdict available for conditional goals.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from ..lang.loader import load_program
+from ..program import Goal, Program
+from .prelude import PRELUDE_SOURCE
+
+__all__ = [
+    "FALSE_CONJECTURES_SOURCE",
+    "false_conjectures_program",
+    "false_conjectures_goals",
+]
+
+
+FALSE_CONJECTURES_SOURCE = """
+-- Plausible-but-false conjectures -------------------------------------------
+-- rev distributes over app, but the factors swap: this version is false.
+fc_01 xs ys = rev (app xs ys) === app (rev xs) (rev ys)
+-- truncated subtraction is not commutative.
+fc_02 n m = minus n m === minus m n
+-- only true while n <= len xs; dropping past xs eats into ys.
+fc_03 n xs ys = drop n (app xs ys) === app (drop n xs) ys
+-- butlast (xs ++ ys) keeps all of xs when ys is nonempty.
+fc_04 xs ys = butlast (app xs ys) === app (butlast xs) (butlast ys)
+-- false when ys is empty and xs is not.
+fc_05 xs ys = last (app xs ys) === last ys
+-- sorting does not distribute over append.
+fc_06 xs ys = sort (app xs ys) === app (sort xs) (sort ys)
+-- sort (rev xs) is ascending; rev (sort xs) is descending.
+fc_07 xs = sort (rev xs) === rev (sort xs)
+-- the correct identity drops len xs - n elements, not n.
+fc_08 n xs = take n (rev xs) === rev (drop n xs)
+-- ins1 does not insert when the element is already present.
+fc_09 x xs = len (ins1 x xs) === S (len xs)
+-- leq is not symmetric.
+fc_10 n m = leq n m === leq m n
+-- mirror is an involution, not the identity.
+fc_11 t = mirror t === t
+-- conditional and still false: take n = m.
+fc_12 n m = leq n m === True ==> leq (S n) m === True
+"""
+
+
+@lru_cache(maxsize=None)
+def false_conjectures_program() -> Program:
+    """The refutation suite's program: the prelude plus all false conjectures."""
+    return load_program(
+        PRELUDE_SOURCE + FALSE_CONJECTURES_SOURCE, name="false_conjectures"
+    )
+
+
+def false_conjectures_goals() -> List[Goal]:
+    """All false conjectures, in numeric order."""
+    program = false_conjectures_program()
+    return [program.goals[name] for name in sorted(program.goals)]

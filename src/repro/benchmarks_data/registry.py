@@ -11,6 +11,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..program import Goal, Program
+from .false_conjectures import (
+    FALSE_CONJECTURES_SOURCE,
+    false_conjectures_goals,
+    false_conjectures_program,
+)
 from .isaplanner import (
     HINTED_PROPERTIES,
     ISAPLANNER_PROPERTIES_SOURCE,
@@ -24,6 +29,7 @@ __all__ = [
     "BenchmarkProblem",
     "isaplanner_problems",
     "mutual_problems",
+    "false_conjectures_problems",
     "all_problems",
     "PAPER_REPORTED",
     "SUITE_PROGRAM_SOURCES",
@@ -36,6 +42,7 @@ __all__ = [
 SUITE_PROGRAM_SOURCES = {
     "isaplanner": PRELUDE_SOURCE + ISAPLANNER_PROPERTIES_SOURCE,
     "mutual": MUTUAL_SOURCE,
+    "false_conjectures": PRELUDE_SOURCE + FALSE_CONJECTURES_SOURCE,
 }
 
 
@@ -80,8 +87,23 @@ def mutual_problems() -> List[BenchmarkProblem]:
     ]
 
 
+def false_conjectures_problems() -> List[BenchmarkProblem]:
+    """The plausible-but-false refutation suite (every goal is disprovable)."""
+    program = false_conjectures_program()
+    return [
+        BenchmarkProblem(name=goal.name, suite="false_conjectures", goal=goal, program=program)
+        for goal in false_conjectures_goals()
+    ]
+
+
 def all_problems() -> List[BenchmarkProblem]:
-    """Every problem of every suite."""
+    """Every problem of every *theorem* suite.
+
+    The refutation suite is deliberately excluded: its goals are false by
+    construction, so mixing them into "all" would turn every all-suite solve
+    rate into noise.  Run it explicitly (``--suite false_conjectures`` or
+    ``python -m repro disprove``).
+    """
     return isaplanner_problems() + mutual_problems()
 
 

@@ -1,9 +1,10 @@
-"""The ``python -m repro`` command line: solve, bench, report, check, store.
+"""The ``python -m repro`` command line: solve, bench, disprove, report, check, store.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro solve --suite isaplanner --goal prop_01 --emit-proofs
     python -m repro bench --suite isaplanner --jobs 4 --timeout 1 --store results.jsonl
+    python -m repro disprove --suite false_conjectures
     python -m repro report --store results.jsonl
     python -m repro check --store results.jsonl --require-certificates
     python -m repro store compact --store results.jsonl
@@ -11,16 +12,20 @@ Five subcommands::
 ``solve`` proves individual goals (from a built-in suite or a program file)
 and prints the proof-search statistics; with ``--emit-proofs`` every proof is
 also encoded as a portable certificate (``--proof-dir`` writes self-contained
-certificate files).  ``bench`` runs a suite on the parallel engine —
-``--jobs``, ``--portfolio``, ``--store``, ``--timeout`` and ``--emit-proofs``
-map straight onto :func:`repro.engine.suite.solve_suite` — and prints the
-paper-vs-measured tables.  ``report`` renders the same tables from a persisted
-result store without re-running anything.  ``check`` independently re-verifies
-proof certificates — from a result store or from certificate files — by
-re-elaborating the program into a fresh term bank and re-running the local and
-global soundness checks from scratch (exit code 1 when any proof is rejected).
-``store`` maintains persisted stores (``compact`` dedups superseded lines and
-drops stale-schema lines).
+certificate files), and with ``--falsify`` every goal is ground-tested first —
+a refuted goal reports ``disproved`` with its counterexample instead of
+burning the proof budget.  ``bench`` runs a suite on the parallel engine —
+``--jobs``, ``--portfolio``, ``--store``, ``--timeout``, ``--emit-proofs`` and
+``--falsify`` map straight onto :func:`repro.engine.suite.solve_suite` — and
+prints the paper-vs-measured tables.  ``disprove`` runs *only* the falsifier
+(no proof search, no workers) and exits 0 exactly when every selected goal is
+refuted with a replayable counterexample.  ``report`` renders tables from a
+persisted result store without re-running anything.  ``check`` independently
+re-verifies proof certificates — from a result store or from certificate
+files — by re-elaborating the program into a fresh term bank and re-running
+the local and global soundness checks from scratch (exit code 1 when any
+proof is rejected).  ``store`` maintains persisted stores (``compact`` dedups
+superseded lines and drops stale-schema lines).
 """
 
 from __future__ import annotations
@@ -32,11 +37,18 @@ import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
-from .benchmarks_data.registry import BenchmarkProblem, all_problems, isaplanner_problems, mutual_problems
+from .benchmarks_data.registry import (
+    BenchmarkProblem,
+    all_problems,
+    false_conjectures_problems,
+    isaplanner_problems,
+    mutual_problems,
+)
 from .engine.portfolio import PORTFOLIO_PRESETS
 from .harness.report import (
     ascii_cumulative_plot,
     check_time_table,
+    counterexample_table,
     format_table,
     isaplanner_summary_table,
     portfolio_winner_table,
@@ -59,6 +71,7 @@ CERTIFICATE_FILE_FORMAT = "cycleq.certificate-file"
 SUITES = {
     "isaplanner": isaplanner_problems,
     "mutual": mutual_problems,
+    "false_conjectures": false_conjectures_problems,
     "all": all_problems,
 }
 
@@ -67,6 +80,7 @@ SUITES = {
 RESOLVERS = {
     "isaplanner": "repro.benchmarks_data.registry:isaplanner_problems",
     "mutual": "repro.benchmarks_data.registry:mutual_problems",
+    "false_conjectures": "repro.benchmarks_data.registry:false_conjectures_problems",
     "all": "repro.benchmarks_data.registry:all_problems",
 }
 
@@ -96,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="encode every proof as a portable certificate")
     solve.add_argument("--proof-dir", default=None, metavar="DIR",
                        help="write self-contained certificate files to DIR (implies --emit-proofs)")
+    solve.add_argument("--falsify", action="store_true",
+                       help="ground-test each goal first; refuted goals report "
+                            "'disproved' with a counterexample and skip proof search")
 
     bench = commands.add_parser("bench", help="run a benchmark suite on the parallel engine")
     bench.add_argument("--suite", choices=sorted(SUITES), default="isaplanner")
@@ -118,6 +135,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--plot", action="store_true", help="print the Fig. 7 ASCII cumulative plot")
     bench.add_argument("--emit-proofs", action="store_true",
                        help="workers encode certificates for every proof; persisted in the store")
+    bench.add_argument("--falsify", action="store_true",
+                       help="ground-test each goal before search; refutations are "
+                            "reported (and persisted) as 'disproved' with counterexamples")
+
+    disprove = commands.add_parser(
+        "disprove",
+        help="run only the falsifier: refute goals on ground instances (no proof search)",
+    )
+    disprove_source = disprove.add_mutually_exclusive_group()
+    disprove_source.add_argument("--suite", choices=sorted(SUITES), default="false_conjectures",
+                                 help="built-in suite to falsify (default: false_conjectures)")
+    disprove_source.add_argument("--file", help="program file in the surface language")
+    disprove.add_argument("--goal", action="append", default=[], metavar="NAME",
+                          help="goal name; repeatable (default: every goal of the selection)")
+    disprove.add_argument("--names", default=None,
+                          help="comma-separated goal names (a slice of the suite)")
+    disprove.add_argument("--limit", type=int, default=None, metavar="N",
+                          help="only the first N goals of the selection")
+    disprove.add_argument("--depth", type=int, default=None,
+                          help="exhaustive enumeration depth (default: 4)")
+    disprove.add_argument("--exhaustive-limit", type=int, default=None, metavar="N",
+                          help="exhaustive instances per goal (default: 400)")
+    disprove.add_argument("--samples", type=int, default=None, metavar="N",
+                          help="random instances per goal (default: 200)")
+    disprove.add_argument("--random-depth", type=int, default=None,
+                          help="depth of the random regime (default: 7)")
+    disprove.add_argument("--seed", type=int, default=None,
+                          help="seed of the random regime (default: fixed)")
+    disprove.add_argument("--replay", action="store_true",
+                          help="independently re-check every counterexample through "
+                               "the generic normaliser before reporting it")
 
     report = commands.add_parser("report", help="render tables from a persisted result store")
     report.add_argument("--store", required=True, metavar="PATH")
@@ -196,18 +244,26 @@ def _solve_command(args) -> int:
         changes["strategy"] = args.strategy
     if emit_proofs:
         changes["emit_proofs"] = True
+    if args.falsify:
+        changes["falsify_first"] = True
     if changes:
         config = config.with_(**changes)
 
     if args.proof_dir is not None:
         os.makedirs(args.proof_dir, exist_ok=True)
 
-    all_proved = True
+    # Without --falsify only proofs count as success; with it a refutation is
+    # an equally decisive answer, so 'disproved' resolves a goal too.
+    all_resolved = True
     for program, goal in pairs:
         hints = tuple(program.parse_equation(source) for source in args.hint)
         result = Prover(program, config).prove_goal(goal, hypotheses=hints)
         print(result)
-        all_proved = all_proved and result.proved
+        resolved = result.proved or (args.falsify and result.disproved)
+        all_resolved = all_resolved and resolved
+        if result.counterexample is not None:
+            payload = result.counterexample.to_dict()
+            print(f"  counterexample: {json.dumps(payload, sort_keys=True)}")
         certificate = result.certificate
         if certificate is not None:
             print(
@@ -228,7 +284,7 @@ def _solve_command(args) -> int:
                     json.dump(payload, handle, sort_keys=True)
                     handle.write("\n")
                 print(f"  wrote {path}")
-    return 0 if all_proved else 1
+    return 0 if all_resolved else 1
 
 
 # ---------------------------------------------------------------------------
@@ -261,6 +317,9 @@ def _print_suite_tables(result: SuiteResult, args, wall: float, parallel: bool, 
     if portfolio:
         print("\nportfolio winners:")
         print(portfolio_winner_table(result))
+    if any(r.disproved for r in result.records):
+        print("\ncounterexamples:")
+        print(counterexample_table(result))
     print("\nper-strategy summary:")
     print(strategy_summary_table(result))
     if getattr(args, "emit_proofs", False) or any(r.certificate for r in result.records):
@@ -288,6 +347,8 @@ def _bench_command(args) -> int:
         config = config.with_(strategy=args.strategy)
     if args.emit_proofs:
         config = config.with_(emit_proofs=True)
+    if args.falsify:
+        config = config.with_(falsify_first=True)
     serial = args.serial or args.jobs == 0
     started = time.monotonic()
     if serial:
@@ -306,6 +367,105 @@ def _bench_command(args) -> int:
     wall = time.monotonic() - started
     _print_suite_tables(result, args, wall, parallel=not serial, portfolio=bool(args.portfolio))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# disprove
+# ---------------------------------------------------------------------------
+
+
+def _disprove_command(args) -> int:
+    from .semantics.falsify import FalsificationConfig, falsify_goal
+
+    if args.file:
+        from .lang.loader import load_program
+
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"disprove: cannot read {args.file}: {error.strerror or error}", file=sys.stderr)
+            return 2
+        from .core.exceptions import CycleQError
+
+        try:
+            program = load_program(source, name=os.path.basename(args.file))
+        except CycleQError as error:
+            print(f"disprove: {args.file} does not elaborate: {error}", file=sys.stderr)
+            return 2
+        selection = [(program, goal) for goal in program.goals.values()]
+    else:
+        selection = [(p.program, p.goal) for p in SUITES[args.suite]()]
+
+    wanted = set(args.goal)
+    if args.names:
+        wanted.update(name.strip() for name in args.names.split(",") if name.strip())
+    if wanted:
+        known = {goal.name for _, goal in selection}
+        missing = sorted(wanted - known)
+        if missing:
+            print(f"disprove: unknown goal(s) {', '.join(missing)}", file=sys.stderr)
+            return 2
+        selection = [(program, goal) for program, goal in selection if goal.name in wanted]
+    if args.limit is not None:
+        selection = selection[: max(0, args.limit)]
+    if not selection:
+        print("disprove: no goals selected", file=sys.stderr)
+        return 2
+
+    changes = {}
+    if args.depth is not None:
+        changes["depth"] = args.depth
+    if args.exhaustive_limit is not None:
+        changes["exhaustive_limit"] = args.exhaustive_limit
+    if args.samples is not None:
+        changes["random_samples"] = args.samples
+    if args.random_depth is not None:
+        changes["random_depth"] = args.random_depth
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    config = FalsificationConfig(**changes) if changes else FalsificationConfig()
+
+    rows = []
+    disproved = 0
+    errors = 0
+    for program, goal in selection:
+        outcome = falsify_goal(program, goal, config)
+        counterexample = outcome.counterexample
+        if counterexample is not None and args.replay and not counterexample.replay(program):
+            # The compiled evaluator and the normaliser disagree — a bug in
+            # one of them, never a verdict about the conjecture.
+            print(
+                f"disprove: counterexample for {goal.name} failed normaliser replay",
+                file=sys.stderr,
+            )
+            errors += 1
+            counterexample = None
+        if counterexample is not None:
+            disproved += 1
+            witness = ", ".join(
+                f"{name} = {value}" for name, value in sorted(counterexample.bindings.items())
+            )
+            status = "disproved"
+            detail = (
+                f"{witness} ⇒ lhs {counterexample.lhs_value}, rhs {counterexample.rhs_value}"
+            )
+        elif outcome.error:
+            status, detail = "unavailable", outcome.error
+        else:
+            status, detail = "no counterexample", f"{outcome.instances_tested} instances tested"
+        rows.append(
+            (goal.name, status, outcome.instances_tested, f"{outcome.seconds * 1000:.2f}", detail)
+        )
+    print(format_table(("goal", "status", "tested", "ms", "detail"), rows))
+    print(
+        f"\ndisproved {disproved}/{len(selection)} goal(s) "
+        f"(depth {config.depth}, ≤{config.exhaustive_limit} exhaustive + "
+        f"{config.random_samples} random instances, seed {config.seed})"
+    )
+    if errors:
+        return 2
+    return 0 if disproved == len(selection) else 1
 
 
 # ---------------------------------------------------------------------------
@@ -358,15 +518,20 @@ def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveReco
             cached=True,
             certificate=entry.get("certificate"),
             certificate_seconds=float(entry.get("certificate_seconds") or 0.0),
+            counterexample=entry.get("counterexample"),
+            falsify_seconds=float(entry.get("falsify_seconds") or 0.0),
         )
         goals = by_suite.setdefault(suite_name, {})
         # Several configs may have attempted the goal; keep the best outcome
-        # (a proof beats a failure, then the faster proof wins).
+        # (a decisive verdict — proof or refutation — beats a failure, then
+        # the faster decisive outcome wins).
         existing = goals.get(record.name)
+        decisive = record.proved or record.disproved
+        existing_decisive = existing is not None and (existing.proved or existing.disproved)
         if (
             existing is None
-            or (record.proved and not existing.proved)
-            or (record.proved and existing.proved and record.seconds < existing.seconds)
+            or (decisive and not existing_decisive)
+            or (decisive and existing_decisive and record.seconds < existing.seconds)
         ):
             goals[record.name] = record
     return {suite_name: list(goals.values()) for suite_name, goals in by_suite.items()}
@@ -396,6 +561,9 @@ def _report_command(args) -> int:
         if any(r.certificate for r in result.records):
             print("\nproof certificates:")
             print(proof_size_table(result))
+        if any(r.disproved for r in result.records):
+            print("\ncounterexamples:")
+            print(counterexample_table(result))
         if args.plot:
             print(ascii_cumulative_plot(result))
     return 0
@@ -756,6 +924,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _solve_command(args)
         if args.command == "bench":
             return _bench_command(args)
+        if args.command == "disprove":
+            return _disprove_command(args)
         if args.command == "check":
             return _check_command(args)
         if args.command == "store":

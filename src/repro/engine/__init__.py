@@ -25,6 +25,7 @@ from .portfolio import (
     PORTFOLIO_PRESETS,
     PortfolioVariant,
     default_portfolio,
+    disprove_race,
     select_winner,
     single_variant,
     strategy_race,
@@ -35,8 +36,8 @@ from .suite import solve_suite
 
 __all__ = [
     "Scheduler", "Task", "solve_task", "load_spec", "DEFAULT_RESOLVER",
-    "PortfolioVariant", "default_portfolio", "strategy_race", "single_variant",
-    "select_winner", "PORTFOLIO_PRESETS",
+    "PortfolioVariant", "default_portfolio", "strategy_race", "disprove_race",
+    "single_variant", "select_winner", "PORTFOLIO_PRESETS",
     "ResultStore", "config_fingerprint", "STORE_SCHEMA_VERSION",
     "solve_suite",
 ]

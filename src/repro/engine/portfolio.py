@@ -30,6 +30,7 @@ __all__ = [
     "PortfolioVariant",
     "default_portfolio",
     "strategy_race",
+    "disprove_race",
     "single_variant",
     "select_winner",
     "PORTFOLIO_PRESETS",
@@ -84,6 +85,39 @@ def default_portfolio(base: Optional[ProverConfig] = None) -> Tuple[PortfolioVar
     )
 
 
+def disprove_race(base: Optional[ProverConfig] = None) -> Tuple[PortfolioVariant, ...]:
+    """Race the falsifier against prover lanes.
+
+    * ``paper-default`` — the configuration as given (reported when nothing
+      decisive arrives);
+    * ``falsify`` — the ground-instance falsifier with a token prover budget
+      (one vertex): it either refutes the goal in milliseconds or gets out of
+      the way almost immediately;
+    * ``deep-search`` — the doubled-budget prover lane of the default
+      portfolio.
+
+    A refutation is as decisive as a proof, so whichever lane answers first
+    settles the goal and cancels its siblings — false conjectures stop
+    costing a full proof-search timeout.
+    """
+    base = base or ProverConfig()
+    return (
+        PortfolioVariant(BASE_VARIANT, base),
+        PortfolioVariant(
+            "falsify",
+            base.with_(falsify_first=True, max_nodes=1, max_depth=1),
+        ),
+        PortfolioVariant(
+            "deep-search",
+            base.with_(
+                max_depth=base.max_depth * 2,
+                max_case_splits=base.max_case_splits + 2,
+                max_nodes=base.max_nodes * 2,
+            ),
+        ),
+    )
+
+
 def strategy_race(base: Optional[ProverConfig] = None) -> Tuple[PortfolioVariant, ...]:
     """Race every registered search strategy under one configuration.
 
@@ -102,6 +136,7 @@ def strategy_race(base: Optional[ProverConfig] = None) -> Tuple[PortfolioVariant
 PORTFOLIO_PRESETS = {
     "default": default_portfolio,
     "strategy-race": strategy_race,
+    "disprove-race": disprove_race,
 }
 """Named portfolio presets selectable from the CLI (``--portfolio <name>``)."""
 
@@ -113,18 +148,20 @@ def select_winner(
 ) -> Tuple[str, dict]:
     """Pick the goal's reported outcome from per-variant outcome dicts.
 
-    The first *proof* wins: by arrival order when known (the live race), by
-    variant order otherwise (e.g. outcomes replayed from the result store).
-    With no proof at all, the base variant (first in ``variant_order``) that
-    actually produced an outcome is reported — cancelled attempts never win.
+    The first *decisive* outcome — a proof or a ground refutation — wins: by
+    arrival order when known (the live race), by variant order otherwise
+    (e.g. outcomes replayed from the result store).  With nothing decisive,
+    the base variant (first in ``variant_order``) that actually produced an
+    outcome is reported — cancelled attempts never win.
     """
+    decisive = ("proved", "disproved")
     for name in arrival_order:
         outcome = outcomes.get(name)
-        if outcome is not None and outcome.get("status") == "proved":
+        if outcome is not None and outcome.get("status") in decisive:
             return name, outcome
     for name in variant_order:
         outcome = outcomes.get(name)
-        if outcome is not None and outcome.get("status") == "proved":
+        if outcome is not None and outcome.get("status") in decisive:
             return name, outcome
     for name in variant_order:
         outcome = outcomes.get(name)

@@ -147,9 +147,9 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
         }
     if hook is not None:
         hook(task)  # test seam: may raise, hang, or kill the process
-    if problem.goal.is_conditional:
-        return {"status": "out-of-scope", "reason": "conditional goal"}
     config = ProverConfig(**task["config"])
+    if problem.goal.is_conditional and not config.falsify_first:
+        return {"status": "out-of-scope", "reason": "conditional goal"}
     hints = []
     for source in task.get("hints", ()):
         try:
@@ -158,11 +158,22 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
             return {"status": "failed", "reason": f"unparsable hint {source!r}: {error}"}
     prover = Prover(problem.program, config)
     started = time.perf_counter()
-    outcome = prover.prove(problem.goal.equation, goal_name=problem.name, hypotheses=tuple(hints))
+    if problem.goal.is_conditional:
+        # Reaches the worker only under falsify_first: the goal can be
+        # disproved (premises included) even though it cannot be proved.
+        outcome = prover.prove_goal(problem.goal)
+    else:
+        outcome = prover.prove(
+            problem.goal.equation, goal_name=problem.name, hypotheses=tuple(hints)
+        )
     elapsed = time.perf_counter() - started
     stats = outcome.statistics
     if outcome.proved:
         status = "proved"
+    elif outcome.disproved:
+        status = "disproved"
+    elif problem.goal.is_conditional:
+        status = "out-of-scope"
     elif stats.timed_out:
         status = "timeout"
     else:
@@ -186,6 +197,12 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
         # terms themselves stay in the worker's bank.
         wire["certificate"] = outcome.certificate.to_dict()
         wire["certificate_seconds"] = stats.certificate_seconds
+    if outcome.counterexample is not None:
+        # Counterexamples are primitive data too — the refutation analogue of
+        # a certificate, replayable in any process holding the program.
+        wire["counterexample"] = outcome.counterexample.to_dict()
+    if stats.falsification_seconds:
+        wire["falsify_seconds"] = stats.falsification_seconds
     return wire
 
 

@@ -37,7 +37,7 @@ __all__ = ["ResultStore", "config_fingerprint", "STORE_SCHEMA_VERSION"]
 StoreKey = Tuple[str, str, str, str]
 """``(program fingerprint, suite/name, equation, config fingerprint)``."""
 
-STORE_SCHEMA_VERSION = 2
+STORE_SCHEMA_VERSION = 3
 """Schema of the JSONL lines this build reads and writes.
 
 Bumped whenever the meaning of a line changes — new outcome fields whose
@@ -46,6 +46,10 @@ semantics changes that would make old lines replay incorrectly.  Lines with a
 different (or missing — the pre-versioning era is schema 1) value are skipped
 *loudly* on load: a store full of stale lines should look like a warning and a
 cold run, never like silent data loss.  ``store compact`` drops them for good.
+
+Schema history: 1 — pre-versioning; 2 — proof certificates; 3 — the
+``disproved`` status with its ``counterexample``/``falsify_seconds`` payload
+(a v2 line could mask a refutation as a plain failure, so v2 is not read).
 """
 
 #: Fields of an outcome payload persisted per entry (everything else in a line
@@ -65,6 +69,8 @@ OUTCOME_FIELDS = (
     "choice_points",
     "certificate",
     "certificate_seconds",
+    "counterexample",
+    "falsify_seconds",
 )
 
 

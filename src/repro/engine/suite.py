@@ -34,7 +34,7 @@ _UNSTORABLE_MARKERS = (
 
 
 def _storable(outcome: dict) -> bool:
-    if outcome.get("status") not in ("proved", "failed", "timeout"):
+    if outcome.get("status") not in ("proved", "disproved", "failed", "timeout", "out-of-scope"):
         return False
     reason = str(outcome.get("reason", ""))
     return not any(marker in reason for marker in _UNSTORABLE_MARKERS)
@@ -54,8 +54,13 @@ class _GoalState:
         self.key = f"{problem.suite}/{problem.name}"
         # Lemma hints change what is provable, so they are part of the store
         # identity of the attempt: a hintless outcome must never be replayed
-        # for a hinted run (or vice versa).
+        # for a hinted run (or vice versa).  Conditional goals carry their
+        # premises for the same reason — two goals sharing an equation but
+        # differing in hypotheses must never alias one store entry.
         self.equation = str(problem.goal.equation)
+        if problem.goal.conditions:
+            premises = ", ".join(str(c) for c in problem.goal.conditions)
+            self.equation = premises + " ==> " + self.equation
         if hints:
             self.equation = " ; ".join(hints) + " ⊢ " + self.equation
         self.hints = hints
@@ -127,6 +132,8 @@ def solve_suite(
             cached=variant in state.cached_variants,
             certificate=outcome.get("certificate"),
             certificate_seconds=float(outcome.get("certificate_seconds") or 0.0),
+            counterexample=outcome.get("counterexample"),
+            falsify_seconds=float(outcome.get("falsify_seconds") or 0.0),
         )
         records[state.index] = record
         if progress is not None:
@@ -141,8 +148,13 @@ def solve_suite(
     uid_to_state: Dict[int, _GoalState] = {}
     uid = 0
 
+    # Conditional goals are settled parent-side unless some variant runs the
+    # falsifier — refutation is the one verdict the proof system cannot give,
+    # and it applies to premised goals too.
+    falsify_enabled = any(v.config.falsify_first for v in variant_list)
+
     for index, problem in enumerate(problems):
-        if problem.goal.is_conditional:
+        if problem.goal.is_conditional and not falsify_enabled:
             record = SolveRecord(
                 name=problem.name,
                 suite=problem.suite,
@@ -167,7 +179,7 @@ def solve_suite(
                     state.outcomes[variant.name] = stored
                     state.cached_variants.add(variant.name)
             solved_from_store = any(
-                o.get("status") == "proved" for o in state.outcomes.values()
+                o.get("status") in ("proved", "disproved") for o in state.outcomes.values()
             )
             if solved_from_store or len(state.outcomes) == len(variant_list):
                 winner, outcome = select_winner(state.outcomes, variant_order)
@@ -216,7 +228,9 @@ def solve_suite(
                 payload = dict(outcome)
                 payload["variant"] = variant
                 store.put(key, payload)
-        if not state.decided and outcome.get("status") == "proved":
+        # Both verdicts are decisive: a proof *or* a refutation settles the
+        # goal and cancels its portfolio siblings.
+        if not state.decided and outcome.get("status") in ("proved", "disproved"):
             decide(state, variant, outcome)
             siblings = [u for u in state.uid_to_variant if u != task["uid"]]
             if siblings:

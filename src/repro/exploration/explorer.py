@@ -26,6 +26,7 @@ from ..search.agenda import Agenda, BudgetExhausted, SearchBudget
 from ..search.config import ProverConfig
 from ..search.prover import Prover
 from ..search.result import ProofResult
+from ..semantics.falsify import FalsificationConfig, falsify_equation
 from .templates import TemplateConfig, candidate_equations
 
 __all__ = ["ExplorationConfig", "ExplorationResult", "TheoryExplorer"]
@@ -50,6 +51,19 @@ class ExplorationConfig:
     total_budget: float = 60.0
     """Wall-clock budget for the whole exploration phase (seconds)."""
 
+    falsify_candidates: bool = True
+    """Ground-test candidates on the compiled evaluator before proving them.
+
+    A refuted candidate is certainly unprovable, so filtering it out saves the
+    whole per-lemma proof budget — the QuickSpec/HipSpec regime, where theory
+    exploration lives or dies on fast ground-instance testing."""
+
+    falsify_depth: int = 3
+    """Exhaustive depth of the candidate filter (kept small: it runs per candidate)."""
+
+    falsify_instances: int = 64
+    """Instance budget (exhaustive + random combined) of the candidate filter."""
+
 
 @dataclass
 class ExplorationResult:
@@ -61,6 +75,8 @@ class ExplorationResult:
     lemmas: Tuple[Equation, ...] = ()
     candidates_considered: int = 0
     candidates_deduplicated: int = 0
+    candidates_refuted: int = 0
+    """Candidates dropped because ground testing found a counterexample."""
     lemmas_proved: int = 0
     exploration_seconds: float = 0.0
     normalizer_stats: Dict[str, int] = field(default_factory=dict)
@@ -86,8 +102,15 @@ class TheoryExplorer:
         self._library: Optional[List[Equation]] = None
         self._candidates_considered = 0
         self._candidates_deduplicated = 0
+        self._candidates_refuted = 0
         self._max_agenda_size = 0
         self._normalizer = Normalizer(program.rules)
+        self._falsify_config = FalsificationConfig(
+            depth=self.config.falsify_depth,
+            exhaustive_limit=self.config.falsify_instances,
+            random_samples=max(0, self.config.falsify_instances // 2),
+            random_depth=self.config.falsify_depth + 2,
+        )
 
     # -- lemma library ---------------------------------------------------------
 
@@ -129,6 +152,14 @@ class TheoryExplorer:
                 self._candidates_deduplicated += 1
                 continue
             seen_normal_forms.add(normalized)
+            # Refuted candidates are unprovable by construction: testing a few
+            # dozen ground instances on the compiled evaluator costs microseconds
+            # against the ~1s proof budget each false candidate would waste.
+            if self.config.falsify_candidates and falsify_equation(
+                self.program, candidate, config=self._falsify_config
+            ):
+                self._candidates_refuted += 1
+                continue
             # Lemmas proved earlier are available as hypotheses for later ones,
             # exactly like the incremental regime of HipSpec-style exploration.
             outcome = lemma_prover.prove(candidate, hypotheses=library, budget=budget)
@@ -163,6 +194,7 @@ class TheoryExplorer:
             lemmas=tuple(library),
             candidates_considered=self._candidates_considered,
             candidates_deduplicated=self._candidates_deduplicated,
+            candidates_refuted=self._candidates_refuted,
             lemmas_proved=len(library),
             exploration_seconds=time.perf_counter() - started,
             normalizer_stats=self._normalizer.cache_stats(),

@@ -2,6 +2,7 @@
 
 from .report import (
     ascii_cumulative_plot,
+    counterexample_table,
     format_table,
     isaplanner_summary_table,
     normalizer_cache_table,
@@ -20,4 +21,5 @@ __all__ = [
     "ascii_cumulative_plot", "unsolved_classification",
     "normalizer_cache_table", "suite_cache_stats",
     "worker_utilisation_table", "portfolio_winner_table", "strategy_summary_table",
+    "counterexample_table",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "strategy_summary_table",
     "proof_size_table",
     "check_time_table",
+    "counterexample_table",
 ]
 
 
@@ -163,7 +164,9 @@ def unsolved_classification(result: SuiteResult, hinted: Optional[Dict[str, str]
     for record in result.records:
         if record.proved:
             continue
-        if record.status == "out-of-scope":
+        if record.disproved:
+            category = "disproved (ground counterexample)"
+        elif record.status == "out-of-scope":
             category = "conditional (out of scope)"
         elif record.name in hinted:
             category = f"needs lemma: {hinted[record.name]}"
@@ -320,6 +323,41 @@ def check_time_table(rows: Sequence[Dict[str, object]]) -> str:
         )
     headers = ("goal", "status", "vertices", "bytes", "check ms", "detail")
     return format_table(headers, rendered)
+
+
+def counterexample_table(result: SuiteResult, max_width: int = 60) -> str:
+    """Per-goal refutations of a falsifying run.
+
+    One row per ``disproved`` record: the witness bindings, the evaluated
+    values both sides computed to, how many instances were examined before the
+    witness, and the falsification time.  Counterexamples are stored as
+    primitive dicts (:meth:`repro.semantics.falsify.Counterexample.to_dict`),
+    so this renders straight from records *or* store replays.
+    """
+    disproved = [r for r in result.records if r.disproved]
+    if not disproved:
+        return "(no goals disproved)"
+
+    def clip(text: str) -> str:
+        return text if len(text) <= max_width else text[: max_width - 1] + "…"
+
+    rows = []
+    for record in disproved:
+        cex = record.counterexample or {}
+        bindings = cex.get("bindings", {})
+        witness = ", ".join(f"{name} = {value}" for name, value in sorted(bindings.items()))
+        rows.append(
+            (
+                record.name,
+                clip(witness),
+                clip(str(cex.get("lhs_value", ""))),
+                clip(str(cex.get("rhs_value", ""))),
+                cex.get("instances_tested", ""),
+                f"{record.falsify_seconds * 1000:.2f}" if record.falsify_seconds else "-",
+            )
+        )
+    headers = ("goal", "witness", "lhs value", "rhs value", "tested", "falsify ms")
+    return format_table(headers, rows)
 
 
 def strategy_summary_table(result: SuiteResult) -> str:

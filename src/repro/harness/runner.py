@@ -30,7 +30,8 @@ class SolveRecord:
     name: str
     suite: str
     status: str
-    """``proved``, ``failed``, ``timeout``, or ``out-of-scope`` (conditional goal)."""
+    """``proved``, ``disproved`` (ground counterexample found), ``failed``,
+    ``timeout``, or ``out-of-scope`` (conditional goal)."""
 
     seconds: float = 0.0
     nodes: int = 0
@@ -67,9 +68,22 @@ class SolveRecord:
     certificate_seconds: float = 0.0
     """Wall-clock cost of encoding the certificate (0 when none was emitted)."""
 
+    counterexample: Optional[dict] = None
+    """Replayable refutation in primitive-dict form, when the goal was
+    ``disproved``.  Decode with
+    :meth:`repro.semantics.falsify.Counterexample.from_dict`; re-check
+    independently with :meth:`~repro.semantics.falsify.Counterexample.replay`."""
+
+    falsify_seconds: float = 0.0
+    """Wall-clock cost of ground testing (0 when ``falsify_first`` was off)."""
+
     @property
     def proved(self) -> bool:
         return self.status == "proved"
+
+    @property
+    def disproved(self) -> bool:
+        return self.status == "disproved"
 
     @property
     def timed_out(self) -> bool:
@@ -96,6 +110,10 @@ class SuiteResult:
     @property
     def solved(self) -> List[SolveRecord]:
         return [r for r in self.records if r.proved]
+
+    @property
+    def disproved(self) -> List[SolveRecord]:
+        return [r for r in self.records if r.disproved]
 
     @property
     def out_of_scope(self) -> List[SolveRecord]:
@@ -138,6 +156,7 @@ class SuiteResult:
             "suite": self.suite,
             "total": self.total,
             "solved": len(self.solved),
+            "disproved": len(self.disproved),
             "out_of_scope": len(self.out_of_scope),
             "failed": len(self.failed),
             "timeout": len(self.timed_out),
@@ -171,7 +190,7 @@ def run_suite(
         prover = provers.get(fingerprint)
         if prover is None:
             prover = provers[fingerprint] = Prover(problem.program, config)
-        if problem.goal.is_conditional:
+        if problem.goal.is_conditional and not config.falsify_first:
             record = SolveRecord(
                 name=problem.name,
                 suite=problem.suite,
@@ -181,12 +200,22 @@ def run_suite(
         else:
             hints = tuple(hypotheses.get(problem.name, ())) if hypotheses else ()
             started = time.perf_counter()
-            outcome: ProofResult = prover.prove(
-                problem.goal.equation, goal_name=problem.name, hypotheses=hints
-            )
+            if problem.goal.is_conditional:
+                # Conditional goals reach the prover only for the falsifier:
+                # ``prove_goal`` tests the premised goal and otherwise reports
+                # it out of scope exactly as before.
+                outcome: ProofResult = prover.prove_goal(problem.goal)
+            else:
+                outcome = prover.prove(
+                    problem.goal.equation, goal_name=problem.name, hypotheses=hints
+                )
             elapsed = time.perf_counter() - started
             if outcome.proved:
                 status = "proved"
+            elif outcome.disproved:
+                status = "disproved"
+            elif problem.goal.is_conditional:
+                status = "out-of-scope"
             elif outcome.statistics.timed_out:
                 status = "timeout"
             else:
@@ -209,6 +238,12 @@ def run_suite(
                     outcome.certificate.to_dict() if outcome.certificate is not None else None
                 ),
                 certificate_seconds=outcome.statistics.certificate_seconds,
+                counterexample=(
+                    outcome.counterexample.to_dict()
+                    if outcome.counterexample is not None
+                    else None
+                ),
+                falsify_seconds=outcome.statistics.falsification_seconds,
             )
         result.records.append(record)
         if progress is not None:

@@ -24,7 +24,7 @@ from .core.exceptions import SignatureError
 from .core.signature import Signature
 from .core.substitution import Substitution
 from .core.terms import Sym, Term, Var, apply_term
-from .core.types import DataTy, Type, TypeVar
+from .core.types import DataTy, Type
 from .rewriting.reduction import Normalizer
 from .rewriting.trs import RewriteSystem
 
@@ -192,15 +192,16 @@ def ground_terms(signature: Signature, ty: Type, depth: int) -> Iterator[Term]:
 
 
 def _concretise(signature: Signature, ty: Type) -> Type:
-    """Replace type variables by a small concrete datatype for enumeration."""
-    if isinstance(ty, TypeVar):
-        for name, decl in signature.datatypes.items():
-            if not decl.params and any(not c.arg_types for c in decl.constructors):
-                return DataTy(name)
-        return ty
-    if isinstance(ty, DataTy):
-        return DataTy(ty.name, tuple(_concretise(signature, a) for a in ty.args))
-    return ty
+    """Replace type variables by a small concrete datatype for enumeration.
+
+    One policy, one implementation: this delegates to the semantics
+    subsystem's :func:`~repro.semantics.generators.concretise_type` so the
+    term-level and value-level oracles can never disagree about which
+    instances exist.
+    """
+    from .semantics.generators import concretise_type
+
+    return concretise_type(signature, ty)
 
 
 def ground_instances(
@@ -209,7 +210,18 @@ def ground_instances(
     depth: int,
     limit: Optional[int] = None,
 ) -> Iterator[Substitution]:
-    """Enumerate ground instances for the given variables up to a depth bound."""
+    """Enumerate ground instances for the given variables up to a depth bound.
+
+    Instances are produced in the *fair-shell* order of
+    :func:`repro.semantics.generators.fair_product` rather than raw
+    ``itertools.product`` order: under a ``limit``, the naive product varies
+    only the last variable and pins every earlier one to its smallest value
+    for the entire budget, so a conjecture false only in its first variable
+    would survive any truncated check.  Fair interleaving grows all variables
+    together; without a limit the instance *set* is unchanged.
+    """
+    from .semantics.generators import fair_product
+
     domains: List[List[Term]] = []
     for var in variables:
         terms = list(ground_terms(signature, var.ty, depth))
@@ -217,11 +229,13 @@ def ground_instances(
             return
         domains.append(terms)
     count = 0
-    for combo in itertools.product(*domains):
-        yield Substitution({var.name: term for var, term in zip(variables, combo)})
-        count += 1
+    for combo in fair_product([len(domain) for domain in domains]):
         if limit is not None and count >= limit:
             return
+        yield Substitution(
+            {var.name: domains[i][index] for i, (var, index) in enumerate(zip(variables, combo))}
+        )
+        count += 1
 
 
 def check_equation(
@@ -234,11 +248,54 @@ def check_equation(
 
     This is the testing oracle used throughout the test suite — a sound proof
     must never claim an equation that this check refutes.
+
+    The check runs on the compiled ground evaluator
+    (:mod:`repro.semantics.evaluator`): the equation's sides are compiled once
+    and each instance is a run of the iterative machine over constructor
+    values, roughly an order of magnitude faster than normalising every
+    substituted instance (``benchmarks/bench_evaluator.py``).  Programs whose
+    rules fall outside the compilable functional fragment — or evaluations
+    that get stuck on partial definitions — fall back to the generic
+    :class:`~repro.rewriting.reduction.Normalizer` path, so the oracle's
+    verdict never depends on the fast path being available.
     """
-    normalizer = program.normalizer()
+    from .semantics.evaluator import CompilationError, EvaluationError, Evaluator
+    from .semantics.generators import instance_stream
+
     variables = equation.variables()
-    for instance in ground_instances(program.signature, variables, depth, limit):
-        closed = equation.apply(instance)
+    evaluator: Optional[Evaluator]
+    try:
+        evaluator = Evaluator.for_program(program)
+        slots = {var.name: index for index, var in enumerate(variables)}
+        lhs_expr = evaluator.compile(equation.lhs, slots)
+        rhs_expr = evaluator.compile(equation.rhs, slots)
+    except CompilationError:
+        evaluator = None
+    normalizer: Optional[Normalizer] = None
+    intern = evaluator.intern_value if evaluator is not None else None
+    for index, instance in enumerate(
+        instance_stream(
+            program.signature, variables, depth=depth, limit=limit, intern=intern
+        )
+    ):
+        if limit is not None and index >= limit:
+            break
+        if evaluator is not None:
+            try:
+                # Hash-consed values: one machine session, equality by identity.
+                if not evaluator.equal(lhs_expr, rhs_expr, instance):
+                    return False
+                continue
+            except EvaluationError:
+                pass  # stuck/over-budget instance: decide it on the slow path
+        from .semantics.evaluator import value_to_term
+
+        if normalizer is None:
+            normalizer = program.normalizer()
+        theta = Substitution(
+            {var.name: value_to_term(value) for var, value in zip(variables, instance)}
+        )
+        closed = equation.apply(theta)
         if normalizer.normalize(closed.lhs) != normalizer.normalize(closed.rhs):
             return False
     return True

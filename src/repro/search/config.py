@@ -76,6 +76,17 @@ class ProverConfig:
     timeout: Optional[float] = 5.0
     """Wall-clock budget in seconds for one proof attempt (``None`` = unlimited)."""
 
+    falsify_first: bool = False
+    """Test the goal on ground instances before searching for a proof.
+
+    When set, every attempt first runs the compiled-evaluator falsifier
+    (:mod:`repro.semantics.falsify`); a refuted goal returns a ``disproved``
+    :class:`~repro.search.result.ProofResult` carrying a replayable
+    :class:`~repro.semantics.falsify.Counterexample` and never enters proof
+    search.  Conditional goals — out of scope for the proof system — can still
+    be *disproved* this way.  Part of the configuration fingerprint, like
+    every other field."""
+
     emit_proofs: bool = False
     """Attach a portable :class:`~repro.proofs.certificate.ProofCertificate`
     to every successful result (:attr:`repro.search.result.ProofResult.certificate`).

@@ -105,13 +105,84 @@ class Prover:
         ``budget`` is an optional outer :class:`SearchBudget` (e.g. the theory
         explorer's whole-phase budget); the attempt aborts when either it or
         the configuration's own timeout expires.
+
+        With :attr:`~repro.search.config.ProverConfig.falsify_first` the goal
+        is first tested on ground instances through the compiled evaluator; a
+        refuted goal returns a ``disproved`` result (with its counterexample)
+        without entering search, and the falsification cost is charged to the
+        result's statistics either way.
         """
+        falsify_seconds = 0.0
+        falsify_instances = 0
+        if self.config.falsify_first:
+            from ..semantics.falsify import FalsificationConfig, falsify_equation
+
+            # The pre-pass honours the attempt's own wall-clock budget: a
+            # slow falsification must degrade to "fewer instances tested",
+            # never to an attempt that overruns its configured timeout.
+            falsified = falsify_equation(
+                self.program,
+                equation,
+                config=FalsificationConfig(timeout=self.config.timeout),
+                goal_name=goal_name,
+            )
+            falsify_seconds = falsified.seconds
+            falsify_instances = falsified.instances_tested
+            if falsified.counterexample is not None:
+                statistics = SearchStatistics(
+                    strategy=self.config.strategy,
+                    elapsed_seconds=falsified.seconds,
+                    falsification_seconds=falsify_seconds,
+                    falsification_instances=falsify_instances,
+                )
+                return ProofResult(
+                    proved=False,
+                    disproved=True,
+                    equation=equation,
+                    counterexample=falsified.counterexample,
+                    statistics=statistics,
+                    reason="counterexample found by ground testing",
+                    goal_name=goal_name,
+                )
         attempt = _ProofAttempt(self.program, self.config)
-        return attempt.run(equation, goal_name, hypotheses=hypotheses, budget=budget)
+        result = attempt.run(equation, goal_name, hypotheses=hypotheses, budget=budget)
+        result.statistics.falsification_seconds = falsify_seconds
+        result.statistics.falsification_instances = falsify_instances
+        return result
 
     def prove_goal(self, goal: Goal, hypotheses: Sequence[Equation] = ()) -> ProofResult:
-        """Attempt to prove a named goal; conditional goals fail as out of scope."""
+        """Attempt to prove a named goal; conditional goals fail as out of scope.
+
+        A conditional goal cannot be *proved* by the unconditional proof
+        system, but with ``falsify_first`` it can still be **disproved**: the
+        falsifier tests instances on which every premise holds, so a
+        counterexample genuinely refutes the implication.
+        """
         if goal.is_conditional:
+            if self.config.falsify_first:
+                from ..semantics.falsify import FalsificationConfig, falsify_goal
+
+                falsified = falsify_goal(
+                    self.program,
+                    goal,
+                    FalsificationConfig(timeout=self.config.timeout),
+                )
+                if falsified.counterexample is not None:
+                    statistics = SearchStatistics(
+                        strategy=self.config.strategy,
+                        elapsed_seconds=falsified.seconds,
+                        falsification_seconds=falsified.seconds,
+                        falsification_instances=falsified.instances_tested,
+                    )
+                    return ProofResult(
+                        proved=False,
+                        disproved=True,
+                        equation=goal.equation,
+                        counterexample=falsified.counterexample,
+                        statistics=statistics,
+                        reason="counterexample found by ground testing",
+                        goal_name=goal.name,
+                    )
             return ProofResult(
                 proved=False,
                 equation=goal.equation,

@@ -10,6 +10,7 @@ from ..proofs.preproof import Preproof
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from ..proofs.certificate import ProofCertificate
+    from ..semantics.falsify import Counterexample
 
 __all__ = ["SearchStatistics", "ProofResult"]
 
@@ -75,6 +76,12 @@ class SearchStatistics:
     certificate_seconds: float = 0.0
     """Wall-clock cost of encoding the proof certificate (0 when not emitted)."""
 
+    falsification_seconds: float = 0.0
+    """Wall-clock cost of the ``falsify_first`` ground testing (0 when off)."""
+
+    falsification_instances: int = 0
+    """Ground instances tested by ``falsify_first`` (0 when off)."""
+
     @property
     def timed_out(self) -> bool:
         """Was the attempt aborted by the wall-clock deadline?"""
@@ -89,6 +96,8 @@ class SearchStatistics:
             aborted = " aborted=node-budget"
         strategy = f" strategy={self.strategy}" if self.strategy else ""
         rounds = f"×{self.iterations}" if self.iterations > 1 else ""
+        if self.falsification_instances:
+            strategy += f" falsify={self.falsification_instances}"
         return (
             f"nodes={self.nodes_created} subst={self.subst_attempts} "
             f"case={self.case_splits} soundness={self.soundness_checks} "
@@ -111,6 +120,15 @@ class ProofResult:
     equation: Equation
     """The goal equation."""
 
+    disproved: bool = False
+    """Did ground testing refute the goal?  (Mutually exclusive with
+    :attr:`proved`; when set, :attr:`counterexample` carries the witness.)"""
+
+    counterexample: Optional["Counterexample"] = None
+    """The refuting instance found by ``falsify_first``
+    (:class:`repro.semantics.falsify.Counterexample`; JSON-serialisable via
+    ``to_dict`` and independently replayable via ``replay``)."""
+
     proof: Optional[Preproof] = None
     """The proof found (``None`` when the attempt failed)."""
 
@@ -131,6 +149,13 @@ class ProofResult:
         return self.proved
 
     def __str__(self) -> str:
-        status = "proved" if self.proved else f"failed ({self.reason})" if self.reason else "failed"
+        if self.proved:
+            status = "proved"
+        elif self.disproved:
+            status = "disproved"
+            if self.counterexample is not None:
+                status = f"disproved ({self.counterexample})"
+        else:
+            status = f"failed ({self.reason})" if self.reason else "failed"
         name = f"{self.goal_name}: " if self.goal_name else ""
         return f"{name}{self.equation} — {status} [{self.statistics.summary()}]"

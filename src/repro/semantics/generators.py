@@ -1,0 +1,230 @@
+"""Generation of well-typed ground constructor values.
+
+Two regimes feed the falsifier:
+
+* **Size-bounded exhaustive enumeration** (:func:`enumerate_values`): every
+  constructor value of a type up to a depth bound, the complete small-scope
+  search that catches most false conjectures.
+* **Seeded random sampling** (:func:`sample_value`): values at depths the
+  exhaustive regime cannot afford, drawn from a caller-supplied
+  ``random.Random`` so that every run is deterministic and replayable.
+
+:func:`instance_stream` combines both into the per-conjecture instance stream,
+using :func:`fair_product` for the exhaustive prefix.  Fairness matters: the
+naive ``itertools.product`` order freezes every variable except the last for
+the entire budget, so a conjecture false only in its *first* variable survives
+any budget smaller than the full cross product.  ``fair_product`` enumerates
+index tuples in growing "shells" (by maximum index), so every variable reaches
+its ``k``-th domain value after O(``k``ᵈⁱᵐ) tuples, not O(``k``·|product of
+the other domains|).
+
+Values are the evaluator's representation — plain ``(constructor, ...)``
+tuples — so generation allocates no :class:`~repro.core.terms.Term` at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.types import DataTy, Type, TypeVar
+
+__all__ = [
+    "concretise_type",
+    "enumerate_values",
+    "sample_value",
+    "fair_product",
+    "instance_stream",
+    "DEFAULT_SEED",
+]
+
+DEFAULT_SEED = 0x5EED
+"""Default seed of the random regime: fixed, so bare runs are reproducible."""
+
+
+def concretise_type(signature, ty: Type) -> Type:
+    """Replace type variables by a small concrete datatype for enumeration.
+
+    Polymorphic variables are instantiated as the first parameterless datatype
+    with a nullary constructor (the same policy as the historical
+    ``ground_terms`` enumeration, so oracles agree on which instances exist).
+    """
+    if isinstance(ty, TypeVar):
+        for name, decl in signature.datatypes.items():
+            if not decl.params and any(not c.arg_types for c in decl.constructors):
+                return DataTy(name)
+        return ty
+    if isinstance(ty, DataTy):
+        return DataTy(ty.name, tuple(concretise_type(signature, a) for a in ty.args))
+    return ty
+
+
+def enumerate_values(signature, ty: Type, depth: int) -> Iterator[tuple]:
+    """All constructor values of ``ty`` up to ``depth``, smallest constructors first.
+
+    Yields nothing for non-datatype types (function types, unresolvable type
+    variables) — such variables simply have no ground instances, mirroring the
+    term-level enumeration.
+    """
+    ty = concretise_type(signature, ty)
+    if not isinstance(ty, DataTy) or ty.name not in signature.datatypes:
+        return
+    if depth <= 0:
+        return
+    for con_name, arg_tys in signature.instantiate_constructors(ty):
+        if not arg_tys:
+            yield (con_name,)
+            continue
+        if depth == 1:
+            continue
+        domains = [list(enumerate_values(signature, at, depth - 1)) for at in arg_tys]
+        if any(not domain for domain in domains):
+            continue
+        for combo in itertools.product(*domains):
+            yield (con_name,) + combo
+
+
+def sample_value(signature, ty: Type, depth: int, rng: random.Random) -> Optional[tuple]:
+    """One random constructor value of ``ty`` within ``depth``, or ``None``.
+
+    Constructors are tried in a random order and the first one whose
+    arguments can all be completed within the remaining depth wins, so a
+    datatype without nullary constructors (``data NE = One Nat | More Nat
+    NE``) still samples successfully near the depth limit instead of
+    aborting half its draws.  ``None`` only when no value of the type fits
+    within ``depth`` at all.
+    """
+    ty = concretise_type(signature, ty)
+    if not isinstance(ty, DataTy) or ty.name not in signature.datatypes or depth <= 0:
+        return None
+    candidates = signature.instantiate_constructors(ty)
+    if depth == 1:
+        candidates = [(name, args) for name, args in candidates if not args]
+    if not candidates:
+        return None
+    for con_name, arg_tys in rng.sample(candidates, len(candidates)):
+        args = []
+        complete = True
+        for arg_ty in arg_tys:
+            arg = sample_value(signature, arg_ty, depth - 1, rng)
+            if arg is None:
+                complete = False
+                break
+            args.append(arg)
+        if complete:
+            return (con_name,) + tuple(args)
+    return None
+
+
+def fair_product(sizes: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    """Index tuples over ``range(sizes[i])`` domains, in growing shells.
+
+    Shell ``r`` contains exactly the tuples whose maximum index is ``r``, so a
+    prefix of the stream covers a growing hypercube rather than a line: every
+    coordinate visits its ``r``-th value within the first ``(r+1)^len(sizes)``
+    tuples.  Within a shell, tuples are yielded in lexicographic order of the
+    position of the first maximal coordinate; the whole order is deterministic.
+    """
+    if not sizes:
+        yield ()
+        return
+    if any(size <= 0 for size in sizes):
+        return
+    for radius in range(max(sizes)):
+        for first_max in range(len(sizes)):
+            if sizes[first_max] <= radius:
+                continue
+            ranges = []
+            feasible = True
+            for index, size in enumerate(sizes):
+                if index < first_max:
+                    # Strictly below the radius: `first_max` really is the
+                    # first coordinate reaching it (no duplicates across
+                    # decompositions).
+                    high = min(radius, size)
+                elif index == first_max:
+                    ranges.append(range(radius, radius + 1))
+                    continue
+                else:
+                    high = min(radius + 1, size)
+                if high <= 0:
+                    feasible = False
+                    break
+                ranges.append(range(high))
+            if not feasible:
+                continue
+            yield from itertools.product(*ranges)
+
+
+def instance_stream(
+    signature,
+    variables: Sequence,
+    depth: int,
+    limit: Optional[int] = None,
+    random_samples: int = 0,
+    random_depth: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    intern=None,
+) -> Iterator[Tuple[tuple, ...]]:
+    """Instance tuples (one value per variable) for a conjecture's variables.
+
+    First up to ``limit`` exhaustive instances at ``depth`` in fair-shell
+    order, then up to ``random_samples`` *distinct* random instances at
+    ``random_depth`` (default ``depth + 3``) drawn from a ``Random(seed)`` —
+    deterministic end to end.  Yields nothing when any variable's type has no
+    ground values (the conjecture is then vacuous at this bound, exactly as
+    for the term-level enumeration).
+
+    ``intern`` (optionally :meth:`repro.semantics.evaluator.Evaluator.intern_value`)
+    is applied once per distinct generated value, so the consumer receives
+    hash-consed values and never pays a per-instance canonicalisation walk.
+    """
+    domains: List[List[tuple]] = []
+    for var in variables:
+        domain = list(enumerate_values(signature, var.ty, depth))
+        if not domain:
+            return
+        if intern is not None:
+            domain = [intern(value) for value in domain]
+        domains.append(domain)
+    # `seen` only serves random-phase dedup; without a random phase the
+    # exhaustive product streams without retention.
+    seen: Optional[set] = set() if random_samples else None
+    count = 0
+    for combo in fair_product([len(domain) for domain in domains]):
+        if limit is not None and count >= limit:
+            break
+        instance = tuple(domains[i][index] for i, index in enumerate(combo))
+        if seen is not None:
+            seen.add(instance)
+        count += 1
+        yield instance
+    if not random_samples:
+        return
+    rng = random.Random(seed)
+    sample_depth = random_depth if random_depth is not None else depth + 3
+    produced = 0
+    attempts = 0
+    max_attempts = random_samples * 8
+    while produced < random_samples and attempts < max_attempts:
+        attempts += 1
+        values = []
+        for var in variables:
+            value = sample_value(signature, var.ty, sample_depth, rng)
+            if value is None:
+                # Unsatisfiable draw (type with no values at this depth at
+                # all — the exhaustive phase already proved values exist at
+                # `depth <= sample_depth`, so this is effectively unreachable,
+                # but a failed draw must cost one attempt, not the phase).
+                values = None
+                break
+            values.append(value if intern is None else intern(value))
+        if values is None:
+            continue
+        instance = tuple(values)
+        if instance in seen:
+            continue
+        seen.add(instance)
+        produced += 1
+        yield instance

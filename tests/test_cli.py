@@ -402,3 +402,94 @@ def test_python_dash_m_entry_point():
     )
     assert process.returncode == 0, process.stderr
     assert "proved" in process.stdout
+
+
+class TestDisprove:
+    def test_disprove_false_conjectures_all_refuted(self, capsys):
+        assert main(["disprove", "--suite", "false_conjectures", "--replay"]) == 0
+        out = capsys.readouterr().out
+        assert "disproved 12/12" in out
+
+    def test_disprove_true_goal_exits_one(self, capsys):
+        assert main(["disprove", "--suite", "isaplanner", "--goal", "prop_01"]) == 1
+        out = capsys.readouterr().out
+        assert "no counterexample" in out
+        assert "disproved 0/1" in out
+
+    def test_disprove_unknown_goal_is_a_usage_error(self, capsys):
+        assert main(["disprove", "--suite", "false_conjectures", "--goal", "nope"]) == 2
+        assert "unknown goal" in capsys.readouterr().err
+
+    def test_disprove_conditional_goal_with_premises(self, capsys):
+        assert main(["disprove", "--suite", "false_conjectures", "--goal", "fc_12"]) == 0
+        assert "disproved 1/1" in capsys.readouterr().out
+
+    def test_disprove_program_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.cq"
+        path.write_text(
+            "data Nat = Z | S Nat\n"
+            "add :: Nat -> Nat -> Nat\n"
+            "add Z y = y\n"
+            "add (S x) y = S (add x y)\n"
+            "bogus x y = add x y === x\n"
+        )
+        assert main(["disprove", "--file", str(path)]) == 0
+        assert "disproved 1/1" in capsys.readouterr().out
+
+    def test_disprove_seed_and_budget_flags(self, capsys):
+        code = main(["disprove", "--suite", "false_conjectures", "--goal", "fc_02",
+                     "--depth", "3", "--samples", "20", "--seed", "99"])
+        assert code == 0
+
+
+class TestFalsifyFlag:
+    def test_solve_falsify_reports_disproved_with_counterexample(self, capsys):
+        assert main(["solve", "--suite", "false_conjectures", "--goal", "fc_02",
+                     "--falsify"]) == 0
+        out = capsys.readouterr().out
+        assert "disproved" in out and "counterexample" in out
+        assert "cycleq.counterexample" in out
+
+    def test_solve_without_falsify_still_fails_false_goals(self, capsys):
+        assert main(["solve", "--suite", "false_conjectures", "--goal", "fc_02",
+                     "--timeout", "0.5"]) == 1
+
+    def test_bench_serial_falsify_prints_counterexample_table(self, capsys):
+        assert main(["bench", "--suite", "false_conjectures", "--serial",
+                     "--names", "fc_02,fc_10", "--falsify", "--timeout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "counterexamples:" in out
+        assert "fc_02" in out and "fc_10" in out
+
+    def test_bench_parallel_falsify_with_store_replays_counterexamples(self, tmp_path, capsys):
+        store = str(tmp_path / "fc.jsonl")
+        args = ["bench", "--suite", "false_conjectures", "--jobs", "2",
+                "--timeout", "2", "--names", "fc_02,fc_10,fc_12", "--falsify",
+                "--store", store]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "replayed from store: 0/3" in cold
+        before = open(store).read()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "replayed from store: 3/3" in warm
+        assert "counterexamples:" in warm
+        # byte-for-byte: the warm run appends nothing, the witnesses round-trip
+        assert open(store).read() == before
+
+    def test_report_renders_counterexamples_from_store(self, tmp_path, capsys):
+        store = str(tmp_path / "fc.jsonl")
+        assert main(["bench", "--suite", "false_conjectures", "--jobs", "2",
+                     "--timeout", "2", "--names", "fc_02", "--falsify",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "disproved" in out and "counterexamples:" in out
+
+    def test_disprove_race_portfolio_preset(self, capsys):
+        assert main(["bench", "--suite", "false_conjectures", "--jobs", "2",
+                     "--timeout", "2", "--names", "fc_02", "--portfolio",
+                     "disprove-race"]) == 0
+        out = capsys.readouterr().out
+        assert "disproved" in out

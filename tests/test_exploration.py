@@ -89,3 +89,54 @@ class TestTheoryExplorer:
         explorer = TheoryExplorer(isaplanner, ExplorationConfig(total_budget=1.0))
         outcome = explorer.prove_goal(isaplanner.goal("prop_05"))
         assert not outcome.proved
+
+
+class TestCandidateFalsification:
+    def test_refuted_candidates_are_skipped_without_a_proof_attempt(self, nat_program, monkeypatch):
+        import repro.exploration.explorer as explorer_module
+        from repro.exploration.explorer import ExplorationConfig, TheoryExplorer
+
+        false_candidate = nat_program.parse_equation("add x y === x")
+        true_candidate = nat_program.parse_equation("add x Z === x")
+        monkeypatch.setattr(
+            explorer_module,
+            "candidate_equations",
+            lambda program, config: [false_candidate, true_candidate],
+        )
+        explorer = TheoryExplorer(
+            nat_program, ExplorationConfig(total_budget=10.0, lemma_timeout=1.0)
+        )
+        library = explorer.explore()
+        assert explorer._candidates_refuted == 1
+        assert false_candidate not in library
+        assert true_candidate in library
+
+    def test_filter_can_be_disabled(self, nat_program, monkeypatch):
+        import repro.exploration.explorer as explorer_module
+        from repro.exploration.explorer import ExplorationConfig, TheoryExplorer
+
+        false_candidate = nat_program.parse_equation("add x y === x")
+        monkeypatch.setattr(
+            explorer_module, "candidate_equations", lambda program, config: [false_candidate]
+        )
+        explorer = TheoryExplorer(
+            nat_program,
+            ExplorationConfig(total_budget=5.0, lemma_timeout=0.2, falsify_candidates=False),
+        )
+        explorer.explore()
+        assert explorer._candidates_refuted == 0
+
+    def test_exploration_result_reports_the_refuted_counter(self, nat_program, monkeypatch):
+        import repro.exploration.explorer as explorer_module
+        from repro.exploration.explorer import ExplorationConfig, TheoryExplorer
+
+        false_candidate = nat_program.parse_equation("add x y === S x")
+        monkeypatch.setattr(
+            explorer_module, "candidate_equations", lambda program, config: [false_candidate]
+        )
+        explorer = TheoryExplorer(
+            nat_program, ExplorationConfig(total_budget=5.0, lemma_timeout=0.2)
+        )
+        unprovable = nat_program.parse_equation("add x y === add y (add x Z)")
+        outcome = explorer.prove(unprovable)
+        assert outcome.candidates_refuted == 1

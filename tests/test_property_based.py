@@ -315,3 +315,75 @@ class TestCertificateProperties:
             if entry[0] == "a":
                 assert 0 <= entry[1] < index
                 assert 0 <= entry[2] < index
+
+
+# ---------------------------------------------------------------------------
+# Compiled ground evaluator vs the generic normaliser
+# ---------------------------------------------------------------------------
+
+
+def _nat_program():
+    """The add/mul/double program over Nat (built once per process)."""
+    global _NAT_PROGRAM_CACHE
+    try:
+        return _NAT_PROGRAM_CACHE
+    except NameError:
+        pass
+    from repro import load_program
+
+    _NAT_PROGRAM_CACHE = load_program(
+        """
+data Nat = Z | S Nat
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+mul :: Nat -> Nat -> Nat
+mul Z y = Z
+mul (S x) y = add y (mul x y)
+"""
+    )
+    return _NAT_PROGRAM_CACHE
+
+
+class TestCompiledEvaluatorProperties:
+    @given(ground_terms)
+    @settings(max_examples=150)
+    def test_agrees_with_normalizer_on_ground_terms(self, term):
+        from repro.rewriting.reduction import Normalizer
+        from repro.semantics.evaluator import Evaluator, value_to_term
+
+        program = _nat_program()
+        evaluator = Evaluator.for_program(program)
+        value = evaluator.evaluate(term)
+        expected = Normalizer(program.rules).normalize(term)
+        assert value_to_term(value) == expected
+
+    @given(ground_terms)
+    @settings(max_examples=80)
+    def test_evaluation_is_canonical(self, term):
+        from repro.semantics.evaluator import Evaluator
+
+        program = _nat_program()
+        evaluator = Evaluator.for_program(program)
+        # Hash-consed values: evaluating twice yields the same object.
+        assert evaluator.evaluate(term) is evaluator.evaluate(term)
+
+    @given(terms, substitutions)
+    @settings(max_examples=100)
+    def test_compiled_open_terms_agree_with_substitute_then_normalize(self, term, subst):
+        from hypothesis import assume
+        from repro.core.terms import free_vars
+        from repro.rewriting.reduction import Normalizer
+        from repro.semantics.evaluator import Evaluator, value_to_term
+
+        assume(all(v.name in subst for v in free_vars(term)))
+        program = _nat_program()
+        evaluator = Evaluator.for_program(program)
+        slots = {name: index for index, name in enumerate(sorted(subst))}
+        expr = evaluator.compile(term, slots)
+        env = [evaluator.evaluate(subst[name]) for name in sorted(subst)]
+        value = evaluator.run(expr, env)
+        expected = Normalizer(program.rules).normalize(subst.apply(term))
+        assert value_to_term(value) == expected
