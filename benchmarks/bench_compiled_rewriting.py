@@ -1,0 +1,321 @@
+"""Experiment E-compile — compiled rewrite dispatch vs generic matching.
+
+This benchmark quantifies the compiled-normalisation tentpole: per-symbol
+Maranget match trees emitted as Python source
+(:mod:`repro.rewriting.compile`) dispatching every cache-missed root
+reduction, measured against the generic ``matching_candidates`` +
+``match_or_none`` loop that :class:`~repro.rewriting.reduction.Normalizer`
+used before (still reachable via ``compile_rules=False`` /
+``--no-compile-rules`` — byte-identical machinery, so the baseline is the
+real alternative, not a strawman).
+
+Two measurements, reported separately and *not* conflated:
+
+* **micro: pinned normalisation workload** — both sides of every IsaPlanner
+  goal equation grounded under a fixed substitution (numeral ``9`` for
+  ``Nat``-typed variables, a fixed 6-element list for list-typed ones), each
+  repeat through a fresh :class:`Normalizer` so nothing is amortised across
+  repeats except the per-system compiled trees — exactly the sharing a real
+  suite run gets.  The two dispatchers are measured *paired and interleaved*
+  (:func:`stats.measure_paired`), so machine drift between measurement blocks
+  cancels in the per-pair ratios.  This is the asserted claim: the 95% CI
+  *lower bound* of the paired speedup ratio must be ≥ 2×.
+* **end-to-end: full-suite wall-clock** — the serial IsaPlanner suite run in
+  both modes.  Reported for context, never asserted: proof search spends most
+  of its time away from the normaliser (soundness closure, unification,
+  agenda bookkeeping), so Amdahl caps the end-to-end win well below the
+  micro ratio.
+
+Plus the correctness gate the speedup is worthless without: **parity** — the
+IsaPlanner, mutual and false-conjectures suites must produce *identical*
+statuses and node counts with compilation on and off.  The parity runs use a
+node budget with the wall clock disabled, so the comparison is fully
+deterministic (a timeout would cut boundary goals differently under load —
+and differently *because* of the speedup under test).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_compiled_rewriting.py``)
+for the full report, or through pytest for the asserted CI-lower-bound
+speedup and the parity gate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from conftest import print_report  # shared benchmark helpers
+from stats import format_sample, measure_paired
+
+from repro.benchmarks_data import isaplanner_program
+from repro.benchmarks_data.registry import (
+    false_conjectures_problems,
+    isaplanner_problems,
+    mutual_problems,
+)
+from repro.core.substitution import Substitution
+from repro.core.terms import App, Sym, Term
+from repro.core.types import DataTy, TypeVar
+from repro.harness import format_table, run_suite
+from repro.rewriting.reduction import Normalizer
+from repro.search.config import ProverConfig
+
+#: The pinned grounding: Nat variables become this numeral, list variables
+#: this list.  Deep enough that every defined symbol recurses many times and
+#: a repeat takes tens of milliseconds (small workloads put the ratio at the
+#: mercy of timer/scheduler noise), fixed so every run (and every CI box)
+#: measures the same reduction work.
+NAT_VALUE = 9
+LIST_VALUES = (3, 1, 4, 1, 5, 2)
+
+#: Repeats/warmup for the micro measurement.  Two warmup runs build the
+#: per-system compiled trees (cached on the rewrite system, as in a real
+#: suite) and warm the allocator before anything is recorded.
+REPEATS = 11
+WARMUP = 2
+
+#: Suites whose statuses/node counts must be identical in both modes.
+PARITY_SUITES = ("isaplanner", "mutual", "false_conjectures")
+
+_SUITE_LOADERS = {
+    "isaplanner": isaplanner_problems,
+    "mutual": mutual_problems,
+    "false_conjectures": false_conjectures_problems,
+}
+
+#: Configuration for parity + end-to-end runs: a *node* budget and no wall
+#: clock, so both modes run the byte-identical deterministic search — a
+#: timeout would cut goals near the boundary differently depending on machine
+#: load and on the very dispatch speedup under test, turning the gate flaky.
+#: With no timeout, statuses AND node counts must agree exactly, for every
+#: goal.  300 nodes proves as many IsaPlanner goals as the default 5 s wall
+#: clock does (42/85 here) at a fraction of the unsolved-goal cost — search
+#: cost grows superlinearly in expanded nodes.  Falsification is on so
+#: refutable goals exercise the batched evaluator path and ``disproved``
+#: statuses take part in the parity check.
+PARITY_CONFIG = ProverConfig(timeout=None, max_nodes=300, falsify_first=True)
+
+
+# ---------------------------------------------------------------------------
+# Pinned workload
+# ---------------------------------------------------------------------------
+
+
+def _peano(n: int) -> Term:
+    term: Term = Sym("Z")
+    for _ in range(n):
+        term = App(Sym("S"), term)
+    return term
+
+
+def _nat_list(values) -> Term:
+    term: Term = Sym("Nil")
+    for value in reversed(list(values)):
+        term = App(App(Sym("Cons"), _peano(value)), term)
+    return term
+
+
+def _ground_for(ty) -> Optional[Term]:
+    """A fixed closed term of (a Nat instance of) ``ty``, or ``None``.
+
+    Type variables are instantiated at ``Nat``; goals over function-typed or
+    tree-typed variables are skipped — the workload pins what the prover's
+    normaliser overwhelmingly sees: numbers and lists of numbers.
+    """
+    if isinstance(ty, TypeVar):
+        return _peano(NAT_VALUE)
+    if isinstance(ty, DataTy):
+        if ty.name == "Nat":
+            return _peano(NAT_VALUE)
+        if ty.name == "List":
+            return _nat_list(LIST_VALUES)
+    return None
+
+
+def pinned_workload() -> Tuple[object, List[Term]]:
+    """``(rewrite system, terms)``: grounded goal sides of every eligible goal."""
+    program = isaplanner_program()
+    terms: List[Term] = []
+    for goal in program.goals.values():
+        equation = goal.equation
+        bindings: Dict[str, Term] = {}
+        for var in equation.variables():
+            ground = _ground_for(var.ty)
+            if ground is None:
+                bindings = {}
+                break
+            bindings[var.name] = ground
+        if not bindings:
+            continue
+        closed = equation.apply(Substitution(bindings))
+        terms.append(closed.lhs)
+        terms.append(closed.rhs)
+    return program.rules, terms
+
+
+# ---------------------------------------------------------------------------
+# Micro measurement
+# ---------------------------------------------------------------------------
+
+
+def run_microbenchmark(repeats: int = REPEATS, warmup: int = WARMUP):
+    """Measure both dispatchers on the pinned workload.
+
+    Returns ``(report, point_speedup, ci_lower_speedup)``.  Each repeat uses a
+    fresh :class:`Normalizer` (empty normal-form cache); the compiled trees are
+    shared across repeats through the rewrite system, exactly as every
+    normaliser of a suite run shares them.  The point estimate and the CI
+    lower bound are those of the *paired* per-repeat ratio sample (see
+    :func:`stats.measure_paired`).
+    """
+    system, terms = pinned_workload()
+    if not terms:
+        raise RuntimeError("pinned workload is empty — goal grounding broke")
+
+    def run_compiled():
+        normalizer = Normalizer(system, compile_rules=True)
+        for term in terms:
+            normalizer.normalize(term)
+        return normalizer
+
+    def run_generic():
+        normalizer = Normalizer(system, compile_rules=False)
+        for term in terms:
+            normalizer.normalize(term)
+        return normalizer
+
+    # Correctness before speed: identical normal forms, term by term.
+    compiled_normalizer = Normalizer(system, compile_rules=True)
+    generic_normalizer = Normalizer(system, compile_rules=False)
+    for term in terms:
+        compiled_nf = compiled_normalizer.normalize(term)
+        generic_nf = generic_normalizer.normalize(term)
+        assert compiled_nf == generic_nf, (
+            f"dispatchers disagree on {term}: compiled → {compiled_nf}, "
+            f"generic → {generic_nf}"
+        )
+    assert compiled_normalizer.fallback_steps == 0, (
+        "the IsaPlanner prelude should compile without declines; "
+        f"saw {compiled_normalizer.fallback_steps} generic fallback steps"
+    )
+
+    generic_sample, compiled_sample, ratio_sample = measure_paired(
+        run_generic, run_compiled, repeats=repeats, warmup=warmup
+    )
+    point = ratio_sample.mean
+    ci_lower = ratio_sample.ci_low
+
+    # Compile cost, measured against virgin compiled state: a copied system
+    # shares no `for_system` cache with the original.
+    cold = Normalizer(system.copy(), compile_rules=True)
+    for term in terms:
+        cold.normalize(term)
+
+    rows = [
+        ("workload", f"{len(terms)} grounded goal sides (Nat={NAT_VALUE}, list={list(LIST_VALUES)})"),
+        ("generic dispatch", format_sample(generic_sample)),
+        ("compiled dispatch", format_sample(compiled_sample)),
+        ("speedup (paired mean ratio)", f"{point:.2f}x"),
+        ("speedup (95% CI lower bound, paired)", f"{ci_lower:.2f}x"),
+        ("compiled steps / repeat", compiled_normalizer.compiled_steps),
+        ("one-time compile cost", f"{cold.compile_seconds * 1000:.2f} ms"),
+    ]
+    return format_table(("metric", "value"), rows), point, ci_lower
+
+
+# ---------------------------------------------------------------------------
+# Parity + end-to-end wall-clock
+# ---------------------------------------------------------------------------
+
+
+def run_parity_and_end_to_end(suites: Tuple[str, ...] = PARITY_SUITES):
+    """Run each suite in both modes; check parity, collect wall-clocks.
+
+    Returns ``(parity_table, wall_table, mismatches)`` where ``mismatches``
+    is a list of human-readable per-goal discrepancies (empty on parity).
+    """
+    parity_rows: List[Tuple[object, ...]] = []
+    wall_rows: List[Tuple[object, ...]] = []
+    mismatches: List[str] = []
+    for suite_name in suites:
+        problems = _SUITE_LOADERS[suite_name]()
+        results = {}
+        walls = {}
+        for mode, enabled in (("compiled", True), ("generic", False)):
+            config = PARITY_CONFIG.with_(compile_rules=enabled)
+            started = time.perf_counter()
+            results[mode] = run_suite(problems, config, suite_name=suite_name)
+            walls[mode] = time.perf_counter() - started
+        compiled_records = {r.name: r for r in results["compiled"].records}
+        generic_records = {r.name: r for r in results["generic"].records}
+        agreeing = 0
+        for name in sorted(compiled_records):
+            c, g = compiled_records[name], generic_records[name]
+            if c.status == g.status and c.nodes == g.nodes:
+                agreeing += 1
+            else:
+                mismatches.append(
+                    f"{suite_name}/{name}: compiled {c.status} ({c.nodes} nodes) "
+                    f"vs generic {g.status} ({g.nodes} nodes)"
+                )
+        parity_rows.append(
+            (
+                suite_name,
+                len(compiled_records),
+                agreeing,
+                len(results["compiled"].solved),
+                len(results["compiled"].disproved),
+                "yes" if agreeing == len(compiled_records) else "NO",
+            )
+        )
+        wall_rows.append(
+            (
+                suite_name,
+                f"{walls['generic']:.2f}",
+                f"{walls['compiled']:.2f}",
+                f"{walls['generic'] / walls['compiled']:.2f}x",
+            )
+        )
+    parity_table = format_table(
+        ("suite", "goals", "agree", "proved", "disproved", "parity"), parity_rows
+    )
+    wall_table = format_table(
+        ("suite", "generic wall (s)", "compiled wall (s)", "end-to-end ratio"), wall_rows
+    )
+    return parity_table, wall_table, mismatches
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the asserted acceptance criteria)
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_dispatch_speedup_ci_lower_bound_at_least_2x():
+    """Acceptance criterion: ≥ 2× at the 95% CI lower bound on the pinned workload."""
+    table, point, ci_lower = run_microbenchmark()
+    print_report("compiled rewrite dispatch vs generic matching", table)
+    assert ci_lower >= 2.0, (
+        f"expected a 95%-CI lower-bound speedup of >= 2x on the pinned "
+        f"normalisation workload, got {ci_lower:.2f}x (mean {point:.2f}x)\n{table}"
+    )
+
+
+def test_full_suite_parity_compiled_vs_generic():
+    """Acceptance criterion: identical statuses and node counts in both modes."""
+    parity_table, wall_table, mismatches = run_parity_and_end_to_end()
+    print_report("suite parity (compiled vs generic)", parity_table)
+    print_report("end-to-end wall-clock (reported, not asserted)", wall_table)
+    assert not mismatches, "compiled and generic dispatch diverged:\n" + "\n".join(mismatches)
+
+
+if __name__ == "__main__":
+    micro_table, micro_point, micro_ci = run_microbenchmark()
+    print_report("compiled rewrite dispatch vs generic matching", micro_table)
+    parity_table, wall_table, mismatches = run_parity_and_end_to_end()
+    print_report("suite parity (compiled vs generic)", parity_table)
+    print_report("end-to-end wall-clock (reported, not asserted)", wall_table)
+    if mismatches:
+        raise SystemExit("PARITY FAILURE:\n" + "\n".join(mismatches))
+    print(
+        f"micro speedup {micro_point:.2f}x (CI lower bound {micro_ci:.2f}x); "
+        f"parity holds on {', '.join(PARITY_SUITES)}"
+    )

@@ -18,17 +18,27 @@ Two workloads over the IsaPlanner prelude:
 * **single-term evaluation** — normalise a family of closed terms one by one,
   the apples-to-apples comparison without the compile-once amortisation.
 
+Both baselines pin ``compile_rules=False``: this benchmark measures the
+evaluator against the *historical* generic-matching oracle it replaced, a
+fixed yardstick.  The compiled rewrite dispatcher narrows the gap from the
+normaliser side — that win is measured separately (and against its own
+baseline) in ``bench_compiled_rewriting.py``; letting it drift into this
+baseline would conflate the two claims.
+
 Run directly (``PYTHONPATH=src python benchmarks/bench_evaluator.py``) for the
-report, or through pytest for the asserted ≥10× speedup on conjecture testing.
+report, or through pytest for the asserted ≥10× speedup on conjecture
+testing — asserted at the 95% CI lower bound over repeated runs (see
+:mod:`stats`), with the per-conjecture rows as single-run point estimates
+for orientation only.
 """
 
 from __future__ import annotations
 
-import gc
 import time
-from typing import Callable, List, Tuple
+from typing import List, Tuple
 
 from conftest import print_report  # shared benchmark helpers
+from stats import format_sample, measure, speedup, speedup_ci_lower
 from repro.benchmarks_data import isaplanner_program
 from repro.core.substitution import Substitution
 from repro.harness import format_table
@@ -82,24 +92,6 @@ def _collect_instances(program, equation, intern=None):
     return variables, instances
 
 
-def _time(f: Callable[[], object]) -> Tuple[float, object]:
-    """Wall-clock a thunk with the cyclic GC paused (``timeit``'s discipline).
-
-    Both engines allocate heavily (interned values on one side, terms and
-    normal forms on the other); collector pauses landing inside one measured
-    region or the other are noise, not signal.
-    """
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        started = time.perf_counter()
-        result = f()
-        return time.perf_counter() - started, result
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-
-
 def _test_compiled(evaluator, equation, variables, instances) -> int:
     """The falsifier's loop: compile the sides once, run the machine per instance."""
     slots = {var.name: index for index, var in enumerate(variables)}
@@ -119,9 +111,9 @@ def _test_normalizer(program, equation, variables, instances) -> int:
     A fresh caching normaliser per equation, exactly as ``check_equation``
     always used (the cache persists across instances, so repeated subterm
     normal forms are already amortised — this is the old *fast* path, not a
-    strawman).
+    strawman).  Generic dispatch pinned: see the module docstring.
     """
-    normalizer = Normalizer(program.rules)
+    normalizer = Normalizer(program.rules, compile_rules=False)
     value_terms = {}
 
     def term_of(value):
@@ -141,34 +133,45 @@ def _test_normalizer(program, equation, variables, instances) -> int:
     return agreements
 
 
-def run_conjecture_benchmark() -> Tuple[str, float]:
-    """Per-conjecture timings; returns (table, overall speedup)."""
+def run_conjecture_benchmark(repeats: int = 5) -> Tuple[str, float, float]:
+    """Per-conjecture point timings plus whole-suite samples.
+
+    Returns ``(table, mean-ratio speedup, 95% CI lower bound)``.  The
+    asserted quantity is the whole-suite ratio measured over ``repeats``
+    recorded runs; the per-conjecture rows are single-run point estimates,
+    shown for orientation, never asserted.
+    """
     program = isaplanner_program()
     # One compiled evaluator for the whole suite, exactly as the falsifier
     # shares `Evaluator.for_program(program)` across every goal of a run; its
     # construction cost (compiling the prelude's decision trees, ~1 ms) is
     # amortised over the suite, not charged to each conjecture.
     evaluator = Evaluator(program.signature, program.rules.rules)
-    rows: List[Tuple[object, ...]] = []
-    total_compiled = 0.0
-    total_normalizer = 0.0
+    prepared = []
     for source in CONJECTURES:
         equation = program.parse_equation(source)
         variables, instances = _collect_instances(
             program, equation, intern=evaluator.intern_value
         )
-        compiled_seconds, compiled_result = _time(
-            lambda: _test_compiled(evaluator, equation, variables, instances)
-        )
-        normalizer_seconds, normalizer_result = _time(
-            lambda: _test_normalizer(program, equation, variables, instances)
-        )
+        prepared.append((source, equation, variables, instances))
+
+    # Correctness before speed: both oracles must agree on every instance.
+    for source, equation, variables, instances in prepared:
+        compiled_result = _test_compiled(evaluator, equation, variables, instances)
+        normalizer_result = _test_normalizer(program, equation, variables, instances)
         assert compiled_result == normalizer_result, (
             f"oracles disagree on {source}: compiled says {compiled_result}, "
             f"normaliser says {normalizer_result} (of {len(instances)})"
         )
-        total_compiled += compiled_seconds
-        total_normalizer += normalizer_seconds
+
+    rows: List[Tuple[object, ...]] = []
+    for source, equation, variables, instances in prepared:
+        started = time.perf_counter()
+        _test_compiled(evaluator, equation, variables, instances)
+        compiled_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        _test_normalizer(program, equation, variables, instances)
+        normalizer_seconds = time.perf_counter() - started
         rows.append(
             (
                 source,
@@ -178,24 +181,32 @@ def run_conjecture_benchmark() -> Tuple[str, float]:
                 f"{normalizer_seconds / compiled_seconds:.1f}x",
             )
         )
-    speedup = total_normalizer / total_compiled
-    rows.append(
-        (
-            "total",
-            "",
-            f"{total_normalizer * 1000:.1f}",
-            f"{total_compiled * 1000:.1f}",
-            f"{speedup:.1f}x",
-        )
-    )
+
+    def compiled_pass():
+        for _, equation, variables, instances in prepared:
+            _test_compiled(evaluator, equation, variables, instances)
+
+    def normalizer_pass():
+        for _, equation, variables, instances in prepared:
+            _test_normalizer(program, equation, variables, instances)
+
+    compiled_sample = measure(compiled_pass, repeats=repeats, warmup=1)
+    normalizer_sample = measure(normalizer_pass, repeats=repeats, warmup=1)
+    point = speedup(normalizer_sample, compiled_sample)
+    ci_lower = speedup_ci_lower(normalizer_sample, compiled_sample)
+    rows.append(("whole suite (normaliser)", "", format_sample(normalizer_sample), "", ""))
+    rows.append(("whole suite (compiled)", "", "", format_sample(compiled_sample), ""))
+    rows.append(("whole suite", "", "", "", f"{point:.1f}x (CI lower {ci_lower:.1f}x)"))
     table = format_table(
         ("conjecture", "instances", "normaliser ms", "compiled ms", "speedup"), rows
     )
-    return table, speedup
+    return table, point, ci_lower
 
 
-def run_single_term_benchmark() -> Tuple[str, float]:
-    """Closed-term evaluation without the compile-once amortisation."""
+def run_single_term_benchmark(repeats: int = 5) -> Tuple[str, float, float]:
+    """Closed-term evaluation without the compile-once amortisation.
+
+    Returns ``(table, mean-ratio speedup, 95% CI lower bound)``."""
     program = isaplanner_program()
     evaluator = Evaluator(program.signature, program.rules.rules)
     sources = [
@@ -214,26 +225,32 @@ def run_single_term_benchmark() -> Tuple[str, float]:
     def normalised() -> None:
         # A fresh normaliser per round: closed-term evaluation in a loop is
         # what the explorer's candidate filter did before the rewire, and each
-        # new candidate brings unseen terms to the cache.
-        normalizer = Normalizer(program.rules)
+        # new candidate brings unseen terms to the cache.  Generic dispatch
+        # pinned: see the module docstring.
+        normalizer = Normalizer(program.rules, compile_rules=False)
         for term in terms:
             normalizer.normalize(term)
 
-    compiled_seconds, _ = _time(lambda: [compiled() for _ in range(rounds)])
-    normalizer_seconds, _ = _time(lambda: [normalised() for _ in range(rounds)])
-    speedup = normalizer_seconds / compiled_seconds
+    compiled_sample = measure(
+        lambda: [compiled() for _ in range(rounds)], repeats=repeats, warmup=1
+    )
+    normalizer_sample = measure(
+        lambda: [normalised() for _ in range(rounds)], repeats=repeats, warmup=1
+    )
+    point = speedup(normalizer_sample, compiled_sample)
+    ci_lower = speedup_ci_lower(normalizer_sample, compiled_sample)
     table = format_table(
-        ("workload", "normaliser ms", "compiled ms", "speedup"),
+        ("workload", "normaliser", "compiled", "speedup"),
         [
             (
                 f"{len(terms)} closed terms × {rounds} rounds",
-                f"{normalizer_seconds * 1000:.1f}",
-                f"{compiled_seconds * 1000:.1f}",
-                f"{speedup:.1f}x",
+                format_sample(normalizer_sample),
+                format_sample(compiled_sample),
+                f"{point:.1f}x (CI lower {ci_lower:.1f}x)",
             )
         ],
     )
-    return table, speedup
+    return table, point, ci_lower
 
 
 # ---------------------------------------------------------------------------
@@ -242,25 +259,34 @@ def run_single_term_benchmark() -> Tuple[str, float]:
 
 
 def test_compiled_evaluator_is_10x_faster_on_conjecture_testing():
-    table, speedup = run_conjecture_benchmark()
+    table, point, ci_lower = run_conjecture_benchmark()
     print_report("conjecture testing: compiled evaluator vs normaliser", table)
-    # Measured ~12x here; the acceptance bar is the round order of magnitude.
-    assert speedup >= 10.0, f"expected >= 10x on ground conjecture testing, got {speedup:.1f}x"
+    # Measured ~12x (mean); the acceptance bar is the round order of
+    # magnitude, and it must hold at the 95% CI lower bound.
+    assert ci_lower >= 10.0, (
+        f"expected >= 10x on ground conjecture testing at the CI lower bound, "
+        f"got {ci_lower:.1f}x (mean {point:.1f}x)"
+    )
 
 
 def test_compiled_evaluator_beats_normaliser_on_single_terms():
-    table, speedup = run_single_term_benchmark()
+    table, point, ci_lower = run_single_term_benchmark()
     print_report("single closed-term evaluation", table)
-    # Measured ~70x here (expression caching + call memo); assert a safe floor.
-    assert speedup >= 10.0, f"expected >= 10x on single-term evaluation, got {speedup:.1f}x"
+    # Measured ~20-70x (expression caching + call memo); assert a safe floor
+    # at the CI lower bound.
+    assert ci_lower >= 10.0, (
+        f"expected >= 10x on single-term evaluation at the CI lower bound, "
+        f"got {ci_lower:.1f}x (mean {point:.1f}x)"
+    )
 
 
 if __name__ == "__main__":
-    conjecture_table, conjecture_speedup = run_conjecture_benchmark()
+    conjecture_table, conjecture_point, conjecture_ci = run_conjecture_benchmark()
     print_report("conjecture testing: compiled evaluator vs normaliser", conjecture_table)
-    single_table, single_speedup = run_single_term_benchmark()
+    single_table, single_point, single_ci = run_single_term_benchmark()
     print_report("single closed-term evaluation", single_table)
     print(
-        f"overall: {conjecture_speedup:.1f}x on conjecture testing, "
-        f"{single_speedup:.1f}x on single terms"
+        f"overall: {conjecture_point:.1f}x (CI lower {conjecture_ci:.1f}x) on "
+        f"conjecture testing, {single_point:.1f}x (CI lower {single_ci:.1f}x) "
+        f"on single terms"
     )

@@ -1,0 +1,239 @@
+"""Statistically honest benchmark measurement helpers.
+
+Every asserted speedup in this directory used to compare a single (or
+best-of-N) timing pair, which conflates real effects with scheduler noise,
+allocator state, and branch-predictor warmup.  This module gives each
+benchmark the same small, dependency-free discipline:
+
+* :func:`measure` runs a thunk ``warmup`` times unrecorded, then ``repeats``
+  times recorded, with the cyclic GC paused around each recorded run
+  (``timeit``'s convention — collector pauses are noise, not signal), and
+  returns a :class:`Sample` of per-run wall-clock seconds.
+* :class:`Sample` carries the mean, the sample standard deviation, and a 95%
+  confidence interval for the mean built from the Student t distribution
+  (small-sample critical values are table-driven; no scipy).
+* :func:`speedup_ci_lower` turns two samples into the *conservative* speedup
+  estimate used by assertions: slowest plausible baseline over fastest
+  plausible candidate is the wrong direction for a perf claim, so we take
+  ``baseline.ci_low / candidate.ci_high`` — the speedup still holding when
+  both intervals conspire against the claim.  An assertion on this bound only
+  fires when the measured advantage is robust, not when one lucky run was.
+* :func:`measure_paired` is the drift-resistant variant for ratio claims: it
+  interleaves the two thunks (order swapped each pair) and returns a
+  :class:`Sample` of per-pair ratios, so slow machine drift cancels inside
+  each pair instead of biasing whichever block was measured second.
+
+Intentionally not handled: multiple-process isolation, CPU pinning, frequency
+scaling.  CI runners provide none of those; wide intervals on a noisy box are
+exactly what makes the lower-bound assertion honest there.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple
+
+__all__ = [
+    "Sample",
+    "measure",
+    "measure_paired",
+    "speedup",
+    "speedup_ci_lower",
+    "format_sample",
+]
+
+#: Two-sided 95% Student t critical values by degrees of freedom (1..30).
+#: Beyond 30 degrees of freedom the normal approximation (1.96) is used.
+_T_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def _t_critical(df: int) -> float:
+    if df <= 0:
+        return float("inf")
+    if df <= len(_T_95):
+        return _T_95[df - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Sample:
+    """Per-run timings (seconds) with their summary statistics."""
+
+    values: Tuple[float, ...]
+    mean: float = field(init=False)
+    stdev: float = field(init=False)
+    ci_low: float = field(init=False)
+    ci_high: float = field(init=False)
+
+    def __post_init__(self):
+        values = self.values
+        if not values:
+            raise ValueError("a Sample needs at least one timing")
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+            stdev = math.sqrt(variance)
+            half_width = _t_critical(n - 1) * stdev / math.sqrt(n)
+        else:
+            stdev = 0.0
+            half_width = float("inf")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "stdev", stdev)
+        object.__setattr__(self, "ci_low", max(0.0, mean - half_width))
+        object.__setattr__(self, "ci_high", mean + half_width)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+def measure(thunk: Callable[[], object], repeats: int = 7, warmup: int = 2) -> Sample:
+    """Time ``thunk`` ``repeats`` times (after ``warmup`` unrecorded runs).
+
+    The cyclic GC is paused around each recorded run and any garbage created
+    by one run is collected *between* runs, so no run pays for its
+    predecessor's allocations.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        thunk()
+    timings = []
+    for _ in range(repeats):
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            thunk()
+            timings.append(time.perf_counter() - started)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return Sample(tuple(timings))
+
+
+def measure_paired(
+    baseline: Callable[[], object],
+    candidate: Callable[[], object],
+    repeats: int = 7,
+    warmup: int = 2,
+) -> Tuple[Sample, Sample, Sample]:
+    """Interleaved paired measurement for a *ratio* claim.
+
+    :func:`measure`-ing the baseline in one block and the candidate in
+    another leaves the ratio exposed to drift between the two blocks —
+    frequency scaling, a container neighbour waking up — which moves the
+    *mean* of whichever block ran second, and no amount of repeats fixes a
+    bias.  Here every repeat times one baseline run and one candidate run
+    back to back (order swapped each pair, so neither side systematically
+    runs "second"), and the per-pair time ratios form their own
+    :class:`Sample`: drift slow relative to a pair hits both sides equally
+    and cancels in the ratio.
+
+    Returns ``(baseline_sample, candidate_sample, ratio_sample)``; assert
+    speedups on ``ratio_sample.ci_low``.  GC handling per timed run is as in
+    :func:`measure`.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        baseline()
+        candidate()
+
+    def timed(thunk: Callable[[], object]) -> float:
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            thunk()
+            return time.perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    baseline_times = []
+    candidate_times = []
+    ratios = []
+    for index in range(repeats):
+        if index % 2 == 0:
+            baseline_seconds = timed(baseline)
+            candidate_seconds = timed(candidate)
+        else:
+            candidate_seconds = timed(candidate)
+            baseline_seconds = timed(baseline)
+        baseline_times.append(baseline_seconds)
+        candidate_times.append(candidate_seconds)
+        ratios.append(
+            baseline_seconds / candidate_seconds
+            if candidate_seconds > 0.0
+            else float("inf")
+        )
+    return (
+        Sample(tuple(baseline_times)),
+        Sample(tuple(candidate_times)),
+        Sample(tuple(ratios)),
+    )
+
+
+def speedup(baseline: Sample, candidate: Sample) -> float:
+    """Point estimate: ratio of mean times (how many times faster)."""
+    if candidate.mean <= 0.0:
+        return float("inf")
+    return baseline.mean / candidate.mean
+
+
+def speedup_ci_lower(baseline: Sample, candidate: Sample) -> float:
+    """The conservative speedup: 95% CI lower bound of the ratio.
+
+    Divides the baseline's plausible *minimum* by the candidate's plausible
+    *maximum* — both intervals stacked against the claim.  With a single
+    repeat the intervals are unbounded and this returns 0.0: a one-shot
+    timing can never support an asserted speedup.
+    """
+    if not math.isfinite(candidate.ci_high) or candidate.ci_high <= 0.0:
+        return 0.0
+    return baseline.ci_low / candidate.ci_high
+
+
+def format_sample(sample: Sample, unit_ms: bool = True) -> str:
+    """``mean ± stdev [ci_low, ci_high] (n=N)`` — milliseconds by default."""
+    scale = 1000.0 if unit_ms else 1.0
+    suffix = " ms" if unit_ms else " s"
+    return (
+        f"{sample.mean * scale:.2f} ± {sample.stdev * scale:.2f}"
+        f" [{sample.ci_low * scale:.2f}, {sample.ci_high * scale:.2f}]{suffix}"
+        f" (n={sample.n})"
+    )
+
+
+def _self_test() -> None:  # pragma: no cover - exercised by tests/ and CI
+    constant = Sample((1.0, 1.0, 1.0, 1.0))
+    assert constant.mean == 1.0 and constant.stdev == 0.0
+    assert constant.ci_low == constant.ci_high == 1.0
+    spread = Sample((0.9, 1.0, 1.1))
+    assert spread.ci_low < spread.mean < spread.ci_high
+    assert speedup_ci_lower(Sample((2.0,)), Sample((1.0,))) == 0.0
+    fast = Sample((1.0, 1.0, 1.0, 1.0, 1.0))
+    slow = Sample((3.0, 3.0, 3.0, 3.0, 3.0))
+    assert speedup(slow, fast) == 3.0
+    assert speedup_ci_lower(slow, fast) == 3.0
+    base_sample, cand_sample, ratio_sample = measure_paired(
+        lambda: None, lambda: None, repeats=3, warmup=0
+    )
+    assert base_sample.n == cand_sample.n == ratio_sample.n == 3
+    assert all(r > 0.0 for r in ratio_sample.values)
+
+
+if __name__ == "__main__":
+    _self_test()
+    print("stats.py self-test passed")

@@ -48,6 +48,7 @@ from .engine.portfolio import PORTFOLIO_PRESETS
 from .harness.report import (
     ascii_cumulative_plot,
     check_time_table,
+    compile_summary_table,
     counterexample_table,
     format_table,
     isaplanner_summary_table,
@@ -113,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--falsify", action="store_true",
                        help="ground-test each goal first; refuted goals report "
                             "'disproved' with a counterexample and skip proof search")
+    solve.add_argument("--no-compile-rules", action="store_true",
+                       help="disable compiled rewrite dispatch (generic matching; "
+                            "the benchmarking/parity baseline)")
 
     bench = commands.add_parser("bench", help="run a benchmark suite on the parallel engine")
     bench.add_argument("--suite", choices=sorted(SUITES), default="isaplanner")
@@ -138,6 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--falsify", action="store_true",
                        help="ground-test each goal before search; refutations are "
                             "reported (and persisted) as 'disproved' with counterexamples")
+    bench.add_argument("--no-compile-rules", action="store_true",
+                       help="disable compiled rewrite dispatch (generic matching; "
+                            "the benchmarking/parity baseline)")
 
     disprove = commands.add_parser(
         "disprove",
@@ -246,6 +253,8 @@ def _solve_command(args) -> int:
         changes["emit_proofs"] = True
     if args.falsify:
         changes["falsify_first"] = True
+    if args.no_compile_rules:
+        changes["compile_rules"] = False
     if changes:
         config = config.with_(**changes)
 
@@ -322,6 +331,9 @@ def _print_suite_tables(result: SuiteResult, args, wall: float, parallel: bool, 
         print(counterexample_table(result))
     print("\nper-strategy summary:")
     print(strategy_summary_table(result))
+    if any(r.compiled_steps or r.fallback_steps for r in result.records):
+        print("\ncompiled rewrite dispatch:")
+        print(compile_summary_table(result))
     if getattr(args, "emit_proofs", False) or any(r.certificate for r in result.records):
         print("\nproof certificates:")
         print(proof_size_table(result))
@@ -349,6 +361,8 @@ def _bench_command(args) -> int:
         config = config.with_(emit_proofs=True)
     if args.falsify:
         config = config.with_(falsify_first=True)
+    if args.no_compile_rules:
+        config = config.with_(compile_rules=False)
     serial = args.serial or args.jobs == 0
     started = time.monotonic()
     if serial:
@@ -520,6 +534,10 @@ def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveReco
             certificate_seconds=float(entry.get("certificate_seconds") or 0.0),
             counterexample=entry.get("counterexample"),
             falsify_seconds=float(entry.get("falsify_seconds") or 0.0),
+            compile_seconds=float(entry.get("compile_seconds") or 0.0),
+            compiled_steps=int(entry.get("compiled_steps") or 0),
+            fallback_steps=int(entry.get("fallback_steps") or 0),
+            hot_symbols=dict(entry.get("hot_symbols") or {}),
         )
         goals = by_suite.setdefault(suite_name, {})
         # Several configs may have attempted the goal; keep the best outcome
@@ -564,6 +582,9 @@ def _report_command(args) -> int:
         if any(r.disproved for r in result.records):
             print("\ncounterexamples:")
             print(counterexample_table(result))
+        if any(r.compiled_steps or r.fallback_steps for r in result.records):
+            print("\ncompiled rewrite dispatch:")
+            print(compile_summary_table(result))
         if args.plot:
             print(ascii_cumulative_plot(result))
     return 0

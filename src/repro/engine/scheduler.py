@@ -203,6 +203,18 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
         wire["counterexample"] = outcome.counterexample.to_dict()
     if stats.falsification_seconds:
         wire["falsify_seconds"] = stats.falsification_seconds
+    if stats.compiled_steps or stats.fallback_steps:
+        wire["compiled_steps"] = stats.compiled_steps
+        wire["fallback_steps"] = stats.fallback_steps
+        if stats.compile_seconds:
+            wire["compile_seconds"] = stats.compile_seconds
+        if stats.rewrite_head_counts:
+            # Only the hottest heads cross the wire: the table consumer ranks
+            # a handful of symbols, not the whole signature.
+            hottest = sorted(
+                stats.rewrite_head_counts.items(), key=lambda item: -item[1]
+            )[:8]
+            wire["hot_symbols"] = dict(hottest)
     return wire
 
 

@@ -50,6 +50,12 @@ cold run, never like silent data loss.  ``store compact`` drops them for good.
 Schema history: 1 — pre-versioning; 2 — proof certificates; 3 — the
 ``disproved`` status with its ``counterexample``/``falsify_seconds`` payload
 (a v2 line could mask a refutation as a plain failure, so v2 is not read).
+
+The compiled-dispatch counters (``compile_seconds``/``compiled_steps``/
+``fallback_steps``/``hot_symbols``) did *not* bump the schema: their absence
+is benign (they default to zero/empty and describe performance, not the
+verdict), and adding ``ProverConfig.compile_rules`` changed the configuration
+fingerprint anyway, so pre-existing lines no longer match any current run.
 """
 
 #: Fields of an outcome payload persisted per entry (everything else in a line
@@ -71,6 +77,10 @@ OUTCOME_FIELDS = (
     "certificate_seconds",
     "counterexample",
     "falsify_seconds",
+    "compile_seconds",
+    "compiled_steps",
+    "fallback_steps",
+    "hot_symbols",
 )
 
 

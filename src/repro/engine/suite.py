@@ -134,6 +134,10 @@ def solve_suite(
             certificate_seconds=float(outcome.get("certificate_seconds") or 0.0),
             counterexample=outcome.get("counterexample"),
             falsify_seconds=float(outcome.get("falsify_seconds") or 0.0),
+            compile_seconds=float(outcome.get("compile_seconds") or 0.0),
+            compiled_steps=int(outcome.get("compiled_steps") or 0),
+            fallback_steps=int(outcome.get("fallback_steps") or 0),
+            hot_symbols=dict(outcome.get("hot_symbols") or {}),
         )
         records[state.index] = record
         if progress is not None:

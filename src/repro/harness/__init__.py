@@ -2,6 +2,7 @@
 
 from .report import (
     ascii_cumulative_plot,
+    compile_summary_table,
     counterexample_table,
     format_table,
     isaplanner_summary_table,
@@ -21,5 +22,5 @@ __all__ = [
     "ascii_cumulative_plot", "unsolved_classification",
     "normalizer_cache_table", "suite_cache_stats",
     "worker_utilisation_table", "portfolio_winner_table", "strategy_summary_table",
-    "counterexample_table",
+    "compile_summary_table", "counterexample_table",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "worker_utilisation_table",
     "portfolio_winner_table",
     "strategy_summary_table",
+    "compile_summary_table",
     "proof_size_table",
     "check_time_table",
     "counterexample_table",
@@ -358,6 +359,41 @@ def counterexample_table(result: SuiteResult, max_width: int = 60) -> str:
         )
     headers = ("goal", "witness", "lhs value", "rhs value", "tested", "falsify ms")
     return format_table(headers, rows)
+
+
+def compile_summary_table(result: SuiteResult, top_symbols: int = 8) -> str:
+    """Compiled rewrite dispatch across a suite run: cost, coverage, hot spots.
+
+    Aggregates the per-record counters threaded up from the normaliser:
+    match-tree compile time, how many root rewrite steps ran through compiled
+    match trees versus the generic fallback (declined rule shapes), and the
+    hottest head symbols by rewrite-step count — where normalisation time
+    actually went.  Empty for ``--no-compile-rules`` runs and for records
+    replayed from stores predating the counters.
+    """
+    attempted = [r for r in result.records if r.status != "out-of-scope"]
+    compiled_steps = sum(r.compiled_steps for r in attempted)
+    fallback_steps = sum(r.fallback_steps for r in attempted)
+    total_steps = compiled_steps + fallback_steps
+    if not total_steps:
+        return "(no compiled-dispatch data: --no-compile-rules, or a pre-counter store)"
+    compile_ms = sum(r.compile_seconds for r in attempted) * 1000
+    heads: Dict[str, int] = {}
+    for record in attempted:
+        for head, count in record.hot_symbols.items():
+            heads[head] = heads.get(head, 0) + int(count)
+    hottest = sorted(heads.items(), key=lambda item: (-item[1], item[0]))[:top_symbols]
+    rows = [
+        ("compile time (ms)", f"{compile_ms:.2f}"),
+        ("rewrite steps (compiled)", compiled_steps),
+        ("rewrite steps (generic fallback)", fallback_steps),
+        ("compiled share", f"{100.0 * compiled_steps / total_steps:.1f}%"),
+        (
+            "hottest symbols",
+            ", ".join(f"{head}×{count}" for head, count in hottest) or "-",
+        ),
+    ]
+    return format_table(("metric", "value"), rows)
 
 
 def strategy_summary_table(result: SuiteResult) -> str:

@@ -77,6 +77,21 @@ class SolveRecord:
     falsify_seconds: float = 0.0
     """Wall-clock cost of ground testing (0 when ``falsify_first`` was off)."""
 
+    compile_seconds: float = 0.0
+    """Wall-clock cost of compiling per-symbol match trees observed by the
+    attempt's normaliser (0 when ``compile_rules`` was off or everything was
+    already compiled)."""
+
+    compiled_steps: int = 0
+    """Root rewrite steps dispatched through compiled match trees."""
+
+    fallback_steps: int = 0
+    """Root rewrite steps that fell back to generic matching (declined heads)."""
+
+    hot_symbols: Dict[str, int] = field(default_factory=dict)
+    """Rewrite steps per head symbol under compiled dispatch — the attempt's
+    hottest functions (trimmed to the top few when crossing the wire)."""
+
     @property
     def proved(self) -> bool:
         return self.status == "proved"
@@ -244,6 +259,10 @@ def run_suite(
                     else None
                 ),
                 falsify_seconds=outcome.statistics.falsification_seconds,
+                compile_seconds=outcome.statistics.compile_seconds,
+                compiled_steps=outcome.statistics.compiled_steps,
+                fallback_steps=outcome.statistics.fallback_steps,
+                hot_symbols=dict(outcome.statistics.rewrite_head_counts),
             )
         result.records.append(record)
         if progress is not None:

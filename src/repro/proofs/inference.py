@@ -76,7 +76,9 @@ def reachable_by_reduction(program: Program, source: Term, target: Term, max_ste
                 break
         frontier = new_frontier
     if is_normal_form(program.rules, target):
-        normalizer = program.normalizer()
+        # Generic dispatch on purpose: the checker must not trust the compiled
+        # match trees it is (indirectly) auditing.
+        normalizer = program.normalizer(compile_rules=False)
         return normalizer.normalize(source) == target
     return False
 

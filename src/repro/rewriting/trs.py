@@ -46,6 +46,7 @@ class RewriteSystem:
         self._rules: List[RewriteRule] = []
         self._by_head: Dict[str, List[RewriteRule]] = {}
         self._index = RuleIndex()
+        self._epoch = 0
         for rule in rules:
             self.add_rule(rule)
 
@@ -58,6 +59,7 @@ class RewriteSystem:
         self._rules.append(rule)
         self._by_head.setdefault(rule.head, []).append(rule)
         self._index.add(rule.lhs, rule)
+        self._epoch += 1
 
     def extend(self, rules: Iterable[RewriteRule], validate: bool = True) -> None:
         """Add several rules."""
@@ -70,9 +72,21 @@ class RewriteSystem:
         clone._rules = list(self._rules)
         clone._by_head = {head: list(rules) for head, rules in self._by_head.items()}
         clone._index = self._index.copy()
+        clone._epoch = self._epoch
         return clone
 
     # -- queries ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """A counter bumped on every rule addition.
+
+        Derived structures that are only sound for a fixed rule set — the
+        normaliser's normal-form cache, the compiled match trees of
+        :mod:`repro.rewriting.compile` — record the epoch they were built at
+        and rebuild when it moves, so completion and rewriting induction can
+        extend a system mid-run without serving stale results."""
+        return self._epoch
 
     @property
     def rules(self) -> Tuple[RewriteRule, ...]:

@@ -82,6 +82,20 @@ class SearchStatistics:
     falsification_instances: int = 0
     """Ground instances tested by ``falsify_first`` (0 when off)."""
 
+    compile_seconds: float = 0.0
+    """Wall-clock cost of compiling per-symbol match trees (lazy, shared —
+    this is the compile work observed through the attempt's normaliser)."""
+
+    compiled_steps: int = 0
+    """Root reductions dispatched through compiled match trees."""
+
+    fallback_steps: int = 0
+    """Root reductions that fell back to generic matching (declined heads)."""
+
+    rewrite_head_counts: dict = field(default_factory=dict)
+    """Rewrite steps per head symbol (compiled dispatch only): the hot
+    functions of the attempt, feeding ``compile_summary_table``."""
+
     @property
     def timed_out(self) -> bool:
         """Was the attempt aborted by the wall-clock deadline?"""
@@ -98,6 +112,8 @@ class SearchStatistics:
         rounds = f"×{self.iterations}" if self.iterations > 1 else ""
         if self.falsification_instances:
             strategy += f" falsify={self.falsification_instances}"
+        if self.compiled_steps or self.fallback_steps:
+            strategy += f" compiled={self.compiled_steps}/{self.compiled_steps + self.fallback_steps}"
         return (
             f"nodes={self.nodes_created} subst={self.subst_attempts} "
             f"case={self.case_splits} soundness={self.soundness_checks} "

@@ -52,6 +52,7 @@ from ..core.terms import Sym, Term, Var, apply_term, spine
 
 __all__ = [
     "Evaluator",
+    "EvaluationSession",
     "Closure",
     "Value",
     "CompilationError",
@@ -60,7 +61,16 @@ __all__ = [
     "value_to_term",
     "render_value",
     "DEFAULT_MAX_CALLS",
+    "TEST_AGREE",
+    "TEST_DISAGREE",
+    "TEST_PREMISE_SKIP",
+    "TEST_STUCK",
 ]
+
+# Verdicts of one EvaluationSession.test: the instance satisfied the
+# conjecture, refuted it, failed a conditional premise, or proved nothing
+# (stuck / over budget).
+TEST_AGREE, TEST_DISAGREE, TEST_PREMISE_SKIP, TEST_STUCK = range(4)
 
 DEFAULT_MAX_CALLS = 1_000_000
 """Default budget on function-call reductions per :meth:`Evaluator.run`.
@@ -946,6 +956,20 @@ class Evaluator:
         self.calls_made += self.max_calls - budget
         return values[0] is values[1]
 
+    def session(
+        self,
+        lhs: tuple,
+        rhs: tuple,
+        premises: Sequence[Tuple[tuple, tuple]] = (),
+    ) -> "EvaluationSession":
+        """A batched test session for one conjecture (see :class:`EvaluationSession`).
+
+        ``lhs``/``rhs``/``premises`` are compiled expressions (:meth:`compile`)
+        sharing one slot layout; the session resolves their closure-compiled
+        entry points once and then decides whole instances with a single call
+        each — the falsifier's streaming loop."""
+        return EvaluationSession(self, lhs, rhs, premises)
+
     def _drain(self, tasks: List[tuple], values: List["Value"], budget: int) -> int:
         """Execute scheduled opcodes until the work stack empties.
 
@@ -1204,3 +1228,99 @@ class Evaluator:
             self._term_exprs[id(term)] = expr
             self._term_pins.append(term)
         return self.run(expr, ())
+
+
+class EvaluationSession:
+    """One conjecture's compiled test, streamed over many instances.
+
+    The falsifier used to make ``1 + len(premises)`` separate
+    :meth:`Evaluator.equal` calls per instance, each resetting the call
+    budget, re-resolving its expressions' entry points, and accounting its
+    own spent calls.  A session does that set-up once — the closure-compiled
+    entry points of both sides and of every premise are resolved at
+    construction — and then :meth:`test` decides a whole instance with one
+    call: premises first (a failed premise short-circuits), then the sides,
+    all under **one shared call budget per instance** (``max_calls`` covers
+    the instance, not each comparison separately — an instance that can blow
+    the budget ``premises + 1`` times over proves nothing more than one that
+    blows it once).
+
+    Values are hash-consed, so every comparison is object identity, and the
+    evaluator's memo tables carry work between instances exactly as they do
+    between :meth:`~Evaluator.equal` calls.  Pathologically deep data that
+    overflows the Python stack re-runs on the explicit-stack machine with the
+    budget the fast attempt left over; instances that get stuck or exhaust
+    the budget return :data:`TEST_STUCK` and prove nothing either way.
+    """
+
+    __slots__ = (
+        "evaluator",
+        "_lhs",
+        "_rhs",
+        "_premises",
+        "_lhs_fn",
+        "_rhs_fn",
+        "_premise_fns",
+    )
+
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        lhs: tuple,
+        rhs: tuple,
+        premises: Sequence[Tuple[tuple, tuple]] = (),
+    ):
+        self.evaluator = evaluator
+        self._lhs = lhs
+        self._rhs = rhs
+        self._premises = tuple(premises)
+        self._lhs_fn = evaluator._fn_for_expr(lhs)
+        self._rhs_fn = evaluator._fn_for_expr(rhs)
+        self._premise_fns = tuple(
+            (evaluator._fn_for_expr(p_lhs), evaluator._fn_for_expr(p_rhs))
+            for p_lhs, p_rhs in self._premises
+        )
+
+    def test(self, env: Sequence[Value]) -> int:
+        """Decide one instance: a ``TEST_*`` verdict.
+
+        ``env`` must be canonical values in the session's slot layout (the
+        instance stream's ``intern=evaluator.intern_value`` contract).
+        """
+        evaluator = self.evaluator
+        evaluator._remaining = evaluator.max_calls
+        try:
+            try:
+                for premise_lhs_fn, premise_rhs_fn in self._premise_fns:
+                    if premise_lhs_fn(env) is not premise_rhs_fn(env):
+                        return TEST_PREMISE_SKIP
+                if self._lhs_fn(env) is self._rhs_fn(env):
+                    return TEST_AGREE
+                return TEST_DISAGREE
+            except RecursionError:
+                return self._test_deep(env)
+        except EvaluationError:
+            return TEST_STUCK
+        finally:
+            evaluator.calls_made += evaluator.max_calls - evaluator._remaining
+
+    def _test_deep(self, env: Sequence[Value]) -> int:
+        """Finish one instance on the explicit-stack machine.
+
+        Entered when the closure-compiled attempt overflowed the Python
+        stack; continues under the *remaining* instance budget, and memo
+        entries the aborted attempt already computed are reused.
+        """
+        evaluator = self.evaluator
+
+        def decide(lhs: tuple, rhs: tuple) -> bool:
+            values: List[Value] = []
+            evaluator._remaining = evaluator._drain(
+                [(_EVAL, rhs, env), (_EVAL, lhs, env)], values, evaluator._remaining
+            )
+            return values[0] is values[1]
+
+        for premise_lhs, premise_rhs in self._premises:
+            if not decide(premise_lhs, premise_rhs):
+                return TEST_PREMISE_SKIP
+        return TEST_AGREE if decide(self._lhs, self._rhs) else TEST_DISAGREE

@@ -2,13 +2,15 @@
 
 The falsifier is the refutation half of a HipSpec/QuickSpec-style pipeline:
 compile an equation's sides (and any conditional premises) **once** against
-the program's :class:`~repro.semantics.evaluator.Evaluator`, then run the
-compiled expressions over a mixed exhaustive+random instance stream
-(:func:`~repro.semantics.generators.instance_stream`).  No terms are
-substituted or rewritten per instance — each test is a run of the iterative
-machine over tuple values — which is what makes refutation cheap enough to
-run *before* proof search (``ProverConfig.falsify_first``) and inside the
-theory explorer's candidate filter.
+the program's :class:`~repro.semantics.evaluator.Evaluator`, bundle them into
+one batched :class:`~repro.semantics.evaluator.EvaluationSession`, then
+stream a mixed exhaustive+random instance stream
+(:func:`~repro.semantics.generators.instance_stream`) through it.  No terms
+are substituted or rewritten per instance, and no per-comparison set-up is
+repeated either — each instance is a single session call deciding premises
+and sides together under one call budget — which is what makes refutation
+cheap enough to run *before* proof search (``ProverConfig.falsify_first``)
+and inside the theory explorer's candidate filter.
 
 A successful refutation is a :class:`Counterexample`: the variable bindings
 (as parseable surface syntax), the evaluated values of both sides, and enough
@@ -28,6 +30,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.equations import Equation
 from .evaluator import (
+    TEST_AGREE,
+    TEST_PREMISE_SKIP,
+    TEST_STUCK,
     CompilationError,
     EvaluationError,
     Evaluator,
@@ -159,7 +164,9 @@ class Counterexample:
             goal = program.goals.get(self.goal_name) if self.goal_name else None
             equation = goal.equation if goal is not None else program.parse_equation(self.equation)
         theta = self.substitution(program)
-        normalizer = Normalizer(program.rules)
+        # Generic dispatch on purpose: replay must stay independent of every
+        # compiled execution path (evaluator *and* compiled rewrite dispatch).
+        normalizer = Normalizer(program.rules, compile_rules=False)
         for premise_source in self.premises:
             premise = program.parse_equation(premise_source).apply(theta)
             if normalizer.normalize(premise.lhs) != normalizer.normalize(premise.rhs):
@@ -245,6 +252,7 @@ def falsify_equation(
             (evaluator.compile(c.lhs, slots), evaluator.compile(c.rhs, slots))
             for c in conditions
         ]
+        session = evaluator.session(lhs_expr, rhs_expr, premise_exprs)
     except CompilationError as error:
         outcome.error = str(error)
         outcome.seconds = time.perf_counter() - started
@@ -261,31 +269,31 @@ def falsify_equation(
         seed=config.seed,
         intern=evaluator.intern_value,
     )
-    equal = evaluator.equal
+    # One batched session decides each instance with a single call: premises
+    # short-circuit, both sides compare by value identity, and the whole
+    # instance runs under one shared call budget (see EvaluationSession).
+    test = session.test
     for instance in stream:
         if deadline is not None and time.perf_counter() > deadline:
             break
         env = instance
-        try:
-            satisfied = True
-            for premise_lhs, premise_rhs in premise_exprs:
-                if not equal(premise_lhs, premise_rhs, env):
-                    satisfied = False
-                    break
-            if not satisfied:
-                outcome.premise_skips += 1
-                continue
-            # Values are hash-consed, so one machine session decides equality
-            # by identity; the witness values are only materialised on the
-            # (at most one) disagreeing instance, warm from the memo.
-            if equal(lhs_expr, rhs_expr, env):
-                outcome.instances_tested += 1
-                continue
-            lhs_value = evaluator.run(lhs_expr, env)
-            rhs_value = evaluator.run(rhs_expr, env)
-        except EvaluationError:
+        verdict = test(env)
+        if verdict == TEST_AGREE:
+            outcome.instances_tested += 1
+            continue
+        if verdict == TEST_PREMISE_SKIP:
+            outcome.premise_skips += 1
+            continue
+        if verdict == TEST_STUCK:
             # Stuck or over budget on this instance (partial definition,
             # runaway recursion): the instance proves nothing either way.
+            continue
+        # TEST_DISAGREE: materialise the witness values — warm from the memo,
+        # on the (at most one) disagreeing instance.
+        try:
+            lhs_value = evaluator.run(lhs_expr, env)
+            rhs_value = evaluator.run(rhs_expr, env)
+        except EvaluationError:  # pragma: no cover - the test just ran them
             continue
         outcome.counterexample = Counterexample(
             equation=str(equation),

@@ -85,6 +85,79 @@ loop x = loop x
             normalize(program.rules, program.parse_term("loop Z"), max_steps=50)
 
 
+COUNTDOWN_SOURCE = """
+data Nat = Z | S Nat
+
+countdown :: Nat -> Nat
+countdown Z = Z
+countdown (S x) = countdown x
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+"""
+
+
+class TestPerRootStepBudget:
+    """The budget is per root (per cache-missed subterm), on every path.
+
+    Historically the module-level :func:`normalize` counted steps *globally*
+    across the whole term while :class:`Normalizer` counted them per root, so
+    the same term could normalise on one path and raise on the other.  Both
+    now share the per-root semantics; these tests pin the boundary exactly,
+    for the wrapper and for both dispatch modes of the class.
+    """
+
+    @pytest.fixture(scope="class")
+    def countdown_program(self):
+        return load_program(COUNTDOWN_SOURCE, name="countdown")
+
+    def _chain(self, program, n):
+        """``countdown (S^n Z)``: exactly ``n + 1`` root reductions, all at
+        one frame (each reduct is again countdown-headed)."""
+        return program.parse_term("countdown (" + "S (" * n + "Z" + ")" * n + ")")
+
+    def test_boundary_is_identical_on_every_path(self, countdown_program):
+        # n + 1 = 11 root reductions: the budget must be strictly larger.
+        term = self._chain(countdown_program, 10)
+        rules = countdown_program.rules
+        for attempt in (
+            lambda ms: normalize(rules, term, max_steps=ms),
+            lambda ms: Normalizer(rules, max_steps=ms, compile_rules=True).normalize(term),
+            lambda ms: Normalizer(rules, max_steps=ms, compile_rules=False).normalize(term),
+        ):
+            assert attempt(12) == Sym("Z")
+            with pytest.raises(RewriteError):
+                attempt(11)
+
+    def test_budget_is_per_root_not_global(self, countdown_program):
+        # Two independent chains of 11 and 9 root reductions.  Per root each
+        # fits a budget of 12 on its own; a global count (the historical
+        # module-normalize semantics) would need at least their sum and
+        # would have raised here.
+        term = countdown_program.parse_term(
+            "add (countdown ("
+            + "S (" * 10 + "Z" + ")" * 10
+            + ")) (countdown ("
+            + "S (" * 8 + "Z" + ")" * 8
+            + "))"
+        )
+        rules = countdown_program.rules
+        assert normalize(rules, term, max_steps=12) == Sym("Z")
+        compiled = Normalizer(rules, max_steps=12, compile_rules=True)
+        assert compiled.normalize(term) == Sym("Z")
+        assert compiled.steps_taken > 12  # total work exceeds any one budget
+
+    def test_wrapper_and_class_agree_on_abort(self, countdown_program):
+        term = self._chain(countdown_program, 30)
+        rules = countdown_program.rules
+        with pytest.raises(RewriteError):
+            normalize(rules, term, max_steps=20)
+        for compile_rules in (True, False):
+            with pytest.raises(RewriteError):
+                Normalizer(rules, max_steps=20, compile_rules=compile_rules).normalize(term)
+
+
 class TestNormalizer:
     def test_agrees_with_normalize(self, nat_program):
         normalizer = Normalizer(nat_program.rules)
