@@ -1,0 +1,252 @@
+"""Experiment E-service — what the resident proof service buys.
+
+The ``repro serve`` daemon exists for two reasons: a *warm* request (the
+theory already elaborated and compiled, the verdict already in the result
+store) should cost replay time, not solve time; and lemmas proved for one
+goal should make later goals on the same theory provable that were not
+provable alone.  This benchmark measures both.
+
+* **Warm vs cold.** The cold baseline builds a fresh :class:`ProofService`
+  per run — no warm cache, no store — so every run pays elaboration,
+  rewrite-system compilation, worker spawning, and proof search, exactly like
+  a one-shot ``repro prove``.  The warm candidate re-submits the same goals
+  to one long-lived service whose store already holds the verdicts.  The two
+  are timed with :func:`stats.measure_paired` (interleaved pairs, ratio per
+  pair) and the assertion fires on ``ratio_sample.ci_low`` — the warm path
+  must be at least 10x faster even when both confidence intervals conspire
+  against the claim.  The warm path must also spawn exactly zero workers.
+
+* **Library ablation (reported, not asserted).** ``prop_54`` of the
+  IsaPlanner suite needs ``add a b ≈ add b a`` as a lemma at small budgets.
+  With the library seeded by proving that conjecture first, the assisted
+  service proves ``prop_54`` using a certified library hint; the bare
+  service, hintless at the same budget, does not.  Wall-clock and verdicts
+  for both arms are printed for inspection — search-budget cliffs are
+  machine-sensitive, so this table is evidence, not a gate.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_service.py``) for the
+tables, or through pytest for the assertions.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from conftest import print_report  # shared benchmark helpers
+from stats import Sample, format_sample, measure_paired
+
+from repro.service import ProofService, ServiceConfig
+
+#: Quick-but-not-trivial IsaPlanner goals: enough work that the cold path is
+#: dominated by real solving, small enough that interleaved repeats stay fast.
+GOALS = ("prop_01", "prop_22", "prop_28")
+
+#: Per-goal budget for the warm-vs-cold slice (all three prove in well under
+#: a second; the budget only caps pathological scheduler stalls).
+TIMEOUT = 5.0
+
+#: The ablation goal and the lemma that unlocks it (see tests/test_service.py
+#: for the same dynamics under assertion).
+ABLATION_GOAL = "prop_54"
+ABLATION_LEMMA = ("add_comm", "add a b === add b a")
+ABLATION_TIMEOUT = 8.0
+
+REPEATS = 7
+WARMUP = 1
+
+#: Warm submits per timed run.  A warm replay costs single-digit
+#: milliseconds, where scheduler jitter is the same order as the signal and
+#: per-pair ratios go heavy-tailed (one jittery 8 ms replay halves a ratio).
+#: Batching amortizes the jitter; the per-request figures below divide it
+#: back out.
+WARM_BATCH = 5
+
+
+def _submit(service: ProofService, **request) -> Tuple[dict, List[dict]]:
+    """One in-process submission; returns (done line, all emitted lines)."""
+    events: List[dict] = []
+    service.handle_request(dict(request, op="submit"), events.append)
+    done = events[-1]
+    if done.get("op") != "done":
+        raise AssertionError(f"submission failed: {done}")
+    return done, events
+
+
+def run_warm_vs_cold() -> Dict[str, object]:
+    """Paired cold-service vs warm-service timings over the pinned slice."""
+    scratch = tempfile.mkdtemp(prefix="bench-service-")
+    warm_service = ProofService(
+        ServiceConfig(store_path=f"{scratch}/store.jsonl", timeout=TIMEOUT)
+    )
+    cold_services: List[ProofService] = []
+    try:
+        # Populate the store and the warm cache once; everything after this
+        # line is the steady state a resident daemon lives in.
+        prime, _ = _submit(warm_service, suite="isaplanner", goals=list(GOALS))
+        if prime["proved"] != len(GOALS):
+            raise AssertionError(f"pinned slice must be provable: {prime}")
+
+        def cold() -> None:
+            # A fresh memoryless service per run: pays elaboration,
+            # compilation, worker spawn, and search — the one-shot CLI cost.
+            service = ProofService(ServiceConfig(timeout=TIMEOUT))
+            cold_services.append(service)
+            done, _ = _submit(service, suite="isaplanner", goals=list(GOALS))
+            if done["proved"] != len(GOALS):
+                raise AssertionError(f"cold run regressed: {done}")
+
+        warm_spawns: List[int] = []
+
+        def warm() -> None:
+            for _ in range(WARM_BATCH):
+                done, _ = _submit(warm_service, suite="isaplanner", goals=list(GOALS))
+                warm_spawns.append(int(done["worker_spawns"]))
+                if done["proved"] != len(GOALS):
+                    raise AssertionError(f"warm run regressed: {done}")
+
+        try:
+            cold_sample, warm_batch_sample, ratio_batch_sample = measure_paired(
+                cold, warm, repeats=REPEATS, warmup=WARMUP
+            )
+        finally:
+            for service in cold_services:
+                service.close()
+        # The warm thunk timed WARM_BATCH submits; divide back to per-request
+        # latency (and scale the per-pair ratios up correspondingly).
+        warm_sample = Sample(tuple(v / WARM_BATCH for v in warm_batch_sample.values))
+        ratio_sample = Sample(tuple(v * WARM_BATCH for v in ratio_batch_sample.values))
+        return {
+            "cold": cold_sample,
+            "warm": warm_sample,
+            "ratio": ratio_sample,
+            "warm_spawns": tuple(warm_spawns),
+            "metrics": warm_service.metrics_snapshot(),
+        }
+    finally:
+        warm_service.close()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def run_library_ablation() -> Dict[str, object]:
+    """``prop_54`` with and without a seeded lemma library (reported only)."""
+
+    def attempt(with_library: bool) -> dict:
+        scratch = tempfile.mkdtemp(prefix="bench-service-ablation-")
+        config = ServiceConfig(
+            store_path=f"{scratch}/store.jsonl",
+            library_path=f"{scratch}/library.jsonl" if with_library else None,
+            timeout=ABLATION_TIMEOUT,
+            jobs=1,
+        )
+        service = ProofService(config)
+        try:
+            if with_library:
+                name, equation = ABLATION_LEMMA
+                seeded, _ = _submit(
+                    service,
+                    suite="isaplanner",
+                    conjectures=[{"name": name, "equation": equation}],
+                )
+                if seeded["lemmas_learned"] < 1:
+                    raise AssertionError(f"lemma seeding failed: {seeded}")
+            done, events = _submit(
+                service, suite="isaplanner", goals=[ABLATION_GOAL]
+            )
+            verdict = next(
+                e for e in events
+                if e.get("op") == "verdict" and e.get("goal") == ABLATION_GOAL
+            )
+            return {
+                "status": verdict["status"],
+                "seconds": done["seconds"],
+                "hints_offered": verdict.get("hints_offered") or 0,
+                "hint_steps": verdict.get("hint_steps") or 0,
+                "reason": verdict.get("reason"),
+            }
+        finally:
+            service.close()
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    return {"assisted": attempt(True), "bare": attempt(False)}
+
+
+def _warm_vs_cold_table(report: Dict[str, object]) -> str:
+    cold, warm, ratio = report["cold"], report["warm"], report["ratio"]
+    lines = [
+        f"goals: {', '.join(GOALS)} (suite isaplanner, per-goal budget {TIMEOUT:.0f}s)",
+        f"cold (fresh service/run): {format_sample(cold)}",
+        f"warm (resident daemon):   {format_sample(warm)}",
+        f"speedup ratio per pair:   mean {ratio.mean:.1f}x, 95% CI lower {ratio.ci_low:.1f}x",
+        f"warm-path worker spawns:  {sum(report['warm_spawns'])}"
+        f" across {len(report['warm_spawns'])} warm requests (must be 0)",
+    ]
+    return "\n".join(lines)
+
+
+def _ablation_table(report: Dict[str, object]) -> str:
+    lines = [
+        f"goal {ABLATION_GOAL}, per-goal budget {ABLATION_TIMEOUT:.0f}s, "
+        f"library lemma: {ABLATION_LEMMA[1]}"
+    ]
+    for arm in ("assisted", "bare"):
+        entry = report[arm]
+        detail = f"{entry['status']} in {entry['seconds'] * 1000.0:.0f} ms"
+        if arm == "assisted":
+            detail += (
+                f", {entry['hints_offered']} hint(s) offered,"
+                f" {entry['hint_steps']} hint step(s) in the proof"
+            )
+        elif entry["reason"]:
+            detail += f" ({entry['reason']})"
+        lines.append(f"{arm:>8}: {detail}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+_WARM_REPORT: Optional[Dict[str, object]] = None
+
+
+def _warm_report() -> Dict[str, object]:
+    global _WARM_REPORT
+    if _WARM_REPORT is None:
+        _WARM_REPORT = run_warm_vs_cold()
+    return _WARM_REPORT
+
+
+def test_warm_requests_spawn_zero_workers():
+    report = _warm_report()
+    assert report["warm_spawns"], "no warm runs were measured"
+    assert all(spawns == 0 for spawns in report["warm_spawns"]), report["warm_spawns"]
+
+
+def test_warm_replay_at_least_10x_faster_ci_lower_bound():
+    report = _warm_report()
+    print_report("warm daemon vs cold one-shot", _warm_vs_cold_table(report))
+    ratio = report["ratio"]
+    assert ratio.ci_low >= 10.0, (
+        f"warm-path speedup not robustly >= 10x: mean {ratio.mean:.1f}x,"
+        f" 95% CI lower bound {ratio.ci_low:.1f}x"
+    )
+
+
+def test_library_ablation_reported():
+    report = run_library_ablation()
+    print_report("lemma library ablation (reported, not asserted)", _ablation_table(report))
+    # Evidence, not a gate: budget cliffs move with the machine.  The one
+    # structural fact worth pinning is that the assisted arm actually used
+    # the library (otherwise the ablation measures nothing).
+    assert report["assisted"]["hints_offered"] >= 1
+
+
+if __name__ == "__main__":
+    report = _warm_report()
+    print_report("warm daemon vs cold one-shot", _warm_vs_cold_table(report))
+    print_report(
+        "lemma library ablation (reported, not asserted)",
+        _ablation_table(run_library_ablation()),
+    )

@@ -1,6 +1,6 @@
-"""The ``python -m repro`` command line: solve, bench, disprove, report, check, store.
+"""The ``python -m repro`` command line: solve, bench, disprove, report, check, store, serve, submit.
 
-Six subcommands::
+Eight subcommands::
 
     python -m repro solve --suite isaplanner --goal prop_01 --emit-proofs
     python -m repro bench --suite isaplanner --jobs 4 --timeout 1 --store results.jsonl
@@ -8,6 +8,8 @@ Six subcommands::
     python -m repro report --store results.jsonl
     python -m repro check --store results.jsonl --require-certificates
     python -m repro store compact --store results.jsonl
+    python -m repro serve --socket repro.sock --store results.jsonl --library lemmas.jsonl
+    python -m repro submit --socket repro.sock --suite isaplanner --goal prop_01
 
 ``solve`` proves individual goals (from a built-in suite or a program file)
 and prints the proof-search statistics; with ``--emit-proofs`` every proof is
@@ -25,7 +27,10 @@ re-verifies proof certificates — from a result store or from certificate
 files — by re-elaborating the program into a fresh term bank and re-running
 the local and global soundness checks from scratch (exit code 1 when any
 proof is rejected).  ``store`` maintains persisted stores (``compact`` dedups
-superseded lines and drops stale-schema lines).
+superseded lines and drops stale-schema lines).  ``serve`` runs the long-lived
+proof service daemon (warm per-theory state, result-store replay, lemma
+library) and ``submit`` talks to it over its unix socket — see
+:mod:`repro.service` and ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -205,6 +210,56 @@ def build_parser() -> argparse.ArgumentParser:
         "compact", help="rewrite the store with one line per key, dropping stale-schema lines"
     )
     compact.add_argument("--store", required=True, metavar="PATH")
+
+    serve = commands.add_parser(
+        "serve", help="run the proof service daemon (warm state + lemma library)"
+    )
+    serve.add_argument("--socket", default="repro-serve.sock", metavar="PATH",
+                       help="unix socket to listen on (default: ./repro-serve.sock)")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="persistent result store; solved goals replay with zero workers")
+    serve.add_argument("--library", default=None, metavar="PATH",
+                       help="lemma library; certified proofs are learned and offered as hints")
+    serve.add_argument("--warm-cache-size", type=int, default=8, metavar="N",
+                       help="theories kept resident (elaborated program, compiled "
+                            "rewrites, evaluator); LRU beyond N (default: 8)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes per dispatch (default: CPU count)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-goal budget in seconds (requests may override)")
+    serve.add_argument("--hint-limit", type=int, default=8, metavar="N",
+                       help="most library lemmas offered to one goal (default: 8)")
+    serve.add_argument("--explore", action="store_true",
+                       help="enrich the library in the background when a new theory arrives")
+    serve.add_argument("--shutdown-grace", type=float, default=2.0, metavar="S",
+                       help="seconds an in-flight goal may keep its worker at shutdown")
+
+    submit = commands.add_parser(
+        "submit", help="submit goals to a running proof service daemon"
+    )
+    submit.add_argument("--socket", default="repro-serve.sock", metavar="PATH",
+                        help="daemon socket (default: ./repro-serve.sock)")
+    submit_source = submit.add_mutually_exclusive_group()
+    submit_source.add_argument("--suite", default=None,
+                               help="built-in theory to submit goals against")
+    submit_source.add_argument("--file", default=None, metavar="PROGRAM",
+                               help="program file whose source is submitted")
+    submit.add_argument("--goal", action="append", default=[], metavar="NAME",
+                        help="declared goal name; repeatable (default: every goal)")
+    submit.add_argument("--conjecture", action="append", default=[], metavar="NAME=EQUATION",
+                        help="extra conjecture, e.g. add_comm='add a b === add b a'; repeatable")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-goal budget in seconds for this submission")
+    submit.add_argument("--no-hints", action="store_true",
+                        help="do not offer library lemmas as hints")
+    submit.add_argument("--falsify", action="store_true",
+                        help="ground-test goals before search (refutations disprove)")
+    submit.add_argument("--wait", type=float, default=600.0, metavar="S",
+                        help="client-side ceiling on the daemon's answer (default: 600)")
+    submit.add_argument("--metrics", action="store_true",
+                        help="print the daemon's service metrics table")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to shut down (after any submission)")
 
     return parser
 
@@ -487,11 +542,13 @@ def _disprove_command(args) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _open_store(path: str, command: str):
+def _open_store(path: str, command: str, lock: bool = True):
     """Load a result store, or print a friendly one-line error and return ``None``.
 
     A missing path, a directory, unreadable bytes, or any other I/O problem
     must exit with a clear message and a nonzero code — never a traceback.
+    ``lock=False`` is for read-only consumers (report, check): they must keep
+    working while a serve daemon holds the store's advisory write lock.
     """
     from .engine.store import ResultStore
 
@@ -499,7 +556,7 @@ def _open_store(path: str, command: str):
         print(f"{command}: store {path} does not exist", file=sys.stderr)
         return None
     try:
-        return ResultStore(path)
+        return ResultStore(path, lock=lock)
     except (OSError, UnicodeDecodeError) as error:
         detail = getattr(error, "strerror", None) or str(error)
         print(f"{command}: cannot read store {path}: {detail}", file=sys.stderr)
@@ -556,7 +613,7 @@ def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveReco
 
 
 def _report_command(args) -> int:
-    store = _open_store(args.store, "report")
+    store = _open_store(args.store, "report", lock=False)
     if store is None:
         return 2
     if len(store) == 0:
@@ -619,7 +676,7 @@ def _split_stored_equation(text: str):
 def _check_store(args) -> int:
     from .proofs.checker import CertificateChecker
 
-    store = _open_store(args.store, "check")
+    store = _open_store(args.store, "check", lock=False)
     if store is None:
         return 2
     override_checker: Optional[CertificateChecker] = None
@@ -938,7 +995,106 @@ def _store_command(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# serve / submit
+# ---------------------------------------------------------------------------
+
+
+def _serve_command(args) -> int:
+    from .service.server import ServiceConfig, serve_forever
+
+    return serve_forever(
+        ServiceConfig(
+            socket_path=args.socket,
+            store_path=args.store,
+            library_path=args.library,
+            warm_cache_size=args.warm_cache_size,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            hint_limit=args.hint_limit,
+            explore=args.explore,
+            shutdown_grace=args.shutdown_grace,
+        )
+    )
+
+
+def _submit_command(args) -> int:
+    from .harness.report import service_summary_table
+    from .service.client import ServiceClient, ServiceProtocolError
+
+    conjectures = []
+    for spec in args.conjecture:
+        name, separator, equation = spec.partition("=")
+        if not separator or not name.strip() or not equation.strip():
+            print(f"submit: --conjecture wants NAME=EQUATION, got {spec!r}", file=sys.stderr)
+            return 2
+        conjectures.append((name.strip(), equation.strip()))
+
+    source = None
+    if args.file:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"submit: cannot read {args.file}: {error.strerror or error}", file=sys.stderr)
+            return 2
+
+    submitting = bool(source or args.suite or conjectures)
+    if not submitting and not args.metrics and not args.shutdown:
+        print("submit: nothing to do (pass --suite/--file/--conjecture, --metrics or --shutdown)",
+              file=sys.stderr)
+        return 2
+    if conjectures and source is None and args.suite is None:
+        print("submit: --conjecture needs a theory (--suite or --file)", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.socket, timeout=args.wait)
+    code = 0
+    try:
+        if submitting:
+            def on_verdict(verdict: dict) -> None:
+                detail = f" [{float(verdict.get('seconds') or 0.0) * 1000:.1f} ms"
+                if verdict.get("cached"):
+                    detail += ", replayed"
+                if verdict.get("hint_steps"):
+                    detail += f", {verdict['hint_steps']} hint step(s)"
+                print(f"{verdict.get('goal')}: {verdict.get('status')}{detail}]")
+
+            outcome = client.submit(
+                suite=args.suite,
+                source=source,
+                goals=args.goal,
+                conjectures=conjectures,
+                timeout=args.timeout,
+                use_hints=not args.no_hints,
+                falsify=args.falsify,
+                on_verdict=on_verdict,
+            )
+            done = outcome.done
+            print(
+                f"\n{done.get('proved', 0)}/{done.get('total', 0)} proved, "
+                f"{done.get('disproved', 0)} disproved, "
+                f"{done.get('store_hits', 0)} replayed from store, "
+                f"{done.get('worker_spawns', 0)} worker(s) spawned, "
+                f"{done.get('library_hints_used', 0)} library hint step(s) used "
+                f"in {float(done.get('seconds') or 0.0):.3f} s"
+            )
+            decisive = outcome.proved + outcome.disproved
+            code = 0 if decisive == outcome.total else 1
+        if args.metrics:
+            print(service_summary_table(client.metrics()))
+        if args.shutdown:
+            client.shutdown()
+            print(f"submit: daemon on {args.socket} is shutting down")
+    except ServiceProtocolError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 2
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from .engine.store import StoreLockError
+
     args = build_parser().parse_args(argv)
     try:
         if args.command == "solve":
@@ -951,7 +1107,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _check_command(args)
         if args.command == "store":
             return _store_command(args)
+        if args.command == "serve":
+            return _serve_command(args)
+        if args.command == "submit":
+            return _submit_command(args)
         return _report_command(args)
+    except StoreLockError as error:
+        # Advisory-lock contention: another process (usually a daemon) owns
+        # the file.  One line, no traceback.
+        print(f"{args.command}: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into e.g. `head`; exit quietly like other CLI tools.
         devnull = os.open(os.devnull, os.O_WRONLY)

@@ -203,6 +203,9 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
         wire["counterexample"] = outcome.counterexample.to_dict()
     if stats.falsification_seconds:
         wire["falsify_seconds"] = stats.falsification_seconds
+    if stats.hints_offered:
+        wire["hints_offered"] = stats.hints_offered
+        wire["hint_steps"] = stats.hint_steps
     if stats.compiled_steps or stats.fallback_steps:
         wire["compiled_steps"] = stats.compiled_steps
         wire["fallback_steps"] = stats.fallback_steps
@@ -330,6 +333,17 @@ class _WorkerSlot:
             except Exception:  # pragma: no cover - already broken
                 pass
 
+    def kill(self) -> None:
+        """Terminate the process *without* a replacement (the shutdown path)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=2.0)
+        self._discard_queues()
+        self.current = None
+
     def stop(self) -> None:
         try:
             self.task_queue.put(None)
@@ -382,6 +396,31 @@ class Scheduler:
         self.worker_stats: Dict[int, Dict[str, float]] = {}
         #: wall-clock duration of the last run
         self.wall_seconds = 0.0
+        self._shutdown = False
+        self._shutdown_at = 0.0
+        self._shutdown_grace = 0.0
+
+    # -- graceful shutdown ---------------------------------------------------------
+
+    def request_shutdown(self, grace: Optional[float] = None) -> None:
+        """Ask the run loop to drain: finish what is in flight, start nothing new.
+
+        Safe to call from another thread (the daemon's signal handler) while
+        :meth:`run` executes.  Pending tasks are failed immediately with a
+        "shutting down" reason (which :mod:`repro.engine.suite` treats as
+        unstorable); goals already on a worker get ``grace`` extra seconds
+        (default: ``hard_kill_grace``) to finish normally before the worker is
+        killed — killed, not respawned, so shutdown never spawns a process.
+        The flag is sticky: every later :meth:`run` on this scheduler drains
+        too, which is what a tearing-down daemon wants.
+        """
+        self._shutdown_grace = self.hard_kill_grace if grace is None else max(0.0, float(grace))
+        self._shutdown_at = time.monotonic()
+        self._shutdown = True
+
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutdown
 
     # -- deadline policy ---------------------------------------------------------
 
@@ -435,6 +474,19 @@ class Scheduler:
         busy_seconds = {worker.slot: 0.0 for worker in pool}
         try:
             while pending or any(not worker.idle for worker in pool):
+                # 0. Shutdown drain: everything not yet dispatched fails fast.
+                if self._shutdown:
+                    while pending:
+                        task = pending.popleft()
+                        finish(
+                            task,
+                            {
+                                "status": "failed",
+                                "reason": "service shutting down: task abandoned before dispatch",
+                            },
+                            worker=-1,
+                        )
+
                 # 1. Keep every idle worker fed (skipping cancelled tasks).
                 for worker in pool:
                     if not worker.idle:
@@ -486,7 +538,10 @@ class Scheduler:
                             busy_seconds[worker.slot] += now - worker.started_at
                             finish(task, message[2], worker=worker.slot)
                             worker.finish()
-                            worker.respawn()
+                            if self._shutdown:
+                                worker.kill()
+                            else:
+                                worker.respawn()
                             checked_any = True
                             continue
                         exit_code = worker.process.exitcode
@@ -499,7 +554,29 @@ class Scheduler:
                             },
                             worker=worker.slot,
                         )
-                        worker.respawn()
+                        if self._shutdown:
+                            worker.kill()
+                        else:
+                            worker.respawn()
+                        checked_any = True
+                        continue
+                    # 3b. Shutdown grace: in-flight goals may finish normally
+                    # until the grace expires; stragglers are killed without a
+                    # replacement (shutdown must never spawn a process).
+                    if self._shutdown and now > self._shutdown_at + self._shutdown_grace:
+                        busy_seconds[worker.slot] += now - worker.started_at
+                        finish(
+                            task,
+                            {
+                                "status": "failed",
+                                "reason": (
+                                    "service shutting down: worker killed "
+                                    f"{now - worker.started_at:.1f}s into the goal"
+                                ),
+                            },
+                            worker=worker.slot,
+                        )
+                        worker.kill()
                         checked_any = True
                         continue
                     # 4. Hard deadline: kill a hung worker past timeout+grace.
@@ -518,7 +595,10 @@ class Scheduler:
                             },
                             worker=worker.slot,
                         )
-                        worker.respawn()
+                        if self._shutdown:
+                            worker.kill()
+                        else:
+                            worker.respawn()
                         checked_any = True
                 if not checked_any:
                     time.sleep(0.01)  # idle poll: nothing finished, nobody died

@@ -26,13 +26,104 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import warnings
 from dataclasses import asdict
 from typing import Dict, Iterator, Optional, Tuple
 
+try:  # POSIX only; on platforms without fcntl the lock degrades to a no-op.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from ..search.config import ProverConfig
 
-__all__ = ["ResultStore", "config_fingerprint", "STORE_SCHEMA_VERSION"]
+__all__ = [
+    "ResultStore",
+    "StoreLockError",
+    "acquire_path_lock",
+    "release_path_lock",
+    "config_fingerprint",
+    "STORE_SCHEMA_VERSION",
+]
+
+
+class StoreLockError(RuntimeError):
+    """Another process holds the advisory lock on a store/library file."""
+
+
+# Process-local registry of held path locks.  Within one process many
+# ResultStore instances may share a path (warm re-runs keep the cold run's
+# store object alive on its SuiteResult); ``fcntl`` locks are per-process
+# anyway, so we refcount here and only the *first* open takes the flock.
+_PATH_LOCKS: Dict[str, Tuple[int, int]] = {}  # realpath -> (fd, refcount)
+_PATH_LOCKS_GUARD = threading.Lock()
+
+
+def acquire_path_lock(path: str, what: str = "store") -> Optional[str]:
+    """Take the advisory single-writer lock guarding ``path``.
+
+    Creates ``path + ".lock"`` and holds an exclusive non-blocking ``flock``
+    on it for the lifetime of the process (refcounted across instances, so
+    the same process may open the path repeatedly).  A *second process*
+    hitting the lock raises :class:`StoreLockError` with a one-line message —
+    two writers interleaving appends into one JSONL file would corrupt it, so
+    contention must fail loudly, not silently.
+
+    Returns the registry key to pass to :func:`release_path_lock`, or ``None``
+    when locking is unavailable on this platform.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        return None
+    key = os.path.realpath(os.path.abspath(os.fspath(path)))
+    with _PATH_LOCKS_GUARD:
+        held = _PATH_LOCKS.get(key)
+        if held is not None:
+            _PATH_LOCKS[key] = (held[0], held[1] + 1)
+            return key
+        lock_path = key + ".lock"
+        directory = os.path.dirname(lock_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            try:
+                holder = os.read(fd, 64).decode("ascii", "replace").strip()
+            except OSError:  # pragma: no cover - lock file unreadable
+                holder = ""
+            os.close(fd)
+            owner = f" (held by pid {holder})" if holder else ""
+            raise StoreLockError(
+                f"{path}: {what} is locked by another process{owner}; "
+                "a second daemon/CLI writing the same file would interleave "
+                "JSONL lines — point it at its own path"
+            ) from None
+        os.ftruncate(fd, 0)
+        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        _PATH_LOCKS[key] = (fd, 1)
+        return key
+
+
+def release_path_lock(key: Optional[str]) -> None:
+    """Drop one reference to a held path lock (freeing it at zero)."""
+    if key is None or fcntl is None:
+        return
+    with _PATH_LOCKS_GUARD:
+        held = _PATH_LOCKS.get(key)
+        if held is None:
+            return
+        fd, count = held
+        if count > 1:
+            _PATH_LOCKS[key] = (fd, count - 1)
+            return
+        del _PATH_LOCKS[key]
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        os.close(fd)
 
 StoreKey = Tuple[str, str, str, str]
 """``(program fingerprint, suite/name, equation, config fingerprint)``."""
@@ -81,6 +172,11 @@ OUTCOME_FIELDS = (
     "compiled_steps",
     "fallback_steps",
     "hot_symbols",
+    # Hint accounting (absence-benign, like the compile counters: they
+    # describe provenance, not the verdict, so they did not bump the schema;
+    # adding ProverConfig.max_hints changed the config fingerprint anyway).
+    "hints_offered",
+    "hint_steps",
 )
 
 
@@ -93,14 +189,36 @@ def config_fingerprint(config: ProverConfig) -> str:
 class ResultStore:
     """A JSON-lines memo of proof outcomes, keyed by :data:`StoreKey`."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, lock: bool = True):
         self.path = os.fspath(path)
         self._entries: Dict[StoreKey, dict] = {}
         self.hits = 0
         self.misses = 0
         #: Lines skipped on load because their schema differs from this build's.
         self.schema_skipped = 0
+        # Advisory single-writer guard: a second *process* opening the same
+        # store fails loudly (StoreLockError) instead of interleaving JSONL
+        # appends.  ``lock=False`` is for read-only consumers (report/check)
+        # that must keep working while a daemon owns the file.
+        self._lock_key = acquire_path_lock(self.path, what="result store") if lock else None
         self._load()
+
+    def close(self) -> None:
+        """Release the advisory file lock (idempotent; entries stay readable)."""
+        release_path_lock(self._lock_key)
+        self._lock_key = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- key construction -------------------------------------------------------
 
@@ -191,6 +309,18 @@ class ResultStore:
 
     def contains(self, key: StoreKey) -> bool:
         return key in self._entries
+
+    def peek(self, key: StoreKey) -> Optional[dict]:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        For planning passes (the proof service deciding whether a goal needs
+        hints) that inspect the store *before* the replay phase does the
+        counted lookup.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return {field: entry.get(field) for field in OUTCOME_FIELDS if field in entry}
 
     def put(self, key: StoreKey, outcome: dict) -> None:
         """Persist one outcome (overwriting any previous entry for the key)."""

@@ -20,7 +20,7 @@ from .portfolio import PortfolioVariant, select_winner, single_variant
 from .scheduler import DEFAULT_RESOLVER, STATUS_CANCELLED, Scheduler, Spec, Task
 from .store import ResultStore, config_fingerprint
 
-__all__ = ["solve_suite"]
+__all__ = ["solve_suite", "goal_store_equation"]
 
 #: Reasons that describe the run environment rather than the goal; outcomes
 #: carrying them are never persisted (a crash must not poison a warm store).
@@ -30,7 +30,28 @@ _UNSTORABLE_MARKERS = (
     "worker error",
     "unknown problem",
     "no attempt produced an outcome",
+    "service shutting down",
 )
+
+
+def goal_store_equation(goal, hints: Sequence[str] = ()) -> str:
+    """The store-identity rendering of a goal's equation.
+
+    Lemma hints change what is provable, so they are part of the store
+    identity of an attempt: a hintless outcome must never be replayed for a
+    hinted run (or vice versa).  Conditional goals carry their premises for
+    the same reason — two goals sharing an equation but differing in
+    hypotheses must never alias one store entry.  The proof service computes
+    keys with this exact function before dispatching, so its pre-checks and
+    this module's replay phase can never disagree.
+    """
+    equation = str(goal.equation)
+    if goal.conditions:
+        premises = ", ".join(str(c) for c in goal.conditions)
+        equation = premises + " ==> " + equation
+    if hints:
+        equation = " ; ".join(hints) + " ⊢ " + equation
+    return equation
 
 
 def _storable(outcome: dict) -> bool:
@@ -52,17 +73,7 @@ class _GoalState:
         self.index = index
         self.problem = problem
         self.key = f"{problem.suite}/{problem.name}"
-        # Lemma hints change what is provable, so they are part of the store
-        # identity of the attempt: a hintless outcome must never be replayed
-        # for a hinted run (or vice versa).  Conditional goals carry their
-        # premises for the same reason — two goals sharing an equation but
-        # differing in hypotheses must never alias one store entry.
-        self.equation = str(problem.goal.equation)
-        if problem.goal.conditions:
-            premises = ", ".join(str(c) for c in problem.goal.conditions)
-            self.equation = premises + " ==> " + self.equation
-        if hints:
-            self.equation = " ; ".join(hints) + " ⊢ " + self.equation
+        self.equation = goal_store_equation(problem.goal, hints)
         self.hints = hints
         self.outcomes: Dict[str, dict] = {}
         self.arrival: List[str] = []
@@ -138,6 +149,8 @@ def solve_suite(
             compiled_steps=int(outcome.get("compiled_steps") or 0),
             fallback_steps=int(outcome.get("fallback_steps") or 0),
             hot_symbols=dict(outcome.get("hot_symbols") or {}),
+            hints_offered=int(outcome.get("hints_offered") or 0),
+            hint_steps=int(outcome.get("hint_steps") or 0),
         )
         records[state.index] = record
         if progress is not None:

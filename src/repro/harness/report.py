@@ -20,6 +20,7 @@ __all__ = [
     "unsolved_classification",
     "normalizer_cache_table",
     "suite_cache_stats",
+    "service_summary_table",
     "worker_utilisation_table",
     "portfolio_winner_table",
     "strategy_summary_table",
@@ -177,6 +178,55 @@ def unsolved_classification(result: SuiteResult, hinted: Optional[Dict[str, str]
             category = "needs conditional reasoning or a lemma"
         rows.append((record.name, category))
     return format_table(("problem", "classification"), rows)
+
+
+def service_summary_table(metrics: Dict[str, object]) -> str:
+    """Render a proof-service metrics snapshot (``repro submit --metrics``).
+
+    Takes the primitive dict produced by
+    :meth:`repro.service.server.ServiceMetrics.snapshot` — the service ships
+    metrics over the wire as JSON, so this consumes plain data, never live
+    objects.
+    """
+    def count(name: str) -> int:
+        return int(metrics.get(name) or 0)
+
+    def latency(name: str) -> str:
+        bucket = metrics.get(name) or {}
+        n = int(bucket.get("count") or 0)
+        if not n:
+            return "-"
+        total = float(bucket.get("total") or 0.0)
+        worst = float(bucket.get("max") or 0.0)
+        return f"{total / n * 1000.0:.2f} ms mean, {worst * 1000.0:.2f} ms max (n={n})"
+
+    def rate(hits: int, misses: int) -> str:
+        total = hits + misses
+        if not total:
+            return f"{hits}/0"
+        return f"{hits}/{total} ({hits / total * 100.0:.0f}%)"
+
+    rows = [
+        ("requests", count("requests")),
+        ("goals submitted", count("goals")),
+        ("store hits", rate(count("store_hits"), count("store_misses"))),
+        ("warm-state hits", rate(count("warm_hits"), count("warm_misses"))),
+        ("warm-state evictions", count("warm_evictions")),
+        ("library lemmas held", count("library_lemmas")),
+        ("library lemmas rejected (bad certificate)", count("library_rejected")),
+        ("library hints offered", count("library_hints_offered")),
+        ("library hints used in proofs", count("library_hints_used")),
+        ("library-assisted goals", count("library_assisted_goals")),
+        ("goals dispatched to workers", count("dispatched_goals")),
+        ("worker processes spawned", count("worker_spawns")),
+        ("request errors", count("errors")),
+        ("replay latency", latency("replay_latency")),
+        ("solve latency", latency("solve_latency")),
+    ]
+    uptime = float(metrics.get("uptime_seconds") or 0.0)
+    if uptime:
+        rows.append(("uptime (s)", f"{uptime:.1f}"))
+    return format_table(("metric", "value"), rows)
 
 
 def worker_utilisation_table(result: SuiteResult, wall_seconds: Optional[float] = None) -> str:

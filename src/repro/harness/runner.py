@@ -92,6 +92,13 @@ class SolveRecord:
     """Rewrite steps per head symbol under compiled dispatch — the attempt's
     hottest functions (trimmed to the top few when crossing the wire)."""
 
+    hints_offered: int = 0
+    """Lemma hypotheses supplied to the attempt (library lemmas, human hints)."""
+
+    hint_steps: int = 0
+    """(Subst) steps of the final proof that instantiated a supplied hint
+    (0 for failures and for proofs that never touched their hints)."""
+
     @property
     def proved(self) -> bool:
         return self.status == "proved"
@@ -263,6 +270,8 @@ def run_suite(
                 compiled_steps=outcome.statistics.compiled_steps,
                 fallback_steps=outcome.statistics.fallback_steps,
                 hot_symbols=dict(outcome.statistics.rewrite_head_counts),
+                hints_offered=outcome.statistics.hints_offered,
+                hint_steps=outcome.statistics.hint_steps,
             )
         result.records.append(record)
         if progress is not None:

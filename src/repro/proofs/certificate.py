@@ -345,9 +345,30 @@ def encode(
     :meth:`~repro.program.Program.fingerprint`, so the checker can refuse to
     validate the proof against a different program.  ``equation`` defaults to
     the rendering of the root vertex's equation.
+
+    Only the subgraph reachable from the root is serialized.  The prover's
+    working preproof can hold hypothesis vertices that were offered as hints
+    but never discharged a subgoal; a certificate that carried them would
+    claim assumptions the proof does not use (and an unhinted checker would
+    rightly reject it).  Vertex identifiers are preserved, so pruning never
+    renumbers premises.
     """
+    keep = None
+    if proof.root is not None and proof.root in proof:
+        keep = set()
+        frontier = [proof.root]
+        while frontier:
+            ident = frontier.pop()
+            if ident in keep:
+                continue
+            keep.add(ident)
+            frontier.extend(proof.node(ident).premises)
     tables = _Tables()
-    nodes = tuple(_encode_node(node, tables) for node in proof.nodes)
+    nodes = tuple(
+        _encode_node(node, tables)
+        for node in proof.nodes
+        if keep is None or node.ident in keep
+    )
     if not equation and proof.root is not None and proof.root in proof:
         equation = str(proof.node(proof.root).equation)
     return ProofCertificate(

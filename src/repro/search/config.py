@@ -99,6 +99,16 @@ class ProverConfig:
     Part of the configuration fingerprint: an outcome persisted without a
     certificate is never replayed for a run that expects one."""
 
+    max_hints: Optional[int] = None
+    """Cap on externally supplied hypotheses per attempt (``None`` = no cap).
+
+    Hints beyond the cap are dropped *in order* (earlier hints win — callers
+    such as the proof service rank their library lemmas before offering them).
+    Every hypothesis becomes an unjustified (Hyp) vertex that the (Subst) rule
+    may instantiate, so an unbounded hint list inflates the branching factor
+    of every subgoal; services offering a whole lemma library set this.  Part
+    of the configuration fingerprint like every other field."""
+
     compile_rules: bool = field(default_factory=lambda: compile_rules_default())
     """Dispatch normalisation through per-symbol compiled match trees.
 
@@ -124,6 +134,8 @@ class ProverConfig:
             raise ValueError(f"unknown lemma restriction {self.lemma_restriction!r}")
         if self.max_depth < 1 or self.max_nodes < 1:
             raise ValueError("search bounds must be positive")
+        if self.max_hints is not None and self.max_hints < 0:
+            raise ValueError("max_hints must be non-negative (or None for no cap)")
         # Deferred import: agenda holds the strategy registry and must stay
         # importable without the configuration module (and vice versa).
         from .agenda import get_strategy

@@ -144,6 +144,10 @@ class Prover:
                     reason="counterexample found by ground testing",
                     goal_name=goal_name,
                 )
+        limit = self.config.max_hints
+        if limit is not None and len(hypotheses) > limit:
+            # Earlier hints win: callers rank their lemmas before offering.
+            hypotheses = tuple(hypotheses)[:limit]
         attempt = _ProofAttempt(self.program, self.config)
         result = attempt.run(equation, goal_name, hypotheses=hypotheses, budget=budget)
         result.statistics.falsification_seconds = falsify_seconds
@@ -279,6 +283,19 @@ class _ProofAttempt:
         self.stats.compiled_steps = self.normalizer.compiled_steps
         self.stats.fallback_steps = self.normalizer.fallback_steps
         self.stats.rewrite_head_counts = dict(self.normalizer.head_steps)
+        self.stats.hints_offered = len(hypotheses)
+        if proved and hypotheses:
+            # How much did the final proof lean on the supplied hypotheses?  A
+            # (Subst) vertex records its lemma as the first premise; count the
+            # ones whose lemma is a Hyp vertex.
+            rules = {node.ident: node.rule for node in self.proof.nodes}
+            self.stats.hint_steps = sum(
+                1
+                for node in self.proof.nodes
+                if node.rule == RULE_SUBST
+                and node.premises
+                and rules.get(node.premises[0]) == RULE_HYP
+            )
         if proved:
             certificate = None
             if self.config.emit_proofs:

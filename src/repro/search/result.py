@@ -96,6 +96,15 @@ class SearchStatistics:
     """Rewrite steps per head symbol (compiled dispatch only): the hot
     functions of the attempt, feeding ``compile_summary_table``."""
 
+    hints_offered: int = 0
+    """Hypotheses supplied to the attempt (library lemmas, human hints) after
+    :attr:`~repro.search.config.ProverConfig.max_hints` truncation."""
+
+    hint_steps: int = 0
+    """(Subst) steps of the *final* proof whose lemma is a supplied hypothesis
+    — how much of the proof actually leaned on the hints (0 when the attempt
+    failed, or proved the goal without touching them)."""
+
     @property
     def timed_out(self) -> bool:
         """Was the attempt aborted by the wall-clock deadline?"""
@@ -114,6 +123,8 @@ class SearchStatistics:
             strategy += f" falsify={self.falsification_instances}"
         if self.compiled_steps or self.fallback_steps:
             strategy += f" compiled={self.compiled_steps}/{self.compiled_steps + self.fallback_steps}"
+        if self.hints_offered:
+            strategy += f" hints={self.hint_steps}/{self.hints_offered}"
         return (
             f"nodes={self.nodes_created} subst={self.subst_attempts} "
             f"case={self.case_splits} soundness={self.soundness_checks} "

@@ -1,0 +1,180 @@
+"""Blocking JSON-lines client for the proof service.
+
+Used by ``python -m repro submit``, the end-to-end tests, and
+``benchmarks/bench_service.py``.  One connection per request: the protocol is
+stateless above the daemon's own warm state, and a short-lived connection
+keeps failure handling trivial (a dead daemon is a connect error, a daemon
+dying mid-request is a clean :class:`ServiceProtocolError`, never a hang —
+every socket operation is bounded by ``timeout``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ServiceClient", "ServiceProtocolError", "SubmitOutcome"]
+
+#: Reply ops that terminate a request (anything else is a streamed event).
+_TERMINAL_OPS = ("pong", "metrics", "bye", "done", "error")
+
+
+class ServiceProtocolError(RuntimeError):
+    """The daemon reported an error, vanished mid-request, or spoke garbage."""
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything one ``submit`` streamed back: per-goal verdicts + summary."""
+
+    verdicts: List[dict] = field(default_factory=list)
+    """The ``verdict`` lines in arrival order (certificates/counterexamples inline)."""
+
+    done: Dict[str, object] = field(default_factory=dict)
+    """The terminal ``done`` line (counts, worker spawns, latency)."""
+
+    def verdict(self, goal: str) -> Optional[dict]:
+        for entry in self.verdicts:
+            if entry.get("goal") == goal:
+                return entry
+        return None
+
+    @property
+    def proved(self) -> int:
+        return int(self.done.get("proved") or 0)
+
+    @property
+    def disproved(self) -> int:
+        return int(self.done.get("disproved") or 0)
+
+    @property
+    def total(self) -> int:
+        return int(self.done.get("total") or 0)
+
+    @property
+    def worker_spawns(self) -> int:
+        return int(self.done.get("worker_spawns") or 0)
+
+    @property
+    def seconds(self) -> float:
+        return float(self.done.get("seconds") or 0.0)
+
+    @property
+    def all_proved(self) -> bool:
+        return self.total > 0 and self.proved == self.total
+
+
+class ServiceClient:
+    """Talk to a running daemon over its unix socket."""
+
+    def __init__(self, socket_path: str, timeout: float = 120.0):
+        self.socket_path = str(socket_path)
+        self.timeout = float(timeout)
+
+    # -- transport ----------------------------------------------------------------
+
+    def _request(
+        self, payload: dict, on_event: Optional[Callable[[dict], None]] = None
+    ) -> Tuple[dict, List[dict]]:
+        """Send one request; returns ``(terminal reply, streamed events)``.
+
+        Raises :class:`ServiceProtocolError` on an ``error`` reply and on a
+        connection that closes before a terminal reply arrives (the killed-
+        worker / dying-daemon path — a clean client error, never a hang).
+        """
+        events: List[dict] = []
+        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        connection.settimeout(self.timeout)
+        try:
+            try:
+                connection.connect(self.socket_path)
+            except OSError as error:
+                raise ServiceProtocolError(
+                    f"cannot reach daemon on {self.socket_path}: {error}"
+                ) from None
+            connection.sendall((json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
+            stream = connection.makefile("r", encoding="utf-8")
+            try:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        reply = json.loads(line)
+                    except ValueError:
+                        raise ServiceProtocolError(f"daemon sent a non-JSON line: {line[:120]!r}")
+                    if not isinstance(reply, dict):
+                        raise ServiceProtocolError(f"daemon sent a non-object reply: {line[:120]!r}")
+                    if reply.get("op") == "error":
+                        raise ServiceProtocolError(str(reply.get("error") or "unknown service error"))
+                    if reply.get("op") in _TERMINAL_OPS:
+                        return reply, events
+                    events.append(reply)
+                    if on_event is not None:
+                        on_event(reply)
+            finally:
+                stream.close()
+        except socket.timeout:
+            raise ServiceProtocolError(
+                f"daemon did not answer within {self.timeout:.0f}s"
+            ) from None
+        finally:
+            connection.close()
+        raise ServiceProtocolError("daemon closed the connection before finishing the request")
+
+    # -- the protocol ops ----------------------------------------------------------
+
+    def ping(self) -> dict:
+        reply, _ = self._request({"op": "ping"})
+        return reply
+
+    def metrics(self) -> dict:
+        """The daemon's metrics snapshot (feed :func:`service_summary_table`)."""
+        reply, _ = self._request({"op": "metrics"})
+        metrics = reply.get("metrics")
+        return metrics if isinstance(metrics, dict) else {}
+
+    def shutdown(self) -> dict:
+        reply, _ = self._request({"op": "shutdown"})
+        return reply
+
+    def submit(
+        self,
+        suite: Optional[str] = None,
+        source: Optional[str] = None,
+        goals: Sequence[str] = (),
+        conjectures: Sequence[Tuple[str, str]] = (),
+        timeout: Optional[float] = None,
+        use_hints: bool = True,
+        falsify: bool = False,
+        on_verdict: Optional[Callable[[dict], None]] = None,
+    ) -> SubmitOutcome:
+        """Submit goals; blocks until the daemon's ``done`` line.
+
+        Exactly one of ``suite`` (a built-in theory) or ``source`` (program
+        text) selects the theory; ``goals`` filters its declared goals and
+        ``conjectures`` adds ``(name, equation source)`` pairs on top.
+        ``on_verdict`` sees each verdict as it streams in.
+        """
+        request: Dict[str, object] = {"op": "submit"}
+        if source is not None:
+            request["source"] = source
+        if suite is not None:
+            request["suite"] = suite
+        if goals:
+            request["goals"] = [str(name) for name in goals]
+        if conjectures:
+            request["conjectures"] = [
+                {"name": str(name), "equation": str(equation)}
+                for name, equation in conjectures
+            ]
+        if timeout is not None:
+            request["timeout"] = float(timeout)
+        if not use_hints:
+            request["use_hints"] = False
+        if falsify:
+            request["falsify"] = True
+        done, events = self._request(request, on_event=on_verdict)
+        return SubmitOutcome(verdicts=events, done=done)

@@ -1,0 +1,331 @@
+"""Content-addressed lemma library: proved equations with their certificates.
+
+The library maps a ``Program.fingerprint()`` to the equations proved over that
+theory, each carrying the portable :class:`~repro.proofs.certificate`
+encoding of its proof.  Lemmas are *offered as hints* to later goals on the
+same theory — but only after their certificate has been independently
+re-checked (:meth:`LemmaLibrary.hints_for`), so a corrupted or tampered
+library line can never smuggle an unproved equation into someone's proof as a
+granted hypothesis.  Lemmas ship as equation source text plus certificate
+dicts — primitive data only; terms never enter or leave the file.
+
+Persistence is schema-versioned JSONL with the same discipline as the result
+store: append-only, torn lines skipped, foreign schema versions skipped
+loudly, and an advisory single-writer file lock so two daemons cannot
+interleave lines.  Two line kinds::
+
+    {"schema": 1, "kind": "program", "program": <fp>, "source": <text>}
+    {"schema": 1, "kind": "lemma", "program": <fp>, "equation": <text>,
+     "certificate": {...}}
+
+The ``program`` line records the theory's source once per fingerprint, making
+the file self-contained: any process can re-verify every lemma from the file
+alone (:meth:`LemmaLibrary.verify_all`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine.store import acquire_path_lock, release_path_lock
+
+__all__ = ["LemmaLibrary", "enrich_library", "LIBRARY_SCHEMA_VERSION"]
+
+LIBRARY_SCHEMA_VERSION = 1
+"""Schema of the library's JSONL lines (bumped when their meaning changes)."""
+
+
+class LemmaLibrary:
+    """Certified lemmas per program fingerprint, persisted as JSONL."""
+
+    def __init__(self, path: str, lock: bool = True):
+        self.path = os.fspath(path)
+        self._lock_key = acquire_path_lock(self.path, what="lemma library") if lock else None
+        # fingerprint -> {equation source: certificate dict}, insertion-ordered
+        # (earlier lemmas tend to be smaller/more fundamental, and hint order
+        # matters under ProverConfig.max_hints truncation).
+        self._lemmas: Dict[str, Dict[str, dict]] = {}
+        self._sources: Dict[str, str] = {}
+        # Verification is lazy and memoised per (fingerprint, equation):
+        # True = certificate checked out, False = rejected (never offered).
+        self._verdicts: Dict[Tuple[str, str], bool] = {}
+        self.schema_skipped = 0
+        self.rejected = 0
+        self.hints_served = 0
+        self._guard = threading.RLock()  # submit thread vs enrichment thread
+        self._load()
+
+    # -- persistence ------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        foreign: set = set()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn write; ignore
+                if not isinstance(entry, dict):
+                    continue
+                schema = entry.get("schema", 0)
+                if schema != LIBRARY_SCHEMA_VERSION:
+                    self.schema_skipped += 1
+                    foreign.add(str(schema))
+                    continue
+                kind = entry.get("kind")
+                fingerprint = str(entry.get("program", ""))
+                if not fingerprint:
+                    continue
+                if kind == "program":
+                    source = entry.get("source")
+                    if isinstance(source, str) and source:
+                        self._sources.setdefault(fingerprint, source)
+                elif kind == "lemma":
+                    equation = str(entry.get("equation", ""))
+                    certificate = entry.get("certificate")
+                    if equation and isinstance(certificate, dict):
+                        self._lemmas.setdefault(fingerprint, {})[equation] = certificate
+        if self.schema_skipped:
+            rendered = ", ".join(sorted(foreign))
+            warnings.warn(
+                f"{self.path}: skipped {self.schema_skipped} line(s) with library "
+                f"schema {rendered} (this build reads schema {LIBRARY_SCHEMA_VERSION})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _append(self, entry: dict) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Release the advisory file lock (idempotent)."""
+        release_path_lock(self._lock_key)
+        self._lock_key = None
+
+    def __enter__(self) -> "LemmaLibrary":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- growing the library ----------------------------------------------------
+
+    def add(
+        self,
+        fingerprint: str,
+        equation: str,
+        certificate: dict,
+        program_source: Optional[str] = None,
+    ) -> bool:
+        """Record one proved lemma; returns ``True`` when it was new.
+
+        The certificate is stored as given — verification happens when the
+        lemma is *offered* (:meth:`hints_for`), so a library written by an
+        older or buggy build degrades to rejected hints, never to unsound
+        proofs.  ``program_source`` makes the file self-contained (recorded
+        once per fingerprint).
+        """
+        equation = str(equation)
+        with self._guard:
+            if program_source and fingerprint not in self._sources:
+                self._sources[fingerprint] = program_source
+                self._append(
+                    {
+                        "schema": LIBRARY_SCHEMA_VERSION,
+                        "kind": "program",
+                        "program": fingerprint,
+                        "source": program_source,
+                    }
+                )
+            per_theory = self._lemmas.setdefault(fingerprint, {})
+            if equation in per_theory:
+                return False
+            per_theory[equation] = dict(certificate)
+            self._append(
+                {
+                    "schema": LIBRARY_SCHEMA_VERSION,
+                    "kind": "lemma",
+                    "program": fingerprint,
+                    "equation": equation,
+                    "certificate": dict(certificate),
+                }
+            )
+            # A fresh lemma from a prover we just watched succeed still goes
+            # through verification before it is offered; drop any stale
+            # verdict for the slot (a rejected lemma may have been re-proved).
+            self._verdicts.pop((fingerprint, equation), None)
+            return True
+
+    # -- offering hints ----------------------------------------------------------
+
+    def _verify(self, fingerprint: str, equation: str, certificate: dict, checker=None) -> bool:
+        key = (fingerprint, equation)
+        verdict = self._verdicts.get(key)
+        if verdict is not None:
+            return verdict
+        report = None
+        try:
+            if checker is not None:
+                report = checker.check(certificate, goal_equation=equation)
+            else:
+                source = self._sources.get(fingerprint)
+                if source is not None:
+                    from ..proofs.checker import check_certificate
+
+                    report = check_certificate(source, certificate, goal_equation=equation)
+        except Exception:  # noqa: BLE001 - a malformed certificate must only reject
+            report = None
+        ok = bool(report is not None and report.ok and not report.hypotheses)
+        if not ok:
+            self.rejected += 1
+        self._verdicts[key] = ok
+        return ok
+
+    def hints_for(
+        self,
+        fingerprint: str,
+        exclude: Iterable[str] = (),
+        checker=None,
+        limit: Optional[int] = None,
+    ) -> List[str]:
+        """Verified lemma equations of a theory, ready to offer as hints.
+
+        Every candidate's certificate is re-checked (memoised) before it may
+        be returned; lemmas whose certificate fails — or that depend on
+        hypotheses — are dropped and counted in :attr:`rejected`.  ``exclude``
+        removes equations (typically the goal's own), ``checker`` is a warm
+        :class:`~repro.proofs.checker.CertificateChecker` bound to the theory
+        (falling back to the library's recorded program source), and ``limit``
+        caps the offer (insertion order wins).
+        """
+        excluded = set(exclude)
+        hints: List[str] = []
+        with self._guard:
+            candidates = list(self._lemmas.get(fingerprint, {}).items())
+        for equation, certificate in candidates:
+            if equation in excluded:
+                continue
+            if not self._verify(fingerprint, equation, certificate, checker=checker):
+                continue
+            hints.append(equation)
+            if limit is not None and len(hints) >= limit:
+                break
+        if hints:
+            self.hints_served += len(hints)
+        return hints
+
+    def verify_all(self, checker=None) -> Dict[str, int]:
+        """Re-check every lemma; returns ``{"verified": n, "rejected": m}``."""
+        verified = rejected = 0
+        with self._guard:
+            theories = {fp: dict(lemmas) for fp, lemmas in self._lemmas.items()}
+        for fingerprint, lemmas in theories.items():
+            for equation, certificate in lemmas.items():
+                if self._verify(fingerprint, equation, certificate, checker=checker):
+                    verified += 1
+                else:
+                    rejected += 1
+        return {"verified": verified, "rejected": rejected}
+
+    # -- views --------------------------------------------------------------------
+
+    def lemma_count(self, fingerprint: Optional[str] = None) -> int:
+        with self._guard:
+            if fingerprint is not None:
+                return len(self._lemmas.get(fingerprint, {}))
+            return sum(len(lemmas) for lemmas in self._lemmas.values())
+
+    def certificate_for(self, fingerprint: str, equation: str) -> Optional[dict]:
+        with self._guard:
+            found = self._lemmas.get(fingerprint, {}).get(str(equation))
+            return dict(found) if found is not None else None
+
+    def source_for(self, fingerprint: str) -> Optional[str]:
+        return self._sources.get(fingerprint)
+
+    def fingerprints(self) -> List[str]:
+        with self._guard:
+            return list(self._lemmas)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._guard:
+            return {
+                "lemmas": sum(len(lemmas) for lemmas in self._lemmas.values()),
+                "theories": len(self._lemmas),
+                "rejected": self.rejected,
+                "hints_served": self.hints_served,
+                "schema_skipped": self.schema_skipped,
+            }
+
+    def __len__(self) -> int:
+        return self.lemma_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LemmaLibrary({self.path!r}: {len(self)} lemma(s))"
+
+
+def enrich_library(
+    source: str,
+    suite: str,
+    library: LemmaLibrary,
+    prover_config=None,
+    exploration=None,
+) -> int:
+    """Pre-populate the library for one theory via :class:`TheoryExplorer`.
+
+    Runs entirely in its own :class:`~repro.core.interning.TermBank` — the
+    enrichment worker may share a process with a serving daemon, and banks are
+    never shared across threads.  The explorer proves its lemmas with earlier
+    lemmas as hypotheses and keeps no certificates, so each surviving lemma is
+    re-proved *standalone* with ``emit_proofs``; only lemmas with a
+    hypothesis-free certificate enter the library.  Returns how many lemmas
+    were added.
+    """
+    from ..core.interning import TermBank, use_bank
+    from ..exploration.explorer import ExplorationConfig, TheoryExplorer
+    from ..lang.loader import load_program
+    from ..search.config import ProverConfig
+    from ..search.prover import Prover
+
+    base = prover_config or ProverConfig()
+    exploration = exploration or ExplorationConfig()
+    added = 0
+    bank = TermBank()
+    with use_bank(bank):
+        program = load_program(source, name=suite)
+        fingerprint = program.fingerprint()
+        explorer = TheoryExplorer(program, config=exploration, prover_config=base)
+        lemmas = explorer.explore()
+        prover = Prover(
+            program,
+            base.with_(emit_proofs=True, timeout=exploration.lemma_timeout),
+        )
+        for lemma in lemmas:
+            result = prover.prove(lemma)
+            if result.proved and result.certificate is not None:
+                if library.add(
+                    fingerprint,
+                    str(lemma),
+                    result.certificate.to_dict(),
+                    program_source=source,
+                ):
+                    added += 1
+    return added

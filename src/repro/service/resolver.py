@@ -1,0 +1,69 @@
+"""Worker-side problem resolution for service submissions.
+
+The engine's workers rebuild their problems from a *resolver* so that terms
+never cross the process boundary.  Built-in suites use the
+``"module:attribute"`` registry specs; a submission carrying arbitrary program
+source needs a resolver that ships the *source text* instead —
+:class:`SourceResolver` is that: a picklable callable holding only primitives
+(source, suite name, extra goal equations), elaborating the program inside
+whichever process invokes it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["SourceResolver"]
+
+
+class SourceResolver:
+    """Resolve problems by elaborating submitted program source in-process.
+
+    Instances cross the fork/spawn boundary as plain picklable data; the
+    elaboration (and hence every term) happens inside the worker, in the
+    worker's own bank.  ``extra_goals`` are ``(name, equation source)`` pairs
+    appended to the program's declared goals — the service uses them for
+    conjectures submitted alongside a known theory.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        suite: str,
+        extra_goals: Iterable[Tuple[str, str]] = (),
+    ):
+        self.source = str(source)
+        self.suite = str(suite)
+        self.extra_goals: Sequence[Tuple[str, str]] = tuple(
+            (str(name), str(equation)) for name, equation in extra_goals
+        )
+
+    def __call__(self) -> List[object]:
+        # Deferred imports: the resolver is constructed in the parent but
+        # *runs* in the worker, which should pay the import cost lazily.
+        from ..benchmarks_data.registry import BenchmarkProblem
+        from ..lang.loader import load_program
+        from ..program import Goal
+
+        program = load_program(self.source, name=self.suite)
+        problems = [
+            BenchmarkProblem(name=name, suite=self.suite, goal=goal, program=program)
+            for name, goal in program.goals.items()
+        ]
+        for name, equation_source in self.extra_goals:
+            equation = program.parse_equation(equation_source)
+            problems.append(
+                BenchmarkProblem(
+                    name=name,
+                    suite=self.suite,
+                    goal=Goal(name=name, equation=equation),
+                    program=program,
+                )
+            )
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SourceResolver(suite={self.suite!r}, {len(self.source)} source bytes, "
+            f"{len(self.extra_goals)} extra goal(s))"
+        )

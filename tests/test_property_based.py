@@ -266,15 +266,42 @@ def preproofs(draw):
     return proof
 
 
+def _reachable_idents(proof):
+    """The vertex identifiers ``encode`` keeps: the root's premise closure.
+
+    ``None`` when the proof has no root — then nothing is pruned.
+    """
+    if proof.root is None or proof.root not in proof:
+        return None
+    keep = set()
+    frontier = [proof.root]
+    while frontier:
+        ident = frontier.pop()
+        if ident in keep:
+            continue
+        keep.add(ident)
+        frontier.extend(proof.node(ident).premises)
+    return keep
+
+
 class TestCertificateProperties:
     @given(preproofs())
     @settings(max_examples=60)
-    def test_encode_decode_round_trips_every_vertex(self, proof):
+    def test_encode_decode_round_trips_the_reachable_subgraph(self, proof):
+        # The certificate carries exactly the subgraph reachable from the
+        # root (unreachable vertices — e.g. hint hypotheses the proof never
+        # used — would make it claim assumptions it does not rely on), and
+        # every kept vertex round-trips field-for-field.
         cert = encode(proof, program_fingerprint="fp", goal_name="g")
         rebuilt = decode(cert, bank=TermBank("property"))
-        assert len(rebuilt) == len(proof)
+        keep = _reachable_idents(proof)
+        kept_nodes = (
+            proof.nodes if keep is None
+            else [n for n in proof.nodes if n.ident in keep]
+        )
+        assert len(rebuilt) == len(kept_nodes)
         assert rebuilt.root == proof.root
-        for node in proof.nodes:
+        for node in kept_nodes:
             twin = rebuilt.node(node.ident)
             assert twin.rule == node.rule
             assert twin.premises == node.premises
