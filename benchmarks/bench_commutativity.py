@@ -3,7 +3,8 @@
 Paper: the cyclic system proves ``x + y ≈ y + x`` automatically; Cyclist can
 only do so when given ``x + S y = S (x + y)`` as a hint, and rewriting
 induction cannot state the goal at all because it is unorientable.  This module
-measures the CycleQ proof and regenerates the comparison of the three systems.
+measures the CycleQ proof (to the ``stats.py`` warmup + repeats + 95% CI
+discipline) and regenerates the comparison of the three systems.
 """
 
 from __future__ import annotations
@@ -11,6 +12,8 @@ from __future__ import annotations
 import pytest
 
 from conftest import EVALUATION_CONFIG, print_report
+from stats import format_sample, measure
+
 from repro.harness import format_table
 from repro.induction import RewritingInduction
 from repro.lang import load_program
@@ -30,21 +33,23 @@ def nat_program():
     return load_program(NAT_SOURCE, name="nat")
 
 
-def test_commutativity_cyclic_proof(benchmark, nat_program):
+def test_commutativity_cyclic_proof(nat_program):
     """CycleQ proves commutativity with no hint (Fig. 4)."""
     equation = nat_program.parse_equation("add x y === add y x")
     prover = Prover(nat_program, EVALUATION_CONFIG)
 
-    result = benchmark(lambda: prover.prove(equation))
-
+    result = prover.prove(equation)
     assert result.proved
     report = check_proof(nat_program, result.proof)
     assert report.is_proof, report.issues
     assert len(result.proof.back_edge_targets()) >= 2, "Fig. 4 has several companions"
+
+    sample = measure(lambda: prover.prove(equation), repeats=7, warmup=2)
     print_report("Cyclic proof of add x y ≈ add y x (cf. Fig. 4)", render_text(result.proof))
+    print_report("commutativity proof latency", format_sample(sample))
 
 
-def test_commutativity_three_system_comparison(benchmark, nat_program):
+def test_commutativity_three_system_comparison(nat_program):
     """CycleQ vs rewriting induction (with and without the Cyclist hint)."""
     equation = nat_program.parse_equation("add x y === add y x")
     hint = nat_program.parse_equation("add x (S y) === S (add x y)")
@@ -55,7 +60,8 @@ def test_commutativity_three_system_comparison(benchmark, nat_program):
         ri_hinted = RewritingInduction(nat_program).prove(equation, extra_hypotheses=[hint])
         return cycleq, ri_plain, ri_hinted
 
-    cycleq, ri_plain, ri_hinted = benchmark(run_all)
+    cycleq, ri_plain, ri_hinted = run_all()
+    sample = measure(run_all, repeats=5, warmup=1)
 
     rows = [
         ("CycleQ (cyclic, no hint)", "proved" if cycleq.proved else "failed"),
@@ -63,6 +69,7 @@ def test_commutativity_three_system_comparison(benchmark, nat_program):
         ("Rewriting induction (+ Cyclist's hint lemma)", "proved" if ri_hinted.success else "failed (unorientable)"),
     ]
     print_report("Commutativity of addition across systems", format_table(("system", "outcome"), rows))
+    print_report("three-system comparison latency", format_sample(sample))
 
     assert cycleq.proved
     assert not ri_plain.success

@@ -5,9 +5,11 @@ average time over the solved problems 129 ms, 13 problems out of scope because
 they are conditional equations.
 
 This module regenerates the same numbers and the cumulative solved-vs-time
-series (the staircase plotted in Fig. 7) on the current machine, and benchmarks
-a representative sample of solved problems so that pytest-benchmark records
-per-problem latencies.
+series (the staircase plotted in Fig. 7) on the current machine.  Every timing
+follows the ``stats.py`` discipline — unrecorded warmup runs, repeated
+measurements with the cyclic GC paused, and a Student-t 95% confidence
+interval — so the per-problem latencies are reported with error bars instead
+of single observations.
 """
 
 from __future__ import annotations
@@ -15,33 +17,34 @@ from __future__ import annotations
 import pytest
 
 from conftest import EVALUATION_CONFIG, print_report
+from stats import format_sample, measure
+
 from repro.benchmarks_data import PAPER_REPORTED, isaplanner_problems
 from repro.harness import (
     ascii_cumulative_plot,
     cumulative_curve,
+    format_table,
     isaplanner_summary_table,
     run_suite,
 )
 from repro.search import Prover
 
-#: Problems the paper's headline figure rests on; benchmarked individually so
+#: Problems the paper's headline figure rests on; measured individually so
 #: that the per-problem latency distribution (the shape of Fig. 7) is recorded.
 SAMPLED_PROBLEMS = ["prop_01", "prop_11", "prop_22", "prop_35", "prop_42", "prop_50", "prop_64"]
 
 
-def test_fig7_cumulative_curve(benchmark, isaplanner_suite_result):
+def test_fig7_cumulative_curve(isaplanner_suite_result):
     """Regenerate the Fig. 7 series and the Section 6.1 summary table."""
-
-    def solved_counts():
-        # The expensive suite run happens once in the session fixture; the
-        # benchmarked body recomputes the cumulative series from its records.
-        return cumulative_curve(isaplanner_suite_result)
-
-    curve = benchmark(solved_counts)
     result = isaplanner_suite_result
+    # The expensive suite run happens once in the session fixture; the series
+    # recomputation from its records is the measured body.
+    curve = cumulative_curve(result)
+    sample = measure(lambda: cumulative_curve(result), repeats=7, warmup=2)
 
     print_report("Fig. 7 / Section 6.1 summary (paper vs measured)", isaplanner_summary_table(result))
     print_report("Fig. 7 cumulative solved-vs-time series (measured)", ascii_cumulative_plot(result))
+    print_report("cumulative-curve recomputation latency", format_sample(sample))
 
     # Shape checks corresponding to the paper's headline claims.
     solved = len(result.solved)
@@ -54,21 +57,32 @@ def test_fig7_cumulative_curve(benchmark, isaplanner_suite_result):
 
 
 @pytest.mark.parametrize("name", SAMPLED_PROBLEMS)
-def test_individual_problem_latency(benchmark, isaplanner, name):
-    """Per-problem proof latency for a sample of solved problems."""
+def test_individual_problem_latency(isaplanner, name):
+    """Per-problem proof latency (95% CI) for a sample of solved problems."""
     goal = isaplanner.goal(name)
     prover = Prover(isaplanner, EVALUATION_CONFIG)
 
-    result = benchmark(lambda: prover.prove_goal(goal))
+    result = prover.prove_goal(goal)
     assert result.proved, f"{name} should be solvable: {result.reason}"
 
+    sample = measure(lambda: prover.prove_goal(goal), repeats=5, warmup=1)
+    print_report(f"{name} proof latency", format_sample(sample))
 
-def test_suite_end_to_end_throughput(benchmark):
+
+def test_suite_end_to_end_throughput():
     """Wall-clock cost of running a fast 12-problem slice of the suite end to end."""
     problems = [p for p in isaplanner_problems() if p.name in {
         "prop_01", "prop_06", "prop_11", "prop_13", "prop_17", "prop_21",
         "prop_31", "prop_35", "prop_40", "prop_45", "prop_46", "prop_64",
     }]
 
-    result = benchmark(lambda: run_suite(problems, EVALUATION_CONFIG, suite_name="slice"))
+    result = run_suite(problems, EVALUATION_CONFIG, suite_name="slice")
     assert len(result.solved) == len(problems)
+
+    sample = measure(
+        lambda: run_suite(problems, EVALUATION_CONFIG, suite_name="slice"),
+        repeats=5,
+        warmup=1,
+    )
+    rows = [("12-problem slice, end to end", format_sample(sample))]
+    print_report("suite slice throughput", format_table(("workload", "wall clock"), rows))

@@ -1,9 +1,10 @@
-"""The ``python -m repro`` command line: solve, bench, disprove, report, check, store, serve, submit.
+"""The ``python -m repro`` command line: solve, bench, profile, disprove, report, check, store, serve, submit.
 
-Eight subcommands::
+Nine subcommands::
 
     python -m repro solve --suite isaplanner --goal prop_01 --emit-proofs
     python -m repro bench --suite isaplanner --jobs 4 --timeout 1 --store results.jsonl
+    python -m repro profile --suite isaplanner --limit 10 --max-nodes 300
     python -m repro disprove --suite false_conjectures
     python -m repro report --store results.jsonl
     python -m repro check --store results.jsonl --require-certificates
@@ -19,7 +20,12 @@ a refuted goal reports ``disproved`` with its counterexample instead of
 burning the proof budget.  ``bench`` runs a suite on the parallel engine —
 ``--jobs``, ``--portfolio``, ``--store``, ``--timeout``, ``--emit-proofs`` and
 ``--falsify`` map straight onto :func:`repro.engine.suite.solve_suite` — and
-prints the paper-vs-measured tables.  ``disprove`` runs *only* the falsifier
+prints the paper-vs-measured tables.  ``profile`` runs a suite slice serially
+with the phase profiler and prints where the prover's wall-clock actually
+went — ranked per-phase exclusive times and the hottest head symbols — with a
+``--cprofile`` escape hatch for a function-level view (both ``solve`` and
+``bench`` also accept ``--profile`` to append the same tables to a normal
+run).  ``disprove`` runs *only* the falsifier
 (no proof search, no workers) and exits 0 exactly when every selected goal is
 refuted with a replayable counterexample.  ``report`` renders tables from a
 persisted result store without re-running anything.  ``check`` independently
@@ -56,7 +62,9 @@ from .harness.report import (
     compile_summary_table,
     counterexample_table,
     format_table,
+    hot_symbol_table,
     isaplanner_summary_table,
+    phase_profile_table,
     portfolio_winner_table,
     proof_size_table,
     strategy_summary_table,
@@ -122,6 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--no-compile-rules", action="store_true",
                        help="disable compiled rewrite dispatch (generic matching; "
                             "the benchmarking/parity baseline)")
+    solve.add_argument("--profile", action="store_true",
+                       help="print the per-phase time breakdown after each goal")
 
     bench = commands.add_parser("bench", help="run a benchmark suite on the parallel engine")
     bench.add_argument("--suite", choices=sorted(SUITES), default="isaplanner")
@@ -150,6 +160,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-compile-rules", action="store_true",
                        help="disable compiled rewrite dispatch (generic matching; "
                             "the benchmarking/parity baseline)")
+    bench.add_argument("--profile", action="store_true",
+                       help="append the phase-profile and hot-symbol tables to the report")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run a suite slice serially and print where the prover's time went",
+    )
+    profile.add_argument("--suite", choices=sorted(SUITES), default="isaplanner")
+    profile.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="only the first N problems of the suite")
+    profile.add_argument("--names", default=None,
+                         help="comma-separated problem names to profile (a slice of the suite)")
+    profile.add_argument("--timeout", type=float, default=None,
+                         help="per-goal budget in seconds")
+    profile.add_argument("--max-nodes", type=int, default=None, metavar="N",
+                         help="deterministic per-goal node budget (replaces the "
+                              "wall-clock budget; reproducible profiles)")
+    profile.add_argument("--strategy", choices=strategy_names(), default=None,
+                         help="search strategy for the agenda core (default: dfs)")
+    profile.add_argument("--falsify", action="store_true",
+                         help="ground-test each goal first (times the falsify phase too)")
+    profile.add_argument("--no-compile-rules", action="store_true",
+                         help="profile the generic-matching baseline instead")
+    profile.add_argument("--cprofile", type=int, nargs="?", const=25, default=None,
+                         metavar="N",
+                         help="also run cProfile and print the top N functions "
+                              "by cumulative time (default N: 25)")
 
     disprove = commands.add_parser(
         "disprove",
@@ -323,6 +360,21 @@ def _solve_command(args) -> int:
         hints = tuple(program.parse_equation(source) for source in args.hint)
         result = Prover(program, config).prove_goal(goal, hypotheses=hints)
         print(result)
+        if args.profile and result.statistics.phase_seconds:
+            ranked = sorted(result.statistics.phase_seconds.items(), key=lambda kv: -kv[1])
+            accounted = sum(seconds for _, seconds in ranked) or 1.0
+            print(format_table(
+                ("phase", "ms", "share", "entries"),
+                [
+                    (
+                        phase,
+                        f"{seconds * 1000:.2f}",
+                        f"{100.0 * seconds / accounted:.1f}%",
+                        result.statistics.phase_counts.get(phase, "-"),
+                    )
+                    for phase, seconds in ranked
+                ],
+            ))
         resolved = result.proved or (args.falsify and result.disproved)
         all_resolved = all_resolved and resolved
         if result.counterexample is not None:
@@ -389,6 +441,11 @@ def _print_suite_tables(result: SuiteResult, args, wall: float, parallel: bool, 
     if any(r.compiled_steps or r.fallback_steps for r in result.records):
         print("\ncompiled rewrite dispatch:")
         print(compile_summary_table(result))
+    if getattr(args, "profile", False):
+        print("\nphase profile (exclusive time):")
+        print(phase_profile_table(result))
+        print("\nhottest symbols:")
+        print(hot_symbol_table(result))
     if getattr(args, "emit_proofs", False) or any(r.certificate for r in result.records):
         print("\nproof certificates:")
         print(proof_size_table(result))
@@ -435,6 +492,68 @@ def _bench_command(args) -> int:
         )
     wall = time.monotonic() - started
     _print_suite_tables(result, args, wall, parallel=not serial, portfolio=bool(args.portfolio))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------------
+
+
+def _profile_command(args) -> int:
+    """Serial suite slice under the phase profiler; where did the time go?
+
+    Serial on purpose: phase times are *per-attempt* wall-clock, and a profile
+    taken while sibling workers compete for cores answers a different (and
+    noisier) question.  ``--max-nodes`` pins a deterministic search budget so
+    two profiles of the same tree are comparable; ``--cprofile`` drops from
+    phases to functions when the phase ranking alone is too coarse.
+    """
+    problems = _select_problems(args)
+    if not problems:
+        print("profile: no problems selected", file=sys.stderr)
+        return 2
+    config = ProverConfig()
+    changes = {}
+    if args.timeout is not None:
+        changes["timeout"] = args.timeout
+    if args.max_nodes is not None:
+        changes["max_nodes"] = args.max_nodes
+        changes.setdefault("timeout", None)
+    if args.strategy is not None:
+        changes["strategy"] = args.strategy
+    if args.falsify:
+        changes["falsify_first"] = True
+    if args.no_compile_rules:
+        changes["compile_rules"] = False
+    if changes:
+        config = config.with_(**changes)
+
+    def run() -> SuiteResult:
+        return run_suite(problems, config, suite_name=args.suite)
+
+    started = time.monotonic()
+    if args.cprofile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(run)
+    else:
+        result = run()
+    wall = time.monotonic() - started
+
+    print(format_table(("metric", "value"), list(result.summary().items())))
+    print(f"\nwall-clock: {wall:.3f} s ({len(problems)} goal(s), serial)")
+    print("\nphase profile (exclusive time):")
+    print(phase_profile_table(result))
+    print("\nhottest symbols (rewrite steps under compiled dispatch):")
+    print(hot_symbol_table(result))
+    if args.cprofile is not None:
+        print(f"\ncProfile: top {args.cprofile} function(s) by cumulative time:")
+        pstats.Stats(profiler, stream=sys.stdout).strip_dirs().sort_stats(
+            "cumulative"
+        ).print_stats(args.cprofile)
     return 0
 
 
@@ -595,6 +714,10 @@ def _records_from_store(store, suite: Optional[str]) -> Dict[str, List[SolveReco
             compiled_steps=int(entry.get("compiled_steps") or 0),
             fallback_steps=int(entry.get("fallback_steps") or 0),
             hot_symbols=dict(entry.get("hot_symbols") or {}),
+            # Lines written before the phase profiler have neither field;
+            # degrade to empty dicts (the profile table renders them as "-").
+            phase_seconds=dict(entry.get("phase_seconds") or {}),
+            phase_counts=dict(entry.get("phase_counts") or {}),
         )
         goals = by_suite.setdefault(suite_name, {})
         # Several configs may have attempted the goal; keep the best outcome
@@ -642,6 +765,9 @@ def _report_command(args) -> int:
         if any(r.compiled_steps or r.fallback_steps for r in result.records):
             print("\ncompiled rewrite dispatch:")
             print(compile_summary_table(result))
+        if any(r.phase_seconds for r in result.records):
+            print("\nphase profile (exclusive time):")
+            print(phase_profile_table(result))
         if args.plot:
             print(ascii_cumulative_plot(result))
     return 0
@@ -1101,6 +1227,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _solve_command(args)
         if args.command == "bench":
             return _bench_command(args)
+        if args.command == "profile":
+            return _profile_command(args)
         if args.command == "disprove":
             return _disprove_command(args)
         if args.command == "check":

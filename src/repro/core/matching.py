@@ -28,9 +28,12 @@ def match_or_none(pattern: Term, target: Term, subst: Optional[Dict[str, Term]] 
     pre-existing bindings (used when matching argument lists left to right).
     """
     bindings: Dict[str, Term] = dict(subst) if subst else {}
-    stack = [(pattern, target)]
+    # Flat pattern/target pairs on one stack — no per-frame tuple, the
+    # allocation the profiler charged to every App descent.
+    stack = [pattern, target]
     while stack:
-        pat, tgt = stack.pop()
+        tgt = stack.pop()
+        pat = stack.pop()
         cls = pat.__class__
         if cls is Var:
             bound = bindings.get(pat.name)
@@ -58,11 +61,15 @@ def match_or_none(pattern: Term, target: Term, subst: Optional[Dict[str, Term]] 
                 if pat is tgt or pat == tgt:
                     continue
                 return None
-            stack.append((pat.fun, tgt.fun))
-            stack.append((pat.arg, tgt.arg))
+            stack.append(pat.fun)
+            stack.append(tgt.fun)
+            stack.append(pat.arg)
+            stack.append(tgt.arg)
         else:  # pragma: no cover - defensive
             return None
-    return Substitution(bindings)
+    # The bindings dict is local and complete; hand it over without the
+    # defensive copy Substitution's public constructor would make.
+    return Substitution._adopt(bindings)
 
 
 def match(pattern: Term, target: Term) -> Substitution:

@@ -1,0 +1,118 @@
+"""Pre-optimisation reference implementations of matching and substitution.
+
+Counterparts to :mod:`repro.sizechange.reference` for the term layer: the
+profile-guided optimisation pass added a single-binding fast path to
+:meth:`Substitution.apply` and re-worked the binding environment of
+:func:`match_or_none`; these are the implementations as they stood before,
+kept runnable for the differential property tests
+(``tests/test_hot_path_parity.py``) and for the end-to-end baseline of
+``benchmarks/bench_hot_loop.py`` (via :func:`repro.perf.reference_hot_paths`).
+
+Nothing in the prover imports this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .substitution import Substitution
+from .terms import App, Sym, Term, Var
+
+__all__ = ["reference_match_or_none", "reference_apply"]
+
+
+def reference_match_or_none(
+    pattern: Term, target: Term, subst: Optional[Dict[str, Term]] = None
+) -> Optional[Substitution]:
+    """``match_or_none`` as it stood before the optimisation pass."""
+    bindings: Dict[str, Term] = dict(subst) if subst else {}
+    stack = [(pattern, target)]
+    while stack:
+        pat, tgt = stack.pop()
+        cls = pat.__class__
+        if cls is Var:
+            bound = bindings.get(pat.name)
+            if bound is None:
+                bindings[pat.name] = tgt
+            elif bound is not tgt and bound != tgt:
+                return None
+        elif cls is Sym:
+            if pat is not tgt and (tgt.__class__ is not Sym or pat.name != tgt.name):
+                return None
+        elif cls is App:
+            if tgt.__class__ is not App:
+                return None
+            pat_head = pat._head
+            if pat_head is not None and (
+                pat_head != tgt._head or pat._nargs != tgt._nargs
+            ):
+                return None
+            if not pat._fvs:
+                if pat is tgt or pat == tgt:
+                    continue
+                return None
+            stack.append((pat.fun, tgt.fun))
+            stack.append((pat.arg, tgt.arg))
+        else:  # pragma: no cover - defensive
+            return None
+    return Substitution(bindings)
+
+
+def reference_apply(subst: Substitution, term: Term) -> Term:
+    """``Substitution.apply`` as it stood before the optimisation pass."""
+    mapping = subst._mapping
+    if not mapping or not term._fvs:
+        return term
+    if all(v.name not in mapping for v in term._fvs):
+        return term
+    if term._size <= 128:
+        return _reference_apply_small(term, mapping)
+    memo: Dict[int, Term] = {}
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        ident = id(t)
+        if ident in memo:
+            stack.pop()
+            continue
+        if isinstance(t, Var):
+            stack.pop()
+            memo[ident] = mapping.get(t.name, t)
+        elif isinstance(t, App):
+            if not t._fvs:
+                stack.pop()
+                memo[ident] = t
+                continue
+            fun, arg = t.fun, t.arg
+            pending = False
+            if id(fun) not in memo:
+                stack.append(fun)
+                pending = True
+            if id(arg) not in memo:
+                stack.append(arg)
+                pending = True
+            if pending:
+                continue
+            stack.pop()
+            new_fun, new_arg = memo[id(fun)], memo[id(arg)]
+            memo[ident] = (
+                t if (new_fun is fun and new_arg is arg) else App(new_fun, new_arg)
+            )
+        else:
+            stack.pop()
+            memo[ident] = t
+    return memo[id(term)]
+
+
+def _reference_apply_small(term: Term, mapping: Dict[str, Term]) -> Term:
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, App):
+        if not term._fvs:
+            return term
+        fun = _reference_apply_small(term.fun, mapping)
+        arg = _reference_apply_small(term.arg, mapping)
+        if fun is term.fun and arg is term.arg:
+            return term
+        return App(fun, arg)
+    return term

@@ -77,6 +77,20 @@ class Substitution(Mapping[str, Term]):
         wanted = set(names)
         return Substitution({k: v for k, v in self._mapping.items() if k in wanted})
 
+    # -- construction fast path -------------------------------------------------
+
+    @classmethod
+    def _adopt(cls, mapping: Dict[str, Term]) -> "Substitution":
+        """Wrap a dict the caller owns exclusively, skipping the defensive copy.
+
+        Internal: callers must hand over a freshly built dict and never touch
+        it again (the matcher builds its bindings locally, so the copy in
+        ``__init__`` was pure overhead on the hottest constructor call site).
+        """
+        subst = cls.__new__(cls)
+        subst._mapping = mapping
+        return subst
+
     # -- action on terms -------------------------------------------------------
 
     def apply(self, term: Term) -> Term:
@@ -91,9 +105,22 @@ class Substitution(Mapping[str, Term]):
         mapping = self._mapping
         if not mapping or not term._fvs:
             return term
-        if all(v.name not in mapping for v in term._fvs):
+        # Plain loop instead of all(...): the genexpr allocation showed up in
+        # allocation profiles of the prover's substitute phase.
+        for v in term._fvs:
+            if v.name in mapping:
+                break
+        else:
             return term
         if term._size <= 128:
+            if len(mapping) == 1:
+                # Single-binding specialisation: (Subst) instantiations and
+                # case-split bindings are overwhelmingly {x -> t}; one name
+                # comparison per variable beats a dict probe, and subtrees
+                # not mentioning the variable short-circuit on the cached
+                # free-variable tuple.
+                (name, replacement), = mapping.items()
+                return _apply_single(term, name, replacement)
             return self._apply_small(term, mapping)
         memo: Dict[int, Term] = {}
         stack = [term]
@@ -182,6 +209,31 @@ class Substitution(Mapping[str, Term]):
     def is_identity(self) -> bool:
         """Does the substitution map every variable in its domain to itself?"""
         return all(isinstance(t, Var) and t.name == n for n, t in self._mapping.items())
+
+
+def _apply_single(term: Term, name: str, replacement: Term) -> Term:
+    """Apply the one-binding substitution ``{name -> replacement}``.
+
+    Recursive like :meth:`Substitution._apply_small` (same ≤128-size guard at
+    the call site bounds the depth), but with the dict probes replaced by
+    string comparisons and the irrelevance check by a scan of the cached
+    free-variable tuple.
+    """
+    cls = term.__class__
+    if cls is Var:
+        return replacement if term.name == name else term
+    if cls is App:
+        for v in term._fvs:
+            if v.name == name:
+                break
+        else:
+            return term
+        fun = _apply_single(term.fun, name, replacement)
+        arg = _apply_single(term.arg, name, replacement)
+        if fun is term.fun and arg is term.arg:
+            return term
+        return App(fun, arg)
+    return term
 
 
 def identity_subst() -> Substitution:

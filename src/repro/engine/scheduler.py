@@ -218,6 +218,13 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
                 stats.rewrite_head_counts.items(), key=lambda item: -item[1]
             )[:8]
             wire["hot_symbols"] = dict(hottest)
+    if stats.phase_seconds:
+        # Phase totals are microsecond-resolution floats; rounding keeps the
+        # JSONL store lines compact without losing anything a profile reads.
+        wire["phase_seconds"] = {
+            phase: round(total, 6) for phase, total in stats.phase_seconds.items()
+        }
+        wire["phase_counts"] = dict(stats.phase_counts)
     return wire
 
 

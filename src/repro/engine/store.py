@@ -177,6 +177,11 @@ OUTCOME_FIELDS = (
     # adding ProverConfig.max_hints changed the config fingerprint anyway).
     "hints_offered",
     "hint_steps",
+    # Phase-profile accounting (absence-benign for the same reason: pure
+    # performance observability — lines written before the profiler replay
+    # with empty dicts and the report tables render "-" for them).
+    "phase_seconds",
+    "phase_counts",
 )
 
 

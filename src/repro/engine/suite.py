@@ -10,6 +10,7 @@ with the same statuses the serial runner would produce.
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -122,6 +123,10 @@ def solve_suite(
     result = SuiteResult(suite=name)
     records: List[Optional[SolveRecord]] = [None] * len(problems)
 
+    # Wall-clock spent talking to the result store on behalf of each goal
+    # (replay probes + persistence), folded into the record's ``store`` phase.
+    store_seconds: Dict[int, float] = {}
+
     def decide(state: _GoalState, variant: str, outcome: dict) -> None:
         state.decided = True
         record = SolveRecord(
@@ -151,7 +156,14 @@ def solve_suite(
             hot_symbols=dict(outcome.get("hot_symbols") or {}),
             hints_offered=int(outcome.get("hints_offered") or 0),
             hint_steps=int(outcome.get("hint_steps") or 0),
+            # Absent on store lines predating the phase profiler: degrade to
+            # empty dicts, which every report table renders as "-".
+            phase_seconds=dict(outcome.get("phase_seconds") or {}),
+            phase_counts=dict(outcome.get("phase_counts") or {}),
         )
+        spent_on_store = store_seconds.get(state.index)
+        if spent_on_store:
+            record.phase_seconds["store"] = round(spent_on_store, 6)
         records[state.index] = record
         if progress is not None:
             progress(record)
@@ -189,12 +201,16 @@ def solve_suite(
         program_fp = program_fps.setdefault(id(problem.program), problem.program.fingerprint())
 
         if store is not None:
+            probe_started = time.perf_counter()
             for variant in variant_list:
                 key = ResultStore.make_key(program_fp, state.key, state.equation, config_fps[variant.name])
                 stored = store.get(key)
                 if stored is not None:
                     state.outcomes[variant.name] = stored
                     state.cached_variants.add(variant.name)
+            store_seconds[index] = store_seconds.get(index, 0.0) + (
+                time.perf_counter() - probe_started
+            )
             solved_from_store = any(
                 o.get("status") in ("proved", "disproved") for o in state.outcomes.values()
             )
@@ -238,6 +254,7 @@ def solve_suite(
         if outcome.get("status") != STATUS_CANCELLED:
             state.arrival.append(variant)
             if store is not None and _storable(outcome):
+                put_started = time.perf_counter()
                 program_fp = program_fps[id(state.problem.program)]
                 key = ResultStore.make_key(
                     program_fp, state.key, state.equation, config_fps[variant]
@@ -245,6 +262,9 @@ def solve_suite(
                 payload = dict(outcome)
                 payload["variant"] = variant
                 store.put(key, payload)
+                store_seconds[state.index] = store_seconds.get(state.index, 0.0) + (
+                    time.perf_counter() - put_started
+                )
         # Both verdicts are decisive: a proof *or* a refutation settles the
         # goal and cancels its portfolio siblings.
         if not state.decided and outcome.get("status") in ("proved", "disproved"):

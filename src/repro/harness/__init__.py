@@ -5,8 +5,10 @@ from .report import (
     compile_summary_table,
     counterexample_table,
     format_table,
+    hot_symbol_table,
     isaplanner_summary_table,
     normalizer_cache_table,
+    phase_profile_table,
     portfolio_winner_table,
     strategy_summary_table,
     suite_cache_stats,
@@ -23,4 +25,5 @@ __all__ = [
     "normalizer_cache_table", "suite_cache_stats",
     "worker_utilisation_table", "portfolio_winner_table", "strategy_summary_table",
     "compile_summary_table", "counterexample_table",
+    "phase_profile_table", "hot_symbol_table",
 ]

@@ -25,6 +25,8 @@ __all__ = [
     "portfolio_winner_table",
     "strategy_summary_table",
     "compile_summary_table",
+    "phase_profile_table",
+    "hot_symbol_table",
     "proof_size_table",
     "check_time_table",
     "counterexample_table",
@@ -444,6 +446,77 @@ def compile_summary_table(result: SuiteResult, top_symbols: int = 8) -> str:
         ),
     ]
     return format_table(("metric", "value"), rows)
+
+
+def phase_profile_table(result: SuiteResult) -> str:
+    """Where the prover's wall-clock actually went, ranked by exclusive time.
+
+    Aggregates the per-record ``phase_seconds``/``phase_counts`` dicts written
+    by :class:`repro.search.phases.PhaseClock` — exclusive accounting, so the
+    shares sum to 100% of the *accounted* time rather than double-counting
+    nested phases.  This is the table behind ``python -m repro profile``; it is
+    how this codebase discovered that the size-change soundness closure, not
+    rewriting, dominated end-to-end time.  Records replayed from store lines
+    that predate the profiler carry no phase data and degrade to a
+    trailing note (never a ``KeyError``); a result with no phase data at all
+    renders a one-line placeholder.
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    profiled = 0
+    attempted = 0
+    for record in result.records:
+        if record.status == "out-of-scope":
+            continue
+        attempted += 1
+        if record.phase_seconds:
+            profiled += 1
+        for phase, seconds in record.phase_seconds.items():
+            totals[phase] = totals.get(phase, 0.0) + float(seconds)
+        for phase, entries in (record.phase_counts or {}).items():
+            counts[phase] = counts.get(phase, 0) + int(entries)
+    if not totals:
+        return "(no phase data: records predate the phase profiler)"
+    accounted = sum(totals.values())
+    rows: List[Tuple[object, ...]] = []
+    for phase, seconds in sorted(totals.items(), key=lambda item: (-item[1], item[0])):
+        entries = counts.get(phase, 0)
+        share = f"{100.0 * seconds / accounted:.1f}%" if accounted else "-"
+        per_entry = f"{seconds / entries * 1e6:.2f}" if entries else "-"
+        rows.append((phase, f"{seconds:.3f}", share, entries or "-", per_entry))
+    rows.append(("total accounted", f"{accounted:.3f}", "100.0%", "-", "-"))
+    table = format_table(("phase", "seconds", "share", "entries", "µs/entry"), rows)
+    if profiled < attempted:
+        table += (
+            f"\nprofiled records: {profiled}/{attempted} "
+            "(the rest were replayed from a pre-profiler store)"
+        )
+    return table
+
+
+def hot_symbol_table(result: SuiteResult, top: int = 12) -> str:
+    """The hottest head symbols of a suite run, ranked by rewrite steps.
+
+    One row per head symbol, aggregated across records from the
+    ``hot_symbols`` counters the compiled normaliser threads up — the
+    per-symbol view that pairs with :func:`phase_profile_table`'s per-phase
+    view under ``python -m repro profile``.
+    """
+    heads: Dict[str, int] = {}
+    for record in result.records:
+        for head, count in (record.hot_symbols or {}).items():
+            heads[head] = heads.get(head, 0) + int(count)
+    if not heads:
+        return "(no per-symbol data: --no-compile-rules, or a pre-counter store)"
+    total = sum(heads.values())
+    ranked = sorted(heads.items(), key=lambda item: (-item[1], item[0]))
+    rows: List[Tuple[object, ...]] = [
+        (head, count, f"{100.0 * count / total:.1f}%") for head, count in ranked[:top]
+    ]
+    if len(ranked) > top:
+        remainder = sum(count for _, count in ranked[top:])
+        rows.append((f"… (+{len(ranked) - top} more)", remainder, f"{100.0 * remainder / total:.1f}%"))
+    return format_table(("head symbol", "rewrite steps", "share"), rows)
 
 
 def strategy_summary_table(result: SuiteResult) -> str:

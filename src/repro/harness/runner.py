@@ -99,6 +99,16 @@ class SolveRecord:
     """(Subst) steps of the final proof that instantiated a supplied hint
     (0 for failures and for proofs that never touched their hints)."""
 
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    """Exclusive wall-clock seconds per pipeline phase (``soundness`` /
+    ``normalise`` / ``match`` / … — see :mod:`repro.search.phases`), feeding
+    ``phase_profile_table`` and ``python -m repro profile``.  Empty on records
+    replayed from store lines that predate the field."""
+
+    phase_counts: Dict[str, int] = field(default_factory=dict)
+    """Hot-callsite counters: entries per phase, alongside
+    :attr:`phase_seconds`."""
+
     @property
     def proved(self) -> bool:
         return self.status == "proved"
@@ -272,6 +282,8 @@ def run_suite(
                 hot_symbols=dict(outcome.statistics.rewrite_head_counts),
                 hints_offered=outcome.statistics.hints_offered,
                 hint_steps=outcome.statistics.hint_steps,
+                phase_seconds=dict(outcome.statistics.phase_seconds),
+                phase_counts=dict(outcome.statistics.phase_counts),
             )
         result.records.append(record)
         if progress is not None:

@@ -252,6 +252,12 @@ class Normalizer:
     _ENTER = 1    # payload: a frame — schedule the children, then _FINISH
     _FINISH = 2   # payload: a frame — rebuild from child NFs, reduce the root
 
+    #: Probe the NF cache on every freshly produced reduct (see the _FINISH
+    #: opcode).  Class-level so the benchmark baseline can restore the
+    #: pre-optimisation behaviour without a config knob — a ProverConfig
+    #: switch would change every config fingerprint and invalidate stores.
+    fuse_reducts = True
+
     def _normalize_iterative(self, root: Term) -> Term:
         """Normalise without recursing per term level.
 
@@ -289,6 +295,7 @@ class Normalizer:
         # run the generic candidate+match loop below.
         matchers = None if compiled is None else compiled._matchers
         head_steps = self.head_steps
+        fuse = self.fuse_reducts
         while tasks:
             op, payload = pop()
             if op == 0:  # _NORM
@@ -362,6 +369,18 @@ class Normalizer:
                     raise RewriteError(
                         f"normalisation of {orig} exceeded {max_steps} steps"
                     )
+                # Fused round trip: rule right-hand sides instantiate to the
+                # same reducts over and over (constructor-headed ones
+                # especially), so probe the NF cache on the fresh reduct
+                # before re-walking its spine.  A hit finishes the frame in
+                # one probe instead of a full _ENTER/_NORM/_FINISH cycle.
+                if fuse and reduct._bank is bank:
+                    fused = cache.get(reduct._id)
+                    if fused is not None:
+                        self.cache_hits += 1
+                        cache[orig._id] = fused
+                        emit(fused)
+                        continue
                 frame[1] = current
                 frame[2] = steps
                 push((1, frame))

@@ -1,0 +1,84 @@
+"""Lightweight phase accounting for the solve pipeline.
+
+The compiled-dispatch PR taught the repo a lesson (see ``docs/profiling.md``):
+micro-benchmarks said "normalisation is 2.6x faster" while full-suite wall
+clock barely moved, because nobody had measured where a *suite run* actually
+spends its time.  :class:`PhaseClock` answers that with a monotonic-clock
+phase stack woven through :class:`~repro.search.prover._ProofAttempt`: every
+``push``/``pop`` transition charges the elapsed interval to the phase on top
+of the stack, so the accounting is **exclusive** — a normalisation performed
+inside a (Subst) application counts as ``normalise``, not twice — and the
+per-phase totals sum to (at most) the attempt's wall clock.
+
+The clock is always on.  A profiling *switch* would have to live on
+:class:`~repro.search.config.ProverConfig`, whose every field feeds the
+result store's configuration fingerprint — flipping it would invalidate every
+persisted outcome.  Instead the instrumentation is kept cheap enough to leave
+enabled (two ``perf_counter`` reads and two dict operations per transition,
+the same budget as the normaliser's ``head_steps`` counters), and the totals
+travel with :class:`~repro.search.result.SearchStatistics` as plain additive
+fields.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List
+
+__all__ = ["PHASES", "PhaseClock"]
+
+#: Display order of the known phases (unknown phases sort after these).
+PHASES = (
+    "soundness",
+    "falsify",
+    "normalise",
+    "match",
+    "lemma_prefilter",
+    "substitute",
+    "case_split",
+    "expand",
+    "agenda",
+    "store",
+)
+
+
+class PhaseClock:
+    """An exclusive-time phase stack over the monotonic clock.
+
+    ``push(phase)`` charges the interval since the last transition to the
+    phase currently on top of the stack, then makes ``phase`` current;
+    ``pop()`` charges the interval to the departing phase and returns to the
+    enclosing one.  ``counts`` records one hot-callsite count per ``push`` —
+    how often each phase was *entered*, not how long it ran.
+    """
+
+    __slots__ = ("seconds", "counts", "_stack", "_last")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self._stack: List[str] = []
+        self._last = 0.0
+
+    def push(self, phase: str) -> None:
+        now = perf_counter()
+        stack = self._stack
+        if stack:
+            top = stack[-1]
+            seconds = self.seconds
+            seconds[top] = seconds.get(top, 0.0) + (now - self._last)
+        stack.append(phase)
+        counts = self.counts
+        counts[phase] = counts.get(phase, 0) + 1
+        self._last = now
+
+    def pop(self) -> None:
+        now = perf_counter()
+        phase = self._stack.pop()
+        seconds = self.seconds
+        seconds[phase] = seconds.get(phase, 0.0) + (now - self._last)
+        self._last = now
+
+    def snapshot(self) -> Dict[str, float]:
+        """The nonzero per-phase totals, ready for ``phase_seconds``."""
+        return {phase: total for phase, total in self.seconds.items() if total > 0.0}

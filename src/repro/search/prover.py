@@ -72,6 +72,7 @@ from .agenda import (
     run_choice_points,
 )
 from .config import LEMMAS_ALL, LEMMAS_CASE_ONLY, LEMMAS_NONE, ProverConfig
+from .phases import PhaseClock
 from .result import ProofResult, SearchStatistics
 
 __all__ = ["Prover", "prove", "prove_goal"]
@@ -134,6 +135,7 @@ class Prover:
                     elapsed_seconds=falsified.seconds,
                     falsification_seconds=falsify_seconds,
                     falsification_instances=falsify_instances,
+                    phase_seconds={"falsify": falsify_seconds},
                 )
                 return ProofResult(
                     proved=False,
@@ -152,6 +154,8 @@ class Prover:
         result = attempt.run(equation, goal_name, hypotheses=hypotheses, budget=budget)
         result.statistics.falsification_seconds = falsify_seconds
         result.statistics.falsification_instances = falsify_instances
+        if falsify_seconds:
+            result.statistics.phase_seconds["falsify"] = falsify_seconds
         return result
 
     def prove_goal(self, goal: Goal, hypotheses: Sequence[Equation] = ()) -> ProofResult:
@@ -177,6 +181,7 @@ class Prover:
                         elapsed_seconds=falsified.seconds,
                         falsification_seconds=falsified.seconds,
                         falsification_instances=falsified.instances_tested,
+                        phase_seconds={"falsify": falsified.seconds},
                     )
                     return ProofResult(
                         proved=False,
@@ -225,6 +230,7 @@ class _ProofAttempt:
         self.normalizer = Normalizer(program.rules, compile_rules=config.compile_rules)
         self.fresh = FreshNameSupply()
         self.stats = SearchStatistics()
+        self.clock = PhaseClock()
         self.trail: List[Tuple] = []
         self.budget = SearchBudget()
         self.external_budget: Optional[SearchBudget] = None
@@ -250,6 +256,10 @@ class _ProofAttempt:
         self.fresh.reserve(equation.variable_names())
         reason = ""
         proved = False
+        # "agenda" is the attempt's base phase: whatever the engine's frame
+        # loop and the eager rules do between the specifically instrumented
+        # phases is charged here (the phase accounting is exclusive).
+        self.clock.push("agenda")
         try:
             bounds = strategy.case_bounds(self.config) or (self.config.max_case_splits,)
             for iteration, bound in enumerate(bounds):
@@ -275,7 +285,11 @@ class _ProofAttempt:
         except BudgetExhausted as budget_error:
             proved = False
             reason = str(budget_error) or "search budget exhausted"
+        finally:
+            self.clock.pop()
         self.stats.elapsed_seconds = time.perf_counter() - start
+        self.stats.phase_seconds = self.clock.snapshot()
+        self.stats.phase_counts = dict(self.clock.counts)
         self.stats.closure_compositions = self.closure.compositions_performed
         self.stats.normalizer_hits = self.normalizer.cache_hits
         self.stats.normalizer_misses = self.normalizer.cache_misses
@@ -346,12 +360,15 @@ class _ProofAttempt:
         return len(self.trail)
 
     def rollback(self, mark: int) -> None:
+        clock = self.clock
         while len(self.trail) > mark:
             kind, payload = self.trail.pop()
             if kind == "node":
                 self.proof.remove_node(payload)
             elif kind == "closure":
+                clock.push("soundness")
                 self.closure.remove(payload)
+                clock.pop()
             elif kind == "assign":
                 node = self.proof.node(payload)
                 node.rule = None
@@ -366,10 +383,14 @@ class _ProofAttempt:
     # -- node and edge management -----------------------------------------------------
 
     def _normalize_equation(self, equation: Equation) -> Equation:
-        return Equation(
-            self.normalizer.normalize(equation.lhs),
-            self.normalizer.normalize(equation.rhs),
-        )
+        self.clock.push("normalise")
+        try:
+            return Equation(
+                self.normalizer.normalize(equation.lhs),
+                self.normalizer.normalize(equation.rhs),
+            )
+        finally:
+            self.clock.pop()
 
     def _add_node(self, equation: Equation) -> ProofNode:
         self._check_budget()
@@ -414,21 +435,25 @@ class _ProofAttempt:
         whole alternative back.
         """
         self.stats.soundness_checks += 1
-        if self.config.incremental_soundness:
-            for index in range(len(node.premises)):
-                graph = edge_size_change_graph(self.proof, node.ident, index)
-                result = self.closure.add(graph)
-                self.trail.append(("closure", result.added))
-                if result.violation is not None:
-                    self.stats.soundness_violations += 1
-                    return False
+        self.clock.push("soundness")
+        try:
+            if self.config.incremental_soundness:
+                for index in range(len(node.premises)):
+                    graph = edge_size_change_graph(self.proof, node.ident, index)
+                    result = self.closure.add(graph)
+                    self.trail.append(("closure", result.added))
+                    if result.violation is not None:
+                        self.stats.soundness_violations += 1
+                        return False
+                return True
+            # Naive mode (ablation): rebuild all edge graphs and recheck from scratch.
+            graphs = proof_size_change_graphs(self.proof)
+            if not check_global_condition(graphs):
+                self.stats.soundness_violations += 1
+                return False
             return True
-        # Naive mode (ablation): rebuild all edge graphs and recheck from scratch.
-        graphs = proof_size_change_graphs(self.proof)
-        if not check_global_condition(graphs):
-            self.stats.soundness_violations += 1
-            return False
-        return True
+        finally:
+            self.clock.pop()
 
     def _child(self, work_id: int, depth: int, case_depth: int, path_goals: frozenset) -> Frame:
         equation = self.proof.node(work_id).equation
@@ -448,6 +473,13 @@ class _ProofAttempt:
         and loop checks guarding the (Subst)/(Case) choice points.
         """
         self._check_budget()
+        self.clock.push("expand")
+        try:
+            return self._expand(frame)
+        finally:
+            self.clock.pop()
+
+    def _expand(self, frame: Frame) -> Optional[bool]:
         if frame.depth > self.stats.max_depth_reached:
             self.stats.max_depth_reached = frame.depth
         node = self.proof.node(frame.node_id)
@@ -491,8 +523,29 @@ class _ProofAttempt:
         if equation in frame.path_goals:
             return False
 
-        frame.alts = self._rule_alternatives(node, frame)
+        frame.alts = self._clocked(self._rule_alternatives(node, frame), "lemma_prefilter")
         return None
+
+    def _clocked(self, iterator: Iterator, phase: str) -> Iterator:
+        """Charge the time each ``next()`` of ``iterator`` takes to ``phase``.
+
+        The alternative stream is lazy — the agenda pulls it one instance at a
+        time between child solves — so its cost cannot be measured around the
+        call site; this wrapper clocks every resumption of the generator
+        instead.  (The inner ``match`` phase of ``_subst_candidates`` nests
+        inside and is subtracted by the clock's exclusive accounting.)
+        """
+        push = self.clock.push
+        pop = self.clock.pop
+        while True:
+            push(phase)
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+            finally:
+                pop()
+            yield item
 
     def _rule_alternatives(self, node: ProofNode, frame: Frame) -> Iterator[Alternative]:
         """The backtracking alternatives of a goal, lazily, in calculus order.
@@ -649,6 +702,8 @@ class _ProofAttempt:
                 # subterm without invoking the matcher.
                 lemma_head = lemma_from._head
                 lemma_nargs = lemma_from._nargs
+                clock_push = self.clock.push
+                clock_pop = self.clock.pop
                 for side_name in ("lhs", "rhs"):
                     self._check_budget()
                     goal_side = getattr(equation, side_name)
@@ -659,7 +714,9 @@ class _ProofAttempt:
                             sub._head != lemma_head or sub._nargs != lemma_nargs
                         ):
                             continue
+                        clock_push("match")
                         theta = match_or_none(lemma_from, sub)
+                        clock_pop()
                         if theta is None:
                             continue
                         attempts += 1
@@ -679,6 +736,13 @@ class _ProofAttempt:
         return Equation(other_side, rewritten)
 
     def _apply_subst_alternative(self, frame: Frame, data: Tuple) -> Optional[Sequence[Frame]]:
+        self.clock.push("substitute")
+        try:
+            return self._apply_subst(frame, data)
+        finally:
+            self.clock.pop()
+
+    def _apply_subst(self, frame: Frame, data: Tuple) -> Optional[Sequence[Frame]]:
         self.stats.subst_attempts += 1
         node = self.proof.node(frame.node_id)
         equation = node.equation
@@ -708,6 +772,13 @@ class _ProofAttempt:
     # -- (Case) --------------------------------------------------------------------------------------
 
     def _apply_case_alternative(self, frame: Frame, variable: Var) -> Optional[Sequence[Frame]]:
+        self.clock.push("case_split")
+        try:
+            return self._apply_case(frame, variable)
+        finally:
+            self.clock.pop()
+
+    def _apply_case(self, frame: Frame, variable: Var) -> Optional[Sequence[Frame]]:
         if not isinstance(variable.ty, DataTy):
             return None
         try:

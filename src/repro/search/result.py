@@ -105,6 +105,17 @@ class SearchStatistics:
     — how much of the proof actually leaned on the hints (0 when the attempt
     failed, or proved the goal without touching them)."""
 
+    phase_seconds: dict = field(default_factory=dict)
+    """Exclusive wall-clock seconds per pipeline phase, from the attempt's
+    :class:`~repro.search.phases.PhaseClock` (``soundness`` / ``normalise`` /
+    ``match`` / ``lemma_prefilter`` / ``substitute`` / ``case_split`` /
+    ``expand`` / ``agenda`` / ``falsify``; suite runners add ``store``).
+    Feeds ``phase_profile_table`` and ``python -m repro profile``."""
+
+    phase_counts: dict = field(default_factory=dict)
+    """Hot-callsite counters: how often each phase was entered (one count per
+    ``PhaseClock.push``), alongside :attr:`phase_seconds`."""
+
     @property
     def timed_out(self) -> bool:
         """Was the attempt aborted by the wall-clock deadline?"""

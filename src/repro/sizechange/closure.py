@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .graph import SizeChangeGraph
+from .graph import SizeChangeGraph, compose_edges
 
 __all__ = [
     "closure_of",
@@ -101,9 +101,26 @@ class IncrementalClosure:
 
     def __init__(self) -> None:
         self._graphs: Set[SizeChangeGraph] = set()
+        # Membership mirror of ``_graphs`` keyed by the raw field tuple, so
+        # the add() hot loop can deduplicate candidate compositions from
+        # their (source, target, edges) parts *before* paying for a graph
+        # object.  Kept in exact sync by add/remove/clear.
+        self._keys: Set[Tuple[int, int, frozenset]] = set()
         self._by_source: Dict[int, Set[SizeChangeGraph]] = {}
         self._by_target: Dict[int, Set[SizeChangeGraph]] = {}
+        # Composition memo: (left edges, right edges) -> composed edges.
+        # Composition is a pure function of the two edge sets, and depth-first
+        # search re-derives the same compositions across branches relentlessly
+        # (measured: >99% of compositions during proof search are repeats), so
+        # the memo outlives remove()/clear() — staleness is impossible, only
+        # size needs bounding (see _MEMO_LIMIT).
+        self._compose_memo: Dict[Tuple[frozenset, frozenset], frozenset] = {}
         self.compositions_performed = 0
+
+    #: Entry cap on the composition memo; far above anything proof search
+    #: reaches per theory (measured: low thousands), so the reset-on-overflow
+    #: is a memory backstop, not a working regime.
+    _MEMO_LIMIT = 200_000
 
     # -- queries ------------------------------------------------------------
 
@@ -139,30 +156,74 @@ class IncrementalClosure:
         """
         added: List[SizeChangeGraph] = []
         violation: Optional[SizeChangeGraph] = None
+        keys = self._keys
+        by_source = self._by_source
+        by_target = self._by_target
+        memo = self._compose_memo
+        if len(memo) > self._MEMO_LIMIT:
+            memo.clear()
+        compositions = 0
         worklist: List[SizeChangeGraph] = [edge_graph]
         while worklist:
             graph = worklist.pop()
-            if graph in self._graphs:
+            source = graph.source
+            target = graph.target
+            edges = graph.edges
+            key = (source, target, edges)
+            if key in keys:
                 continue
+            keys.add(key)
             self._graphs.add(graph)
-            self._by_source.setdefault(graph.source, set()).add(graph)
-            self._by_target.setdefault(graph.target, set()).add(graph)
+            bucket = by_source.get(source)
+            if bucket is None:
+                bucket = by_source[source] = set()
+            bucket.add(graph)
+            bucket = by_target.get(target)
+            if bucket is None:
+                bucket = by_target[target] = set()
+            bucket.add(graph)
             added.append(graph)
-            if (
-                violation is None
-                and graph.is_self_graph()
-                and graph.is_idempotent()
-                and not graph.has_decreasing_self_edge()
-            ):
-                violation = graph
-            for successor in tuple(self._by_source.get(graph.target, ())):
-                self.compositions_performed += 1
-                worklist.append(graph.compose(successor))
-            for predecessor in tuple(self._by_target.get(graph.source, ())):
+            if violation is None and source == target:
+                # Cheapest test first: most self graphs have a decreasing
+                # self edge, which settles the conjunction without composing.
+                if not any(x == y and dec for x, y, dec in edges):
+                    mkey = (edges, edges)
+                    squared = memo.get(mkey)
+                    if squared is None:
+                        squared = memo[mkey] = compose_edges(edges, graph.succ_index())
+                    if squared == edges:
+                        violation = graph
+            # The candidate compositions, each looked up in the memo before
+            # being computed and deduplicated on the raw key before a graph
+            # object is built — both the composition and the construction are
+            # skippable in the common case once the closure saturates.
+            # Nothing mutates the buckets between here and the next pop, so
+            # no defensive copies; the just-inserted graph itself
+            # participates (self-composition when source == target), exactly
+            # as before.
+            for successor in by_source.get(target, ()):
+                compositions += 1
+                mkey = (edges, successor.edges)
+                composed = memo.get(mkey)
+                if composed is None:
+                    composed = memo[mkey] = compose_edges(edges, successor.succ_index())
+                candidate_target = successor.target
+                if (source, candidate_target, composed) not in keys:
+                    worklist.append(SizeChangeGraph(source, candidate_target, composed))
+            for predecessor in by_target.get(source, ()):
                 if predecessor is graph:
                     continue
-                self.compositions_performed += 1
-                worklist.append(predecessor.compose(graph))
+                compositions += 1
+                mkey = (predecessor.edges, edges)
+                composed = memo.get(mkey)
+                if composed is None:
+                    composed = memo[mkey] = compose_edges(
+                        predecessor.edges, graph.succ_index()
+                    )
+                candidate_source = predecessor.source
+                if (candidate_source, target, composed) not in keys:
+                    worklist.append(SizeChangeGraph(candidate_source, target, composed))
+        self.compositions_performed += compositions
         return AdditionResult(added=tuple(added), violation=violation)
 
     def remove(self, graphs: Iterable[SizeChangeGraph]) -> None:
@@ -170,11 +231,13 @@ class IncrementalClosure:
         for graph in graphs:
             if graph in self._graphs:
                 self._graphs.discard(graph)
+                self._keys.discard((graph.source, graph.target, graph.edges))
                 self._by_source.get(graph.source, set()).discard(graph)
                 self._by_target.get(graph.target, set()).discard(graph)
 
     def clear(self) -> None:
         """Remove every graph."""
         self._graphs.clear()
+        self._keys.clear()
         self._by_source.clear()
         self._by_target.clear()

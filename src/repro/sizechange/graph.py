@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
-__all__ = ["DECREASE", "NO_DECREASE", "SizeChangeGraph", "identity_graph"]
+__all__ = ["DECREASE", "NO_DECREASE", "SizeChangeGraph", "identity_graph", "compose_edges"]
 
 DECREASE = True
 """Edge label for a strict decrease (the paper's ``≲``)."""
@@ -81,6 +81,28 @@ class SizeChangeGraph:
 
     # -- composition --------------------------------------------------------------
 
+    def succ_index(self) -> Dict[str, Tuple[Tuple[str, bool], ...]]:
+        """The edges grouped by source variable: ``y -> ((z, dec), ...)``.
+
+        Computed once per graph and cached on the instance: closure
+        maintenance composes the same graph against many partners, and
+        rebuilding this index per composition was the single hottest
+        allocation in end-to-end profiles (the graph is frozen, so the cache
+        can never go stale).
+        """
+        index = self.__dict__.get("_succ_index")
+        if index is None:
+            grouped: Dict[str, list] = {}
+            for y, z, dec in self.edges:
+                bucket = grouped.get(y)
+                if bucket is None:
+                    grouped[y] = [(z, dec)]
+                else:
+                    bucket.append((z, dec))
+            index = {y: tuple(pairs) for y, pairs in grouped.items()}
+            object.__setattr__(self, "_succ_index", index)
+        return index
+
     def compose(self, then: "SizeChangeGraph") -> "SizeChangeGraph":
         """The composition ``then ∘ self`` : source(self) → target(then).
 
@@ -92,20 +114,41 @@ class SizeChangeGraph:
             raise ValueError(
                 f"cannot compose graph into {self.target} with graph from {then.source}"
             )
-        by_source: Dict[str, list] = {}
-        for y, z, dec in then.edges:
-            by_source.setdefault(y, []).append((z, dec))
-        combined: Dict[Tuple[str, str], bool] = {}
-        for x, y, dec1 in self.edges:
-            for z, dec2 in by_source.get(y, ()):
-                key = (x, z)
-                combined[key] = combined.get(key, False) or dec1 or dec2
-        edges = frozenset((x, z, dec) for (x, z), dec in combined.items())
-        return SizeChangeGraph(self.source, then.target, edges)
+        return SizeChangeGraph(
+            self.source, then.target, compose_edges(self.edges, then.succ_index())
+        )
 
     def is_idempotent(self) -> bool:
         """For self graphs: does ``G ∘ G == G`` hold?"""
-        return self.is_self_graph() and self.compose(self) == self
+        return (
+            self.source == self.target
+            and compose_edges(self.edges, self.succ_index()) == self.edges
+        )
+
+    # Dataclass-generated ``__hash__`` rebuilds an (source, target, edges)
+    # tuple per call; closure membership tests hash the same graphs over and
+    # over, so cache the value (safe: the dataclass is frozen).  Defining
+    # ``__hash__`` in the class body keeps @dataclass from overriding it.
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.source, self.target, self.edges))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    # Same motivation: the generated ``__eq__`` builds two field tuples per
+    # comparison.  Hash-bucket collisions compare mostly-identical graphs, so
+    # lead with the identity check and compare the cheap int fields first.
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not SizeChangeGraph:
+            return NotImplemented
+        return (
+            self.source == other.source
+            and self.target == other.target
+            and self.edges == other.edges
+        )
 
     # -- rendering ----------------------------------------------------------------
 
@@ -117,6 +160,38 @@ class SizeChangeGraph:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SizeChangeGraph({self})"
+
+
+def compose_edges(
+    left_edges: FrozenSet[Edge],
+    right_index: Dict[str, Tuple[Tuple[str, bool], ...]],
+) -> FrozenSet[Edge]:
+    """The edge set of a composition, from raw parts.
+
+    ``left_edges`` are the first graph's edges; ``right_index`` is the second
+    graph's :meth:`SizeChangeGraph.succ_index`.  Split out of
+    :meth:`SizeChangeGraph.compose` so closure maintenance can compute (and
+    deduplicate) candidate edge sets *without* constructing graph objects for
+    compositions it already knows.  The decrease label is ORed per ``(x, z)``
+    pair exactly as in Definition 5.2; the ``dec1`` split just avoids
+    re-testing an invariant condition inside the inner loop.
+    """
+    combined: Dict[Tuple[str, str], bool] = {}
+    get = right_index.get
+    for x, y, dec1 in left_edges:
+        pairs = get(y)
+        if pairs is None:
+            continue
+        if dec1:
+            for z, _dec2 in pairs:
+                combined[(x, z)] = True
+        else:
+            for z, dec2 in pairs:
+                if dec2:
+                    combined[(x, z)] = True
+                else:
+                    combined.setdefault((x, z), False)
+    return frozenset((x, z, dec) for (x, z), dec in combined.items())
 
 
 def identity_graph(source: int, target: int, variables: Sequence[str]) -> SizeChangeGraph:

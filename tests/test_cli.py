@@ -391,6 +391,47 @@ class TestReport:
         assert main(["report", "--store", str(tmp_path)]) == 2
         assert "cannot read store" in capsys.readouterr().err
 
+    def test_report_degrades_gracefully_on_pre_profiler_store_lines(self, tmp_path, capsys):
+        """Old-shape lines (no phase_seconds/phase_counts/hot_symbols) must
+        render as absent data, never KeyError."""
+        import json
+
+        store = str(tmp_path / "store.jsonl")
+        assert main(["bench", "--suite", "isaplanner", "--timeout", "1",
+                     "--names", "prop_01,prop_06", "--store", store]) == 0
+        capsys.readouterr()
+        with open(store, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        with open(store, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                for field in ("phase_seconds", "phase_counts", "hot_symbols"):
+                    entry.pop(field, None)
+                handle.write(json.dumps(entry) + "\n")
+        assert main(["report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "isaplanner" in out and "KeyError" not in out
+
+
+class TestProfile:
+    def test_profile_prints_ranked_phase_breakdown(self, capsys):
+        assert main(["profile", "--suite", "isaplanner", "--limit", "2",
+                     "--timeout", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+        assert "soundness" in out or "normalise" in out
+
+    def test_profile_cprofile_escape_hatch(self, capsys):
+        assert main(["profile", "--suite", "isaplanner", "--limit", "1",
+                     "--timeout", "1", "--cprofile", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats header
+
+    def test_profile_unknown_suite_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "--suite", "nope"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
 
 def test_python_dash_m_entry_point():
     """``python -m repro`` resolves through __main__.py in a fresh process."""

@@ -19,9 +19,18 @@ class TestProgramFingerprint:
         assert isaplanner_program().fingerprint() != mutual_program().fingerprint()
 
     def test_goals_do_not_affect_the_fingerprint(self):
+        from repro import load_program
         from repro.program import Goal
 
-        program = isaplanner_program()
+        # A private program, NOT the lru-cached isaplanner_program(): adding
+        # a goal to the shared instance would leak an 86th problem into every
+        # later isaplanner_problems() call in the test session.
+        program = load_program(
+            "data Nat = Z | S Nat\n"
+            "add :: Nat -> Nat -> Nat\n"
+            "add Z y = y\n"
+            "add (S x) y = S (add x y)\n"
+        )
         before = program.fingerprint()
         equation = program.parse_equation("add a b === add b a")
         program.add_goal(Goal(name="extra", equation=equation))
@@ -212,3 +221,58 @@ class TestWarmStoreRuns:
         hintless_rerun = run_suite_parallel(problems, config, jobs=1, store=path)
         assert hintless_rerun.record("prop_54").cached
         assert not hintless_rerun.record("prop_54").proved
+
+
+class TestPhaseProfileRoundTrip:
+    """The phase profiler's accounting must survive the store round trip,
+    and stores written before the profiler existed must replay benignly."""
+
+    @pytest.fixture()
+    def problems(self):
+        return [p for p in isaplanner_problems() if p.name in ("prop_01", "prop_06")]
+
+    def test_phase_seconds_survive_the_store_round_trip(self, problems, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        config = ProverConfig(timeout=2.0)
+        cold = run_suite_parallel(problems, config, jobs=1, store=path)
+        assert any(sum(r.phase_seconds.values()) > 0 for r in cold.records)
+        assert any(r.phase_counts for r in cold.records)
+
+        warm = run_suite_parallel(problems, config, jobs=1, store=path)
+        assert all(r.cached for r in warm.records)
+        for before, after in zip(cold.records, warm.records):
+            # The "store" phase is accounted per run (probe/put time of *this*
+            # run), so it is the one phase allowed to differ between the cold
+            # run and its warm replay; everything else must round-trip intact.
+            before_phases = {k: v for k, v in before.phase_seconds.items() if k != "store"}
+            after_phases = {k: v for k, v in after.phase_seconds.items() if k != "store"}
+            assert after_phases == before_phases
+            assert after.phase_counts == before.phase_counts
+
+    def test_pre_profiler_store_lines_replay_benignly(self, problems, tmp_path):
+        from repro.harness import hot_symbol_table, phase_profile_table
+
+        path = str(tmp_path / "store.jsonl")
+        config = ProverConfig(timeout=2.0)
+        run_suite_parallel(problems, config, jobs=1, store=path)
+
+        # Rewrite every line to the pre-profiler shape: no phase_seconds, no
+        # phase_counts, no hot_symbols — exactly what an old store contains.
+        with open(path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in lines:
+                for field in ("phase_seconds", "phase_counts", "hot_symbols"):
+                    entry.pop(field, None)
+                handle.write(json.dumps(entry) + "\n")
+
+        warm = run_suite_parallel(problems, config, jobs=1, store=path)
+        assert all(r.cached for r in warm.records)
+        for record in warm.records:
+            assert not record.phase_counts
+            assert not record.hot_symbols
+            # Only the warm run's own store accounting may appear.
+            assert set(record.phase_seconds) <= {"store"}
+        # The report tables must render, not KeyError, on the old shape.
+        assert "phase" in phase_profile_table(warm)
+        assert "no per-symbol data" in hot_symbol_table(warm)
