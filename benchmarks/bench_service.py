@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from conftest import print_report  # shared benchmark helpers
 from stats import Sample, format_sample, measure_paired
 
+from repro.proofs.certificate import canonical_json
 from repro.service import ProofService, ServiceConfig
 
 #: Quick-but-not-trivial IsaPlanner goals: enough work that the cold path is
@@ -55,6 +57,13 @@ ABLATION_TIMEOUT = 8.0
 
 REPEATS = 7
 WARMUP = 1
+
+#: Concurrent-clients slice: this many threads each submit the pinned goals
+#: at once.  Small enough that a run stays in seconds, large enough that the
+#: serialized baseline's per-request worker spawn and in-worker theory
+#: elaboration stack up four deep.
+CONCURRENT_CLIENTS = 4
+CONCURRENT_REPEATS = 5
 
 #: Warm submits per timed run.  A warm replay costs single-digit
 #: milliseconds, where scheduler jitter is the same order as the signal and
@@ -129,6 +138,134 @@ def run_warm_vs_cold() -> Dict[str, object]:
         shutil.rmtree(scratch, ignore_errors=True)
 
 
+def _submit_from_clients(service: ProofService, clients: int) -> List[int]:
+    """``clients`` threads each submit the pinned goals; returns per-request
+    worker-spawn counts.  Any thread's failure re-raises in the caller."""
+    spawns: List[int] = []
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    def one(name: str) -> None:
+        try:
+            done, _ = _submit(
+                service, suite="isaplanner", goals=list(GOALS), client=name
+            )
+            if done["proved"] != len(GOALS):
+                raise AssertionError(f"client {name} regressed: {done}")
+            with lock:
+                spawns.append(int(done["worker_spawns"]))
+        except BaseException as error:  # noqa: BLE001 - surfaced to the caller
+            with lock:
+                errors.append(error)
+
+    threads = [
+        threading.Thread(target=one, args=(f"client-{index}",))
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return spawns
+
+
+def run_concurrent_vs_serialized() -> Dict[str, object]:
+    """Aggregate cold-solve throughput: 4 concurrent clients, pool vs lock.
+
+    Both arms are resident services with *no store* — every submission is a
+    genuine cold solve.  The baseline is the pre-pool request path
+    (``serialize_submits=True``: one submit at a time, a fresh scheduler and
+    worker process per request); the candidate is the shared resident pool,
+    where concurrent sessions interleave on warm workers that keep their
+    elaborated theories.  Paired wall-clock per "all four clients answered"
+    round; the assertion fires on the ratio's 95% CI lower bound.
+    """
+    serialized = ProofService(
+        ServiceConfig(timeout=TIMEOUT, jobs=1, serialize_submits=True)
+    )
+    concurrent = ProofService(ServiceConfig(timeout=TIMEOUT, jobs=1))
+    concurrent_spawns: List[int] = []
+    try:
+        def baseline() -> None:
+            _submit_from_clients(serialized, CONCURRENT_CLIENTS)
+
+        def candidate() -> None:
+            concurrent_spawns.extend(
+                _submit_from_clients(concurrent, CONCURRENT_CLIENTS)
+            )
+
+        serialized_sample, concurrent_sample, ratio_sample = measure_paired(
+            baseline, candidate, repeats=CONCURRENT_REPEATS, warmup=WARMUP
+        )
+        return {
+            "serialized": serialized_sample,
+            "concurrent": concurrent_sample,
+            "ratio": ratio_sample,
+            "spawns": tuple(concurrent_spawns),
+            "pool": concurrent.pool.snapshot(),
+        }
+    finally:
+        serialized.close()
+        concurrent.close()
+
+
+def run_concurrent_warm_replay() -> Dict[str, object]:
+    """Warm replay under concurrency: 4 clients re-request solved goals.
+
+    One cold pass populates the store; then four concurrent clients re-submit
+    the same slice.  Every warm request must answer without a single worker
+    spawn and stream back certificates byte-identical to the cold pass.
+    """
+    scratch = tempfile.mkdtemp(prefix="bench-service-warm-concurrent-")
+    service = ProofService(
+        ServiceConfig(store_path=f"{scratch}/store.jsonl", timeout=TIMEOUT, jobs=1)
+    )
+    try:
+        _, cold_events = _submit(service, suite="isaplanner", goals=list(GOALS))
+        cold_certificates = {
+            event["goal"]: canonical_json(event["certificate"])
+            for event in cold_events
+            if event.get("op") == "verdict"
+        }
+        replays: List[Tuple[dict, List[dict]]] = []
+        lock = threading.Lock()
+
+        def one(name: str) -> None:
+            done, events = _submit(
+                service, suite="isaplanner", goals=list(GOALS), client=name
+            )
+            with lock:
+                replays.append((done, events))
+
+        threads = [
+            threading.Thread(target=one, args=(f"warm-{index}",))
+            for index in range(CONCURRENT_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        warm_spawns = []
+        identical = True
+        for done, events in replays:
+            warm_spawns.append(int(done["worker_spawns"]))
+            for event in events:
+                if event.get("op") != "verdict":
+                    continue
+                if canonical_json(event["certificate"]) != cold_certificates[event["goal"]]:
+                    identical = False
+        return {
+            "requests": len(replays),
+            "warm_spawns": tuple(warm_spawns),
+            "byte_identical": identical,
+        }
+    finally:
+        service.close()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
 def run_library_ablation() -> Dict[str, object]:
     """``prop_54`` with and without a seeded lemma library (reported only)."""
 
@@ -185,6 +322,26 @@ def _warm_vs_cold_table(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _concurrent_table(report: Dict[str, object]) -> str:
+    serialized, concurrent, ratio = (
+        report["serialized"], report["concurrent"], report["ratio"],
+    )
+    pool = report["pool"]
+    lines = [
+        f"{CONCURRENT_CLIENTS} clients x {len(GOALS)} cold goals each, "
+        f"1 pooled worker, no store",
+        f"serialized (lock + per-request workers): {format_sample(serialized)}",
+        f"concurrent (shared resident pool):       {format_sample(concurrent)}",
+        f"aggregate throughput ratio per pair:     mean {ratio.mean:.1f}x,"
+        f" 95% CI lower {ratio.ci_low:.1f}x",
+        f"pool spawns across all runs: {sum(report['spawns'])}"
+        f" ({len(report['spawns'])} requests), interleaved dispatches:"
+        f" {pool['interleaves']}, max concurrent sessions:"
+        f" {pool['max_concurrent_sessions']}",
+    ]
+    return "\n".join(lines)
+
+
 def _ablation_table(report: Dict[str, object]) -> str:
     lines = [
         f"goal {ABLATION_GOAL}, per-goal budget {ABLATION_TIMEOUT:.0f}s, "
@@ -209,6 +366,7 @@ def _ablation_table(report: Dict[str, object]) -> str:
 # ---------------------------------------------------------------------------
 
 _WARM_REPORT: Optional[Dict[str, object]] = None
+_CONCURRENT_REPORT: Optional[Dict[str, object]] = None
 
 
 def _warm_report() -> Dict[str, object]:
@@ -216,6 +374,13 @@ def _warm_report() -> Dict[str, object]:
     if _WARM_REPORT is None:
         _WARM_REPORT = run_warm_vs_cold()
     return _WARM_REPORT
+
+
+def _concurrent_report() -> Dict[str, object]:
+    global _CONCURRENT_REPORT
+    if _CONCURRENT_REPORT is None:
+        _CONCURRENT_REPORT = run_concurrent_vs_serialized()
+    return _CONCURRENT_REPORT
 
 
 def test_warm_requests_spawn_zero_workers():
@@ -234,6 +399,35 @@ def test_warm_replay_at_least_10x_faster_ci_lower_bound():
     )
 
 
+def test_concurrent_clients_at_least_2x_serialized_ci_lower_bound():
+    report = _concurrent_report()
+    print_report(
+        "4 concurrent clients vs serialized submits", _concurrent_table(report)
+    )
+    ratio = report["ratio"]
+    assert ratio.ci_low >= 2.0, (
+        f"concurrent aggregate throughput not robustly >= 2x the serialized"
+        f" path: mean {ratio.mean:.1f}x, 95% CI lower bound {ratio.ci_low:.1f}x"
+    )
+
+
+def test_concurrent_pool_spawns_once_and_interleaves():
+    report = _concurrent_report()
+    # One resident worker serves every request of every run; the only spawn
+    # is the pool's initial one, during the warmup round.
+    assert sum(report["spawns"]) == 1, report["spawns"]
+    pool = report["pool"]
+    assert pool["interleaves"] >= 1, pool
+    assert pool["max_concurrent_sessions"] >= 2, pool
+
+
+def test_concurrent_warm_replay_workerless_and_byte_identical():
+    report = run_concurrent_warm_replay()
+    assert report["requests"] == CONCURRENT_CLIENTS
+    assert all(spawns == 0 for spawns in report["warm_spawns"]), report
+    assert report["byte_identical"], "a concurrent replay mutated a certificate"
+
+
 def test_library_ablation_reported():
     report = run_library_ablation()
     print_report("lemma library ablation (reported, not asserted)", _ablation_table(report))
@@ -246,6 +440,10 @@ def test_library_ablation_reported():
 if __name__ == "__main__":
     report = _warm_report()
     print_report("warm daemon vs cold one-shot", _warm_vs_cold_table(report))
+    print_report(
+        "4 concurrent clients vs serialized submits",
+        _concurrent_table(_concurrent_report()),
+    )
     print_report(
         "lemma library ablation (reported, not asserted)",
         _ablation_table(run_library_ablation()),

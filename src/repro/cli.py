@@ -268,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="most library lemmas offered to one goal (default: 8)")
     serve.add_argument("--explore", action="store_true",
                        help="enrich the library in the background when a new theory arrives")
+    serve.add_argument("--prewarm", action="store_true",
+                       help="rebuild warm state for every theory seen in the store/library at startup")
+    serve.add_argument("--serialize-submits", action="store_true",
+                       help="serialise submits on a lock with per-request workers (pre-pool behaviour)")
+    serve.add_argument("--client-max-inflight", type=int, default=0, metavar="N",
+                       help="max unsolved goals one client may have queued/running (0 = unlimited)")
+    serve.add_argument("--client-cpu-budget", type=float, default=0.0, metavar="S",
+                       help="cumulative worker CPU-seconds one client may consume (0 = unlimited)")
     serve.add_argument("--shutdown-grace", type=float, default=2.0, metavar="S",
                        help="seconds an in-flight goal may keep its worker at shutdown")
 
@@ -293,6 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ground-test goals before search (refutations disprove)")
     submit.add_argument("--wait", type=float, default=600.0, metavar="S",
                         help="client-side ceiling on the daemon's answer (default: 600)")
+    submit.add_argument("--client", default=None, metavar="NAME",
+                        help="client identity for the daemon's fair scheduler and budgets")
     submit.add_argument("--metrics", action="store_true",
                         help="print the daemon's service metrics table")
     submit.add_argument("--shutdown", action="store_true",
@@ -1140,6 +1150,10 @@ def _serve_command(args) -> int:
             hint_limit=args.hint_limit,
             explore=args.explore,
             shutdown_grace=args.shutdown_grace,
+            prewarm=args.prewarm,
+            serialize_submits=args.serialize_submits,
+            client_max_inflight=args.client_max_inflight,
+            client_cpu_budget=args.client_cpu_budget,
         )
     )
 
@@ -1174,7 +1188,7 @@ def _submit_command(args) -> int:
         print("submit: --conjecture needs a theory (--suite or --file)", file=sys.stderr)
         return 2
 
-    client = ServiceClient(args.socket, timeout=args.wait)
+    client = ServiceClient(args.socket, timeout=args.wait, client=args.client)
     code = 0
     try:
         if submitting:
@@ -1197,6 +1211,8 @@ def _submit_command(args) -> int:
                 on_verdict=on_verdict,
             )
             done = outcome.done
+            if done.get("rejected"):
+                print(f"{done['rejected']} goal(s) rejected by the daemon's client budget")
             print(
                 f"\n{done.get('proved', 0)}/{done.get('total', 0)} proved, "
                 f"{done.get('disproved', 0)} disproved, "

@@ -22,6 +22,7 @@ is what makes the O(shared-nodes) subterm check of
 
 from __future__ import annotations
 
+import threading as _threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Tuple
 
@@ -44,17 +45,43 @@ _VarCls: Any = None
 _SymCls: Any = None
 _AppCls: Any = None
 
-#: The current bank, held in a one-element list so that the term constructors
-#: can reach it with a single indexed load.
-_STATE: list = [None]
+#: The process-wide default bank (created once, shared by every thread that
+#: has not installed an override of its own).
+_DEFAULT: list = [None]
+_DEFAULT_GUARD = _threading.Lock()
+
+
+def _default_bank() -> "TermBank":
+    bank = _DEFAULT[0]
+    if bank is None:
+        with _DEFAULT_GUARD:
+            bank = _DEFAULT[0]
+            if bank is None:
+                bank = _DEFAULT[0] = TermBank("default")
+    return bank
+
+
+class _State(_threading.local):
+    """The current bank, as a *per-thread* slot over a shared default.
+
+    ``use_bank`` in one thread must never redirect interning in another: the
+    proof service parses into warm per-theory banks from concurrent request
+    threads while enrichment elaborates in its own, and a process-global slot
+    would let one scope's terms leak into another's bank.  New threads start
+    on the shared default bank, so single-threaded behaviour (and the CLI's)
+    is unchanged; the attribute access below is C-level ``threading.local``
+    machinery, cheap enough for the term-construction hot path.
+    """
+
+    def __init__(self):
+        self.bank = _default_bank()
 
 
 def _install_node_types(var_cls: type, sym_cls: type, app_cls: type) -> None:
     """Called once by :mod:`repro.core.terms` to register the node classes."""
     global _VarCls, _SymCls, _AppCls
     _VarCls, _SymCls, _AppCls = var_cls, sym_cls, app_cls
-    if _STATE[0] is None:
-        _STATE[0] = TermBank("default")
+    _default_bank()
 
 
 class TermBank:
@@ -296,15 +323,20 @@ class TermBank:
         }
 
 
+#: The per-thread current-bank slot (instantiated here, after TermBank exists,
+#: because ``threading.local.__init__`` runs eagerly for the creating thread).
+_STATE = _State()
+
+
 def current_bank() -> TermBank:
-    """The bank that the term constructors currently intern into."""
-    return _STATE[0]
+    """The bank that the term constructors currently intern into (this thread)."""
+    return _STATE.bank
 
 
 def set_current_bank(bank: TermBank) -> TermBank:
-    """Install ``bank`` as the current bank; returns the previous one."""
-    previous = _STATE[0]
-    _STATE[0] = bank
+    """Install ``bank`` as this thread's current bank; returns the previous one."""
+    previous = _STATE.bank
+    _STATE.bank = bank
     return previous
 
 
@@ -317,4 +349,4 @@ def use_bank(bank: Optional[TermBank] = None) -> Iterator[TermBank]:
     try:
         yield bank
     finally:
-        _STATE[0] = previous
+        _STATE.bank = previous

@@ -120,7 +120,7 @@ class Var(Term):
     __slots__ = ("name", "ty")
 
     def __new__(cls, name: str, ty: Type) -> "Var":
-        return _STATE[0].var(name, ty)
+        return _STATE.bank.var(name, ty)
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -143,7 +143,7 @@ class Sym(Term):
     __slots__ = ("name",)
 
     def __new__(cls, name: str) -> "Sym":
-        return _STATE[0].sym(name)
+        return _STATE.bank.sym(name)
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -166,7 +166,7 @@ class App(Term):
     __slots__ = ("fun", "arg")
 
     def __new__(cls, fun: Term, arg: Term) -> "App":
-        return _STATE[0].app(fun, arg)
+        return _STATE.bank.app(fun, arg)
 
     def __eq__(self, other: object) -> bool:
         if self is other:

@@ -201,6 +201,10 @@ class ResultStore:
         self.misses = 0
         #: Lines skipped on load because their schema differs from this build's.
         self.schema_skipped = 0
+        # In-process guard: the concurrent proof service reads and appends
+        # from several request threads at once; the advisory file lock below
+        # only protects against other *processes*.
+        self._guard = threading.RLock()
         # Advisory single-writer guard: a second *process* opening the same
         # store fails loudly (StoreLockError) instead of interleaving JSONL
         # appends.  ``lock=False`` is for read-only consumers (report/check)
@@ -292,7 +296,7 @@ class ResultStore:
         os.makedirs(directory, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".jsonl")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            with self._guard, os.fdopen(fd, "w", encoding="utf-8") as handle:
                 for entry in self._entries.values():
                     handle.write(json.dumps(entry, sort_keys=True) + "\n")
             os.replace(temp_path, self.path)
@@ -305,15 +309,17 @@ class ResultStore:
 
     def get(self, key: StoreKey) -> Optional[dict]:
         """The stored outcome payload for ``key``, or ``None`` (counts hit/miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return {field: entry.get(field) for field in OUTCOME_FIELDS if field in entry}
+        with self._guard:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return {field: entry.get(field) for field in OUTCOME_FIELDS if field in entry}
 
     def contains(self, key: StoreKey) -> bool:
-        return key in self._entries
+        with self._guard:
+            return key in self._entries
 
     def peek(self, key: StoreKey) -> Optional[dict]:
         """Like :meth:`get` but without touching the hit/miss counters.
@@ -322,10 +328,11 @@ class ResultStore:
         hints) that inspect the store *before* the replay phase does the
         counted lookup.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        return {field: entry.get(field) for field in OUTCOME_FIELDS if field in entry}
+        with self._guard:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return {field: entry.get(field) for field in OUTCOME_FIELDS if field in entry}
 
     def put(self, key: StoreKey, outcome: dict) -> None:
         """Persist one outcome (overwriting any previous entry for the key)."""
@@ -340,22 +347,25 @@ class ResultStore:
         for field in OUTCOME_FIELDS:
             if field in outcome:
                 entry[field] = outcome[field]
-        previous = self._entries.get(key)
-        if previous is not None and all(
-            previous.get(field) == entry.get(field) for field in OUTCOME_FIELDS
-        ):
-            return  # identical re-run: keep the file append-free
-        self._entries[key] = entry
-        self._append(entry)
+        with self._guard:
+            previous = self._entries.get(key)
+            if previous is not None and all(
+                previous.get(field) == entry.get(field) for field in OUTCOME_FIELDS
+            ):
+                return  # identical re-run: keep the file append-free
+            self._entries[key] = entry
+            self._append(entry)
 
     # -- views ----------------------------------------------------------------------
 
     def entries(self) -> Iterator[dict]:
-        """All current (deduplicated) entries."""
-        return iter(self._entries.values())
+        """All current (deduplicated) entries (a stable point-in-time list)."""
+        with self._guard:
+            return iter(list(self._entries.values()))
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._guard:
+            return len(self._entries)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore({self.path!r}: {len(self)} entries)"

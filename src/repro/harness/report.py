@@ -221,10 +221,28 @@ def service_summary_table(metrics: Dict[str, object]) -> str:
         ("library-assisted goals", count("library_assisted_goals")),
         ("goals dispatched to workers", count("dispatched_goals")),
         ("worker processes spawned", count("worker_spawns")),
+        ("goals rejected (client budget)", count("rejected_goals")),
+        ("theories prewarmed at startup", count("prewarmed_theories")),
+        ("worker pool size", count("pool_size")),
+        ("queue depth", count("queue_depth")),
+        ("goals in flight", count("inflight_goals")),
+        ("active client sessions", f"{count('active_sessions')}"
+         f" (max concurrent {count('max_concurrent_sessions')})"),
+        ("interleaved dispatches (fairness)", count("interleaved_dispatches")),
         ("request errors", count("errors")),
         ("replay latency", latency("replay_latency")),
         ("solve latency", latency("solve_latency")),
     ]
+    clients = metrics.get("clients")
+    if isinstance(clients, dict):
+        for name in sorted(clients):
+            counters = clients[name] or {}
+            rows.append((
+                f"client {name}",
+                f"{int(counters.get('requests') or 0)} request(s), "
+                f"{int(counters.get('served_goals') or 0)} goal(s) served, "
+                f"{int(counters.get('rejected_goals') or 0)} rejected",
+            ))
     uptime = float(metrics.get("uptime_seconds") or 0.0)
     if uptime:
         rows.append(("uptime (s)", f"{uptime:.1f}"))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -67,13 +68,64 @@ class SubmitOutcome:
 
 
 class ServiceClient:
-    """Talk to a running daemon over its unix socket."""
+    """Talk to a running daemon over its unix socket.
 
-    def __init__(self, socket_path: str, timeout: float = 120.0):
+    ``timeout`` bounds every *read* (how long a request may take end to end
+    per reply line); ``connect_timeout`` bounds the connect itself.  A daemon
+    that is still starting up — socket file not yet bound, or bound but the
+    listener not yet accepting — shows up as ``ECONNREFUSED``/``ENOENT`` on
+    connect; those are retried up to ``connect_retries`` times with
+    ``connect_backoff`` seconds between attempts before surfacing a clean
+    :class:`ServiceProtocolError`.  Nothing here can hang: every socket
+    operation carries a deadline.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        timeout: float = 120.0,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 5,
+        connect_backoff: float = 0.1,
+        client: Optional[str] = None,
+    ):
         self.socket_path = str(socket_path)
         self.timeout = float(timeout)
+        self.connect_timeout = float(connect_timeout)
+        self.connect_retries = max(0, int(connect_retries))
+        self.connect_backoff = max(0.0, float(connect_backoff))
+        #: Client identity stamped on submits (fair scheduling and budgets on
+        #: the daemon side are per client).  ``None`` lets the daemon default.
+        self.client = client
 
     # -- transport ----------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        """A connected socket, retrying the just-starting-daemon race."""
+        last_error: Optional[OSError] = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                time.sleep(self.connect_backoff)
+            connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            connection.settimeout(self.connect_timeout)
+            try:
+                connection.connect(self.socket_path)
+            except (ConnectionRefusedError, FileNotFoundError) as error:
+                # Daemon starting (or gone): retry within the bound.
+                connection.close()
+                last_error = error
+                continue
+            except OSError as error:
+                connection.close()
+                raise ServiceProtocolError(
+                    f"cannot reach daemon on {self.socket_path}: {error}"
+                ) from None
+            connection.settimeout(self.timeout)
+            return connection
+        raise ServiceProtocolError(
+            f"cannot reach daemon on {self.socket_path} after "
+            f"{self.connect_retries + 1} attempt(s): {last_error}"
+        ) from None
 
     def _request(
         self, payload: dict, on_event: Optional[Callable[[dict], None]] = None
@@ -85,15 +137,8 @@ class ServiceClient:
         worker / dying-daemon path — a clean client error, never a hang).
         """
         events: List[dict] = []
-        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        connection.settimeout(self.timeout)
+        connection = self._connect()
         try:
-            try:
-                connection.connect(self.socket_path)
-            except OSError as error:
-                raise ServiceProtocolError(
-                    f"cannot reach daemon on {self.socket_path}: {error}"
-                ) from None
             connection.sendall((json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
             stream = connection.makefile("r", encoding="utf-8")
             try:
@@ -150,15 +195,21 @@ class ServiceClient:
         use_hints: bool = True,
         falsify: bool = False,
         on_verdict: Optional[Callable[[dict], None]] = None,
+        client: Optional[str] = None,
     ) -> SubmitOutcome:
         """Submit goals; blocks until the daemon's ``done`` line.
 
         Exactly one of ``suite`` (a built-in theory) or ``source`` (program
         text) selects the theory; ``goals`` filters its declared goals and
         ``conjectures`` adds ``(name, equation source)`` pairs on top.
-        ``on_verdict`` sees each verdict as it streams in.
+        ``on_verdict`` sees each verdict as it streams in.  ``client``
+        (defaulting to the instance-level identity) names the session for the
+        daemon's fair scheduler and per-client budgets.
         """
         request: Dict[str, object] = {"op": "submit"}
+        identity = client if client is not None else self.client
+        if identity is not None:
+            request["client"] = str(identity)
         if source is not None:
             request["source"] = source
         if suite is not None:

@@ -25,18 +25,34 @@ alone (:meth:`LemmaLibrary.verify_all`).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import re
 import threading
 import warnings
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..engine.store import acquire_path_lock, release_path_lock
 
-__all__ = ["LemmaLibrary", "enrich_library", "LIBRARY_SCHEMA_VERSION"]
+__all__ = ["LemmaLibrary", "enrich_library", "equation_symbols", "LIBRARY_SCHEMA_VERSION"]
 
 LIBRARY_SCHEMA_VERSION = 1
 """Schema of the library's JSONL lines (bumped when their meaning changes)."""
+
+_TOKEN = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
+
+
+def equation_symbols(source: str) -> FrozenSet[str]:
+    """The identifier tokens of an equation's source text.
+
+    The relevance signal for hint ranking: a lemma whose tokens overlap the
+    goal's *function symbols* talks about the same operations.  Variable
+    names are not distinguished here (the lemma side is never parsed), but
+    intersecting against a goal-side set built from real symbols filters
+    them out in practice.
+    """
+    return frozenset(_TOKEN.findall(source))
 
 
 class LemmaLibrary:
@@ -50,9 +66,14 @@ class LemmaLibrary:
         # matters under ProverConfig.max_hints truncation).
         self._lemmas: Dict[str, Dict[str, dict]] = {}
         self._sources: Dict[str, str] = {}
-        # Verification is lazy and memoised per (fingerprint, equation):
-        # True = certificate checked out, False = rejected (never offered).
+        # Verification is lazy and memoised per (fingerprint, certificate
+        # digest): True = certificate checked out, False = rejected (never
+        # offered).  Keying by digest rather than equation means repeated
+        # offers on a hot theory skip re-verification, while a *different*
+        # certificate for the same equation naturally misses the memo.
         self._verdicts: Dict[Tuple[str, str], bool] = {}
+        self._digests: Dict[Tuple[str, str], str] = {}
+        self._tokens: Dict[Tuple[str, str], FrozenSet[str]] = {}
         self.schema_skipped = 0
         self.rejected = 0
         self.hints_served = 0
@@ -168,17 +189,30 @@ class LemmaLibrary:
                     "certificate": dict(certificate),
                 }
             )
-            # A fresh lemma from a prover we just watched succeed still goes
-            # through verification before it is offered; drop any stale
-            # verdict for the slot (a rejected lemma may have been re-proved).
-            self._verdicts.pop((fingerprint, equation), None)
+            # No verdict invalidation needed: verdicts are keyed by the
+            # certificate's digest, so this certificate either reuses an
+            # earlier identical one's verdict or misses the memo and gets
+            # verified before it is first offered.
             return True
 
     # -- offering hints ----------------------------------------------------------
 
+    def _certificate_digest(self, fingerprint: str, equation: str, certificate: dict) -> str:
+        """The certificate's content digest (memoised per library slot)."""
+        slot = (fingerprint, equation)
+        with self._guard:
+            digest = self._digests.get(slot)
+        if digest is None:
+            payload = json.dumps(certificate, sort_keys=True, separators=(",", ":"))
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+            with self._guard:
+                self._digests[slot] = digest
+        return digest
+
     def _verify(self, fingerprint: str, equation: str, certificate: dict, checker=None) -> bool:
-        key = (fingerprint, equation)
-        verdict = self._verdicts.get(key)
+        key = (fingerprint, self._certificate_digest(fingerprint, equation, certificate))
+        with self._guard:
+            verdict = self._verdicts.get(key)
         if verdict is not None:
             return verdict
         report = None
@@ -194,10 +228,21 @@ class LemmaLibrary:
         except Exception:  # noqa: BLE001 - a malformed certificate must only reject
             report = None
         ok = bool(report is not None and report.ok and not report.hypotheses)
-        if not ok:
-            self.rejected += 1
-        self._verdicts[key] = ok
+        with self._guard:
+            if not ok and key not in self._verdicts:
+                self.rejected += 1
+            self._verdicts[key] = ok
         return ok
+
+    def _lemma_tokens(self, fingerprint: str, equation: str) -> FrozenSet[str]:
+        slot = (fingerprint, equation)
+        with self._guard:
+            tokens = self._tokens.get(slot)
+        if tokens is None:
+            tokens = equation_symbols(equation)
+            with self._guard:
+                self._tokens[slot] = tokens
+        return tokens
 
     def hints_for(
         self,
@@ -205,21 +250,37 @@ class LemmaLibrary:
         exclude: Iterable[str] = (),
         checker=None,
         limit: Optional[int] = None,
+        goal_symbols: Optional[Iterable[str]] = None,
     ) -> List[str]:
         """Verified lemma equations of a theory, ready to offer as hints.
 
-        Every candidate's certificate is re-checked (memoised) before it may
-        be returned; lemmas whose certificate fails — or that depend on
-        hypotheses — are dropped and counted in :attr:`rejected`.  ``exclude``
-        removes equations (typically the goal's own), ``checker`` is a warm
+        Every candidate's certificate is re-checked (memoised by certificate
+        digest) before it may be returned; lemmas whose certificate fails — or
+        that depend on hypotheses — are dropped and counted in
+        :attr:`rejected`.  ``exclude`` removes equations (typically the goal's
+        own), ``checker`` is a warm
         :class:`~repro.proofs.checker.CertificateChecker` bound to the theory
         (falling back to the library's recorded program source), and ``limit``
-        caps the offer (insertion order wins).
+        caps the offer.
+
+        When ``goal_symbols`` is given (the goal equation's function symbols)
+        candidates are ranked by *relevance* — most shared symbols first,
+        insertion order breaking ties — so the limit keeps the lemmas most
+        likely to rewrite the goal, not merely the oldest.
         """
         excluded = set(exclude)
-        hints: List[str] = []
         with self._guard:
             candidates = list(self._lemmas.get(fingerprint, {}).items())
+        if goal_symbols:
+            goal_set = frozenset(goal_symbols)
+
+            def relevance(indexed) -> Tuple[int, int]:
+                index, (equation, _) = indexed
+                overlap = len(self._lemma_tokens(fingerprint, equation) & goal_set)
+                return (-overlap, index)
+
+            candidates = [item for _, item in sorted(enumerate(candidates), key=relevance)]
+        hints: List[str] = []
         for equation, certificate in candidates:
             if equation in excluded:
                 continue

@@ -11,7 +11,8 @@ whichever process invokes it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 __all__ = ["SourceResolver"]
 
@@ -61,6 +62,54 @@ class SourceResolver:
                 )
             )
         return problems
+
+    # -- the pool worker's theory-cache protocol --------------------------------
+    #
+    # A shared pool worker outlives any one request, so it caches elaborated
+    # theories by `base_key` — theory identity *without* the per-request
+    # conjectures, which would otherwise fragment the cache — and parses each
+    # request's conjectures on demand via `problem_for`.
+
+    @property
+    def base_key(self) -> str:
+        """Cache identity of the theory: the source text and suite name only."""
+        digest = hashlib.sha256()
+        digest.update(self.suite.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(self.source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def elaborate(self) -> Tuple[object, Dict[str, object]]:
+        """Elaborate the base theory: ``(program, {"suite/name": problem})``.
+
+        Declared goals only — conjectures are per-request and parsed later
+        through :meth:`problem_for` against the returned program, so one
+        request's conjecture set never pollutes the cached theory.
+        """
+        from ..benchmarks_data.registry import BenchmarkProblem
+        from ..lang.loader import load_program
+
+        program = load_program(self.source, name=self.suite)
+        problems = {
+            f"{self.suite}/{name}": BenchmarkProblem(
+                name=name, suite=self.suite, goal=goal, program=program
+            )
+            for name, goal in program.goals.items()
+        }
+        return program, problems
+
+    def problem_for(self, program, name: str, equation_source: str):
+        """A conjecture problem parsed against an already-elaborated program."""
+        from ..benchmarks_data.registry import BenchmarkProblem
+        from ..program import Goal
+
+        equation = program.parse_equation(equation_source)
+        return BenchmarkProblem(
+            name=name,
+            suite=self.suite,
+            goal=Goal(name=name, equation=equation),
+            program=program,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

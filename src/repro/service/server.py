@@ -48,7 +48,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..engine.scheduler import Scheduler
+from ..engine.scheduler import STATUS_REJECTED, Scheduler, WorkerPool
 from ..engine.store import ResultStore, StoreLockError, config_fingerprint
 from ..engine.suite import goal_store_equation, solve_suite
 from ..search.config import ProverConfig
@@ -111,6 +111,24 @@ class ServiceConfig:
     worker_hook: Optional[str] = None
     """``"module:function"`` invoked per task inside workers (test seam only)."""
 
+    prewarm: bool = False
+    """Rebuild warm state at startup for every theory the store/library knows."""
+
+    serialize_submits: bool = False
+    """Run one submit at a time on a per-request scheduler (the pre-pool path).
+
+    The escape hatch — and the paired-benchmark baseline — for the shared
+    worker pool: requests serialise on a lock and each builds its own
+    :class:`~repro.engine.scheduler.Scheduler`, exactly as before the
+    concurrent request core existed.
+    """
+
+    client_max_inflight: int = 0
+    """Most un-replayable goals one client may have queued/solving (0 = no cap)."""
+
+    client_cpu_budget: float = 0.0
+    """Cap on one client's cumulative worker-busy seconds (0 = no cap)."""
+
 
 class _Latency:
     """Streaming count/total/max of one latency population."""
@@ -138,9 +156,13 @@ class ServiceMetrics:
     The snapshot's keys are the contract with
     :func:`repro.harness.report.service_summary_table` — metrics cross the
     socket as JSON, so the table consumes plain data, never this object.
+    Counter updates from concurrent request threads go through :attr:`lock`
+    (callers hold it around their increment batches; the snapshot takes it
+    too, so a metrics reply never shows a half-applied request).
     """
 
     def __init__(self):
+        self.lock = threading.Lock()
         self.started_at = time.monotonic()
         self.requests = 0
         self.goals = 0
@@ -152,35 +174,82 @@ class ServiceMetrics:
         self.lemmas_learned = 0
         self.dispatched_goals = 0
         self.worker_spawns = 0
+        self.rejected_goals = 0
+        self.prewarmed_theories = 0
         self.errors = 0
         self.replay_latency = _Latency()
         self.solve_latency = _Latency()
+        #: Per-client counters: {client: {"requests", "served_goals", "rejected_goals"}}.
+        self.clients: Dict[str, Dict[str, int]] = {}
 
-    def snapshot(self, warm: Optional[dict] = None, library: Optional[dict] = None) -> dict:
+    def client_counters(self, client: str) -> Dict[str, int]:
+        """The (mutable) counter dict of one client; call under :attr:`lock`."""
+        return self.clients.setdefault(
+            client, {"requests": 0, "served_goals": 0, "rejected_goals": 0}
+        )
+
+    def snapshot(
+        self,
+        warm: Optional[dict] = None,
+        library: Optional[dict] = None,
+        pool: Optional[dict] = None,
+    ) -> dict:
         warm = warm or {}
         library = library or {}
-        return {
-            "requests": self.requests,
-            "goals": self.goals,
-            "store_hits": self.store_hits,
-            "store_misses": self.store_misses,
-            "warm_hits": int(warm.get("hits") or 0),
-            "warm_misses": int(warm.get("misses") or 0),
-            "warm_evictions": int(warm.get("evictions") or 0),
-            "warm_entries": int(warm.get("entries") or 0),
-            "library_lemmas": int(library.get("lemmas") or 0),
-            "library_rejected": int(library.get("rejected") or 0),
-            "library_hints_offered": self.library_hints_offered,
-            "library_hints_used": self.library_hints_used,
-            "library_assisted_goals": self.library_assisted_goals,
-            "lemmas_learned": self.lemmas_learned,
-            "dispatched_goals": self.dispatched_goals,
-            "worker_spawns": self.worker_spawns,
-            "errors": self.errors,
-            "replay_latency": self.replay_latency.snapshot(),
-            "solve_latency": self.solve_latency.snapshot(),
-            "uptime_seconds": time.monotonic() - self.started_at,
-        }
+        pool = pool or {}
+        with self.lock:
+            return {
+                "requests": self.requests,
+                "goals": self.goals,
+                "store_hits": self.store_hits,
+                "store_misses": self.store_misses,
+                "warm_hits": int(warm.get("hits") or 0),
+                "warm_misses": int(warm.get("misses") or 0),
+                "warm_evictions": int(warm.get("evictions") or 0),
+                "warm_entries": int(warm.get("entries") or 0),
+                "library_lemmas": int(library.get("lemmas") or 0),
+                "library_rejected": int(library.get("rejected") or 0),
+                "library_hints_offered": self.library_hints_offered,
+                "library_hints_used": self.library_hints_used,
+                "library_assisted_goals": self.library_assisted_goals,
+                "lemmas_learned": self.lemmas_learned,
+                "dispatched_goals": self.dispatched_goals,
+                "worker_spawns": self.worker_spawns,
+                "rejected_goals": self.rejected_goals,
+                "prewarmed_theories": self.prewarmed_theories,
+                "errors": self.errors,
+                "replay_latency": self.replay_latency.snapshot(),
+                "solve_latency": self.solve_latency.snapshot(),
+                "queue_depth": int(pool.get("queue_depth") or 0),
+                "inflight_goals": int(pool.get("inflight") or 0),
+                "pool_size": int(pool.get("pool_size") or 0),
+                "active_sessions": int(pool.get("active_sessions") or 0),
+                "max_concurrent_sessions": int(pool.get("max_concurrent_sessions") or 0),
+                "interleaved_dispatches": int(pool.get("interleaves") or 0),
+                "clients": {name: dict(counters) for name, counters in self.clients.items()},
+                "uptime_seconds": time.monotonic() - self.started_at,
+            }
+
+
+def _equation_symbols(equation) -> frozenset:
+    """The function symbols of a parsed equation (heads of all subterms).
+
+    The goal-side input to the library's relevance ranking: built from real
+    ``Sym`` heads, so intersecting lemma token sets against it never counts a
+    variable name as shared vocabulary.
+    """
+    symbols = set()
+    stack = [equation.lhs, equation.rhs]
+    while stack:
+        term = stack.pop()
+        head = getattr(term, "_head", None)
+        if head:
+            symbols.add(head)
+        fun = getattr(term, "fun", None)
+        if fun is not None:
+            stack.append(fun)
+            stack.append(term.arg)
+    return frozenset(symbols)
 
 
 def _suite_source(suite: str) -> str:
@@ -196,10 +265,14 @@ def _suite_source(suite: str) -> str:
 class ProofService:
     """The synchronous service core (the socket layer is optional dressing).
 
-    One ``submit`` at a time: requests are serialized on an internal lock, so
-    the multiprocess scheduler — which already saturates the CPUs for one
-    request — is never oversubscribed by concurrent clients.  ``ping`` and
-    ``metrics`` never wait on that lock.
+    Concurrent submits by default: each request joins the shared resident
+    :class:`~repro.engine.scheduler.WorkerPool` as its own session, so two
+    clients' goals interleave fairly (deficit-round-robin) instead of the
+    second client waiting out the first client's whole batch — and a warm
+    pool serves cold solves without spawning a process per request.
+    ``serialize_submits`` restores the old one-at-a-time behaviour (per
+    request scheduler, submit guard) as an escape hatch and benchmark
+    baseline.  ``ping`` and ``metrics`` never wait on either path.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None):
@@ -210,12 +283,22 @@ class ProofService:
         self.library = (
             LemmaLibrary(self.config.library_path) if self.config.library_path else None
         )
-        self._submit_guard = threading.Lock()
+        #: The shared resident pool (no processes until the first dispatch).
+        self.pool = WorkerPool(
+            jobs=self.config.jobs, worker_hook=self.config.worker_hook
+        )
+        self._submit_guard = threading.Lock()  # serialize_submits mode only
         self._active_scheduler: Optional[Scheduler] = None
         self._closing = False
         self._closed = False
         self._enriched: set = set()
         self._enrich_threads: List[threading.Thread] = []
+        #: Cumulative worker-busy seconds per client (the CPU budget's meter).
+        self._client_cpu: Dict[str, float] = {}
+        self._lifecycle = threading.Condition()
+        self._active_submits = 0
+        if self.config.prewarm:
+            self.prewarm()
 
     # -- request dispatch --------------------------------------------------------
 
@@ -247,55 +330,134 @@ class ProofService:
             else:
                 raise ServiceError(f"unknown op {op!r}")
         except ServiceError as error:
-            self.metrics.errors += 1
+            with self.metrics.lock:
+                self.metrics.errors += 1
             reply({"op": "error", "error": str(error)})
         except Exception as error:  # noqa: BLE001 - daemon must survive any request
-            self.metrics.errors += 1
+            with self.metrics.lock:
+                self.metrics.errors += 1
             reply({"op": "error", "error": f"internal error: {error!r}"})
 
     def metrics_snapshot(self) -> dict:
         return self.metrics.snapshot(
             warm=self.cache.snapshot(),
             library=self.library.snapshot() if self.library else None,
+            pool=None if self.config.serialize_submits else self.pool.snapshot(),
         )
+
+    # -- prewarming ---------------------------------------------------------------
+
+    def prewarm(self) -> int:
+        """Rebuild warm state for every theory the store and library remember.
+
+        Startup latency work behind ``--prewarm``: built-in suite names are
+        recovered from the store's goal keys, and submitted theories from the
+        library's recorded program sources (paired with suite labels mined
+        from store entries carrying the same fingerprint).  Best-effort — a
+        theory that no longer elaborates is skipped — and bounded by the warm
+        cache's own LRU capacity.  Returns how many theories were built.
+        """
+        sources: Dict[str, str] = {}
+        if self.store is not None:
+            from ..benchmarks_data.registry import SUITE_PROGRAM_SOURCES
+
+            suite_of_fingerprint: Dict[str, str] = {}
+            for entry in self.store.entries():
+                goal_key = str(entry.get("goal", ""))
+                suite = goal_key.split("/", 1)[0] if "/" in goal_key else ""
+                if not suite:
+                    continue
+                suite_of_fingerprint.setdefault(str(entry.get("program", "")), suite)
+                if suite in SUITE_PROGRAM_SOURCES:
+                    sources.setdefault(suite, SUITE_PROGRAM_SOURCES[suite])
+        else:
+            suite_of_fingerprint = {}
+        if self.library is not None:
+            for fingerprint in self.library.fingerprints():
+                source = self.library.source_for(fingerprint)
+                if not source:
+                    continue
+                digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+                suite = suite_of_fingerprint.get(fingerprint) or f"submitted-{digest[:12]}"
+                sources.setdefault(suite, source)
+        warmed = 0
+        for suite, source in sources.items():
+            if self._closing:
+                break
+            try:
+                _, was_warm = self.cache.get(source, suite)
+            except Exception:  # noqa: BLE001 - prewarm is best-effort
+                continue
+            if not was_warm:
+                warmed += 1
+        with self.metrics.lock:
+            self.metrics.prewarmed_theories += warmed
+        return warmed
 
     # -- the submit pipeline ------------------------------------------------------
 
     def submit(self, request: dict, emit: Callable[[dict], None]) -> dict:
         """Solve one submission; emits ``verdict`` lines, returns the ``done`` line."""
-        with self._submit_guard:
+        with self._lifecycle:
             if self._closing:
                 raise ServiceError("service is shutting down")
-            started = time.monotonic()
+            self._active_submits += 1
+        try:
+            if self.config.serialize_submits:
+                with self._submit_guard:
+                    return self._submit(request, emit)
+            return self._submit(request, emit)
+        finally:
+            with self._lifecycle:
+                self._active_submits -= 1
+                self._lifecycle.notify_all()
+
+    def _submit(self, request: dict, emit: Callable[[dict], None]) -> dict:
+        if self._closing:
+            raise ServiceError("service is shutting down")
+        started = time.monotonic()
+        client = str(request.get("client") or "default")
+        with self.metrics.lock:
             self.metrics.requests += 1
+            self.metrics.client_counters(client)["requests"] += 1
 
-            source, suite = self._resolve_source(request)
-            state, was_warm = self._warm_state(source, suite)
-            conjectures = self._conjectures(request)
+        source, suite = self._resolve_source(request)
+        state, was_warm = self._warm_state(source, suite)
+        conjectures = self._conjectures(request)
+        with state.guard:
             problems = self._select_problems(state, request, conjectures)
-            prover_config = self._prover_config(request)
+        prover_config = self._prover_config(request)
 
+        problems, rejected = self._admit(client, state, problems, prover_config)
+        for payload in rejected:
+            emit(payload)
+
+        with state.guard:
             hypotheses, offered = self._plan_hints(state, problems, prover_config, request)
 
-            # The resolver rides on the scheduler (solve_suite's own resolver
-            # argument only applies to schedulers it constructs itself): the
-            # workers re-elaborate the submitted source — conjectures and all —
-            # in their own banks.
-            resolver = SourceResolver(source, suite, conjectures)
-            scheduler = Scheduler(
+        # The resolver rides on the engine (solve_suite's own resolver
+        # argument only applies to schedulers it constructs itself): the
+        # workers re-elaborate — or, on the pool, reuse a cached elaboration
+        # of — the submitted source in their own banks.
+        resolver = SourceResolver(source, suite, conjectures)
+        if self.config.serialize_submits:
+            engine = Scheduler(
                 jobs=self.config.jobs,
                 resolver=resolver,
                 worker_hook=self.config.worker_hook,
             )
-            self._active_scheduler = scheduler
-            verdicts: List[dict] = []
+            self._active_scheduler = engine
+        else:
+            engine = self.pool.session(resolver, client=client)
+        verdicts: List[dict] = []
 
-            def progress(record) -> None:
-                verdict = self._verdict_payload(record, offered)
-                verdicts.append(verdict)
-                emit(verdict)
+        def progress(record) -> None:
+            verdict = self._verdict_payload(record, offered)
+            verdicts.append(verdict)
+            emit(verdict)
 
-            try:
+        try:
+            if problems:
                 result = solve_suite(
                     problems,
                     prover_config,
@@ -305,57 +467,78 @@ class ProofService:
                     jobs=self.config.jobs,
                     store=self.store,
                     resolver=resolver,
-                    scheduler=scheduler,
+                    scheduler=engine,
                 )
-            finally:
+                records = result.records
+            else:
+                records = []  # every goal was rejected before dispatch
+        finally:
+            if self.config.serialize_submits:
                 self._active_scheduler = None
 
-            learned = self._learn_lemmas(state, result, source)
-            self._maybe_enrich(source, suite, state.fingerprint)
+        if records:
+            with state.guard:
+                learned = self._learn_lemmas(state, records, source)
+        else:
+            learned = 0
+        self._maybe_enrich(source, suite, state.fingerprint)
 
-            spawns = len(scheduler.worker_stats) + sum(
-                int(stats.get("respawns", 0)) for stats in scheduler.worker_stats.values()
+        spawns = getattr(engine, "worker_spawns", None)
+        if spawns is None:
+            spawns = len(engine.worker_stats) + sum(
+                int(stats.get("respawns", 0)) for stats in engine.worker_stats.values()
             )
-            replayed = sum(1 for record in result.records if record.cached)
-            dispatched = sum(
-                1 for record in result.records
-                if not record.cached and record.status != "out-of-scope"
-            )
-            assisted = [r for r in result.records if r.hint_steps > 0]
-            wall = time.monotonic() - started
+        busy = sum(
+            float(stats.get("busy_seconds") or 0.0) for stats in engine.worker_stats.values()
+        )
+        replayed = sum(1 for record in records if record.cached)
+        dispatched = sum(
+            1 for record in records
+            if not record.cached and record.status != "out-of-scope"
+        )
+        assisted = [r for r in records if r.hint_steps > 0]
+        wall = time.monotonic() - started
 
-            self.metrics.goals += len(result.records)
+        with self.metrics.lock:
+            self.metrics.goals += len(records)
             self.metrics.store_hits += replayed
-            self.metrics.store_misses += len(result.records) - replayed
+            self.metrics.store_misses += len(records) - replayed
             self.metrics.library_hints_used += sum(r.hint_steps for r in assisted)
             self.metrics.library_assisted_goals += len(assisted)
             self.metrics.lemmas_learned += learned
             self.metrics.dispatched_goals += dispatched
             self.metrics.worker_spawns += spawns
+            self.metrics.rejected_goals += len(rejected)
+            counters = self.metrics.client_counters(client)
+            counters["served_goals"] += len(records)
+            counters["rejected_goals"] += len(rejected)
+            self._client_cpu[client] = self._client_cpu.get(client, 0.0) + busy
             # Pure-replay requests answer without a single worker; their wall
             # time is the service's hot-path latency.  Anything that dispatched
             # is dominated by proof search and lands in the other population.
             (self.metrics.replay_latency if spawns == 0 else self.metrics.solve_latency).record(wall)
 
-            return {
-                "op": "done",
-                "suite": suite,
-                "program": state.fingerprint,
-                "warm": was_warm,
-                "total": len(result.records),
-                "proved": sum(1 for r in result.records if r.proved),
-                "disproved": sum(1 for r in result.records if r.disproved),
-                "failed": sum(
-                    1 for r in result.records if not r.proved and not r.disproved
-                ),
-                "store_hits": replayed,
-                "dispatched": dispatched,
-                "worker_spawns": spawns,
-                "library_hints_offered": sum(len(h) for h in hypotheses.values()),
-                "library_hints_used": sum(r.hint_steps for r in assisted),
-                "lemmas_learned": learned,
-                "seconds": wall,
-            }
+        return {
+            "op": "done",
+            "suite": suite,
+            "client": client,
+            "program": state.fingerprint,
+            "warm": was_warm,
+            "total": len(records),
+            "proved": sum(1 for r in records if r.proved),
+            "disproved": sum(1 for r in records if r.disproved),
+            "failed": sum(
+                1 for r in records if not r.proved and not r.disproved
+            ),
+            "store_hits": replayed,
+            "dispatched": dispatched,
+            "rejected": len(rejected),
+            "worker_spawns": spawns,
+            "library_hints_offered": sum(len(h) for h in hypotheses.values()),
+            "library_hints_used": sum(r.hint_steps for r in assisted),
+            "lemmas_learned": learned,
+            "seconds": wall,
+        }
 
     # -- submit helpers -----------------------------------------------------------
 
@@ -416,6 +599,86 @@ class ProofService:
             raise ServiceError("submission selects no goals")
         return problems
 
+    def _replayable(self, state, problem, config_fp: str) -> bool:
+        """Whether the goal answers from the store without touching a worker."""
+        if self.store is None:
+            return False
+        key = ResultStore.make_key(
+            state.fingerprint,
+            f"{problem.suite}/{problem.name}",
+            goal_store_equation(problem.goal),
+            config_fp,
+        )
+        stored = self.store.peek(key)
+        return stored is not None and stored.get("status") in ("proved", "disproved")
+
+    def _admit(
+        self, client: str, state, problems, prover_config: ProverConfig
+    ) -> Tuple[list, List[dict]]:
+        """Apply per-client budgets; returns ``(admitted, rejected verdict lines)``.
+
+        Budgets gate only *dispatch*: a goal answerable from the store replays
+        for free and is always admitted.  ``client_max_inflight`` bounds how
+        many un-replayable goals a client may have queued or on a worker at
+        once (summed over its concurrent requests, approximately — admission
+        reads the pool's load before this request's session registers);
+        ``client_cpu_budget`` caps the client's cumulative worker-busy seconds
+        over the daemon's lifetime.  Rejected goals get a polite terminal
+        verdict line instead of silently vanishing from the batch.
+        """
+        max_inflight = int(self.config.client_max_inflight or 0)
+        cpu_budget = float(self.config.client_cpu_budget or 0.0)
+        if max_inflight <= 0 and cpu_budget <= 0.0:
+            return problems, []
+        config_fp = config_fingerprint(prover_config)
+        with self.metrics.lock:
+            cpu_used = self._client_cpu.get(client, 0.0)
+        inflight = 0 if self.config.serialize_submits else self.pool.client_load(client)
+        headroom = max_inflight - inflight if max_inflight > 0 else None
+        admitted: list = []
+        rejected: List[dict] = []
+        for problem in problems:
+            if self._replayable(state, problem, config_fp):
+                admitted.append(problem)
+                continue
+            if cpu_budget > 0.0 and cpu_used >= cpu_budget:
+                rejected.append(
+                    self._rejected_payload(
+                        problem,
+                        f"budget: client {client!r} used {cpu_used:.1f}s of its "
+                        f"{cpu_budget:.1f}s cpu budget",
+                    )
+                )
+                continue
+            if headroom is not None and headroom <= 0:
+                rejected.append(
+                    self._rejected_payload(
+                        problem,
+                        f"budget: client {client!r} is at its in-flight limit "
+                        f"({max_inflight} goal(s))",
+                    )
+                )
+                continue
+            if headroom is not None:
+                headroom -= 1
+            admitted.append(problem)
+        return admitted, rejected
+
+    @staticmethod
+    def _rejected_payload(problem, reason: str) -> dict:
+        return {
+            "op": "verdict",
+            "goal": problem.name,
+            "suite": problem.suite,
+            "status": STATUS_REJECTED,
+            "seconds": 0.0,
+            "cached": False,
+            "variant": "default",
+            "hints_offered": 0,
+            "hint_steps": 0,
+            "reason": reason,
+        }
+
     def _prover_config(self, request: dict) -> ProverConfig:
         # emit_proofs always: the store must hold certificates for the client
         # to receive on replay, and the library can only learn certified
@@ -436,8 +699,11 @@ class ProofService:
         A goal with a decisive *hintless* store entry is left alone — the
         replay path is strictly cheaper than any hinted attempt.  Everything
         else is offered the theory's verified lemmas (minus the goal's own
-        equation: a goal must never be handed itself as a granted hypothesis).
-        Returns ``(hypotheses for solve_suite, offers per goal)``.
+        equation: a goal must never be handed itself as a granted hypothesis),
+        ranked by relevance: lemmas sharing the most function symbols with the
+        goal come first, so the offer limit keeps likely rewrites instead of
+        merely the oldest lemmas.  Returns ``(hypotheses for solve_suite,
+        offers per goal)``.
         """
         hypotheses: Dict[str, List[str]] = {}
         offered: Dict[str, List[str]] = {}
@@ -447,26 +713,20 @@ class ProofService:
             return hypotheses, offered
         config_fp = config_fingerprint(prover_config)
         for problem in problems:
-            if self.store is not None:
-                key = ResultStore.make_key(
-                    state.fingerprint,
-                    f"{problem.suite}/{problem.name}",
-                    goal_store_equation(problem.goal),
-                    config_fp,
-                )
-                stored = self.store.peek(key)
-                if stored is not None and stored.get("status") in ("proved", "disproved"):
-                    continue
+            if self._replayable(state, problem, config_fp):
+                continue
             hints = self.library.hints_for(
                 state.fingerprint,
                 exclude={str(problem.goal.equation)},
                 checker=state.checker,
                 limit=self.config.hint_limit,
+                goal_symbols=_equation_symbols(problem.goal.equation),
             )
             if hints:
                 hypotheses[problem.name] = hints
                 offered[problem.name] = hints
-                self.metrics.library_hints_offered += len(hints)
+                with self.metrics.lock:
+                    self.metrics.library_hints_offered += len(hints)
         return hypotheses, offered
 
     @staticmethod
@@ -492,7 +752,7 @@ class ProofService:
             payload["hints"] = list(offered[record.name])
         return payload
 
-    def _learn_lemmas(self, state, result, source: str) -> int:
+    def _learn_lemmas(self, state, records, source: str) -> int:
         """Feed standalone certified proofs of this run into the library.
 
         A proof that *used* a granted hypothesis (``hint_steps > 0``) carries
@@ -506,7 +766,7 @@ class ProofService:
         if self.library is None:
             return 0
         learned = 0
-        for record in result.records:
+        for record in records:
             if not record.proved or record.certificate is None:
                 continue
             if record.hint_steps:
@@ -544,7 +804,8 @@ class ProofService:
             try:
                 enrich_library(source, suite, self.library)
             except Exception:  # noqa: BLE001 - enrichment is best-effort
-                self.metrics.errors += 1
+                with self.metrics.lock:
+                    self.metrics.errors += 1
 
         thread = threading.Thread(target=work, name=f"repro-enrich-{suite}", daemon=True)
         self._enrich_threads.append(thread)
@@ -553,25 +814,34 @@ class ProofService:
     # -- lifecycle ----------------------------------------------------------------
 
     def begin_shutdown(self, grace: Optional[float] = None) -> None:
-        """Start draining: refuse new submits, bound the in-flight one.
+        """Start draining: refuse new submits, bound everything in flight.
 
         Thread-safe and idempotent — this is what the daemon's SIGTERM/SIGINT
-        handler calls while a submit may be running in the executor.
+        handler calls while submits may be running in executor threads.  Both
+        engines drain: the shared pool fails all queued goals fast and bounds
+        on-worker goals by ``grace``, and a serialized-mode scheduler (if one
+        is mid-run) does the same for its batch.
         """
         self._closing = True
+        grace_seconds = self.config.shutdown_grace if grace is None else grace
         scheduler = self._active_scheduler
         if scheduler is not None:
-            scheduler.request_shutdown(
-                self.config.shutdown_grace if grace is None else grace
-            )
+            scheduler.request_shutdown(grace_seconds)
+        self.pool.request_shutdown(grace_seconds)
 
     def close(self) -> None:
         """Drain, then flush and release the store and library (idempotent)."""
         if self._closed:
             return
         self.begin_shutdown()
-        with self._submit_guard:  # blocks until the in-flight submit drains
+        # Wait for in-flight submits (both modes) to settle: the pool's drain
+        # fails their remaining goals within shutdown_grace, so this converges.
+        deadline = time.monotonic() + self.config.shutdown_grace + 10.0
+        with self._lifecycle:
+            while self._active_submits and time.monotonic() < deadline:
+                self._lifecycle.wait(timeout=0.1)
             self._closed = True
+        self.pool.close(timeout=self.config.shutdown_grace + 5.0)
         for thread in self._enrich_threads:
             thread.join(timeout=self.config.shutdown_grace)
         if self.store is not None:

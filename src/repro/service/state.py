@@ -22,6 +22,7 @@ ground falsification) is warm, not so terms can be shared.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -44,6 +45,12 @@ class WarmState:
         self.source = source
         self.suite = suite
         self.built_at = time.monotonic()
+        #: Serialises bank-touching parent-side work (parsing conjectures or
+        #: hints into the warm bank, certificate checks through the warm
+        #: checker) across concurrent request threads.  The bank's intern
+        #: tables are plain dicts — two threads racing a miss on the same
+        #: node would each create one, breaking identity-equality.
+        self.guard = threading.RLock()
         #: Private bank: the warm program's terms never mix with the ambient
         #: bank of whoever drives the service (or with another theory's).
         self.bank = TermBank()
@@ -88,17 +95,18 @@ class WarmState:
 
         if equation_source is None:
             return self.problems[name]
-        cached = self.extra_problems.get(name)
-        if cached is not None and cached[0] == equation_source:
-            return cached[1]
-        with use_bank(self.bank):
-            equation = self.program.parse_equation(equation_source)
-        problem = BenchmarkProblem(
-            name=name, suite=self.suite, goal=Goal(name=name, equation=equation),
-            program=self.program,
-        )
-        self.extra_problems[name] = (equation_source, problem)
-        return problem
+        with self.guard:
+            cached = self.extra_problems.get(name)
+            if cached is not None and cached[0] == equation_source:
+                return cached[1]
+            with use_bank(self.bank):
+                equation = self.program.parse_equation(equation_source)
+            problem = BenchmarkProblem(
+                name=name, suite=self.suite, goal=Goal(name=name, equation=equation),
+                program=self.program,
+            )
+            self.extra_problems[name] = (equation_source, problem)
+            return problem
 
     def goal_names(self) -> List[str]:
         return list(self.problems)
@@ -119,6 +127,11 @@ class WarmStateCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.RLock()
+        #: Per-source build locks: two concurrent requests for the same new
+        #: theory build it once (the loser waits, then hits), while requests
+        #: for *different* theories build in parallel.
+        self._building: Dict[str, threading.Lock] = {}
 
     @staticmethod
     def source_key(source: str) -> str:
@@ -128,33 +141,50 @@ class WarmStateCache:
         """The warm state for ``source``, building it on a miss.
 
         Returns ``(state, was_warm)``; a build error (source that does not
-        elaborate) propagates to the caller and caches nothing.
+        elaborate) propagates to the caller and caches nothing.  Thread-safe:
+        concurrent misses on one source serialise on a per-source build lock,
+        so the expensive elaboration happens exactly once.
         """
         key = self.source_key(source)
-        state = self._states.get(key)
-        if state is not None:
-            self.hits += 1
-            self._states.move_to_end(key)
-            return state, True
-        self.misses += 1
-        state = WarmState(source, suite)
-        self._states[key] = state
-        while len(self._states) > self.capacity:
-            self._states.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            state = self._states.get(key)
+            if state is not None:
+                self.hits += 1
+                self._states.move_to_end(key)
+                return state, True
+            build_lock = self._building.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                state = self._states.get(key)
+                if state is not None:
+                    # Lost the build race: the winner's state counts as warm.
+                    self.hits += 1
+                    self._states.move_to_end(key)
+                    return state, True
+            state = WarmState(source, suite)
+            with self._lock:
+                self.misses += 1
+                self._states[key] = state
+                self._building.pop(key, None)
+                while len(self._states) > self.capacity:
+                    self._states.popitem(last=False)
+                    self.evictions += 1
         return state, False
 
     def __len__(self) -> int:
-        return len(self._states)
+        with self._lock:
+            return len(self._states)
 
     def __contains__(self, source: str) -> bool:
-        return self.source_key(source) in self._states
+        with self._lock:
+            return self.source_key(source) in self._states
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._states),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._states),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

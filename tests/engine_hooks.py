@@ -25,6 +25,11 @@ def hang_on_prop_11(task: dict) -> None:
         time.sleep(3600.0)
 
 
+def slow_tasks(task: dict) -> None:
+    """Pad every task by a beat so concurrency tests can observe interleaving."""
+    time.sleep(0.2)
+
+
 def tiny_resolver():
     """A resolver producing only two named IsaPlanner problems."""
     from repro.benchmarks_data import isaplanner_problems

@@ -9,8 +9,10 @@ daemon dying mid-request yielding a clean client error).
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import os
+import signal
 import socket as socket_module
 import subprocess
 import sys
@@ -446,6 +448,335 @@ class TestClientRobustness:
             client.ping()
 
 
+@contextlib.contextmanager
+def socket_daemon(tmp_path, **overrides):
+    """A real daemon on a unix socket with a test-specific config."""
+    defaults = dict(
+        socket_path=str(tmp_path / "concurrent.sock"),
+        store_path=None,
+        library_path=None,
+        timeout=10.0,
+        jobs=1,
+    )
+    defaults.update(overrides)
+    config = ServiceConfig(**defaults)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(serve(config, ready=ready.set)), daemon=True
+    )
+    thread.start()
+    assert ready.wait(20.0), "daemon did not come up"
+    try:
+        yield config
+    finally:
+        if thread.is_alive():
+            try:
+                ServiceClient(config.socket_path, timeout=30.0).shutdown()
+            except ServiceProtocolError:
+                pass
+            thread.join(timeout=20.0)
+        assert not thread.is_alive()
+
+
+def trivial_conjectures(names):
+    """Distinct, instantly-provable conjectures against the isaplanner theory."""
+    return [(name, f"add Z {variable} === {variable}")
+            for name, variable in zip(names, "abcdefghij")]
+
+
+class TestConcurrentClients:
+    def test_two_socket_clients_interleave_verdict_streams(self, tmp_path):
+        """A second client's goal lands mid-stream of the first client's batch:
+        the pool round-robins between sessions instead of running batches
+        back to back."""
+        with socket_daemon(tmp_path, worker_hook="engine_hooks:slow_tasks") as config:
+            timeline = []
+            lock = threading.Lock()
+            alice_started = threading.Event()
+
+            def watcher(who):
+                def on_verdict(entry):
+                    with lock:
+                        timeline.append((time.monotonic(), who, entry.get("goal")))
+                    alice_started.set()
+                return on_verdict
+
+            alice = ServiceClient(config.socket_path, timeout=60.0, client="alice")
+            bob = ServiceClient(config.socket_path, timeout=60.0, client="bob")
+            outcomes = {}
+
+            def run_alice():
+                outcomes["alice"] = alice.submit(
+                    suite="isaplanner",
+                    conjectures=trivial_conjectures(["a1", "a2", "a3", "a4"]),
+                    on_verdict=watcher("alice"),
+                )
+
+            batch = threading.Thread(target=run_alice)
+            batch.start()
+            assert alice_started.wait(30.0), "alice's batch never produced a verdict"
+            outcomes["bob"] = bob.submit(
+                suite="isaplanner",
+                conjectures=trivial_conjectures(["b1"]),
+                on_verdict=watcher("bob"),
+            )
+            batch.join(timeout=60.0)
+            assert not batch.is_alive()
+
+            assert outcomes["alice"].all_proved and outcomes["alice"].total == 4
+            assert outcomes["bob"].all_proved and outcomes["bob"].total == 1
+            # Interleaved streams: bob's verdict arrived before alice's batch
+            # finished, on a single shared worker.
+            bob_at = next(at for at, who, _ in timeline if who == "bob")
+            alice_last = max(at for at, who, _ in timeline if who == "alice")
+            assert bob_at < alice_last
+
+            metrics = alice.metrics()
+            assert metrics["max_concurrent_sessions"] >= 2
+            assert metrics["interleaved_dispatches"] >= 1
+            assert metrics["clients"]["alice"]["served_goals"] == 4
+            assert metrics["clients"]["bob"]["served_goals"] == 1
+
+    def test_small_request_is_not_starved_by_large_batch(self, tmp_path):
+        """Deficit-round-robin: a 1-goal client finishes while an 8-goal batch
+        is still running, instead of queueing behind it."""
+        service = make_service(
+            tmp_path, store_path=None, library_path=None,
+            worker_hook="engine_hooks:slow_tasks", timeout=10.0,
+        )
+        finished = {}
+        try:
+            def run_batch():
+                events = submit(
+                    service, suite="isaplanner", client="batch",
+                    conjectures=[{"name": n, "equation": e}
+                                 for n, e in trivial_conjectures(
+                                     ["g1", "g2", "g3", "g4", "g5", "g6", "g7", "g8"])],
+                )
+                finished["batch"] = (time.monotonic(), done_line(events))
+
+            batch = threading.Thread(target=run_batch)
+            batch.start()
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if service.pool.snapshot()["dispatched"] >= 1:
+                    break
+                time.sleep(0.01)
+            events = submit(
+                service, suite="isaplanner", client="quick",
+                conjectures=[{"name": n, "equation": e}
+                             for n, e in trivial_conjectures(["q1"])],
+            )
+            finished["quick"] = (time.monotonic(), done_line(events))
+            batch.join(timeout=60.0)
+            assert not batch.is_alive()
+
+            assert finished["quick"][1]["proved"] == 1
+            assert finished["batch"][1]["proved"] == 8
+            assert finished["quick"][0] < finished["batch"][0], (
+                "the 1-goal client waited out the whole 8-goal batch"
+            )
+            assert service.pool.snapshot()["interleaves"] >= 1
+        finally:
+            service.close()
+
+    def test_inflight_budget_rejects_politely(self, tmp_path):
+        service = make_service(tmp_path, client_max_inflight=2)
+        try:
+            events = submit(
+                service, suite="isaplanner", client="greedy",
+                conjectures=[{"name": n, "equation": e}
+                             for n, e in trivial_conjectures(["n1", "n2", "n3", "n4"])],
+            )
+            summary = done_line(events)
+            rejected = [e for e in events if e.get("status") == "rejected"]
+            assert len(rejected) == 2
+            assert all(e["reason"].startswith("budget:") for e in rejected)
+            assert all("in-flight" in e["reason"] for e in rejected)
+            assert summary["rejected"] == 2
+            assert summary["total"] == 2 and summary["proved"] == 2
+
+            snapshot = service.metrics_snapshot()
+            assert snapshot["rejected_goals"] == 2
+            assert snapshot["clients"]["greedy"]["rejected_goals"] == 2
+            assert snapshot["clients"]["greedy"]["served_goals"] == 2
+        finally:
+            service.close()
+
+    def test_cpu_budget_rejects_new_work_but_replays_stay_free(self, tmp_path):
+        service = make_service(tmp_path, client_cpu_budget=1e-6)
+        try:
+            first = submit(
+                service, suite="isaplanner", client="pauper",
+                conjectures=[{"name": "p1", "equation": "add Z a === a"}],
+            )
+            assert done_line(first)["proved"] == 1  # budget untouched on entry
+
+            second = submit(
+                service, suite="isaplanner", client="pauper",
+                conjectures=[
+                    {"name": "p1", "equation": "add Z a === a"},   # replayable: free
+                    {"name": "p2", "equation": "add Z b === b"},   # new work: over budget
+                ],
+            )
+            summary = done_line(second)
+            assert verdict(second, "p1")["cached"] is True
+            rejected = verdict(second, "p2")
+            assert rejected["status"] == "rejected"
+            assert "cpu budget" in rejected["reason"]
+            assert summary["rejected"] == 1 and summary["proved"] == 1
+        finally:
+            service.close()
+
+    def test_sigterm_drains_queued_requests(self, tmp_path):
+        """A real daemon process under SIGTERM with a batch still queued exits
+        cleanly and promptly; the client is answered or cleanly disconnected,
+        never left hanging."""
+        socket_path = str(tmp_path / "term.sock")
+        script = (
+            "import asyncio\n"
+            "from repro.service.server import ServiceConfig, serve\n"
+            "asyncio.run(serve(ServiceConfig(\n"
+            f"    socket_path={socket_path!r}, store_path=None, library_path=None,\n"
+            "    timeout=30.0, jobs=1, shutdown_grace=1.0,\n"
+            "    worker_hook='engine_hooks:slow_tasks',\n"
+            ")))\n"
+        )
+        daemon = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path)),
+        )
+        outcome = {}
+        try:
+            # The bounded connect retry covers the daemon's startup window.
+            client = ServiceClient(
+                socket_path, timeout=60.0, connect_retries=100, connect_backoff=0.1
+            )
+            assert client.ping()["op"] == "pong"
+
+            def run_submit():
+                try:
+                    outcome["done"] = client.submit(
+                        suite="isaplanner", client="doomed",
+                        conjectures=trivial_conjectures(
+                            ["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"]
+                        ),
+                    )
+                except ServiceProtocolError as error:
+                    outcome["error"] = error
+
+            submitter = threading.Thread(target=run_submit)
+            submitter.start()
+            time.sleep(0.6)  # first goal on the worker, the rest queued
+            daemon.send_signal(signal.SIGTERM)
+            assert daemon.wait(timeout=30.0) == 0
+            submitter.join(timeout=30.0)
+            assert not submitter.is_alive(), "client hung through the daemon's shutdown"
+            # Either a done line with drained goals or a clean protocol error.
+            assert "done" in outcome or "error" in outcome
+            if "done" in outcome:
+                assert outcome["done"].done.get("failed", 0) >= 1
+            assert not os.path.exists(socket_path)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+            daemon.wait(timeout=10.0)
+
+    def test_pool_survives_a_worker_crash_and_stays_warm(self, tmp_path):
+        service = make_service(
+            tmp_path, worker_hook="engine_hooks:crash_on_prop_11", timeout=10.0
+        )
+        try:
+            first = submit(service, suite="isaplanner", goals=["prop_11", "prop_01"])
+            assert done_line(first)["op"] == "done"
+            crashed = verdict(first, "prop_11")
+            assert crashed["status"] == "failed"
+            assert "worker crashed" in crashed["reason"]
+            assert verdict(first, "prop_01")["status"] == "proved"
+            # Initial pool spawn plus the respawn after the crash.
+            assert done_line(first)["worker_spawns"] >= 2
+
+            # The respawned worker stays resident: a fresh cold goal dispatches
+            # to it without spawning another process.
+            second = submit(service, suite="isaplanner", goals=["prop_22"])
+            assert done_line(second)["proved"] == 1
+            assert done_line(second)["worker_spawns"] == 0
+        finally:
+            service.close()
+
+
+class TestPrewarmAndRanking:
+    def test_prewarm_rebuilds_theories_from_the_store(self, tmp_path):
+        seed = make_service(tmp_path)
+        try:
+            submit(seed, suite="isaplanner", goals=["prop_01"])
+        finally:
+            seed.close()
+
+        service = make_service(tmp_path, prewarm=True)
+        try:
+            assert service.metrics.prewarmed_theories >= 1
+            events = submit(service, suite="isaplanner", goals=["prop_01"])
+            summary = done_line(events)
+            assert summary["warm"] is True  # no elaboration on the first request
+            assert summary["worker_spawns"] == 0
+            assert summary["store_hits"] == 1
+        finally:
+            service.close()
+
+    def test_hints_are_ranked_by_shared_symbols(self, tmp_path):
+        from repro.service.library import equation_symbols
+
+        assert equation_symbols("add (S x) y === S (add x y)") == {"add", "S", "x", "y"}
+
+        with LemmaLibrary(str(tmp_path / "rank.jsonl")) as library:
+            fingerprint = "a" * 64
+            library.add(fingerprint, "rev (rev xs) === xs", {"cert": 1})
+            library.add(fingerprint, "add a b === add b a", {"cert": 2})
+            library.add(fingerprint, "len (app xs ys) === add (len xs) (len ys)", {"cert": 3})
+            library._verify = lambda *args, **kwargs: True  # ranking under test, not the gate
+
+            # No goal symbols: insertion order (the old behaviour).
+            assert library.hints_for(fingerprint)[0] == "rev (rev xs) === xs"
+            # Relevance: most shared symbols first, insertion order on ties.
+            ranked = library.hints_for(fingerprint, goal_symbols={"add", "len"})
+            assert ranked == [
+                "len (app xs ys) === add (len xs) (len ys)",
+                "add a b === add b a",
+                "rev (rev xs) === xs",
+            ]
+            # The offer limit keeps the most relevant lemma, not the oldest.
+            assert library.hints_for(fingerprint, goal_symbols={"add"}, limit=1) == [
+                "add a b === add b a"
+            ]
+
+    def test_offer_certificates_are_verified_once_per_digest(self, tmp_path):
+        class CountingChecker:
+            def __init__(self):
+                self.calls = 0
+
+            def check(self, certificate, goal_equation=None):
+                self.calls += 1
+
+                class Report:
+                    ok = True
+                    hypotheses = ()
+
+                return Report()
+
+        with LemmaLibrary(str(tmp_path / "memo.jsonl")) as library:
+            fingerprint = "b" * 64
+            library.add(fingerprint, "add Z n === n", {"node": 1})
+            library.add(fingerprint, "mul Z n === Z", {"node": 2})
+            checker = CountingChecker()
+            first = library.hints_for(fingerprint, checker=checker)
+            assert len(first) == 2 and checker.calls == 2
+            # Repeat offers on a hot theory skip re-verification entirely.
+            again = library.hints_for(fingerprint, checker=checker)
+            assert again == first and checker.calls == 2
+
+
 class TestServiceReport:
     def test_summary_table_renders_snapshot(self, tmp_path):
         from repro.harness.report import service_summary_table
@@ -461,6 +792,10 @@ class TestServiceReport:
         assert "1/2 (50%)" in table
         assert "warm-state hits" in table
         assert "replay latency" in table
+        assert "worker pool size" in table
+        assert "interleaved dispatches" in table
+        assert "goals rejected (client budget)" in table
+        assert "client default" in table  # per-client served/rejected row
         # Table survives the JSON round trip the protocol performs.
         snapshot = json.loads(json.dumps(service.metrics_snapshot()))
         assert "worker processes spawned" in service_summary_table(snapshot)
