@@ -266,6 +266,92 @@ def run_concurrent_warm_replay() -> Dict[str, object]:
         shutil.rmtree(scratch, ignore_errors=True)
 
 
+#: Warm submits per timed run in the tracing-overhead slice.  Much bigger
+#: than WARM_BATCH because the claim is an upper bound on a *near-1* ratio:
+#: a single jittery replay shifts a pair by ±10% where the asserted envelope
+#: is 2%, so the batches must amortize jitter well below the envelope.
+TRACE_BATCH = 60
+
+#: Interleaved best-of-TRACE_INNER per pair side, TRACE_REPEATS pairs.  The
+#: sizing is driven by the noise, not the signal: shared single-core CI
+#: runners show a ±3% floor between adjacent 25 ms windows, so the 2%
+#: envelope is asserted on the ratio of per-arm *minima* (the noise-floor
+#: estimate, which both arms approach as windows accumulate) while the
+#: paired 95% CI lower bound guards more coarsely against gross regression.
+TRACE_REPEATS = 8
+TRACE_INNER = 8
+TRACE_WARMUP = 2
+
+
+def run_tracing_overhead() -> Dict[str, object]:
+    """Warm replay with tracing to a JSONL sink vs without — the 2% envelope.
+
+    Tracing is always on (the in-memory ring, span bookkeeping and latency
+    histograms run either way); what this slice prices is the *sink*: a
+    configured ``trace_path`` adds, for persisted requests, appends to the
+    sink's pending list plus a writer thread's batched JSONL serialization.
+    The replay path stays inside the envelope by design — sink writes are
+    asynchronous and pure-replay requests are head-sampled (1 in
+    ``REPLAY_SINK_SAMPLE``) — and this slice holds it to that: two
+    identically primed resident services, paired interleaved batches,
+    plain/traced ratio (1.0 means free, 0.98 is the promised ceiling).
+    """
+    scratch = tempfile.mkdtemp(prefix="bench-service-trace-")
+    plain = ProofService(
+        ServiceConfig(store_path=f"{scratch}/plain-store.jsonl", timeout=TIMEOUT)
+    )
+    traced = ProofService(
+        ServiceConfig(
+            store_path=f"{scratch}/traced-store.jsonl",
+            timeout=TIMEOUT,
+            trace_path=f"{scratch}/trace.jsonl",
+        )
+    )
+    try:
+        for service in (plain, traced):
+            prime, _ = _submit(service, suite="isaplanner", goals=list(GOALS))
+            if prime["proved"] != len(GOALS):
+                raise AssertionError(f"pinned slice must be provable: {prime}")
+
+        def baseline() -> None:
+            for _ in range(TRACE_BATCH):
+                _submit(plain, suite="isaplanner", goals=list(GOALS))
+
+        def candidate() -> None:
+            for _ in range(TRACE_BATCH):
+                _submit(traced, suite="isaplanner", goals=list(GOALS))
+
+        plain_sample, traced_sample, ratio_sample = measure_paired(
+            baseline,
+            candidate,
+            repeats=TRACE_REPEATS,
+            warmup=TRACE_WARMUP,
+            # Near-1 bound: best-of-TRACE_INNER per pair side discards point
+            # spikes (scheduler preemptions) that would drown a 2% signal.
+            inner=TRACE_INNER,
+        )
+        metrics = traced.metrics_snapshot()
+        return {
+            "plain": Sample(tuple(v / TRACE_BATCH for v in plain_sample.values)),
+            "traced": Sample(tuple(v / TRACE_BATCH for v in traced_sample.values)),
+            # Per-pair ratios need no rescaling: both thunks run TRACE_BATCH
+            # submits, so the batch factor cancels.
+            "ratio": ratio_sample,
+            # Ratio of noise floors: each arm's global minimum over all
+            # inner runs.  Noise on a throttled box only ever *adds* time,
+            # so both minima converge to the arms' true costs and their
+            # ratio isolates the systematic difference — this carries the
+            # 2% envelope assertion.
+            "floor_ratio": min(plain_sample.values) / min(traced_sample.values),
+            "replay_p99": metrics["op_latency"]["store_replay"]["p99"],
+            "replay_count": metrics["op_latency"]["store_replay"]["count"],
+        }
+    finally:
+        plain.close()
+        traced.close()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
 def run_library_ablation() -> Dict[str, object]:
     """``prop_54`` with and without a seeded lemma library (reported only)."""
 
@@ -338,6 +424,21 @@ def _concurrent_table(report: Dict[str, object]) -> str:
         f" ({len(report['spawns'])} requests), interleaved dispatches:"
         f" {pool['interleaves']}, max concurrent sessions:"
         f" {pool['max_concurrent_sessions']}",
+    ]
+    return "\n".join(lines)
+
+
+def _tracing_table(report: Dict[str, object]) -> str:
+    ratio = report["ratio"]
+    lines = [
+        f"goals: {', '.join(GOALS)}, warm replays, {TRACE_BATCH} submits/run",
+        f"plain (no sink):        {format_sample(report['plain'])} per request",
+        f"traced (JSONL sink):    {format_sample(report['traced'])} per request",
+        f"plain/traced noise floor: {report['floor_ratio']:.3f}x (>= 0.98 required)",
+        f"plain/traced per pair:  mean {ratio.mean:.3f}x (>= 0.95 required),"
+        f" 95% CI lower {ratio.ci_low:.3f}x",
+        f"store_replay p99 under tracing: {report['replay_p99'] * 1000.0:.2f} ms"
+        f" over {report['replay_count']} replayed goals",
     ]
     return "\n".join(lines)
 
@@ -428,6 +529,26 @@ def test_concurrent_warm_replay_workerless_and_byte_identical():
     assert report["byte_identical"], "a concurrent replay mutated a certificate"
 
 
+def test_tracing_overhead_within_two_percent_envelope():
+    report = run_tracing_overhead()
+    print_report("tracing overhead on warm replay", _tracing_table(report))
+    ratio = report["ratio"]
+    assert report["replay_count"] > 0, "no replays were traced"
+    # Two-tier gate (see TRACE_REPEATS): the 2% envelope rides on the ratio
+    # of noise floors, which isolates the systematic cost on boxes whose
+    # pair-to-pair jitter dwarfs 2%; the paired mean still guards, across
+    # all pairs including the jittery ones, that tracing cannot have
+    # regressed the replay path grossly.
+    assert report["floor_ratio"] >= 0.98, (
+        f"tracing sink costs more than the 2% envelope on warm replay:"
+        f" noise-floor ratio {report['floor_ratio']:.3f}x"
+    )
+    assert ratio.mean >= 0.95, (
+        f"tracing sink regressed warm replay beyond noise:"
+        f" paired mean {ratio.mean:.3f}x (95% CI lower {ratio.ci_low:.3f}x)"
+    )
+
+
 def test_library_ablation_reported():
     report = run_library_ablation()
     print_report("lemma library ablation (reported, not asserted)", _ablation_table(report))
@@ -443,6 +564,9 @@ if __name__ == "__main__":
     print_report(
         "4 concurrent clients vs serialized submits",
         _concurrent_table(_concurrent_report()),
+    )
+    print_report(
+        "tracing overhead on warm replay", _tracing_table(run_tracing_overhead())
     )
     print_report(
         "lemma library ablation (reported, not asserted)",

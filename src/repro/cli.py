@@ -1,4 +1,4 @@
-"""The ``python -m repro`` command line: solve, bench, profile, disprove, report, check, store, serve, submit.
+"""The ``python -m repro`` command line: solve, bench, profile, disprove, report, check, store, serve, submit, trace.
 
 Nine subcommands::
 
@@ -278,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cumulative worker CPU-seconds one client may consume (0 = unlimited)")
     serve.add_argument("--shutdown-grace", type=float, default=2.0, metavar="S",
                        help="seconds an in-flight goal may keep its worker at shutdown")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write structured spans to this JSONL file "
+                            "(read back with `repro trace`)")
+    serve.add_argument("--trace-max-bytes", type=int, default=32 * 1024 * 1024,
+                       metavar="N",
+                       help="rotate the trace file past N bytes, keeping one "
+                            ".1 sibling (default: 32 MiB)")
 
     submit = commands.add_parser(
         "submit", help="submit goals to a running proof service daemon"
@@ -307,6 +314,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the daemon's service metrics table")
     submit.add_argument("--shutdown", action="store_true",
                         help="ask the daemon to shut down (after any submission)")
+
+    trace = commands.add_parser(
+        "trace", help="read a service trace file (summary, Chrome export, slow goals)"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_commands.add_parser(
+        "summary", help="span counts and latency percentiles per op class and span name"
+    )
+    trace_summary.add_argument("path", metavar="TRACE",
+                               help="JSONL trace file written by `serve --trace`")
+    trace_export = trace_commands.add_parser(
+        "export", help="convert a trace to Chrome trace-event JSON (open in Perfetto)"
+    )
+    trace_export.add_argument("path", metavar="TRACE")
+    trace_export.add_argument("--out", default=None, metavar="FILE",
+                              help="write the JSON here instead of stdout")
+    trace_slow = trace_commands.add_parser(
+        "slow", help="slowest goals with queue-wait vs solve-time attribution"
+    )
+    trace_slow.add_argument("path", metavar="TRACE")
+    trace_slow.add_argument("--threshold", type=float, default=0.5, metavar="S",
+                            help="report goals whose queue+solve total exceeds "
+                                 "S seconds (default: 0.5)")
+    trace_slow.add_argument("--limit", type=int, default=20, metavar="N",
+                            help="most rows shown (default: 20)")
 
     return parser
 
@@ -1154,6 +1186,8 @@ def _serve_command(args) -> int:
             serialize_submits=args.serialize_submits,
             client_max_inflight=args.client_max_inflight,
             client_cpu_budget=args.client_cpu_budget,
+            trace_path=args.trace,
+            trace_max_bytes=args.trace_max_bytes,
         )
     )
 
@@ -1213,7 +1247,7 @@ def _submit_command(args) -> int:
             done = outcome.done
             if done.get("rejected"):
                 print(f"{done['rejected']} goal(s) rejected by the daemon's client budget")
-            print(
+            summary = (
                 f"\n{done.get('proved', 0)}/{done.get('total', 0)} proved, "
                 f"{done.get('disproved', 0)} disproved, "
                 f"{done.get('store_hits', 0)} replayed from store, "
@@ -1221,6 +1255,9 @@ def _submit_command(args) -> int:
                 f"{done.get('library_hints_used', 0)} library hint step(s) used "
                 f"in {float(done.get('seconds') or 0.0):.3f} s"
             )
+            if done.get("trace"):
+                summary += f" [trace {done['trace']}]"
+            print(summary)
             decisive = outcome.proved + outcome.disproved
             code = 0 if decisive == outcome.total else 1
         if args.metrics:
@@ -1232,6 +1269,93 @@ def _submit_command(args) -> int:
         print(f"submit: {error}", file=sys.stderr)
         return 2
     return code
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+
+def _trace_command(args) -> int:
+    import json as json_module
+
+    from .harness.report import format_table
+    from .obs.export import chrome_trace, read_trace, slow_goals, summarise
+
+    try:
+        records = read_trace(args.path)
+    except FileNotFoundError:
+        print(f"trace: no trace file at {args.path}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"trace: cannot read {args.path}: {error.strerror or error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"trace: {args.path} holds no spans", file=sys.stderr)
+        return 1
+
+    if args.trace_command == "export":
+        payload = json_module.dumps(chrome_trace(records), sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"trace: wrote Chrome trace JSON to {args.out} "
+                  "(open at https://ui.perfetto.dev)")
+        else:
+            print(payload)
+        return 0
+
+    if args.trace_command == "slow":
+        rows = slow_goals(records, threshold=args.threshold, limit=args.limit)
+        if not rows:
+            print(f"(no goals above {args.threshold:.3f} s queue+solve)")
+            return 0
+        print(format_table(
+            ("goal", "trace", "queued ms", "solve ms", "total ms", "status"),
+            [
+                (
+                    row["goal"],
+                    row["trace"],
+                    f"{row['queued_seconds'] * 1000.0:.1f}",
+                    f"{row['solve_seconds'] * 1000.0:.1f}",
+                    f"{row['total_seconds'] * 1000.0:.1f}",
+                    row["status"] or "-",
+                )
+                for row in rows
+            ],
+        ))
+        return 0
+
+    # summary
+    summary = summarise(records)
+    print(
+        f"trace: {args.path} — {summary['spans']} span(s), "
+        f"{summary['events']} event(s), {summary['traces']} trace(s)"
+    )
+    for op_class, stats in sorted(summary["op_classes"].items()):
+        # One greppable line per op class (the CI trace-smoke step matches
+        # on "op class <name>: <n> span(s)").
+        print(
+            f"op class {op_class}: {stats['count']} span(s), "
+            f"p50 {stats['p50'] * 1000.0:.2f} ms, p95 {stats['p95'] * 1000.0:.2f} ms, "
+            f"p99 {stats['p99'] * 1000.0:.2f} ms, max {stats['max'] * 1000.0:.2f} ms"
+        )
+    print()
+    print(format_table(
+        ("span", "count", "total s", "p50 ms", "p95 ms", "max ms"),
+        [
+            (
+                name,
+                stats["count"],
+                f"{stats['total']:.3f}",
+                f"{stats['p50'] * 1000.0:.2f}",
+                f"{stats['p95'] * 1000.0:.2f}",
+                f"{stats['max'] * 1000.0:.2f}",
+            )
+            for name, stats in sorted(summary["names"].items())
+        ],
+    ))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1255,6 +1379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _serve_command(args)
         if args.command == "submit":
             return _submit_command(args)
+        if args.command == "trace":
+            return _trace_command(args)
         return _report_command(args)
     except StoreLockError as error:
         # Advisory-lock contention: another process (usually a daemon) owns

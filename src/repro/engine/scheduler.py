@@ -37,7 +37,9 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs.trace import event_record, get_tracer, mint_span_id, span_record
 from ..search.config import ProverConfig
+from ..search.phases import phase_intervals
 
 __all__ = [
     "Task",
@@ -106,6 +108,16 @@ class Task:
     persisting — an outcome for the wrong program.
     """
 
+    trace: str = ""
+    """Trace id of the service request this task belongs to ("" untraced).
+
+    Travels across the worker boundary as a plain string so the worker's own
+    spans (``worker-solve`` and its phase children) join the request's trace.
+    """
+
+    span: str = ""
+    """Parent span id (the request span) for spans derived from this task."""
+
     @property
     def key(self) -> str:
         """The goal identity ``suite/name``."""
@@ -123,6 +135,8 @@ class Task:
             "config": dict(self.config),
             "hints": tuple(self.hints),
             "program": self.program,
+            "trace": self.trace,
+            "span": self.span,
         }
 
 
@@ -233,6 +247,44 @@ def solve_task(problem, task: dict, hook: Optional[Callable] = None) -> dict:
             phase: round(total, 6) for phase, total in stats.phase_seconds.items()
         }
         wire["phase_counts"] = dict(stats.phase_counts)
+    trace_id = str(task.get("trace") or "")
+    if trace_id:
+        # Spans cross the process boundary the same way everything else does:
+        # as primitive dicts inside the outcome wire.  The parent side pops
+        # ``spans`` and forwards them to its tracer; ``store.put`` copies only
+        # ``OUTCOME_FIELDS``, so spans can never leak into the result store.
+        wall_end = time.time()
+        wall_start = wall_end - elapsed
+        solve_span = mint_span_id()
+        spans = [
+            span_record(
+                "worker-solve",
+                trace_id,
+                span=solve_span,
+                parent=str(task.get("dispatch_span") or task.get("span") or ""),
+                start=wall_start,
+                end=wall_end,
+                attrs={
+                    "goal": task["key"],
+                    "variant": task.get("variant", ""),
+                    "status": status,
+                },
+            )
+        ]
+        for phase, phase_start, phase_end in phase_intervals(
+            stats.phase_seconds, wall_start
+        ):
+            spans.append(
+                span_record(
+                    f"phase:{phase}",
+                    trace_id,
+                    parent=solve_span,
+                    start=phase_start,
+                    end=phase_end,
+                    attrs={"aggregate": True},
+                )
+            )
+        wire["spans"] = spans
     return wire
 
 
@@ -513,11 +565,15 @@ class Scheduler:
         worker_hook: Optional[Spec] = None,
         hard_kill_grace: float = 5.0,
         start_method: Optional[str] = None,
+        tracer=None,
     ):
         self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
         self.resolver = resolver
         self.worker_hook = worker_hook
         self.hard_kill_grace = max(0.5, float(hard_kill_grace))
+        #: Where queue/dispatch spans of traced tasks go; the proof service
+        #: injects its own per-daemon tracer, everyone else gets the ring.
+        self.tracer = tracer if tracer is not None else get_tracer()
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -580,6 +636,12 @@ class Scheduler:
         wire: List[dict] = [t.to_wire() if isinstance(t, Task) else dict(t) for t in tasks]
         results: Dict[int, dict] = {}
         cancelled: set = set()
+        # Queue-wait attribution: every task is enqueued right here, so one
+        # anchor pair serves the whole batch; dispatch moments are recorded
+        # per uid as (monotonic, wall) when a worker accepts the task.
+        enqueued_mono = time.monotonic()
+        enqueued_wall = time.time()
+        dispatched_at: Dict[int, Tuple[float, float]] = {}
 
         def cancel(uids: Iterable[int]) -> None:
             cancelled.update(uids)
@@ -587,6 +649,45 @@ class Scheduler:
         def finish(task: dict, outcome: dict, worker: int) -> None:
             outcome = dict(outcome)
             outcome["worker"] = worker
+            spans = outcome.pop("spans", None)
+            dispatch = dispatched_at.get(task["uid"])
+            outcome.setdefault(
+                "queued_seconds",
+                round((dispatch[0] if dispatch else time.monotonic()) - enqueued_mono, 6),
+            )
+            trace_id = str(task.get("trace") or "")
+            if trace_id:
+                now_wall = time.time()
+                queue_span = mint_span_id()
+                self.tracer.emit(
+                    span_record(
+                        "queue",
+                        trace_id,
+                        span=queue_span,
+                        parent=str(task.get("span") or ""),
+                        start=enqueued_wall,
+                        end=dispatch[1] if dispatch else now_wall,
+                        attrs={"goal": task["key"], "dispatched": dispatch is not None},
+                    )
+                )
+                if dispatch is not None:
+                    self.tracer.emit(
+                        span_record(
+                            "pool-dispatch",
+                            trace_id,
+                            span=str(task.get("dispatch_span") or ""),
+                            parent=queue_span,
+                            start=dispatch[1],
+                            end=now_wall,
+                            attrs={
+                                "goal": task["key"],
+                                "worker": worker,
+                                "status": str(outcome.get("status") or ""),
+                            },
+                        )
+                    )
+                if spans:
+                    self.tracer.emit_all(spans)
             results[task["uid"]] = outcome
             if on_result is not None:
                 on_result(task, outcome, cancel)
@@ -633,7 +734,12 @@ class Scheduler:
                                 worker=-1,
                             )
                             continue
+                        if task.get("trace") and not task.get("dispatch_span"):
+                            # Minted before pickling so the worker-solve span
+                            # can parent onto it without a round-trip.
+                            task["dispatch_span"] = mint_span_id()
                         worker.submit(task)
+                        dispatched_at[task["uid"]] = (time.monotonic(), time.time())
                         break
 
                 # 2. Collect finished results from every slot's own queue.
@@ -676,6 +782,19 @@ class Scheduler:
                             continue
                         exit_code = worker.process.exitcode
                         busy_seconds[worker.slot] += now - worker.started_at
+                        if task.get("trace"):
+                            self.tracer.emit(
+                                event_record(
+                                    "worker-crash",
+                                    str(task["trace"]),
+                                    parent=str(task.get("dispatch_span") or ""),
+                                    attrs={
+                                        "goal": task["key"],
+                                        "slot": worker.slot,
+                                        "exit_code": exit_code,
+                                    },
+                                )
+                            )
                         finish(
                             task,
                             {
@@ -761,7 +880,16 @@ class _PoolTask:
     resolver so the worker knows which theory to (re)use.
     """
 
-    __slots__ = ("uid", "session", "wire", "worker_wire")
+    __slots__ = (
+        "uid",
+        "session",
+        "wire",
+        "worker_wire",
+        "enqueued_mono",
+        "enqueued_wall",
+        "dispatched_mono",
+        "dispatched_wall",
+    )
 
     def __init__(self, uid: int, session: "PoolSession", wire: dict):
         self.uid = uid
@@ -770,7 +898,17 @@ class _PoolTask:
         worker_wire = dict(wire)
         worker_wire["uid"] = uid
         worker_wire["resolver"] = session.resolver
+        if wire.get("trace"):
+            # Minted up front so the worker-solve span can parent onto the
+            # pool-dispatch span without waiting for the parent to see it.
+            worker_wire["dispatch_span"] = mint_span_id()
         self.worker_wire = worker_wire
+        # Queue-wait attribution: enqueue is construction time; dispatch is
+        # stamped by the dispatcher when a slot accepts the task.
+        self.enqueued_mono = time.monotonic()
+        self.enqueued_wall = time.time()
+        self.dispatched_mono: Optional[float] = None
+        self.dispatched_wall = 0.0
 
 
 class PoolSession:
@@ -851,6 +989,55 @@ class PoolSession:
         """Settle one task (dispatcher thread; runs outside the pool lock)."""
         outcome = dict(outcome)
         outcome["worker"] = worker
+        spans = outcome.pop("spans", None)
+        dispatched = ptask.dispatched_mono is not None
+        outcome.setdefault(
+            "queued_seconds",
+            round(
+                (ptask.dispatched_mono if dispatched else time.monotonic())
+                - ptask.enqueued_mono,
+                6,
+            ),
+        )
+        trace_id = str(ptask.wire.get("trace") or "")
+        if trace_id:
+            tracer = self.pool.tracer
+            now_wall = time.time()
+            queue_span = mint_span_id()
+            tracer.emit(
+                span_record(
+                    "queue",
+                    trace_id,
+                    span=queue_span,
+                    parent=str(ptask.wire.get("span") or ""),
+                    start=ptask.enqueued_wall,
+                    end=ptask.dispatched_wall if dispatched else now_wall,
+                    attrs={
+                        "goal": ptask.wire["key"],
+                        "session": self.sid,
+                        "client": self.client,
+                        "dispatched": dispatched,
+                    },
+                )
+            )
+            if dispatched:
+                tracer.emit(
+                    span_record(
+                        "pool-dispatch",
+                        trace_id,
+                        span=str(ptask.worker_wire.get("dispatch_span") or ""),
+                        parent=queue_span,
+                        start=ptask.dispatched_wall,
+                        end=now_wall,
+                        attrs={
+                            "goal": ptask.wire["key"],
+                            "worker": worker,
+                            "status": str(outcome.get("status") or ""),
+                        },
+                    )
+                )
+            if spans:
+                tracer.emit_all(spans)
         self._results[ptask.wire["uid"]] = outcome
         if worker >= 0:
             with self.pool._lock:
@@ -893,10 +1080,14 @@ class WorkerPool:
         worker_hook: Optional[Spec] = None,
         hard_kill_grace: float = 5.0,
         start_method: Optional[str] = None,
+        tracer=None,
     ):
         self.jobs = max(1, int(jobs) if jobs else (os.cpu_count() or 1))
         self.worker_hook = worker_hook
         self.hard_kill_grace = max(0.5, float(hard_kill_grace))
+        #: Where queue/dispatch spans and crash events of traced tasks go; the
+        #: proof service injects its per-daemon tracer.
+        self.tracer = tracer if tracer is not None else get_tracer()
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -1145,6 +1336,8 @@ class WorkerPool:
                     if ptask is None:
                         break
                     slot.submit(ptask.worker_wire)
+                    ptask.dispatched_mono = time.monotonic()
+                    ptask.dispatched_wall = time.time()
                     self._inflight[ptask.uid] = (ptask, slot)
                     ptask.session._inflight += 1
                     self._dispatched += 1
@@ -1196,6 +1389,21 @@ class WorkerPool:
                     if ptask is not None:
                         self._inflight.pop(task["uid"], None)
                         self._account(ptask, slot)
+                        if ptask.wire.get("trace"):
+                            self.tracer.emit(
+                                event_record(
+                                    "worker-crash",
+                                    str(ptask.wire["trace"]),
+                                    parent=str(
+                                        ptask.worker_wire.get("dispatch_span") or ""
+                                    ),
+                                    attrs={
+                                        "goal": ptask.wire["key"],
+                                        "slot": slot.slot,
+                                        "exit_code": exit_code,
+                                    },
+                                )
+                            )
                         finishes.append(
                             (
                                 ptask,

@@ -182,6 +182,11 @@ OUTCOME_FIELDS = (
     # with empty dicts and the report tables render "-" for them).
     "phase_seconds",
     "phase_counts",
+    # Deliberately absent: "queued_seconds" and "spans".  Queue wait is a
+    # property of one *run*'s scheduling (a replayed goal waited 0 in the
+    # replaying request — persisting the historical wait would poison the
+    # client-latency decomposition), and spans belong to the trace sink, never
+    # the result store.
 )
 
 

@@ -98,6 +98,8 @@ def solve_suite(
     hard_kill_grace: float = 5.0,
     start_method: Optional[str] = None,
     scheduler: Optional[Scheduler] = None,
+    trace: str = "",
+    trace_parent: str = "",
 ) -> SuiteResult:
     """Solve a suite on the parallel engine; see :func:`run_suite_parallel`.
 
@@ -110,6 +112,11 @@ def solve_suite(
     ``out-of-scope`` exactly as in the serial runner.  The scheduler used is
     returned on the result as ``result.engine`` (worker utilisation and wall
     time for the report layer).
+
+    ``trace``/``trace_parent`` stamp every dispatched task with the service
+    request's trace id and request-span id, so queue, dispatch and worker
+    spans land in one correlated trace (empty means untraced — the default
+    for direct library use).
     """
     config = config or ProverConfig()
     variant_list: Tuple[PortfolioVariant, ...] = tuple(variants) if variants else single_variant(config)
@@ -156,6 +163,7 @@ def solve_suite(
             hot_symbols=dict(outcome.get("hot_symbols") or {}),
             hints_offered=int(outcome.get("hints_offered") or 0),
             hint_steps=int(outcome.get("hint_steps") or 0),
+            queued_seconds=float(outcome.get("queued_seconds") or 0.0),
             # Absent on store lines predating the phase profiler: degrade to
             # empty dicts, which every report table renders as "-".
             phase_seconds=dict(outcome.get("phase_seconds") or {}),
@@ -231,6 +239,8 @@ def solve_suite(
                 config=asdict(variant.config),
                 hints=hints,
                 program=program_fp,
+                trace=trace,
+                span=trace_parent,
             )
             tasks.append(task)
             state.uid_to_variant[uid] = variant.name

@@ -233,6 +233,44 @@ def service_summary_table(metrics: Dict[str, object]) -> str:
         ("replay latency", latency("replay_latency")),
         ("solve latency", latency("solve_latency")),
     ]
+
+    def histogram(snapshot: object) -> str:
+        if not isinstance(snapshot, dict):
+            return "(no data)"
+        n = int(snapshot.get("count") or 0)
+        if not n:
+            return "-"
+        return (
+            f"p50 {float(snapshot.get('p50') or 0.0) * 1000.0:.2f} ms, "
+            f"p95 {float(snapshot.get('p95') or 0.0) * 1000.0:.2f} ms, "
+            f"p99 {float(snapshot.get('p99') or 0.0) * 1000.0:.2f} ms, "
+            f"max {float(snapshot.get('max') or 0.0) * 1000.0:.2f} ms (n={n})"
+        )
+
+    op_latency = metrics.get("op_latency")
+    if isinstance(op_latency, dict) and op_latency:
+        known = ("store_replay", "warm_solve", "cold_solve", "rejected")
+        for op_class in known:
+            if op_class in op_latency:
+                rows.append(
+                    (
+                        f"goal latency ({op_class.replace('_', ' ')})",
+                        histogram(op_latency[op_class]),
+                    )
+                )
+        for op_class in sorted(set(op_latency) - set(known)):
+            rows.append(
+                (f"goal latency ({op_class})", histogram(op_latency[op_class]))
+            )
+    else:
+        # Explicit degrade (PR 8 convention): a snapshot from a daemon that
+        # predates per-op tracing says so instead of silently omitting rows.
+        rows.append(
+            (
+                "goal latency (per op class)",
+                "(no data: snapshot predates per-op tracing)",
+            )
+        )
     clients = metrics.get("clients")
     if isinstance(clients, dict):
         for name in sorted(clients):
@@ -475,9 +513,10 @@ def phase_profile_table(result: SuiteResult) -> str:
     nested phases.  This is the table behind ``python -m repro profile``; it is
     how this codebase discovered that the size-change soundness closure, not
     rewriting, dominated end-to-end time.  Records replayed from store lines
-    that predate the profiler carry no phase data and degrade to a
-    trailing note (never a ``KeyError``); a result with no phase data at all
-    renders a one-line placeholder.
+    that predate the profiler carry no phase data and degrade to an explicit
+    ``(no phase data)`` row plus a trailing note (never a ``KeyError``, never
+    a silent omission); a result with no phase data at all renders a one-line
+    placeholder.
     """
     totals: Dict[str, float] = {}
     counts: Dict[str, int] = {}
@@ -502,6 +541,19 @@ def phase_profile_table(result: SuiteResult) -> str:
         share = f"{100.0 * seconds / accounted:.1f}%" if accounted else "-"
         per_entry = f"{seconds / entries * 1e6:.2f}" if entries else "-"
         rows.append((phase, f"{seconds:.3f}", share, entries or "-", per_entry))
+    if profiled < attempted:
+        # A mixed result (store lines from before and after the profiler)
+        # gets an explicit in-table row for the unprofiled remainder, not a
+        # silent omission — the same degrade convention as the service table.
+        rows.append(
+            (
+                "(no phase data)",
+                "-",
+                "-",
+                f"{attempted - profiled} record(s)",
+                "-",
+            )
+        )
     rows.append(("total accounted", f"{accounted:.3f}", "100.0%", "-", "-"))
     table = format_table(("phase", "seconds", "share", "entries", "µs/entry"), rows)
     if profiled < attempted:

@@ -99,6 +99,12 @@ class SolveRecord:
     """(Subst) steps of the final proof that instantiated a supplied hint
     (0 for failures and for proofs that never touched their hints)."""
 
+    queued_seconds: float = 0.0
+    """Wall-clock the goal waited between entering the engine's queue and
+    dispatch to a worker — the scheduling share of client-observed latency
+    (0 for store replays, the serial runner, and records predating the field).
+    """
+
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     """Exclusive wall-clock seconds per pipeline phase (``soundness`` /
     ``normalise`` / ``match`` / … — see :mod:`repro.search.phases`), feeding

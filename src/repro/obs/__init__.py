@@ -1,0 +1,42 @@
+"""Structured tracing and latency telemetry for the proof service.
+
+``repro.obs`` is the observability layer PR 10 threads through the serving
+stack: primitive-dict spans with per-request trace IDs (:mod:`.trace`),
+fixed-bucket streaming latency histograms (:mod:`.histogram`), and a Chrome
+trace-event exporter so a whole multi-client run opens in Perfetto
+(:mod:`.export`).  Everything here obeys the repo's standing invariants:
+tracing is always on (no :class:`~repro.search.config.ProverConfig` switch —
+store identity is untouched), spans cross process boundaries as plain dicts
+(terms never do), and the per-span cost is kept at the
+:class:`~repro.search.phases.PhaseClock` budget so the warm replay path stays
+within its 2% overhead envelope.  See ``docs/observability.md``.
+"""
+
+from .export import chrome_trace, read_trace, slow_goals, summarise
+from .histogram import BUCKET_BOUNDS, OP_CLASSES, LatencyHistogram
+from .trace import (
+    TraceSink,
+    Tracer,
+    event_record,
+    get_tracer,
+    mint_span_id,
+    mint_trace_id,
+    span_record,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "OP_CLASSES",
+    "TraceSink",
+    "Tracer",
+    "chrome_trace",
+    "event_record",
+    "get_tracer",
+    "mint_span_id",
+    "mint_trace_id",
+    "read_trace",
+    "slow_goals",
+    "span_record",
+    "summarise",
+]

@@ -1,0 +1,198 @@
+"""Read trace files back and turn them into Chrome trace JSON or summaries.
+
+The reader half of the subsystem: everything here consumes the JSONL records
+:class:`~repro.obs.trace.TraceSink` wrote (plus its one rotated sibling) and
+never touches live service state, so the ``repro trace`` CLI works on a file
+copied off a production box.
+
+The Chrome trace-event output follows the subset of the spec Perfetto and
+``chrome://tracing`` both accept: complete events (``ph: "X"``) with
+microsecond ``ts``/``dur``, instant events (``ph: "i"``), and ``M`` metadata
+rows naming the thread lanes.  Timestamps are re-based to the earliest span
+so the viewer opens at t=0 instead of the Unix epoch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse a sink file (and its ``.1`` rotation, oldest first) into records.
+
+    Torn trailing lines — possible when reading under a live daemon — and
+    non-record lines are skipped rather than fatal.  Raises
+    ``FileNotFoundError`` when neither file exists.
+    """
+
+    path = os.fspath(path)
+    candidates = [p for p in (path + ".1", path) if os.path.exists(p)]
+    if not candidates:
+        raise FileNotFoundError(path)
+    records: List[Dict[str, object]] = []
+    for candidate in candidates:
+        with open(candidate, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and record.get("kind") in ("span", "event"):
+                    records.append(record)
+    return records
+
+
+def _duration(record: Dict[str, object]) -> float:
+    return max(0.0, float(record.get("end") or 0.0) - float(record.get("start") or 0.0))
+
+
+def chrome_trace(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Convert records to a Chrome trace-event JSON object (Perfetto-openable)."""
+
+    base = min(
+        (float(r.get("start") or 0.0) for r in records), default=0.0
+    )
+    lanes: Dict[Tuple[int, str], int] = {}
+    events: List[Dict[str, object]] = []
+    for record in records:
+        pid = int(record.get("pid") or 0)
+        tid_name = str(record.get("tid") or "main")
+        lane = lanes.setdefault((pid, tid_name), len(lanes) + 1)
+        args = {
+            "trace": record.get("trace"),
+            "span": record.get("span"),
+            "parent": record.get("parent"),
+        }
+        attrs = record.get("attrs")
+        if isinstance(attrs, dict):
+            args.update(attrs)
+        event: Dict[str, object] = {
+            "name": str(record.get("name") or "?"),
+            "cat": str(record.get("op_class") or record.get("kind") or "span"),
+            "ts": round((float(record.get("start") or 0.0) - base) * 1e6, 3),
+            "pid": pid,
+            "tid": lane,
+            "args": args,
+        }
+        if record.get("kind") == "event":
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(_duration(record) * 1e6, 3)
+        events.append(event)
+    for (pid, tid_name), lane in lanes.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": tid_name},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _stats(durations: List[float]) -> Dict[str, float]:
+    ordered = sorted(durations)
+    count = len(ordered)
+
+    def pct(q: float) -> float:
+        return ordered[min(count - 1, int(q * count))]
+
+    return {
+        "count": count,
+        "total": round(sum(ordered), 6),
+        "p50": round(pct(0.50), 6),
+        "p95": round(pct(0.95), 6),
+        "p99": round(pct(0.99), 6),
+        "max": round(ordered[-1], 6),
+    }
+
+
+def summarise(records: List[Dict[str, object]]) -> Dict[str, object]:
+    """Span/event/trace counts plus exact per-op-class and per-name latency stats.
+
+    Unlike the daemon's streaming histograms this sees every record, so the
+    percentiles here are exact order statistics, not bucket estimates.
+    """
+
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+    traces = {str(r.get("trace")) for r in records if r.get("trace")}
+    by_class: Dict[str, List[float]] = {}
+    by_name: Dict[str, List[float]] = {}
+    for record in spans:
+        duration = _duration(record)
+        op_class = str(record.get("op_class") or "")
+        if op_class:
+            by_class.setdefault(op_class, []).append(duration)
+        by_name.setdefault(str(record.get("name") or "?"), []).append(duration)
+    return {
+        "spans": len(spans),
+        "events": len(events),
+        "traces": len(traces),
+        "op_classes": {cls: _stats(values) for cls, values in by_class.items()},
+        "names": {name: _stats(values) for name, values in by_name.items()},
+    }
+
+
+def slow_goals(
+    records: List[Dict[str, object]],
+    threshold: float,
+    limit: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Goals whose queue-wait + solve time exceeds ``threshold`` seconds.
+
+    Attribution per ``(trace, goal)``: queue-wait is the sum of that goal's
+    ``queue`` spans, solve time the sum of its ``worker-solve`` spans (falling
+    back to ``pool-dispatch`` when a worker died before reporting).  Sorted
+    slowest-first.
+    """
+
+    buckets: Dict[Tuple[str, str], Dict[str, float]] = {}
+    status: Dict[Tuple[str, str], str] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        attrs = record.get("attrs")
+        goal = str(attrs.get("goal")) if isinstance(attrs, dict) and attrs.get("goal") else ""
+        if not goal:
+            continue
+        key = (str(record.get("trace") or ""), goal)
+        bucket = buckets.setdefault(
+            key, {"queued": 0.0, "solve": 0.0, "dispatch": 0.0}
+        )
+        name = record.get("name")
+        if name == "queue":
+            bucket["queued"] += _duration(record)
+        elif name == "worker-solve":
+            bucket["solve"] += _duration(record)
+        elif name == "pool-dispatch":
+            bucket["dispatch"] += _duration(record)
+        if isinstance(attrs, dict) and attrs.get("status"):
+            status[key] = str(attrs["status"])
+    rows: List[Dict[str, object]] = []
+    for (trace, goal), bucket in buckets.items():
+        solve = bucket["solve"] or bucket["dispatch"]
+        total = bucket["queued"] + solve
+        if total <= threshold:
+            continue
+        rows.append(
+            {
+                "trace": trace,
+                "goal": goal,
+                "queued_seconds": round(bucket["queued"], 6),
+                "solve_seconds": round(solve, 6),
+                "total_seconds": round(total, 6),
+                "status": status.get((trace, goal), ""),
+            }
+        )
+    rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+    return rows[:limit] if limit is not None else rows

@@ -1,0 +1,99 @@
+"""Streaming latency histograms with fixed log-spaced buckets.
+
+Fixed class-level bounds (not per-instance adaptive ones) keep snapshots from
+different daemons and different uptimes directly comparable — the same
+honesty rule the benchmark suite applies to its paired measurements.  Bounds
+start at 100 µs and double 24 times (last finite bound ≈ 839 s, past any
+request the service would ever hold), so one histogram spans store-replay
+microseconds and cold-solve seconds without resizing.
+
+Quantiles are the usual bucket estimate: find the bucket holding the target
+rank and interpolate linearly inside it.  With doubling buckets the estimate
+is within 2x, which is plenty to tell a p50 regression from a p99 tail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Op classes the service attributes each goal verdict to.  Order is the
+#: display order in ``service_summary_table`` and ``repro trace summary``.
+OP_CLASSES = ("store_replay", "warm_solve", "cold_solve", "rejected")
+
+_FIRST_BOUND = 0.0001  # 100 µs
+_GROWTH = 2.0
+_BUCKET_COUNT = 24
+
+#: Upper bounds (seconds) of the finite buckets; one overflow bucket follows.
+BUCKET_BOUNDS = tuple(
+    _FIRST_BOUND * (_GROWTH ** index) for index in range(_BUCKET_COUNT)
+)
+
+
+class LatencyHistogram:
+    """Constant-space histogram: record is O(log buckets), snapshot is O(buckets)."""
+
+    __slots__ = ("counts", "overflow", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * len(BUCKET_BOUNDS)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        lo, hi = 0, len(BUCKET_BOUNDS)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= BUCKET_BOUNDS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo < len(BUCKET_BOUNDS):
+            self.counts[lo] += 1
+        else:
+            self.overflow += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0 when empty)."""
+
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, float(q)))
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = BUCKET_BOUNDS[index]
+                within = (rank - seen) / bucket_count
+                return min(self.max, lower + (upper - lower) * max(0.0, within))
+            seen += bucket_count
+        # Rank falls in the overflow bucket: the max is the best bound we have.
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        """Primitive-dict form for the ``metrics`` op (sparse bucket map)."""
+
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "max": round(self.max, 6),
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+            "buckets": {
+                str(index): count
+                for index, count in enumerate(self.counts)
+                if count
+            },
+            "overflow": self.overflow,
+        }

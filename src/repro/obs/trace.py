@@ -1,0 +1,324 @@
+"""Span/event primitives, the per-process tracer, and the bounded JSONL sink.
+
+Design constraints (shared with :class:`~repro.search.phases.PhaseClock`):
+
+* **Always on.**  There is no ``ProverConfig`` switch — a config field would
+  change ``config_fingerprint`` and silently invalidate every existing result
+  store.  The cost ceiling is instead enforced by construction: a span is one
+  dict append to a bounded ring plus, only when a sink is configured, one
+  append to the sink's pending list — serialization and file I/O happen on
+  the sink's own writer thread, never on a request path.
+* **Primitive dicts only.**  Spans cross the worker process boundary inside
+  the outcome wire (``outcome["spans"]``), so they contain nothing but
+  strings, floats, ints and bools — never terms, configs or exceptions.
+* **Wall-clock anchors.**  Span ``start``/``end`` use ``time.time()`` so
+  parent- and worker-side spans land on one comparable timeline (the Chrome
+  exporter needs a shared epoch).  *Measured* durations reported elsewhere
+  (``queued_seconds``) still come from ``time.monotonic()`` deltas.
+
+A module-level singleton (:func:`get_tracer`) serves library callers; the
+proof service owns a private :class:`Tracer` per daemon so sinks never leak
+between co-resident test services.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional
+
+#: Bumped only if existing trace files become unreadable; additive fields are
+#: absence-benign, mirroring the result-store convention.
+TRACE_SCHEMA = 1
+
+#: Default rotation threshold for the JSONL sink (live file; one rotated
+#: ``.1`` sibling is kept, so worst-case disk is about twice this).
+DEFAULT_TRACE_MAX_BYTES = 32 * 1024 * 1024
+
+
+def mint_trace_id() -> str:
+    """A fresh 64-bit hex trace id (one per service request)."""
+
+    return os.urandom(8).hex()
+
+
+def mint_span_id() -> str:
+    """A fresh 64-bit hex span id."""
+
+    return os.urandom(8).hex()
+
+
+def span_record(
+    name: str,
+    trace: str,
+    *,
+    span: Optional[str] = None,
+    parent: str = "",
+    op_class: str = "",
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    attrs: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build a span as a plain dict (the only span representation there is).
+
+    ``start``/``end`` are epoch seconds; both default to "now" so callers can
+    mint a record up front and patch ``end`` when the work finishes.
+    """
+
+    now = time.time()
+    return {
+        "schema": TRACE_SCHEMA,
+        "kind": "span",
+        "name": str(name),
+        "trace": str(trace),
+        "span": str(span) if span else mint_span_id(),
+        "parent": str(parent or ""),
+        "op_class": str(op_class or ""),
+        "start": float(start if start is not None else now),
+        "end": float(end if end is not None else (start if start is not None else now)),
+        "pid": os.getpid(),
+        "tid": threading.current_thread().name,
+        "attrs": dict(attrs or {}),
+    }
+
+
+def event_record(
+    name: str,
+    trace: str,
+    *,
+    parent: str = "",
+    attrs: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build an instant event (a zero-duration mark, e.g. a worker crash)."""
+
+    record = span_record(name, trace, parent=parent, attrs=attrs)
+    record["kind"] = "event"
+    return record
+
+
+class TraceSink:
+    """Append-only JSONL sink with a size bound and single-file rotation.
+
+    On crossing ``max_bytes`` the live file is renamed to ``<path>.1``
+    (clobbering any previous rotation) and a fresh file is started, so the
+    sink can run under a daemon indefinitely without growing past roughly
+    twice the bound.
+
+    Writes are **asynchronous**: :meth:`write` appends the record to a
+    pending list (one lock + one list append, so the request path pays
+    nanoseconds, not syscalls — the 2% overhead envelope on warm replay is
+    met by construction) and a daemon writer thread serializes and flushes
+    batches, waking every ``flush_interval`` seconds or when the backlog
+    passes ``_WAKE_BACKLOG``.  Consequences callers can rely on:
+
+    * the live file lags emission by at most about ``flush_interval`` while
+      the daemon runs, and :meth:`close` drains everything, so ``repro
+      trace`` reads a complete file after shutdown and a near-live one
+      before;
+    * a record is serialized at *flush* time — mutating it after
+      :meth:`write` races the writer (the in-tree emitters never do).
+    """
+
+    #: Pending-record count that wakes the writer early.  Deliberately small:
+    #: it bounds memory under a sustained burst AND keeps each flush short —
+    #: a big batch means a long GIL-holding serialization burst that lands as
+    #: a latency spike on whatever request is in flight, where many small
+    #: flushes spread the same work evenly.
+    _WAKE_BACKLOG = 64
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = DEFAULT_TRACE_MAX_BYTES,
+        flush_interval: float = 0.25,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.max_bytes = max(65536, int(max_bytes))
+        self.flush_interval = max(0.01, float(flush_interval))
+        directory = os.path.dirname(os.path.abspath(self.path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._bytes = self._handle.tell()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: List[Dict[str, object]] = []
+        self._closed = False
+        self._writer = threading.Thread(
+            target=self._drain, name="trace-sink", daemon=True
+        )
+        self._writer.start()
+
+    def write(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._pending.append(record)
+            if len(self._pending) >= self._WAKE_BACKLOG:
+                self._wake.notify()
+
+    def _drain(self) -> None:
+        """Writer thread: batch-serialize pending records until closed."""
+        while True:
+            with self._lock:
+                if not self._pending:
+                    if self._closed:
+                        return
+                    self._wake.wait(self.flush_interval)
+                batch, self._pending = self._pending, []
+            if batch:
+                self._flush(batch)
+
+    def _flush(self, batch: List[Dict[str, object]]) -> None:
+        # Only the writer thread touches the handle after construction
+        # (close() joins it first), so no lock is held across file I/O.
+        for record in batch:
+            line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            if self._bytes and self._bytes + len(line) > self.max_bytes:
+                self._rotate()
+            self._handle.write(line)
+            self._bytes += len(line)
+        self._handle.flush()
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
+
+    def close(self) -> None:
+        """Drain the backlog, stop the writer, close the file.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify()
+        self._writer.join(timeout=10.0)
+        with self._lock:
+            leftover, self._pending = self._pending, []
+        if leftover:  # writer died or timed out mid-drain
+            self._flush(leftover)
+        self._handle.close()
+
+
+class Tracer:
+    """Bounded in-memory ring of recent records, optionally mirrored to disk.
+
+    The ring is always on (tests and the ``metrics`` path read it without any
+    configuration); the JSONL sink only exists when :meth:`configure_sink`
+    was called (``serve --trace``).  All methods are thread-safe — the
+    dispatcher thread, asyncio executor threads and worker-result plumbing
+    all emit into one tracer.
+    """
+
+    def __init__(self, ring_capacity: int = 4096) -> None:
+        self._ring: deque = deque(maxlen=max(16, int(ring_capacity)))
+        self._lock = threading.Lock()
+        self._sink: Optional[TraceSink] = None
+
+    def configure_sink(
+        self, path: str, max_bytes: int = DEFAULT_TRACE_MAX_BYTES
+    ) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+            self._sink = TraceSink(path, max_bytes)
+
+    @property
+    def sink_path(self) -> Optional[str]:
+        with self._lock:
+            return self._sink.path if self._sink is not None else None
+
+    def emit(self, record: Dict[str, object], persist: bool = True) -> None:
+        """Record a span/event.  The in-memory ring always sees it;
+        ``persist=False`` keeps it out of the JSONL sink — the service uses
+        this to head-sample pure store-replay requests, whose spans carry no
+        information the (exact) latency histograms don't already hold."""
+        if not isinstance(record, dict):
+            return
+        with self._lock:
+            self._ring.append(record)
+            sink = self._sink if persist else None
+        if sink is not None:
+            sink.write(record)
+
+    def emit_all(
+        self, records: Optional[Iterable[Dict[str, object]]], persist: bool = True
+    ) -> None:
+        for record in records or ():
+            self.emit(record, persist=persist)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace: str,
+        *,
+        span: Optional[str] = None,
+        parent: str = "",
+        op_class: str = "",
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """Context manager: yields the mutable record (callers may add attrs),
+        stamps ``end`` and emits on exit — including on exceptions, so failed
+        requests still leave a span."""
+
+        record = span_record(
+            name, trace, span=span, parent=parent, op_class=op_class, attrs=attrs
+        )
+        try:
+            yield record
+        finally:
+            record["end"] = time.time()
+            self.emit(record)
+
+    def event(
+        self,
+        name: str,
+        trace: str,
+        *,
+        parent: str = "",
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        record = event_record(name, trace, parent=parent, attrs=attrs)
+        self.emit(record)
+        return record
+
+    def recent(
+        self, *, trace: Optional[str] = None, name: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Snapshot of the ring, optionally filtered by trace id and/or name."""
+
+        with self._lock:
+            records = list(self._ring)
+        if trace is not None:
+            records = [r for r in records if r.get("trace") == trace]
+        if name is not None:
+            records = [r for r in records if r.get("name") == name]
+        return records
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (ring only, never sink-configured).
+
+    Engine components fall back to this when no service-owned tracer is
+    injected, so a ``solve_suite`` call that *does* stamp a trace id on its
+    tasks emits into memory even outside the service.  Untraced runs (the
+    default for direct CLI solves) emit nothing — span emission is gated on
+    the task's trace id, not on tracer availability.
+    """
+
+    return _GLOBAL_TRACER

@@ -23,9 +23,9 @@ fields.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-__all__ = ["PHASES", "PhaseClock"]
+__all__ = ["PHASES", "PhaseClock", "phase_intervals"]
 
 #: Display order of the known phases (unknown phases sort after these).
 PHASES = (
@@ -82,3 +82,33 @@ class PhaseClock:
     def snapshot(self) -> Dict[str, float]:
         """The nonzero per-phase totals, ready for ``phase_seconds``."""
         return {phase: total for phase, total in self.seconds.items() if total > 0.0}
+
+
+def phase_intervals(
+    phase_seconds: Dict[str, float], start: float
+) -> List[Tuple[str, float, float]]:
+    """Lay phase totals end-to-end from ``start`` for trace rendering.
+
+    The clock records exclusive *totals*, not the thousands of individual
+    intervals (persisting those would blow the cheapness budget), so trace
+    spans for phases are synthetic: each phase gets one contiguous block, in
+    :data:`PHASES` display order (unknown phases after, alphabetically),
+    starting where the previous block ended.  The blocks sum to the measured
+    totals, which is what a Perfetto lane needs to show *where the time went*
+    inside a ``worker-solve`` span.
+    """
+
+    order = {phase: index for index, phase in enumerate(PHASES)}
+    items = sorted(
+        (phase_seconds or {}).items(),
+        key=lambda item: (order.get(item[0], len(PHASES)), item[0]),
+    )
+    intervals: List[Tuple[str, float, float]] = []
+    cursor = float(start)
+    for phase, seconds in items:
+        seconds = float(seconds)
+        if seconds <= 0.0:
+            continue
+        intervals.append((phase, cursor, cursor + seconds))
+        cursor += seconds
+    return intervals

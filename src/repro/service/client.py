@@ -23,7 +23,18 @@ _TERMINAL_OPS = ("pong", "metrics", "bye", "done", "error")
 
 
 class ServiceProtocolError(RuntimeError):
-    """The daemon reported an error, vanished mid-request, or spoke garbage."""
+    """The daemon reported an error, vanished mid-request, or spoke garbage.
+
+    When the daemon's error line carried a trace id, it is appended to the
+    message and kept on :attr:`trace`, so a client-side failure can be
+    correlated with the daemon-side spans it left behind (``repro trace``).
+    """
+
+    def __init__(self, message: str, trace: str = ""):
+        if trace:
+            message = f"{message} [daemon trace {trace}]"
+        super().__init__(message)
+        self.trace = trace
 
 
 @dataclass
@@ -65,6 +76,11 @@ class SubmitOutcome:
     @property
     def all_proved(self) -> bool:
         return self.total > 0 and self.proved == self.total
+
+    @property
+    def trace(self) -> str:
+        """The daemon's trace id for this request ("" from pre-trace daemons)."""
+        return str(self.done.get("trace") or "")
 
 
 class ServiceClient:
@@ -153,7 +169,10 @@ class ServiceClient:
                     if not isinstance(reply, dict):
                         raise ServiceProtocolError(f"daemon sent a non-object reply: {line[:120]!r}")
                     if reply.get("op") == "error":
-                        raise ServiceProtocolError(str(reply.get("error") or "unknown service error"))
+                        raise ServiceProtocolError(
+                            str(reply.get("error") or "unknown service error"),
+                            trace=str(reply.get("trace") or ""),
+                        )
                     if reply.get("op") in _TERMINAL_OPS:
                         return reply, events
                     events.append(reply)

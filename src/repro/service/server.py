@@ -51,6 +51,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..engine.scheduler import STATUS_REJECTED, Scheduler, WorkerPool
 from ..engine.store import ResultStore, StoreLockError, config_fingerprint
 from ..engine.suite import goal_store_equation, solve_suite
+from ..obs.histogram import OP_CLASSES, LatencyHistogram
+from ..obs.trace import DEFAULT_TRACE_MAX_BYTES, Tracer, mint_span_id, mint_trace_id, span_record
 from ..search.config import ProverConfig
 from .library import LemmaLibrary, enrich_library
 from .resolver import SourceResolver
@@ -67,6 +69,14 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 """Version of the JSON-lines protocol (bumped when messages change meaning)."""
+
+REPLAY_SINK_SAMPLE = 16
+"""Persist every Nth *pure store-replay* request's spans to the trace sink
+(the first always).  Replayed requests are sub-millisecond and identical, so
+their spans add nothing the exact in-memory latency histograms don't already
+capture — but serializing even one JSONL record per request would bust the
+2% overhead envelope on the replay hot path.  Requests that solve, reject or
+crash anything are never sampled: they always persist in full."""
 
 
 class ServiceError(RuntimeError):
@@ -129,6 +139,13 @@ class ServiceConfig:
     client_cpu_budget: float = 0.0
     """Cap on one client's cumulative worker-busy seconds (0 = no cap)."""
 
+    trace_path: Optional[str] = None
+    """JSONL trace sink (``serve --trace``); ``None`` keeps spans in the
+    daemon's in-memory ring only — tracing itself is always on."""
+
+    trace_max_bytes: int = DEFAULT_TRACE_MAX_BYTES
+    """Rotation threshold of the trace sink (live file plus one ``.1``)."""
+
 
 class _Latency:
     """Streaming count/total/max of one latency population."""
@@ -179,6 +196,12 @@ class ServiceMetrics:
         self.errors = 0
         self.replay_latency = _Latency()
         self.solve_latency = _Latency()
+        #: Client-observed latency per *goal*, one histogram per op class
+        #: (store replay / warm solve / cold solve / rejected): time from
+        #: request arrival to that goal's verdict emission.
+        self.op_latency: Dict[str, LatencyHistogram] = {
+            cls: LatencyHistogram() for cls in OP_CLASSES
+        }
         #: Per-client counters: {client: {"requests", "served_goals", "rejected_goals"}}.
         self.clients: Dict[str, Dict[str, int]] = {}
 
@@ -220,6 +243,10 @@ class ServiceMetrics:
                 "errors": self.errors,
                 "replay_latency": self.replay_latency.snapshot(),
                 "solve_latency": self.solve_latency.snapshot(),
+                "op_latency": {
+                    cls: histogram.snapshot()
+                    for cls, histogram in self.op_latency.items()
+                },
                 "queue_depth": int(pool.get("queue_depth") or 0),
                 "inflight_goals": int(pool.get("inflight") or 0),
                 "pool_size": int(pool.get("pool_size") or 0),
@@ -283,9 +310,20 @@ class ProofService:
         self.library = (
             LemmaLibrary(self.config.library_path) if self.config.library_path else None
         )
+        #: Per-daemon tracer: the ring is always on; a JSONL sink exists only
+        #: under ``--trace``.  Owned here (not the module singleton) so two
+        #: co-resident services never share a sink.
+        self.tracer = Tracer()
+        if self.config.trace_path:
+            self.tracer.configure_sink(self.config.trace_path, self.config.trace_max_bytes)
+        #: Pure-replay requests seen, for REPLAY_SINK_SAMPLE head-sampling.
+        self._pure_replays = 0
+        self._sample_lock = threading.Lock()
         #: The shared resident pool (no processes until the first dispatch).
         self.pool = WorkerPool(
-            jobs=self.config.jobs, worker_hook=self.config.worker_hook
+            jobs=self.config.jobs,
+            worker_hook=self.config.worker_hook,
+            tracer=self.tracer,
         )
         self._submit_guard = threading.Lock()  # serialize_submits mode only
         self._active_scheduler: Optional[Scheduler] = None
@@ -317,6 +355,9 @@ class ProofService:
             emit(payload)
 
         op = request.get("op")
+        # Minted before any work so even a failing submit's error line can be
+        # correlated with the daemon-side spans it left behind.
+        trace = mint_trace_id() if op == "submit" else ""
         try:
             if op == "ping":
                 reply({"op": "pong", "protocol": PROTOCOL_VERSION, "pid": os.getpid()})
@@ -326,17 +367,23 @@ class ProofService:
                 self.begin_shutdown()
                 reply({"op": "bye"})
             elif op == "submit":
-                reply(self.submit(request, reply))
+                reply(self.submit(request, reply, trace=trace))
             else:
                 raise ServiceError(f"unknown op {op!r}")
         except ServiceError as error:
             with self.metrics.lock:
                 self.metrics.errors += 1
-            reply({"op": "error", "error": str(error)})
+            payload = {"op": "error", "error": str(error)}
+            if trace:
+                payload["trace"] = trace
+            reply(payload)
         except Exception as error:  # noqa: BLE001 - daemon must survive any request
             with self.metrics.lock:
                 self.metrics.errors += 1
-            reply({"op": "error", "error": f"internal error: {error!r}"})
+            payload = {"op": "error", "error": f"internal error: {error!r}"}
+            if trace:
+                payload["trace"] = trace
+            reply(payload)
 
     def metrics_snapshot(self) -> dict:
         return self.metrics.snapshot(
@@ -396,7 +443,9 @@ class ProofService:
 
     # -- the submit pipeline ------------------------------------------------------
 
-    def submit(self, request: dict, emit: Callable[[dict], None]) -> dict:
+    def submit(
+        self, request: dict, emit: Callable[[dict], None], trace: str = ""
+    ) -> dict:
         """Solve one submission; emits ``verdict`` lines, returns the ``done`` line."""
         with self._lifecycle:
             if self._closing:
@@ -405,32 +454,108 @@ class ProofService:
         try:
             if self.config.serialize_submits:
                 with self._submit_guard:
-                    return self._submit(request, emit)
-            return self._submit(request, emit)
+                    return self._submit(request, emit, trace=trace)
+            return self._submit(request, emit, trace=trace)
         finally:
             with self._lifecycle:
                 self._active_submits -= 1
                 self._lifecycle.notify_all()
 
-    def _submit(self, request: dict, emit: Callable[[dict], None]) -> dict:
+    def _submit(
+        self, request: dict, emit: Callable[[dict], None], trace: str = ""
+    ) -> dict:
         if self._closing:
             raise ServiceError("service is shutting down")
+        trace = trace or mint_trace_id()
         started = time.monotonic()
         client = str(request.get("client") or "default")
         with self.metrics.lock:
             self.metrics.requests += 1
             self.metrics.client_counters(client)["requests"] += 1
+        # The root span of the whole request.  Emitted manually rather than
+        # via the tracer's context manager because whether it *persists* to
+        # the sink is only known at the end: pure store-replay requests are
+        # head-sampled (REPLAY_SINK_SAMPLE), while a request that raised or
+        # did real work always leaves its span behind.
+        request_span = mint_span_id()
+        request_record = span_record(
+            "request", trace, span=request_span, attrs={"client": client}
+        )
+        sink_decision = {"persist": True}  # exceptions always persist
+        try:
+            return self._submit_traced(
+                request, emit, trace, request_span, request_record,
+                started, client, sink_decision,
+            )
+        finally:
+            request_record["end"] = time.time()
+            self.tracer.emit_all(
+                sink_decision.pop("deferred", None),
+                persist=sink_decision["persist"],
+            )
+            self.tracer.emit(request_record, persist=sink_decision["persist"])
+
+    def _submit_traced(
+        self,
+        request: dict,
+        emit: Callable[[dict], None],
+        trace: str,
+        request_span: str,
+        request_record: dict,
+        started: float,
+        client: str,
+        sink_decision: dict,
+    ) -> dict:
 
         source, suite = self._resolve_source(request)
         state, was_warm = self._warm_state(source, suite)
+        request_record["attrs"].update({"suite": suite, "warm": was_warm})
         conjectures = self._conjectures(request)
         with state.guard:
             problems = self._select_problems(state, request, conjectures)
         prover_config = self._prover_config(request)
 
+        # Verdict spans for *cached* goals are deferred: whether they persist
+        # to the sink depends on whether this request turns out to be a pure
+        # store replay (then it is head-sampled) or did real work (then
+        # everything persists).  The ring and the histograms see all of them
+        # either way — only sink I/O is sampled, because on the sub-millisecond
+        # replay path serializing even one JSONL record busts the 2% envelope.
+        deferred_replay_spans: List[dict] = []
+        sink_decision["deferred"] = deferred_replay_spans  # flushed by _submit
+        saw_work = False  # any solve or rejection, i.e. not a pure replay
+
+        def verdict_span(goal: str, status: str, op_class: str, emit_start: float) -> None:
+            nonlocal saw_work
+            span = span_record(
+                "verdict",
+                trace,
+                parent=request_span,
+                op_class=op_class,
+                start=emit_start,
+                end=time.time(),
+                attrs={"goal": goal, "status": status, "op_class": op_class},
+            )
+            if op_class == "store_replay":
+                deferred_replay_spans.append(span)
+            else:
+                saw_work = True
+                self.tracer.emit(span)
+
         problems, rejected = self._admit(client, state, problems, prover_config)
         for payload in rejected:
+            payload["trace"] = trace
+            with self.metrics.lock:
+                self.metrics.op_latency["rejected"].record(time.monotonic() - started)
+            emit_start = time.time()
             emit(payload)
+            goal_name = str(payload.get("goal") or "")
+            verdict_span(
+                f"{suite}/{goal_name}" if goal_name else "",
+                STATUS_REJECTED,
+                "rejected",
+                emit_start,
+            )
 
         with state.guard:
             hypotheses, offered = self._plan_hints(state, problems, prover_config, request)
@@ -445,16 +570,36 @@ class ProofService:
                 jobs=self.config.jobs,
                 resolver=resolver,
                 worker_hook=self.config.worker_hook,
+                tracer=self.tracer,
             )
             self._active_scheduler = engine
         else:
             engine = self.pool.session(resolver, client=client)
         verdicts: List[dict] = []
 
+        def op_class_of(record) -> str:
+            if record.status == STATUS_REJECTED:
+                return "rejected"
+            if record.cached:
+                return "store_replay"
+            return "warm_solve" if was_warm else "cold_solve"
+
         def progress(record) -> None:
-            verdict = self._verdict_payload(record, offered)
+            verdict = self._verdict_payload(record, offered, trace)
             verdicts.append(verdict)
+            op_class = op_class_of(record)
+            with self.metrics.lock:
+                self.metrics.op_latency[op_class].record(time.monotonic() - started)
+            emit_start = time.time()
             emit(verdict)
+            # Qualified goal name, matching the queue/worker-solve spans, so
+            # `trace slow` groups one goal's spans into one attribution row.
+            verdict_span(
+                f"{record.suite}/{record.name}" if record.suite else record.name,
+                record.status,
+                op_class,
+                emit_start,
+            )
 
         try:
             if problems:
@@ -468,6 +613,8 @@ class ProofService:
                     store=self.store,
                     resolver=resolver,
                     scheduler=engine,
+                    trace=trace,
+                    trace_parent=request_span,
                 )
                 records = result.records
             else:
@@ -518,8 +665,22 @@ class ProofService:
             # is dominated by proof search and lands in the other population.
             (self.metrics.replay_latency if spawns == 0 else self.metrics.solve_latency).record(wall)
 
+        request_record["attrs"].update(
+            {"goals": len(records), "rejected": len(rejected), "spawns": spawns}
+        )
+        if saw_work:
+            sink_decision["persist"] = True
+        else:
+            # A pure store replay: head-sample its spans into the sink (the
+            # first such request always lands, so smoke runs are deterministic).
+            with self._sample_lock:
+                sink_decision["persist"] = (
+                    self._pure_replays % REPLAY_SINK_SAMPLE == 0
+                )
+                self._pure_replays += 1
         return {
             "op": "done",
+            "trace": trace,
             "suite": suite,
             "client": client,
             "program": state.fingerprint,
@@ -672,6 +833,7 @@ class ProofService:
             "suite": problem.suite,
             "status": STATUS_REJECTED,
             "seconds": 0.0,
+            "queued_seconds": 0.0,
             "cached": False,
             "variant": "default",
             "hints_offered": 0,
@@ -730,18 +892,25 @@ class ProofService:
         return hypotheses, offered
 
     @staticmethod
-    def _verdict_payload(record, offered: Dict[str, List[str]]) -> dict:
+    def _verdict_payload(
+        record, offered: Dict[str, List[str]], trace: str = ""
+    ) -> dict:
         payload = {
             "op": "verdict",
             "goal": record.name,
             "suite": record.suite,
             "status": record.status,
             "seconds": record.seconds,
+            # Queue-wait attributed separately from solve time: what the goal
+            # spent waiting for a worker, not proving (0 for store replays).
+            "queued_seconds": record.queued_seconds,
             "cached": record.cached,
             "variant": record.variant,
             "hints_offered": record.hints_offered,
             "hint_steps": record.hint_steps,
         }
+        if trace:
+            payload["trace"] = trace
         if record.reason:
             payload["reason"] = record.reason
         if record.certificate is not None:
@@ -848,6 +1017,7 @@ class ProofService:
             self.store.close()
         if self.library is not None:
             self.library.close()
+        self.tracer.close()
 
     def __enter__(self) -> "ProofService":
         return self
